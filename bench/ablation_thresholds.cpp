@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation over the methodology's knobs (DESIGN.md calls these out):
+ * stability threshold delta, detector windows, online sample rate and
+ * BBV projection dimensionality — measured as (error, speedup) on one
+ * regular and one sampling-heavy workload.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+namespace {
+
+void
+sweep(const char *title, const WorkloadFactory &factory,
+      const std::vector<std::pair<std::string, SamplingConfig>> &configs)
+{
+    driver::printBanner(std::cout, title);
+    ModeRun full = runMode(factory, driver::SimMode::FullDetailed);
+    driver::Table t({"config", "err %", "speedup", "levels"});
+    for (const auto &[name, cfg] : configs) {
+        ModeRun run = runMode(factory, driver::SimMode::Photon,
+                              GpuConfig::r9Nano(), cfg);
+        t.addRow({name, driver::Table::num(errorVs(run, full), 2),
+                  driver::Table::num(speedupVs(run, full), 2),
+                  run.levels()});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode(argc, argv);
+    std::uint32_t aes_warps = quick ? 8192 : 16384;
+    auto relu = [] { return workloads::makeRelu(16384); };
+    auto aes = [aes_warps] { return workloads::makeAes(aes_warps); };
+
+    // delta sweep.
+    std::vector<std::pair<std::string, SamplingConfig>> deltas;
+    for (double d : {0.02, 0.04, 0.08, 0.16}) {
+        SamplingConfig cfg;
+        cfg.delta = d;
+        deltas.push_back({"delta=" + driver::Table::num(d, 2), cfg});
+    }
+    sweep("Ablation: stability threshold delta (ReLU-16K)", relu, deltas);
+
+    // Window sweep.
+    std::vector<std::pair<std::string, SamplingConfig>> windows;
+    for (std::uint32_t w : {512u, 1024u, 2048u, 4096u}) {
+        SamplingConfig cfg;
+        cfg.warpWindow = w;
+        cfg.bbWindow = w * 4;
+        windows.push_back({"warpWindow=" + std::to_string(w), cfg});
+    }
+    sweep("Ablation: detector windows (ReLU-16K)", relu, windows);
+
+    // Online sample rate.
+    std::vector<std::pair<std::string, SamplingConfig>> rates;
+    for (double r : {0.002, 0.01, 0.05}) {
+        SamplingConfig cfg;
+        cfg.onlineSampleRate = r;
+        rates.push_back(
+            {"sampleRate=" + driver::Table::num(100 * r, 1) + "%", cfg});
+    }
+    sweep("Ablation: online analysis sample rate (AES)", aes, rates);
+
+    // Future-work extension: s_waitcnt-delimited basic blocks.
+    std::vector<std::pair<std::string, SamplingConfig>> waitcnt;
+    {
+        SamplingConfig off, on;
+        on.bbSplitAtWaitcnt = true;
+        waitcnt.push_back({"bb ends: branch+barrier (paper)", off});
+        waitcnt.push_back({"bb ends: +s_waitcnt (future work)", on});
+    }
+    sweep("Ablation: s_waitcnt block splitting (ReLU-16K)", relu,
+          waitcnt);
+
+    // Projection dimensionality (affects kernel matching only).
+    std::vector<std::pair<std::string, SamplingConfig>> dims;
+    for (std::uint32_t d : {4u, 16u, 64u}) {
+        SamplingConfig cfg;
+        cfg.bbvDims = d;
+        dims.push_back({"bbvDims=" + std::to_string(d), cfg});
+    }
+    sweep("Ablation: BBV projection dims (ReLU-16K)", relu, dims);
+    return 0;
+}

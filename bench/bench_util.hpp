@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction binaries: runs one
+ * workload under one simulation mode on a fresh platform and returns the
+ * aggregate measurements the paper reports.
+ */
+
+#ifndef PHOTON_BENCH_BENCH_UTIL_HPP
+#define PHOTON_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "driver/platform.hpp"
+#include "driver/report.hpp"
+#include "workloads/workload.hpp"
+
+namespace photon::bench {
+
+/** Factory producing a fresh instance of the workload under test. */
+using WorkloadFactory = std::function<workloads::WorkloadPtr()>;
+
+/** Aggregate result of one (workload, mode) run. */
+struct ModeRun
+{
+    Cycle cycles = 0;          ///< predicted total kernel time
+    std::uint64_t insts = 0;
+    double wallSeconds = 0.0;  ///< host time spent simulating
+    std::vector<driver::LaunchResult> log;
+
+    /** Dominant sampling level over the run's launches. */
+    std::string
+    levels() const
+    {
+        int counts[4] = {};
+        for (const auto &l : log)
+            ++counts[static_cast<int>(l.sample.level)];
+        std::string out;
+        const char *names[4] = {"full", "kernel", "warp", "bb"};
+        for (int i = 0; i < 4; ++i) {
+            if (counts[i]) {
+                if (!out.empty())
+                    out += "+";
+                out += names[i];
+            }
+        }
+        return out.empty() ? "-" : out;
+    }
+};
+
+/** Run @p factory's workload on a fresh platform in @p mode. */
+inline ModeRun
+runMode(const WorkloadFactory &factory, driver::SimMode mode,
+        const GpuConfig &gpu = GpuConfig::r9Nano(),
+        const SamplingConfig &sampling = {})
+{
+    driver::Platform platform(gpu, mode, sampling);
+    workloads::WorkloadPtr w = factory();
+    w->setup(platform);
+    ModeRun run;
+    run.log = workloads::runWorkload(*w, platform);
+    run.cycles = platform.totalKernelCycles();
+    run.insts = platform.totalInsts();
+    run.wallSeconds = platform.totalWallSeconds();
+    return run;
+}
+
+/** Percent error of a sampled run against the full-detailed baseline. */
+inline double
+errorVs(const ModeRun &sampled, const ModeRun &full)
+{
+    return driver::percentError(static_cast<double>(sampled.cycles),
+                                static_cast<double>(full.cycles));
+}
+
+/** Wall-time speedup of a sampled run over the full baseline. */
+inline double
+speedupVs(const ModeRun &sampled, const ModeRun &full)
+{
+    return sampled.wallSeconds > 0
+               ? full.wallSeconds / sampled.wallSeconds
+               : 0.0;
+}
+
+/** True when "--quick" was passed (benches shrink their sweeps). */
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--quick")
+            return true;
+    }
+    return false;
+}
+
+} // namespace photon::bench
+
+#endif // PHOTON_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Paper Figure 1 (Observations 1/2): GPU IPC may stabilise over time
+ * (ReLU) or keep fluctuating (MM). Prints the IPC time series of both
+ * kernels plus a stability summary.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "timing/gpu.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+namespace {
+
+void
+trace(const char *name, const workloads::WorkloadPtr &w)
+{
+    driver::Platform p(GpuConfig::r9Nano(), driver::SimMode::FullDetailed);
+    w->setup(p);
+    const auto &spec = w->launches()[0];
+    func::LaunchDims dims{spec.numWorkgroups, spec.wavesPerWorkgroup,
+                          spec.kernarg};
+    timing::RunOptions opts;
+    opts.collectIpcTrace = true;
+    opts.ipcBucketCycles = 512;
+    timing::RunOutcome out = p.gpu().runKernel(*spec.program, dims,
+                                               p.mem(), nullptr, opts);
+
+    driver::printBanner(std::cout, std::string("Figure 1: IPC trace, ") +
+                                       name);
+    std::cout << "kernel cycles: " << out.cycles() << "\n";
+    std::cout << "bucket_cycles,ipc\n";
+    // Downsample to ~48 points for readability.
+    std::size_t n = out.ipcTrace.size();
+    std::size_t step = std::max<std::size_t>(1, n / 48);
+    for (std::size_t i = 0; i < n; i += step) {
+        double sum = 0;
+        std::size_t hi = std::min(n, i + step);
+        for (std::size_t j = i; j < hi; ++j)
+            sum += out.ipcTrace[j];
+        std::cout << i * opts.ipcBucketCycles << ","
+                  << driver::Table::num(sum / (hi - i), 2) << "\n";
+    }
+
+    // Stability summary: coefficient of variation over the second half.
+    double mean = 0, var = 0;
+    std::size_t half = n / 2;
+    for (std::size_t i = half; i < n; ++i)
+        mean += out.ipcTrace[i];
+    mean /= std::max<std::size_t>(1, n - half);
+    for (std::size_t i = half; i < n; ++i)
+        var += (out.ipcTrace[i] - mean) * (out.ipcTrace[i] - mean);
+    var /= std::max<std::size_t>(1, n - half);
+    std::cout << "second-half IPC mean " << driver::Table::num(mean, 2)
+              << ", CV "
+              << driver::Table::num(std::sqrt(var) / std::max(mean, 1e-9),
+                                    3)
+              << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode(argc, argv);
+    trace("ReLU (stabilises, Fig. 1a)",
+          workloads::makeRelu(quick ? 8192 : 16384));
+    trace("MM (fluctuates, Fig. 1b)",
+          workloads::makeMm(quick ? 256 : 512));
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Paper Figure 2 (Observation 3): execution time and variance of the
+ * dominating basic block in MM (regular) and SpMV (irregular), in
+ * retirement order. Shows why a global variance threshold (prior works)
+ * cannot decide stability.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "obs_util.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+namespace {
+
+void
+report(const char *name, const workloads::WorkloadPtr &w)
+{
+    driver::Platform platform(GpuConfig::r9Nano(),
+                              driver::SimMode::FullDetailed);
+    ObservationProbe probe;
+    observeKernel(w, platform, probe);
+    std::uint32_t slot = probe.dominatingSlot();
+    const auto &evs = probe.bbEvents.at(slot);
+
+    driver::printBanner(std::cout,
+                        std::string("Figure 2: dominating BB, ") + name);
+    std::cout << "slot " << slot << " (bb " << slot / sampling::kLaneBuckets
+              << ", lane bucket " << slot % sampling::kLaneBuckets
+              << "), executions " << evs.size() << "\n";
+
+    // Execution-time series in retirement order, 20 segments.
+    driver::Table t({"segment", "mean exec time", "segment variance"});
+    double gmean = 0;
+    for (const TimedEvent &e : evs)
+        gmean += e.duration();
+    gmean /= static_cast<double>(evs.size());
+    double gvar = 0;
+    for (const TimedEvent &e : evs)
+        gvar += (e.duration() - gmean) * (e.duration() - gmean);
+    gvar /= static_cast<double>(evs.size());
+
+    for (int s = 0; s < 20; ++s) {
+        std::size_t lo = evs.size() * s / 20;
+        std::size_t hi = evs.size() * (s + 1) / 20;
+        if (lo >= hi)
+            continue;
+        double mean = 0;
+        for (std::size_t i = lo; i < hi; ++i)
+            mean += evs[i].duration();
+        mean /= static_cast<double>(hi - lo);
+        double var = 0;
+        for (std::size_t i = lo; i < hi; ++i)
+            var += (evs[i].duration() - mean) * (evs[i].duration() - mean);
+        var /= static_cast<double>(hi - lo);
+        t.addRow({std::to_string(s), driver::Table::num(mean, 1),
+                  driver::Table::num(var, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "global mean " << driver::Table::num(gmean, 2)
+              << ", global variance (normalised to mean^2) "
+              << driver::Table::num(gvar / (gmean * gmean), 2)
+              << " -- a single variance threshold cannot separate the"
+                 " stable regions above\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode(argc, argv);
+    report("MM (regular, Fig. 2a)", workloads::makeMm(quick ? 256 : 512));
+    report("SpMV (irregular, Fig. 2b)",
+           workloads::makeSpmv((quick ? 1024 : 2048) * 64));
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Paper Figure 3 (Observation 3): relationship between the issue and
+ * retired times of the dominating basic block in MM and SpMV, with the
+ * least-squares fit the paper reports (Retired = a * Issue + b).
+ */
+
+#include <iostream>
+
+#include "obs_util.hpp"
+#include "sampling/least_squares.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+namespace {
+
+void
+report(const char *name, const workloads::WorkloadPtr &w)
+{
+    driver::Platform platform(GpuConfig::r9Nano(),
+                              driver::SimMode::FullDetailed);
+    ObservationProbe probe;
+    observeKernel(w, platform, probe);
+    std::uint32_t slot = probe.dominatingSlot();
+    const auto &evs = probe.bbEvents.at(slot);
+
+    std::vector<double> x, y;
+    x.reserve(evs.size());
+    y.reserve(evs.size());
+    for (const TimedEvent &e : evs) {
+        x.push_back(static_cast<double>(e.issue));
+        y.push_back(static_cast<double>(e.retire));
+    }
+    sampling::LineFit fit = sampling::leastSquares(x, y);
+
+    driver::printBanner(std::cout,
+                        std::string("Figure 3: issue vs retired, ") +
+                            name);
+    std::cout << "dominating slot " << slot << ", executions "
+              << evs.size() << "\n";
+    std::cout << "least-squares: Retired = "
+              << driver::Table::num(fit.a, 3) << " * Issue + "
+              << driver::Table::num(fit.b, 1) << "\n";
+    std::cout << "(the paper observes a ~ 1.0 over full executions: "
+              << (std::abs(fit.a - 1.0) < 0.1 ? "reproduced"
+                                              : "see EXPERIMENTS.md")
+              << ")\n";
+
+    // A sample of (issue, retire) points for plotting.
+    std::cout << "issue,retired\n";
+    std::size_t step = std::max<std::size_t>(1, evs.size() / 24);
+    for (std::size_t i = 0; i < evs.size(); i += step)
+        std::cout << evs[i].issue << "," << evs[i].retire << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode(argc, argv);
+    report("MM (regular, Fig. 3a)", workloads::makeMm(quick ? 256 : 512));
+    report("SpMV (irregular, Fig. 3b)",
+           workloads::makeSpmv((quick ? 1024 : 2048) * 64));
+    return 0;
+}

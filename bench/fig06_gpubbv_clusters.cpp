@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Paper Figure 6 (Observation 5): kernels from VGG-16's layers,
+ * clustered by GPU BBV, have similar IPC within each cluster.
+ */
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "isa/basic_block.hpp"
+#include "sampling/analysis.hpp"
+#include "workloads/dnn/network.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+int
+main()
+{
+    driver::Platform platform(GpuConfig::r9Nano(),
+                              driver::SimMode::FullDetailed);
+    auto w = workloads::dnn::makeVgg(16);
+    w->setup(platform);
+
+    struct KernelObs
+    {
+        std::string label;
+        sampling::GpuBbv sig;
+        std::uint32_t warps;
+        double ipc;
+    };
+    std::vector<KernelObs> obs;
+    SamplingConfig scfg;
+
+    for (const auto &spec : w->launches()) {
+        func::LaunchDims dims{spec.numWorkgroups, spec.wavesPerWorkgroup,
+                              spec.kernarg};
+        isa::BasicBlockTable bbs(*spec.program);
+        sampling::OnlineAnalysis analysis = sampling::analyzeKernel(
+            *spec.program, bbs, dims, platform.mem(), scfg);
+        timing::RunOutcome out = platform.gpu().runKernel(
+            *spec.program, dims, platform.mem());
+        obs.push_back({spec.label, analysis.signature, dims.totalWaves(),
+                       out.cycles()
+                           ? static_cast<double>(out.instsIssued) /
+                                 static_cast<double>(out.cycles())
+                           : 0.0});
+    }
+
+    // Greedy clustering by GPU BBV distance (same rule kernel-sampling
+    // uses).
+    std::vector<int> cluster(obs.size(), -1);
+    int num_clusters = 0;
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+        if (cluster[i] >= 0)
+            continue;
+        cluster[i] = num_clusters++;
+        for (std::size_t j = i + 1; j < obs.size(); ++j) {
+            if (cluster[j] < 0 &&
+                obs[i].sig.distance(obs[j].sig) <
+                    scfg.kernelMatchThreshold) {
+                cluster[j] = cluster[i];
+            }
+        }
+    }
+
+    driver::printBanner(std::cout,
+                        "Figure 6: VGG-16 kernels clustered by GPU BBV");
+    driver::Table t({"cluster", "kernel", "warps", "IPC"});
+    for (int c = 0; c < num_clusters; ++c) {
+        for (std::size_t i = 0; i < obs.size(); ++i) {
+            if (cluster[i] == c) {
+                t.addRow({std::to_string(c), obs[i].label,
+                          std::to_string(obs[i].warps),
+                          driver::Table::num(obs[i].ipc, 2)});
+            }
+        }
+    }
+    t.print(std::cout);
+
+    // Within-cluster IPC coefficient of variation (the paper's claim:
+    // same cluster => similar IPC).
+    driver::Table s({"cluster", "members", "IPC mean", "IPC CV"});
+    for (int c = 0; c < num_clusters; ++c) {
+        std::vector<double> ipcs;
+        for (std::size_t i = 0; i < obs.size(); ++i) {
+            if (cluster[i] == c)
+                ipcs.push_back(obs[i].ipc);
+        }
+        double mean = 0;
+        for (double v : ipcs)
+            mean += v;
+        mean /= static_cast<double>(ipcs.size());
+        double var = 0;
+        for (double v : ipcs)
+            var += (v - mean) * (v - mean);
+        var /= static_cast<double>(ipcs.size());
+        s.addRow({std::to_string(c),
+                  std::to_string(static_cast<int>(ipcs.size())),
+                  driver::Table::num(mean, 2),
+                  driver::Table::num(mean > 0 ? std::sqrt(var) / mean : 0,
+                                     3)});
+    }
+    s.print(std::cout);
+    return 0;
+}

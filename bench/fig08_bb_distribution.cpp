@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Paper Figure 8: the basic-block distribution measured from a 1%
+ * sample of warps matches the distribution over all warps, for both a
+ * regular (SC) and an irregular (SpMV) application — which is what lets
+ * the online analysis stay cheap.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "isa/basic_block.hpp"
+#include "sampling/analysis.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+namespace {
+
+void
+report(const char *name, const workloads::WorkloadPtr &w)
+{
+    driver::Platform platform(GpuConfig::r9Nano(),
+                              driver::SimMode::FullDetailed);
+    w->setup(platform);
+    const auto &spec = w->launches()[0];
+    func::LaunchDims dims{spec.numWorkgroups, spec.wavesPerWorkgroup,
+                          spec.kernarg};
+    isa::BasicBlockTable bbs(*spec.program);
+
+    SamplingConfig sampled_cfg; // default 1%
+    sampling::OnlineAnalysis sampled = sampling::analyzeKernel(
+        *spec.program, bbs, dims, platform.mem(), sampled_cfg);
+
+    SamplingConfig full_cfg;
+    full_cfg.onlineSampleRate = 1.0; // every warp
+    sampling::OnlineAnalysis full = sampling::analyzeKernel(
+        *spec.program, bbs, dims, platform.mem(), full_cfg);
+
+    auto share = [](const std::vector<std::uint64_t> &counts,
+                    std::size_t i) {
+        std::uint64_t total = 0;
+        for (std::uint64_t c : counts)
+            total += c;
+        return total ? 100.0 * static_cast<double>(counts[i]) /
+                           static_cast<double>(total)
+                     : 0.0;
+    };
+
+    driver::printBanner(std::cout,
+                        std::string("Figure 8: BB distribution, ") + name);
+    std::cout << "sampled warps: " << sampled.sampledWarps << " / "
+              << full.sampledWarps << "\n";
+    driver::Table t({"bb", "lane bucket", "all warps %", "1% sample %"});
+    double max_abs_diff = 0;
+    for (std::size_t i = 0; i < full.bbInstCounts.size(); ++i) {
+        double f = share(full.bbInstCounts, i);
+        double s = share(sampled.bbInstCounts, i);
+        if (f < 0.01 && s < 0.01)
+            continue;
+        max_abs_diff = std::max(max_abs_diff, std::abs(f - s));
+        t.addRow({std::to_string(i / sampling::kLaneBuckets),
+                  std::to_string(i % sampling::kLaneBuckets),
+                  driver::Table::num(f, 2), driver::Table::num(s, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "max |difference| "
+              << driver::Table::num(max_abs_diff, 2)
+              << " percentage points\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode(argc, argv);
+    report("SC (regular, Fig. 8a)",
+           workloads::makeSc(quick ? 4096 : 8192));
+    report("SpMV (irregular, Fig. 8b)",
+           workloads::makeSpmv((quick ? 1024 : 2048) * 64));
+    return 0;
+}

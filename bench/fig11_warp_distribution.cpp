@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Paper Figure 11: the warp-type distribution from a 1% sample matches
+ * the all-warp distribution — a dominant type in SC, none in SpMV —
+ * which is how warp-sampling arms itself cheaply.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "isa/basic_block.hpp"
+#include "sampling/analysis.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+namespace {
+
+void
+report(const char *name, const workloads::WorkloadPtr &w)
+{
+    driver::Platform platform(GpuConfig::r9Nano(),
+                              driver::SimMode::FullDetailed);
+    w->setup(platform);
+    const auto &spec = w->launches()[0];
+    func::LaunchDims dims{spec.numWorkgroups, spec.wavesPerWorkgroup,
+                          spec.kernarg};
+    isa::BasicBlockTable bbs(*spec.program);
+
+    SamplingConfig sampled_cfg;
+    sampling::OnlineAnalysis sampled = sampling::analyzeKernel(
+        *spec.program, bbs, dims, platform.mem(), sampled_cfg);
+    SamplingConfig full_cfg;
+    full_cfg.onlineSampleRate = 1.0;
+    sampling::OnlineAnalysis full = sampling::analyzeKernel(
+        *spec.program, bbs, dims, platform.mem(), full_cfg);
+
+    driver::printBanner(std::cout,
+                        std::string("Figure 11: warp types, ") + name);
+    driver::Table t({"", "all warps", "1% sample"});
+    t.addRow({"warp types", std::to_string(full.classifier.numTypes()),
+              std::to_string(sampled.classifier.numTypes())});
+    t.addRow({"dominant type share %",
+              driver::Table::num(100 * full.dominantRate, 1),
+              driver::Table::num(100 * sampled.dominantRate, 1)});
+    t.print(std::cout);
+
+    // Top five types by population, both views.
+    auto top = [](const sampling::WarpClassifier &c) {
+        std::vector<double> shares;
+        for (const auto &type : c.types()) {
+            shares.push_back(100.0 * static_cast<double>(type.numWarps) /
+                             static_cast<double>(c.totalWarps()));
+        }
+        std::sort(shares.rbegin(), shares.rend());
+        shares.resize(std::min<std::size_t>(5, shares.size()));
+        return shares;
+    };
+    auto full_top = top(full.classifier);
+    auto sample_top = top(sampled.classifier);
+    driver::Table d({"rank", "all warps %", "1% sample %"});
+    for (std::size_t i = 0;
+         i < std::max(full_top.size(), sample_top.size()); ++i) {
+        d.addRow({std::to_string(i + 1),
+                  i < full_top.size()
+                      ? driver::Table::num(full_top[i], 1)
+                      : "-",
+                  i < sample_top.size()
+                      ? driver::Table::num(sample_top[i], 1)
+                      : "-"});
+    }
+    d.print(std::cout);
+    std::cout << "=> warp-sampling "
+              << (sampled.dominantRate >= 0.95 ? "armed" : "disabled")
+              << " for " << name << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode(argc, argv);
+    report("SC (regular, Fig. 11 left)",
+           workloads::makeSc(quick ? 4096 : 8192));
+    report("SpMV (irregular, Fig. 11 right)",
+           workloads::makeSpmv((quick ? 1024 : 2048) * 64));
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Paper Figure 13 (Section 6.1, Overall Effectiveness): kernel
+ * execution time and simulation wall time for full-detailed simulation,
+ * PKA and Photon across the single-kernel benchmarks and problem sizes,
+ * on the R9 Nano configuration.
+ */
+
+#include <iostream>
+
+#include "sweep_util.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+int
+main(int argc, char **argv)
+{
+    bool quick = quickMode(argc, argv);
+    driver::printBanner(std::cout,
+                        "Figure 13: Full vs PKA vs Photon (R9 Nano)");
+
+    driver::Table t({"bench", "size", "full cycles", "full wall s",
+                     "pka err %", "pka speedup", "photon err %",
+                     "photon speedup", "photon levels"});
+
+    double pka_err_sum = 0, photon_err_sum = 0;
+    double pka_sp_max = 0, photon_sp_max = 0;
+    int n = 0;
+
+    for (const SweepPoint &pt : singleKernelSweep(quick)) {
+        ModeRun full = runMode(pt.factory, driver::SimMode::FullDetailed);
+        ModeRun pka = runMode(pt.factory, driver::SimMode::Pka);
+        ModeRun photon = runMode(pt.factory, driver::SimMode::Photon);
+
+        double pe = errorVs(pka, full), ps = speedupVs(pka, full);
+        double fe = errorVs(photon, full), fs = speedupVs(photon, full);
+        pka_err_sum += pe;
+        photon_err_sum += fe;
+        pka_sp_max = std::max(pka_sp_max, ps);
+        photon_sp_max = std::max(photon_sp_max, fs);
+        ++n;
+
+        t.addRow({pt.benchmark, pt.size, std::to_string(full.cycles),
+                  driver::Table::num(full.wallSeconds, 2),
+                  driver::Table::num(pe, 2), driver::Table::num(ps, 2),
+                  driver::Table::num(fe, 2), driver::Table::num(fs, 2),
+                  photon.levels()});
+        std::cerr << "done " << pt.benchmark << "-" << pt.size << "\n";
+    }
+    t.print(std::cout);
+
+    driver::printBanner(std::cout, "Figure 13 summary");
+    std::cout << "PKA:    avg error "
+              << driver::Table::num(pka_err_sum / n, 2) << "%, max speedup "
+              << driver::Table::num(pka_sp_max, 2) << "x\n";
+    std::cout << "Photon: avg error "
+              << driver::Table::num(photon_err_sum / n, 2)
+              << "%, max speedup "
+              << driver::Table::num(photon_sp_max, 2) << "x\n";
+    std::cout << "(paper: Photon avg error 6.83%, max speedup 24.65x;"
+                 " PKA either high error or low speedup)\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Event-capture probe shared by the observation figures (2, 3, 4): runs
+ * one kernel in full detail and records every warp and basic-block
+ * timing event.
+ */
+
+#ifndef PHOTON_BENCH_OBS_UTIL_HPP
+#define PHOTON_BENCH_OBS_UTIL_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sampling/bbv.hpp"
+#include "timing/gpu.hpp"
+#include "timing/monitor.hpp"
+
+namespace photon::bench {
+
+/** One timed event (warp or basic-block execution). */
+struct TimedEvent
+{
+    Cycle issue = 0;
+    Cycle retire = 0;
+
+    double duration() const
+    {
+        return static_cast<double>(retire - issue);
+    }
+};
+
+/** Captures all warp/BB events of one kernel. */
+class ObservationProbe : public timing::KernelMonitor
+{
+  public:
+    void
+    onWaveDispatched(WarpId w, Cycle now) override
+    {
+        dispatch_[w] = now;
+    }
+
+    void
+    onWaveRetired(WarpId w, Cycle now, std::uint64_t) override
+    {
+        warps.push_back({dispatch_[w], now});
+    }
+
+    void
+    onBbExecuted(WarpId, isa::BbId bb, Cycle issue, Cycle retire,
+                 std::uint32_t lanes) override
+    {
+        bbEvents[sampling::bbSlot(bb, lanes)].push_back({issue, retire});
+    }
+
+    /** Slot with the largest total execution time ("dominating" in the
+     *  paper's sense). */
+    std::uint32_t
+    dominatingSlot() const
+    {
+        std::uint32_t best = 0;
+        double best_total = -1;
+        for (const auto &[slot, evs] : bbEvents) {
+            double total = 0;
+            for (const TimedEvent &e : evs)
+                total += e.duration();
+            if (total > best_total) {
+                best_total = total;
+                best = slot;
+            }
+        }
+        return best;
+    }
+
+    std::vector<TimedEvent> warps;
+    std::unordered_map<std::uint32_t, std::vector<TimedEvent>> bbEvents;
+
+  private:
+    std::unordered_map<WarpId, Cycle> dispatch_;
+};
+
+/** Run workload's first kernel fully detailed with the probe attached. */
+inline timing::RunOutcome
+observeKernel(const workloads::WorkloadPtr &w, driver::Platform &platform,
+              ObservationProbe &probe)
+{
+    w->setup(platform);
+    const auto &spec = w->launches()[0];
+    func::LaunchDims dims{spec.numWorkgroups, spec.wavesPerWorkgroup,
+                          spec.kernarg};
+    return platform.gpu().runKernel(*spec.program, dims, platform.mem(),
+                                    &probe);
+}
+
+} // namespace photon::bench
+
+#endif // PHOTON_BENCH_OBS_UTIL_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The single-kernel benchmark x problem-size sweep shared by the
+ * overall-effectiveness figures (13, 14, 15). Problem sizes are warp
+ * counts, as in the paper; the sweep is scaled so the full-detailed
+ * baselines complete in-session (DESIGN.md Section 5).
+ */
+
+#ifndef PHOTON_BENCH_SWEEP_UTIL_HPP
+#define PHOTON_BENCH_SWEEP_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+
+namespace photon::bench {
+
+/** One (benchmark, problem size) sweep point. */
+struct SweepPoint
+{
+    std::string benchmark;
+    std::string size; ///< human label, e.g. "16K"
+    WorkloadFactory factory;
+};
+
+/** The paper's six single-kernel workloads across problem sizes. */
+inline std::vector<SweepPoint>
+singleKernelSweep(bool quick)
+{
+    auto k = [](std::uint32_t warps) {
+        return warps % 1024 == 0 ? std::to_string(warps / 1024) + "K"
+                                 : std::to_string(warps);
+    };
+    std::vector<SweepPoint> sweep;
+
+    std::vector<std::uint32_t> small_sizes =
+        quick ? std::vector<std::uint32_t>{4096, 16384}
+              : std::vector<std::uint32_t>{4096, 8192, 16384, 32768};
+    for (std::uint32_t warps : small_sizes) {
+        sweep.push_back({"FIR", k(warps), [warps] {
+                             return workloads::makeFir(warps);
+                         }});
+        sweep.push_back({"ReLU", k(warps), [warps] {
+                             return workloads::makeRelu(warps);
+                         }});
+    }
+    for (std::uint32_t warps : small_sizes) {
+        sweep.push_back({"SC", k(warps), [warps] {
+                             return workloads::makeSc(warps);
+                         }});
+    }
+
+    std::vector<std::uint32_t> aes_sizes =
+        quick ? std::vector<std::uint32_t>{4096, 16384}
+              : std::vector<std::uint32_t>{4096, 8192, 16384};
+    for (std::uint32_t warps : aes_sizes) {
+        sweep.push_back({"AES", k(warps), [warps] {
+                             return workloads::makeAes(warps);
+                         }});
+    }
+
+    std::vector<std::uint32_t> mm_dims =
+        quick ? std::vector<std::uint32_t>{256, 512}
+              : std::vector<std::uint32_t>{256, 512, 1024};
+    for (std::uint32_t n : mm_dims) {
+        sweep.push_back({"MM", k(n * n / 64), [n] {
+                             return workloads::makeMm(n);
+                         }});
+    }
+
+    std::vector<std::uint32_t> spmv_sizes =
+        quick ? std::vector<std::uint32_t>{1024, 2048}
+              : std::vector<std::uint32_t>{1024, 2048, 4096};
+    for (std::uint32_t warps : spmv_sizes) {
+        sweep.push_back({"SPMV", k(warps), [warps] {
+                             return workloads::makeSpmv(warps * 64);
+                         }});
+    }
+    return sweep;
+}
+
+} // namespace photon::bench
+
+#endif // PHOTON_BENCH_SWEEP_UTIL_HPP

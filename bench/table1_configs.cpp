@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper Table 1: the R9 Nano and MI100 configurations used throughout
+ * the evaluation.
+ */
+
+#include <iostream>
+
+#include "driver/report.hpp"
+#include "sim/config.hpp"
+
+using namespace photon;
+
+namespace {
+
+std::string
+cacheRow(const CacheConfig &c, std::uint32_t per_gpu)
+{
+    return std::to_string(c.sizeBytes / 1024) + "KB " +
+           std::to_string(c.ways) + "-way " + std::to_string(per_gpu) +
+           " per GPU";
+}
+
+} // namespace
+
+int
+main()
+{
+    driver::printBanner(std::cout, "Table 1: GPU configurations");
+    GpuConfig nano = GpuConfig::r9Nano();
+    GpuConfig mi = GpuConfig::mi100();
+
+    driver::Table t({"Component", nano.name, mi.name});
+    t.addRow({"CU", "1.0GHz, " + std::to_string(nano.numCus) + " per GPU",
+              "1.0GHz, " + std::to_string(mi.numCus) + " per GPU"});
+    t.addRow({"L1 Vector Cache", cacheRow(nano.l1v, nano.numCus),
+              cacheRow(mi.l1v, mi.numCus)});
+    t.addRow({"L1 Inst Cache", cacheRow(nano.l1i, nano.numCus / 4),
+              cacheRow(mi.l1i, mi.numCus / 4)});
+    t.addRow({"L1 Scalar Cache", cacheRow(nano.l1k, nano.numCus / 4),
+              cacheRow(mi.l1k, mi.numCus / 4)});
+    t.addRow({"L2 Cache",
+              std::to_string(nano.l2.sizeBytes / 1024) + "KB " +
+                  std::to_string(nano.l2.ways) + "-way " +
+                  std::to_string(nano.l2Banks) + " banks",
+              std::to_string(mi.l2.sizeBytes * mi.l2Banks >> 20) +
+                  "MB total, " + std::to_string(mi.l2.ways) + "-way " +
+                  std::to_string(mi.l2Banks) + " banks"});
+    t.addRow({"DRAM",
+              std::to_string(nano.dram.sizeBytes >> 30) + "GB, " +
+                  std::to_string(nano.dram.numBanks) + " banks",
+              std::to_string(mi.dram.sizeBytes >> 30) + "GB, " +
+                  std::to_string(mi.dram.numBanks) + " banks"});
+    t.addRow({"Wave slots", std::to_string(nano.totalWaveSlots()),
+              std::to_string(mi.totalWaveSlots())});
+    t.print(std::cout);
+
+    std::cout << "\nCSV:\n";
+    t.printCsv(std::cout);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Paper Table 2: the benchmark suite, with the measured static/dynamic
+ * properties of each workload as built in this repository.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "isa/basic_block.hpp"
+#include "workloads/dnn/network.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+int
+main()
+{
+    driver::printBanner(std::cout, "Table 2: benchmark suite");
+    driver::Table t({"Abbr.", "Suite", "Description", "Kernels",
+                     "Warps", "Static BBs (kernel 0)"});
+
+    struct Row
+    {
+        const char *abbr;
+        const char *suite;
+        const char *desc;
+        WorkloadFactory factory;
+    };
+    std::vector<Row> rows = {
+        {"AES", "Hetero-Mark", "AES-256 encryption",
+         [] { return workloads::makeAes(4096); }},
+        {"FIR", "Hetero-Mark", "FIR filter",
+         [] { return workloads::makeFir(4096); }},
+        {"SC", "AMD APP SDK", "Simple convolution",
+         [] { return workloads::makeSc(4096); }},
+        {"MM", "AMD APP SDK", "Matrix multiplication",
+         [] { return workloads::makeMm(512); }},
+        {"ReLU", "DNNMark", "Rectified linear unit",
+         [] { return workloads::makeRelu(4096); }},
+        {"SPMV", "SHOC", "Sparse matrix-vector multiplication",
+         [] { return workloads::makeSpmv(2048 * 64); }},
+        {"PR-16K", "Hetero-Mark", "PageRank, 16K nodes",
+         [] { return workloads::makePagerank(16384); }},
+        {"VGG-16", "-", "VGG-16 inference, batch 1",
+         [] { return workloads::dnn::makeVgg(16); }},
+        {"ResNet-18", "-", "ResNet-18 inference, batch 1",
+         [] { return workloads::dnn::makeResnet(18); }},
+    };
+
+    for (const Row &r : rows) {
+        driver::Platform p(GpuConfig::r9Nano(),
+                           driver::SimMode::FullDetailed);
+        workloads::WorkloadPtr w = r.factory();
+        w->setup(p);
+        std::uint32_t warps = 0;
+        for (const auto &l : w->launches())
+            warps += l.totalWarps();
+        isa::BasicBlockTable bbs(*w->launches()[0].program);
+        t.addRow({r.abbr, r.suite, r.desc,
+                  std::to_string(w->launches().size()),
+                  std::to_string(warps),
+                  std::to_string(bbs.numBlocks())});
+    }
+    t.print(std::cout);
+    return 0;
+}

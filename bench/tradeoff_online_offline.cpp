@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper Section 6.3, online/offline tradeoff: the online-analysis
+ * results are micro-architecture agnostic, so reusing a prior run's
+ * analysis store ("offline Photon") removes the functional-analysis
+ * cost. The paper measures VGG-16 going from 4.19 to 3.76 hours.
+ */
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "workloads/dnn/network.hpp"
+
+using namespace photon;
+using namespace photon::bench;
+
+int
+main()
+{
+    driver::printBanner(std::cout,
+                        "Online/offline tradeoff (paper Section 6.3)");
+
+    auto factory = [] { return workloads::dnn::makeVgg(16); };
+
+    // Online run: pays for every kernel's 1%-warp functional analysis.
+    driver::Platform online(GpuConfig::r9Nano(), driver::SimMode::Photon);
+    {
+        auto w = factory();
+        w->setup(online);
+        workloads::runWorkload(*w, online);
+    }
+
+    // Offline run: imports the online run's analysis store.
+    driver::Platform offline(GpuConfig::r9Nano(), driver::SimMode::Photon);
+    offline.photon()->importAnalysisStore(
+        online.photon()->analysisStore());
+    {
+        auto w = factory();
+        w->setup(offline);
+        workloads::runWorkload(*w, offline);
+    }
+
+    driver::Table t({"mode", "wall s", "predicted cycles"});
+    t.addRow({"online photon",
+              driver::Table::num(online.totalWallSeconds(), 3),
+              std::to_string(online.totalKernelCycles())});
+    t.addRow({"offline photon",
+              driver::Table::num(offline.totalWallSeconds(), 3),
+              std::to_string(offline.totalKernelCycles())});
+    t.print(std::cout);
+
+    std::cout << "offline saves "
+              << driver::Table::num(
+                     100.0 *
+                         (online.totalWallSeconds() -
+                          offline.totalWallSeconds()) /
+                         online.totalWallSeconds(),
+                     1)
+              << "% of wall time (paper: 4.19h -> 3.76h, ~10%)\n";
+    return 0;
+}

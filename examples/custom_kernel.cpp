@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Building your own kernel: assembles a SAXPY kernel (y = a*x + y) with
+ * the KernelBuilder API, prints its disassembly and basic blocks, runs
+ * it on the simulated GPU and verifies the result — the workflow a user
+ * follows to bring a new workload to the simulator.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "driver/platform.hpp"
+#include "isa/basic_block.hpp"
+#include "isa/builder.hpp"
+#include "isa/disasm.hpp"
+#include "sim/rng.hpp"
+
+using namespace photon;
+using namespace photon::isa;
+
+namespace {
+
+/** SAXPY: y[i] = a * x[i] + y[i], one element per thread. */
+ProgramPtr
+buildSaxpy(std::uint32_t wg_size)
+{
+    KernelBuilder b("saxpy");
+    b.sLoad(3, kSgprKernargBase, 0);  // x
+    b.sLoad(4, kSgprKernargBase, 4);  // y
+    b.sLoad(5, kSgprKernargBase, 8);  // n
+    b.sLoad(6, kSgprKernargBase, 12); // a (float bits)
+
+    // tid = workgroupId * wgSize + localId
+    b.vMad(1, sreg(kSgprWorkgroupId), imm(wg_size), vreg(kVgprLocalId));
+    Label end = b.label();
+    b.emit(Opcode::V_CMP_LT_U32, {}, vreg(1), sreg(5));
+    b.emit(Opcode::S_AND_MASK, mreg(kMaskExec), mreg(kMaskExec),
+           mreg(kMaskVcc));
+    b.branch(Opcode::S_CBRANCH_EXECZ, end);
+
+    b.emit(Opcode::V_LSHL_B32, vreg(2), vreg(1), imm(2));
+    b.vAddU32(3, vreg(2), sreg(3)); // &x[i]
+    b.flatLoad(4, 3);
+    b.vAddU32(5, vreg(2), sreg(4)); // &y[i]
+    b.flatLoad(6, 5);
+    b.waitcnt();
+    b.emit(Opcode::V_FMA_F32, vreg(7), vreg(4), sreg(6), vreg(6));
+    b.flatStore(5, vreg(7));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint32_t n = 1 << 16;
+    const float a = 2.5f;
+    ProgramPtr prog = buildSaxpy(256);
+
+    std::printf("--- disassembly ---\n%s\n",
+                disassemble(*prog).c_str());
+
+    isa::BasicBlockTable bbs(*prog);
+    std::printf("--- %u basic blocks ---\n", bbs.numBlocks());
+    for (BbId i = 0; i < bbs.numBlocks(); ++i) {
+        std::printf("  bb%u: pc %u..%u (%u instructions)\n", i,
+                    bbs.block(i).startPc, bbs.block(i).endPc(),
+                    bbs.block(i).length);
+    }
+
+    driver::Platform p(GpuConfig::r9Nano(), driver::SimMode::FullDetailed);
+    Rng rng(7);
+    std::vector<float> x(n), y(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        x[i] = rng.nextFloat(-1, 1);
+        y[i] = rng.nextFloat(-1, 1);
+    }
+    Addr xd = p.alloc(n * 4), yd = p.alloc(n * 4);
+    p.memWrite(xd, x.data(), n * 4);
+    p.memWrite(yd, y.data(), n * 4);
+    std::uint32_t a_bits;
+    std::memcpy(&a_bits, &a, 4);
+    Addr args = p.packArgs({static_cast<std::uint32_t>(xd),
+                            static_cast<std::uint32_t>(yd), n, a_bits});
+
+    auto result = p.launch(prog, n / 256, 4, args);
+    std::printf("--- simulated: %llu cycles, %llu instructions ---\n",
+                static_cast<unsigned long long>(result.sample.cycles),
+                static_cast<unsigned long long>(result.sample.insts));
+
+    std::vector<float> out(n);
+    p.memRead(yd, out.data(), n * 4);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (std::abs(out[i] - std::fma(x[i], a, y[i])) > 1e-5f) {
+            std::printf("MISMATCH at %u\n", i);
+            return 1;
+        }
+    }
+    std::printf("results verified OK\n");
+    return 0;
+}

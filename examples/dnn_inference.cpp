@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DNN inference under sampled simulation: runs one ResNet-18 inference
+ * (batch 1) in full-detailed mode and under Photon, then breaks down
+ * which sampling level handled each kernel — the paper's headline use
+ * case (Section 6.3).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "driver/platform.hpp"
+#include "workloads/dnn/network.hpp"
+
+using namespace photon;
+
+int
+main()
+{
+    // Full-detailed baseline.
+    driver::Platform full(GpuConfig::r9Nano(),
+                          driver::SimMode::FullDetailed);
+    {
+        auto net = workloads::dnn::makeResnet(18);
+        net->setup(full);
+        workloads::runWorkload(*net, full);
+        std::printf("full detailed: %llu cycles, %.2f s wall, "
+                    "results %s\n",
+                    static_cast<unsigned long long>(
+                        full.totalKernelCycles()),
+                    full.totalWallSeconds(),
+                    net->check(full) ? "OK" : "WRONG");
+    }
+
+    // Photon.
+    driver::Platform ph(GpuConfig::r9Nano(), driver::SimMode::Photon);
+    auto net = workloads::dnn::makeResnet(18);
+    net->setup(ph);
+    workloads::runWorkload(*net, ph);
+
+    std::map<std::string, int> level_counts;
+    for (const auto &l : ph.launchLog())
+        ++level_counts[sampling::sampleLevelName(l.sample.level)];
+
+    std::printf("photon:        %llu cycles, %.2f s wall\n",
+                static_cast<unsigned long long>(ph.totalKernelCycles()),
+                ph.totalWallSeconds());
+    std::printf("kernel breakdown:");
+    for (const auto &[level, count] : level_counts)
+        std::printf("  %s=%d", level.c_str(), count);
+    std::printf("\n");
+
+    double err = 100.0 *
+                 std::abs(static_cast<double>(ph.totalKernelCycles()) -
+                          static_cast<double>(full.totalKernelCycles())) /
+                 static_cast<double>(full.totalKernelCycles());
+    std::printf("sampling error %.2f%%, wall-time speedup %.2fx\n", err,
+                full.totalWallSeconds() / ph.totalWallSeconds());
+    std::printf("prior-kernel cache holds %zu signatures\n",
+                ph.photon()->cache().size());
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: simulate Matrix Multiplication on the R9 Nano model in
+ * full-detailed mode, verify the numerical results, then run the same
+ * workload under Photon and compare predicted kernel time and wall time.
+ */
+
+#include <cstdio>
+
+#include "driver/platform.hpp"
+#include "driver/report.hpp"
+#include "workloads/workload.hpp"
+
+using namespace photon;
+
+int
+main()
+{
+    const std::uint32_t n = 128; // matrix dimension (256 warps)
+
+    // --- Full detailed simulation -------------------------------------
+    driver::Platform full(GpuConfig::r9Nano(),
+                          driver::SimMode::FullDetailed);
+    auto wl = workloads::makeMm(n);
+    wl->setup(full);
+    workloads::runWorkload(*wl, full);
+
+    std::printf("full-detailed: %llu cycles, %llu instructions, "
+                "%.3f s wall, results %s\n",
+                static_cast<unsigned long long>(full.totalKernelCycles()),
+                static_cast<unsigned long long>(full.totalInsts()),
+                full.totalWallSeconds(),
+                wl->check(full) ? "OK" : "WRONG");
+
+    // --- Photon sampled simulation ------------------------------------
+    driver::Platform sampled(GpuConfig::r9Nano(), driver::SimMode::Photon);
+    auto wl2 = workloads::makeMm(n);
+    wl2->setup(sampled);
+    auto results = workloads::runWorkload(*wl2, sampled);
+
+    std::printf("photon:        %llu cycles, %llu instructions, "
+                "%.3f s wall, level=%s\n",
+                static_cast<unsigned long long>(
+                    sampled.totalKernelCycles()),
+                static_cast<unsigned long long>(sampled.totalInsts()),
+                sampled.totalWallSeconds(),
+                sampling::sampleLevelName(results[0].sample.level));
+
+    double err = driver::percentError(
+        static_cast<double>(sampled.totalKernelCycles()),
+        static_cast<double>(full.totalKernelCycles()));
+    double speedup =
+        full.totalWallSeconds() / sampled.totalWallSeconds();
+    std::printf("sampling error %.2f%%, wall-time speedup %.2fx\n", err,
+                speedup);
+    return 0;
+}

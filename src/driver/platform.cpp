@@ -1,0 +1,120 @@
+#include "driver/platform.hpp"
+
+#include <chrono>
+
+#include "sim/log.hpp"
+
+namespace photon::driver {
+
+const char *
+simModeName(SimMode mode)
+{
+    switch (mode) {
+      case SimMode::FullDetailed: return "full";
+      case SimMode::Photon: return "photon";
+      case SimMode::Pka: return "pka";
+    }
+    return "?";
+}
+
+Platform::Platform(const GpuConfig &gpu_cfg, SimMode mode,
+                   const SamplingConfig &sampling_cfg)
+    : gpuCfg_(gpu_cfg), mode_(mode), samplingCfg_(sampling_cfg),
+      mem_(gpu_cfg.dram.sizeBytes < (512ull << 20) ? gpu_cfg.dram.sizeBytes
+                                                   : (512ull << 20)),
+      gpu_(gpu_cfg)
+{
+    if (mode_ == SimMode::Photon)
+        photon_ =
+            std::make_unique<sampling::PhotonSampler>(gpu_, samplingCfg_);
+    else if (mode_ == SimMode::Pka)
+        pka_ = std::make_unique<sampling::PkaSampler>(gpu_, samplingCfg_);
+}
+
+Platform::~Platform() = default;
+
+Addr
+Platform::alloc(std::uint64_t bytes)
+{
+    return mem_.allocate(bytes);
+}
+
+void
+Platform::memWrite(Addr dst, const void *src, std::uint64_t bytes)
+{
+    mem_.writeBlock(dst, src, bytes);
+}
+
+void
+Platform::memRead(Addr src, void *dst, std::uint64_t bytes) const
+{
+    mem_.readBlock(src, dst, bytes);
+}
+
+Addr
+Platform::packArgs(const std::vector<std::uint32_t> &args)
+{
+    Addr base = mem_.allocate(args.size() * 4 + 4);
+    mem_.writeBlock(base, args.data(), args.size() * 4);
+    return base;
+}
+
+LaunchResult
+Platform::launch(const isa::ProgramPtr &program,
+                 std::uint32_t num_workgroups,
+                 std::uint32_t waves_per_workgroup, Addr kernarg,
+                 const std::string &label)
+{
+    PHOTON_ASSERT(program != nullptr, "null program");
+    func::LaunchDims dims;
+    dims.numWorkgroups = num_workgroups;
+    dims.wavesPerWorkgroup = waves_per_workgroup;
+    dims.kernargBase = kernarg;
+
+    LaunchResult result;
+    result.label = label.empty() ? program->name() : label;
+
+    auto t0 = std::chrono::steady_clock::now();
+    switch (mode_) {
+      case SimMode::FullDetailed: {
+        timing::RunOutcome out = gpu_.runKernel(*program, dims, mem_);
+        result.sample.cycles = out.cycles();
+        result.sample.insts = out.instsIssued;
+        result.sample.level = sampling::SampleLevel::Full;
+        result.sample.detailedCycles = out.cycles();
+        result.sample.detailedInsts = out.instsIssued;
+        result.sample.detailedWarps = out.wavesCompleted;
+        result.sample.totalWarps = dims.totalWaves();
+        break;
+      }
+      case SimMode::Photon:
+        result.sample = photon_->runKernel(*program, dims, mem_);
+        break;
+      case SimMode::Pka:
+        result.sample = pka_->runKernel(*program, dims, mem_);
+        break;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+
+    totalCycles_ += result.sample.cycles;
+    totalInsts_ += result.sample.insts;
+    totalWall_ += result.wallSeconds;
+    log_.push_back(result);
+    return result;
+}
+
+StatRegistry
+Platform::stats() const
+{
+    StatRegistry reg;
+    gpu_.exportStats(reg);
+    reg.set("platform.kernels", static_cast<double>(log_.size()));
+    reg.set("platform.total_cycles", static_cast<double>(totalCycles_));
+    reg.set("platform.total_insts", static_cast<double>(totalInsts_));
+    reg.set("platform.total_wall_seconds", totalWall_);
+    return reg;
+}
+
+} // namespace photon::driver

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The public entry point of the library: a Platform owns one simulated
+ * GPU + memory and launches kernels under a selected simulation mode
+ * (full detailed, Photon, or the PKA baseline). This mirrors how a user
+ * drives MGPUSim: allocate buffers, copy data, launch, read back.
+ */
+
+#ifndef PHOTON_DRIVER_PLATFORM_HPP
+#define PHOTON_DRIVER_PLATFORM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "func/memory.hpp"
+#include "func/wave_state.hpp"
+#include "isa/program.hpp"
+#include "sampling/photon.hpp"
+#include "sampling/pka.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "timing/gpu.hpp"
+
+namespace photon::driver {
+
+/** How kernels are simulated. */
+enum class SimMode
+{
+    FullDetailed, ///< cycle-level simulation of every instruction
+    Photon,       ///< the paper's three-level sampled methodology
+    Pka,          ///< the PKA baseline
+};
+
+const char *simModeName(SimMode mode);
+
+/** Per-launch result: predicted kernel time plus host wall time. */
+struct LaunchResult
+{
+    sampling::KernelRunResult sample;
+    double wallSeconds = 0.0; ///< host time spent simulating this launch
+    std::string label;
+};
+
+/** The simulation platform. */
+class Platform
+{
+  public:
+    Platform(const GpuConfig &gpu_cfg, SimMode mode,
+             const SamplingConfig &sampling_cfg = {});
+    ~Platform();
+
+    Platform(const Platform &) = delete;
+    Platform &operator=(const Platform &) = delete;
+
+    // ----- Memory management -----
+
+    /** Allocate a device buffer; returns its base address. */
+    Addr alloc(std::uint64_t bytes);
+
+    /** Host -> device copy. */
+    void memWrite(Addr dst, const void *src, std::uint64_t bytes);
+
+    /** Device -> host copy. */
+    void memRead(Addr src, void *dst, std::uint64_t bytes) const;
+
+    /** Allocate + fill a kernarg buffer from 32-bit words. */
+    Addr packArgs(const std::vector<std::uint32_t> &args);
+
+    // ----- Execution -----
+
+    /**
+     * Launch one kernel and simulate it under the platform's mode.
+     *
+     * @param label optional tag recorded in the launch log
+     */
+    LaunchResult launch(const isa::ProgramPtr &program,
+                        std::uint32_t num_workgroups,
+                        std::uint32_t waves_per_workgroup, Addr kernarg,
+                        const std::string &label = "");
+
+    // ----- Introspection -----
+
+    SimMode mode() const { return mode_; }
+    const GpuConfig &gpuConfig() const { return gpuCfg_; }
+    func::GlobalMemory &mem() { return mem_; }
+    timing::Gpu &gpu() { return gpu_; }
+    /** Photon internals; null unless mode() == Photon. */
+    sampling::PhotonSampler *photon() { return photon_.get(); }
+    /** PKA internals; null unless mode() == Pka. */
+    sampling::PkaSampler *pka() { return pka_.get(); }
+
+    /** Sum of predicted kernel cycles across all launches. */
+    Cycle totalKernelCycles() const { return totalCycles_; }
+    /** Sum of predicted instruction counts. */
+    std::uint64_t totalInsts() const { return totalInsts_; }
+    /** Host wall time spent simulating, in seconds. */
+    double totalWallSeconds() const { return totalWall_; }
+    /** All launches so far. */
+    const std::vector<LaunchResult> &launchLog() const { return log_; }
+
+    /** Memory-system and run statistics. */
+    StatRegistry stats() const;
+
+  private:
+    GpuConfig gpuCfg_;
+    SimMode mode_;
+    SamplingConfig samplingCfg_;
+    func::GlobalMemory mem_;
+    timing::Gpu gpu_;
+    std::unique_ptr<sampling::PhotonSampler> photon_;
+    std::unique_ptr<sampling::PkaSampler> pka_;
+
+    Cycle totalCycles_ = 0;
+    std::uint64_t totalInsts_ = 0;
+    double totalWall_ = 0.0;
+    std::vector<LaunchResult> log_;
+};
+
+} // namespace photon::driver
+
+#endif // PHOTON_DRIVER_PLATFORM_HPP

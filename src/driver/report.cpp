@@ -1,0 +1,82 @@
+#include "driver/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace photon::driver {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    row.resize(headers_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << cells[c];
+        }
+        os << "\n";
+    };
+    line(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        line(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << cells[c];
+        os << "\n";
+    };
+    line(headers_);
+    for (const auto &row : rows_)
+        line(row);
+}
+
+double
+percentError(double measured, double reference)
+{
+    if (reference == 0.0)
+        return measured == 0.0 ? 0.0 : 100.0;
+    return std::abs(measured - reference) / std::abs(reference) * 100.0;
+}
+
+void
+printBanner(std::ostream &os, const std::string &title)
+{
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace photon::driver

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table and CSV rendering helpers shared by the benchmark binaries: each
+ * bench prints the rows/series of one paper figure or table.
+ */
+
+#ifndef PHOTON_DRIVER_REPORT_HPP
+#define PHOTON_DRIVER_REPORT_HPP
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace photon::driver {
+
+/** Simple aligned-text + CSV table builder. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row (strings already formatted). */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Percent error |a-b|/b * 100. */
+double percentError(double measured, double reference);
+
+/** Section banner used by the bench binaries. */
+void printBanner(std::ostream &os, const std::string &title);
+
+} // namespace photon::driver
+
+#endif // PHOTON_DRIVER_REPORT_HPP

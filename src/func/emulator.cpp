@@ -1,0 +1,569 @@
+#include "func/emulator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sim/log.hpp"
+
+namespace photon::func {
+
+using isa::Opcode;
+using isa::Operand;
+using isa::OperandKind;
+
+namespace {
+
+float
+asF(std::uint32_t bits)
+{
+    return std::bit_cast<float>(bits);
+}
+
+std::uint32_t
+asU(float v)
+{
+    return std::bit_cast<std::uint32_t>(v);
+}
+
+/** Coalesce the per-lane line addresses gathered in @p out.lines[0..n)
+ *  into the distinct set. Fast paths cover the common uniform and
+ *  small-stride patterns; the general case sorts. */
+void
+coalesceLines(StepResult &out, std::uint32_t n)
+{
+    if (n == 0) {
+        out.numLines = 0;
+        return;
+    }
+    Addr lo = out.lines[0], hi = out.lines[0];
+    for (std::uint32_t i = 1; i < n; ++i) {
+        lo = std::min(lo, out.lines[i]);
+        hi = std::max(hi, out.lines[i]);
+    }
+    if (lo == hi) {
+        out.lines[0] = lo;
+        out.numLines = 1;
+        return;
+    }
+    if (hi - lo < kWavefrontLanes) {
+        // All lines within a 64-line span: dedup via a bitmap.
+        std::uint64_t map = 0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            map |= std::uint64_t{1} << (out.lines[i] - lo);
+        std::uint32_t count = 0;
+        for (std::uint32_t bit = 0; map; ++bit, map >>= 1) {
+            if (map & 1)
+                out.lines[count++] = lo + bit;
+        }
+        out.numLines = count;
+        return;
+    }
+    std::sort(out.lines.begin(), out.lines.begin() + n);
+    auto last = std::unique(out.lines.begin(), out.lines.begin() + n);
+    out.numLines =
+        static_cast<std::uint32_t>(last - out.lines.begin());
+}
+
+} // namespace
+
+std::uint32_t
+Emulator::readScalar(const WaveState &ws, const Operand &o) const
+{
+    switch (o.kind) {
+      case OperandKind::SReg:
+        return ws.sgpr[o.value];
+      case OperandKind::Imm:
+        return static_cast<std::uint32_t>(o.value);
+      default:
+        panic("scalar operand expected");
+    }
+}
+
+std::uint64_t
+Emulator::readMaskOperand(const WaveState &ws, std::int32_t idx) const
+{
+    switch (idx) {
+      case isa::kMaskVcc:
+        return ws.vcc;
+      case isa::kMaskExec:
+        return ws.exec;
+      case isa::kMaskAllOnes:
+        return ~std::uint64_t{0};
+      default:
+        return ws.maskRegs[idx];
+    }
+}
+
+void
+Emulator::writeMaskOperand(WaveState &ws, std::int32_t idx,
+                           std::uint64_t value) const
+{
+    switch (idx) {
+      case isa::kMaskVcc:
+        ws.vcc = value;
+        break;
+      case isa::kMaskExec:
+        ws.exec = value;
+        break;
+      case isa::kMaskAllOnes:
+        panic("cannot write the all-ones mask constant");
+      default:
+        ws.maskRegs[idx] = value;
+        break;
+    }
+}
+
+void
+Emulator::step(const isa::Program &program, WaveState &ws,
+               GlobalMemory &mem, std::vector<std::uint8_t> &lds,
+               StepResult &out) const
+{
+    PHOTON_ASSERT(!ws.done, "stepping a finished wavefront");
+    const isa::Instruction &inst = program.at(ws.pc);
+    const isa::OpcodeInfo &info = isa::opcodeInfo(inst.op);
+
+    out.op = inst.op;
+    out.unit = info.unit;
+    out.done = false;
+    out.barrier = false;
+    out.branchTaken = false;
+    out.ldsAccesses = 0;
+    out.linesWrite = false;
+    out.numLines = 0;
+    out.activeLanes = static_cast<std::uint32_t>(std::popcount(ws.exec));
+
+    std::uint32_t next_pc = ws.pc + 1;
+
+    // Iterate the set bits of EXEC: inactive lanes cost nothing, and
+    // fully-active wavefronts avoid a per-lane predicate.
+    auto for_active = [&](auto fn) {
+        for (std::uint64_t m = ws.exec; m; m &= m - 1)
+            fn(static_cast<std::uint32_t>(std::countr_zero(m)));
+    };
+
+    // Per-lane vector operand reader with the kind resolved once per
+    // instruction (broadcasts scalars/immediates).
+    struct Src
+    {
+        const std::uint32_t *vec = nullptr;
+        std::uint32_t scalar = 0;
+        std::uint32_t
+        get(std::uint32_t lane) const
+        {
+            return vec ? vec[lane] : scalar;
+        }
+    };
+    auto src_of = [&](const Operand &o) {
+        Src s;
+        if (o.kind == OperandKind::VReg) {
+            s.vec = &ws.vgpr[std::size_t{
+                                 static_cast<std::uint32_t>(o.value)} *
+                             kWavefrontLanes];
+        } else {
+            s.scalar = readScalar(ws, o);
+        }
+        return s;
+    };
+    auto dst_of = [&](const Operand &o) {
+        return &ws.vgpr[std::size_t{static_cast<std::uint32_t>(o.value)} *
+                        kWavefrontLanes];
+    };
+    auto vsrc = [&](const Operand &o, std::uint32_t lane) -> std::uint32_t {
+        if (o.kind == OperandKind::VReg)
+            return ws.v(o.value, lane);
+        return readScalar(ws, o);
+    };
+
+    // Vector ALU helper: applies fn over active lanes into dst.
+    auto vop1 = [&](auto fn) {
+        Src a = src_of(inst.src0);
+        std::uint32_t *d = dst_of(inst.dst);
+        for_active([&](std::uint32_t lane) { d[lane] = fn(a.get(lane)); });
+    };
+    auto vop2 = [&](auto fn) {
+        Src a = src_of(inst.src0), b = src_of(inst.src1);
+        std::uint32_t *d = dst_of(inst.dst);
+        for_active([&](std::uint32_t lane) {
+            d[lane] = fn(a.get(lane), b.get(lane));
+        });
+    };
+    auto vop3 = [&](auto fn) {
+        Src a = src_of(inst.src0), b = src_of(inst.src1),
+            c = src_of(inst.src2);
+        std::uint32_t *d = dst_of(inst.dst);
+        for_active([&](std::uint32_t lane) {
+            d[lane] = fn(a.get(lane), b.get(lane), c.get(lane));
+        });
+    };
+    // Vector compare helper: writes a fresh VCC over active lanes.
+    auto vcmp = [&](auto pred) {
+        Src a = src_of(inst.src0), b = src_of(inst.src1);
+        std::uint64_t vcc = 0;
+        for_active([&](std::uint32_t lane) {
+            if (pred(a.get(lane), b.get(lane)))
+                vcc |= std::uint64_t{1} << lane;
+        });
+        ws.vcc = vcc;
+    };
+
+    auto s0 = [&] { return readScalar(ws, inst.src0); };
+    auto s1 = [&] { return readScalar(ws, inst.src1); };
+
+    switch (inst.op) {
+      // ---------------- Scalar ALU ----------------
+      case Opcode::S_MOV_B32:
+        ws.sgpr[inst.dst.value] = s0();
+        break;
+      case Opcode::S_ADD_U32:
+        ws.sgpr[inst.dst.value] = s0() + s1();
+        break;
+      case Opcode::S_SUB_U32:
+        ws.sgpr[inst.dst.value] = s0() - s1();
+        break;
+      case Opcode::S_MUL_U32:
+        ws.sgpr[inst.dst.value] = s0() * s1();
+        break;
+      case Opcode::S_LSHL_B32:
+        ws.sgpr[inst.dst.value] = s0() << (s1() & 31);
+        break;
+      case Opcode::S_LSHR_B32:
+        ws.sgpr[inst.dst.value] = s0() >> (s1() & 31);
+        break;
+      case Opcode::S_AND_B32:
+        ws.sgpr[inst.dst.value] = s0() & s1();
+        break;
+      case Opcode::S_OR_B32:
+        ws.sgpr[inst.dst.value] = s0() | s1();
+        break;
+      case Opcode::S_XOR_B32:
+        ws.sgpr[inst.dst.value] = s0() ^ s1();
+        break;
+      case Opcode::S_MIN_U32:
+        ws.sgpr[inst.dst.value] = std::min(s0(), s1());
+        break;
+      case Opcode::S_MAX_U32:
+        ws.sgpr[inst.dst.value] = std::max(s0(), s1());
+        break;
+      case Opcode::S_CMP_LT_U32:
+        ws.scc = s0() < s1();
+        break;
+      case Opcode::S_CMP_LE_U32:
+        ws.scc = s0() <= s1();
+        break;
+      case Opcode::S_CMP_GT_U32:
+        ws.scc = s0() > s1();
+        break;
+      case Opcode::S_CMP_GE_U32:
+        ws.scc = s0() >= s1();
+        break;
+      case Opcode::S_CMP_EQ_U32:
+        ws.scc = s0() == s1();
+        break;
+      case Opcode::S_CMP_NE_U32:
+        ws.scc = s0() != s1();
+        break;
+
+      // ---------------- Mask ops ----------------
+      case Opcode::S_MOV_MASK:
+        writeMaskOperand(ws, inst.dst.value,
+                         readMaskOperand(ws, inst.src0.value));
+        break;
+      case Opcode::S_AND_MASK:
+        writeMaskOperand(ws, inst.dst.value,
+                         readMaskOperand(ws, inst.src0.value) &
+                             readMaskOperand(ws, inst.src1.value));
+        break;
+      case Opcode::S_OR_MASK:
+        writeMaskOperand(ws, inst.dst.value,
+                         readMaskOperand(ws, inst.src0.value) |
+                             readMaskOperand(ws, inst.src1.value));
+        break;
+      case Opcode::S_ANDN2_MASK:
+        writeMaskOperand(ws, inst.dst.value,
+                         readMaskOperand(ws, inst.src0.value) &
+                             ~readMaskOperand(ws, inst.src1.value));
+        break;
+
+      // ---------------- Control flow ----------------
+      case Opcode::S_BRANCH:
+        out.branchTaken = true;
+        next_pc = inst.target;
+        break;
+      case Opcode::S_CBRANCH_SCC0:
+        if (!ws.scc) {
+            out.branchTaken = true;
+            next_pc = inst.target;
+        }
+        break;
+      case Opcode::S_CBRANCH_SCC1:
+        if (ws.scc) {
+            out.branchTaken = true;
+            next_pc = inst.target;
+        }
+        break;
+      case Opcode::S_CBRANCH_VCCZ:
+        if (ws.vcc == 0) {
+            out.branchTaken = true;
+            next_pc = inst.target;
+        }
+        break;
+      case Opcode::S_CBRANCH_VCCNZ:
+        if (ws.vcc != 0) {
+            out.branchTaken = true;
+            next_pc = inst.target;
+        }
+        break;
+      case Opcode::S_CBRANCH_EXECZ:
+        if (ws.exec == 0) {
+            out.branchTaken = true;
+            next_pc = inst.target;
+        }
+        break;
+      case Opcode::S_CBRANCH_EXECNZ:
+        if (ws.exec != 0) {
+            out.branchTaken = true;
+            next_pc = inst.target;
+        }
+        break;
+      case Opcode::S_BARRIER:
+        out.barrier = true;
+        break;
+      case Opcode::S_WAITCNT:
+      case Opcode::S_NOP:
+        break;
+      case Opcode::S_ENDPGM:
+        ws.done = true;
+        out.done = true;
+        break;
+
+      // ---------------- Scalar memory ----------------
+      case Opcode::S_LOAD_DWORD: {
+        Addr addr = s0() + static_cast<std::uint32_t>(inst.src1.value);
+        ws.sgpr[inst.dst.value] = mem.read32(addr);
+        out.lines[0] = addr / kLineBytes;
+        out.numLines = 1;
+        break;
+      }
+
+      // ---------------- Vector ALU ----------------
+      case Opcode::V_MOV_B32:
+        vop1([](std::uint32_t a) { return a; });
+        break;
+      case Opcode::V_ADD_U32:
+        vop2([](std::uint32_t a, std::uint32_t b) { return a + b; });
+        break;
+      case Opcode::V_SUB_U32:
+        vop2([](std::uint32_t a, std::uint32_t b) { return a - b; });
+        break;
+      case Opcode::V_MUL_LO_U32:
+        vop2([](std::uint32_t a, std::uint32_t b) { return a * b; });
+        break;
+      case Opcode::V_MAD_U32:
+        vop3([](std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+            return a * b + c;
+        });
+        break;
+      case Opcode::V_LSHL_B32:
+        vop2([](std::uint32_t a, std::uint32_t b) { return a << (b & 31); });
+        break;
+      case Opcode::V_LSHR_B32:
+        vop2([](std::uint32_t a, std::uint32_t b) { return a >> (b & 31); });
+        break;
+      case Opcode::V_ASHR_I32:
+        vop2([](std::uint32_t a, std::uint32_t b) {
+            return static_cast<std::uint32_t>(
+                static_cast<std::int32_t>(a) >> (b & 31));
+        });
+        break;
+      case Opcode::V_AND_B32:
+        vop2([](std::uint32_t a, std::uint32_t b) { return a & b; });
+        break;
+      case Opcode::V_OR_B32:
+        vop2([](std::uint32_t a, std::uint32_t b) { return a | b; });
+        break;
+      case Opcode::V_XOR_B32:
+        vop2([](std::uint32_t a, std::uint32_t b) { return a ^ b; });
+        break;
+      case Opcode::V_ADD_F32:
+        vop2([](std::uint32_t a, std::uint32_t b) {
+            return asU(asF(a) + asF(b));
+        });
+        break;
+      case Opcode::V_SUB_F32:
+        vop2([](std::uint32_t a, std::uint32_t b) {
+            return asU(asF(a) - asF(b));
+        });
+        break;
+      case Opcode::V_MUL_F32:
+        vop2([](std::uint32_t a, std::uint32_t b) {
+            return asU(asF(a) * asF(b));
+        });
+        break;
+      case Opcode::V_MAC_F32: {
+        Src a = src_of(inst.src0), b = src_of(inst.src1);
+        std::uint32_t *d = dst_of(inst.dst);
+        for_active([&](std::uint32_t lane) {
+            d[lane] = asU(asF(d[lane]) +
+                          asF(a.get(lane)) * asF(b.get(lane)));
+        });
+        break;
+      }
+      case Opcode::V_FMA_F32:
+        vop3([](std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+            return asU(std::fma(asF(a), asF(b), asF(c)));
+        });
+        break;
+      case Opcode::V_MAX_F32:
+        vop2([](std::uint32_t a, std::uint32_t b) {
+            return asU(std::max(asF(a), asF(b)));
+        });
+        break;
+      case Opcode::V_MIN_F32:
+        vop2([](std::uint32_t a, std::uint32_t b) {
+            return asU(std::min(asF(a), asF(b)));
+        });
+        break;
+      case Opcode::V_MAX_U32:
+        vop2([](std::uint32_t a, std::uint32_t b) {
+            return std::max(a, b);
+        });
+        break;
+      case Opcode::V_MIN_U32:
+        vop2([](std::uint32_t a, std::uint32_t b) {
+            return std::min(a, b);
+        });
+        break;
+      case Opcode::V_RCP_F32:
+        vop1([](std::uint32_t a) { return asU(1.0f / asF(a)); });
+        break;
+      case Opcode::V_SQRT_F32:
+        vop1([](std::uint32_t a) { return asU(std::sqrt(asF(a))); });
+        break;
+      case Opcode::V_CVT_F32_U32:
+        vop1([](std::uint32_t a) {
+            return asU(static_cast<float>(a));
+        });
+        break;
+      case Opcode::V_CVT_F32_I32:
+        vop1([](std::uint32_t a) {
+            return asU(static_cast<float>(static_cast<std::int32_t>(a)));
+        });
+        break;
+      case Opcode::V_CVT_U32_F32:
+        vop1([](std::uint32_t a) {
+            return static_cast<std::uint32_t>(asF(a));
+        });
+        break;
+      case Opcode::V_CMP_LT_U32:
+        vcmp([](std::uint32_t a, std::uint32_t b) { return a < b; });
+        break;
+      case Opcode::V_CMP_GE_U32:
+        vcmp([](std::uint32_t a, std::uint32_t b) { return a >= b; });
+        break;
+      case Opcode::V_CMP_EQ_U32:
+        vcmp([](std::uint32_t a, std::uint32_t b) { return a == b; });
+        break;
+      case Opcode::V_CMP_NE_U32:
+        vcmp([](std::uint32_t a, std::uint32_t b) { return a != b; });
+        break;
+      case Opcode::V_CMP_LT_I32:
+        vcmp([](std::uint32_t a, std::uint32_t b) {
+            return static_cast<std::int32_t>(a) <
+                   static_cast<std::int32_t>(b);
+        });
+        break;
+      case Opcode::V_CMP_GE_I32:
+        vcmp([](std::uint32_t a, std::uint32_t b) {
+            return static_cast<std::int32_t>(a) >=
+                   static_cast<std::int32_t>(b);
+        });
+        break;
+      case Opcode::V_CMP_LT_F32:
+        vcmp([](std::uint32_t a, std::uint32_t b) {
+            return asF(a) < asF(b);
+        });
+        break;
+      case Opcode::V_CMP_GT_F32:
+        vcmp([](std::uint32_t a, std::uint32_t b) {
+            return asF(a) > asF(b);
+        });
+        break;
+      case Opcode::V_CMP_GE_F32:
+        vcmp([](std::uint32_t a, std::uint32_t b) {
+            return asF(a) >= asF(b);
+        });
+        break;
+      case Opcode::V_CNDMASK_B32:
+        for_active([&](std::uint32_t lane) {
+            bool c = (ws.vcc >> lane) & 1;
+            ws.v(inst.dst.value, lane) =
+                c ? vsrc(inst.src1, lane) : vsrc(inst.src0, lane);
+        });
+        break;
+
+      // ---------------- Vector memory ----------------
+      case Opcode::FLAT_LOAD_DWORD: {
+        std::uint32_t n = 0;
+        for_active([&](std::uint32_t lane) {
+            Addr addr = ws.v(inst.src0.value, lane);
+            ws.v(inst.dst.value, lane) = mem.read32(addr);
+            out.lines[n++] = addr / kLineBytes;
+        });
+        coalesceLines(out, n);
+        break;
+      }
+      case Opcode::FLAT_STORE_DWORD: {
+        std::uint32_t n = 0;
+        for_active([&](std::uint32_t lane) {
+            Addr addr = ws.v(inst.src0.value, lane);
+            mem.write32(addr, vsrc(inst.src1, lane));
+            out.lines[n++] = addr / kLineBytes;
+        });
+        coalesceLines(out, n);
+        out.linesWrite = true;
+        break;
+      }
+
+      // ---------------- LDS ----------------
+      case Opcode::DS_READ_B32:
+        for_active([&](std::uint32_t lane) {
+            std::uint32_t addr = ws.v(inst.src0.value, lane);
+            PHOTON_ASSERT(addr + 4 <= lds.size(), "LDS read OOB");
+            std::uint32_t value;
+            std::memcpy(&value, lds.data() + addr, 4);
+            ws.v(inst.dst.value, lane) = value;
+            ++out.ldsAccesses;
+        });
+        break;
+      case Opcode::DS_WRITE_B32:
+        for_active([&](std::uint32_t lane) {
+            std::uint32_t addr = ws.v(inst.src0.value, lane);
+            PHOTON_ASSERT(addr + 4 <= lds.size(), "LDS write OOB");
+            std::uint32_t value = vsrc(inst.src1, lane);
+            std::memcpy(lds.data() + addr, &value, 4);
+            ++out.ldsAccesses;
+        });
+        break;
+
+      case Opcode::NUM_OPCODES:
+        panic("invalid opcode");
+    }
+
+    ws.pc = next_pc;
+}
+
+std::uint64_t
+Emulator::runWave(const isa::Program &program, WaveState &ws,
+                  GlobalMemory &mem, std::vector<std::uint8_t> &lds) const
+{
+    StepResult res;
+    std::uint64_t count = 0;
+    while (!ws.done) {
+        step(program, ws, mem, lds, res);
+        ++count;
+    }
+    return count;
+}
+
+} // namespace photon::func

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Simulated global memory: a flat byte arena with a bump allocator.
+ * Address 0 is reserved (never allocated) so that 0 can serve as a null
+ * pointer in kernels.
+ */
+
+#ifndef PHOTON_FUNC_MEMORY_HPP
+#define PHOTON_FUNC_MEMORY_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/log.hpp"
+#include "sim/types.hpp"
+
+namespace photon::func {
+
+/**
+ * Flat simulated DRAM. Buffers are allocated sequentially; there is no
+ * free() — a Platform owns one GlobalMemory per simulation and the whole
+ * arena is released together.
+ */
+class GlobalMemory
+{
+  public:
+    /** @param capacity_bytes backing-store size actually reserved. */
+    explicit GlobalMemory(std::uint64_t capacity_bytes = 512ull << 20)
+        : data_(capacity_bytes, 0), brk_(kLineBytes)
+    {}
+
+    /** Allocate @p bytes aligned to @p align; returns the base address. */
+    Addr
+    allocate(std::uint64_t bytes, std::uint64_t align = kLineBytes)
+    {
+        Addr base = (brk_ + align - 1) / align * align;
+        if (base + bytes > data_.size())
+            fatal("simulated global memory exhausted (need ",
+                  base + bytes, " bytes, have ", data_.size(), ")");
+        brk_ = base + bytes;
+        return base;
+    }
+
+    /** Bytes allocated so far. */
+    std::uint64_t allocated() const { return brk_; }
+
+    std::uint32_t
+    read32(Addr addr) const
+    {
+        boundsCheck(addr, 4);
+        std::uint32_t v;
+        std::memcpy(&v, data_.data() + addr, 4);
+        return v;
+    }
+
+    void
+    write32(Addr addr, std::uint32_t value)
+    {
+        boundsCheck(addr, 4);
+        std::memcpy(data_.data() + addr, &value, 4);
+    }
+
+    /** Bulk host-side copy into simulated memory. */
+    void
+    writeBlock(Addr addr, const void *src, std::uint64_t bytes)
+    {
+        boundsCheck(addr, bytes);
+        std::memcpy(data_.data() + addr, src, bytes);
+    }
+
+    /** Bulk host-side copy out of simulated memory. */
+    void
+    readBlock(Addr addr, void *dst, std::uint64_t bytes) const
+    {
+        boundsCheck(addr, bytes);
+        std::memcpy(dst, data_.data() + addr, bytes);
+    }
+
+    std::uint64_t capacity() const { return data_.size(); }
+
+  private:
+    void
+    boundsCheck(Addr addr, std::uint64_t bytes) const
+    {
+        if (addr + bytes > data_.size() || addr == 0)
+            panic("global memory access out of bounds: addr=", addr,
+                  " size=", bytes);
+    }
+
+    std::vector<std::uint8_t> data_;
+    Addr brk_;
+};
+
+} // namespace photon::func
+
+#endif // PHOTON_FUNC_MEMORY_HPP

@@ -1,0 +1,49 @@
+#include "isa/basic_block.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace photon::isa {
+
+BasicBlockTable::BasicBlockTable(const Program &program,
+                                 bool split_at_waitcnt)
+{
+    const std::uint32_t n = program.size();
+    PHOTON_ASSERT(n > 0, "empty program");
+
+    auto ends_block = [&](Opcode op) {
+        return endsBasicBlock(op) ||
+               (split_at_waitcnt && op == Opcode::S_WAITCNT);
+    };
+
+    // Mark leaders: entry, branch targets, fall-throughs of block enders.
+    std::vector<bool> leader(n, false);
+    leader[0] = true;
+    for (std::uint32_t pc = 0; pc < n; ++pc) {
+        const Instruction &inst = program.at(pc);
+        if (isBranch(inst.op)) {
+            leader[inst.target] = true;
+        }
+        if (ends_block(inst.op) && pc + 1 < n) {
+            leader[pc + 1] = true;
+        }
+    }
+
+    // Carve blocks between leaders / enders.
+    pcToBlock_.assign(n, kNoBb);
+    std::uint32_t start = 0;
+    for (std::uint32_t pc = 0; pc < n; ++pc) {
+        bool end_here = ends_block(program.at(pc).op);
+        bool next_is_leader = (pc + 1 < n) && leader[pc + 1];
+        if (end_here || next_is_leader || pc + 1 == n) {
+            BbId id = static_cast<BbId>(blocks_.size());
+            blocks_.push_back({start, pc - start + 1});
+            for (std::uint32_t p = start; p <= pc; ++p)
+                pcToBlock_[p] = id;
+            start = pc + 1;
+        }
+    }
+}
+
+} // namespace photon::isa

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Static basic-block extraction.
+ *
+ * Photon's basic blocks are warp-level (paper Observation 3): a block is a
+ * maximal straight-line run with one entry and one exit. Blocks end at
+ * branch instructions, s_barrier (so inter-warp synchronisation latency is
+ * attributed to the block that caused it) and s_endpgm; they also end right
+ * before any branch target (a new leader). Blocks are identified by the PC
+ * of their first instruction plus their length.
+ */
+
+#ifndef PHOTON_ISA_BASIC_BLOCK_HPP
+#define PHOTON_ISA_BASIC_BLOCK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace photon::isa {
+
+/** Index of a basic block within a program's BasicBlockTable. */
+using BbId = std::uint32_t;
+
+inline constexpr BbId kNoBb = ~BbId{0};
+
+/** One static basic block. */
+struct BasicBlock
+{
+    std::uint32_t startPc = 0;
+    std::uint32_t length = 0; ///< instruction count
+
+    std::uint32_t endPc() const { return startPc + length - 1; }
+};
+
+/**
+ * All basic blocks of one program, in ascending startPc order, with a
+ * constant-time PC -> containing-block map.
+ */
+class BasicBlockTable
+{
+  public:
+    /**
+     * @param split_at_waitcnt additionally end blocks at s_waitcnt, so
+     *        a block never mixes unrelated memory-access groups — the
+     *        extension the paper leaves to future work (Observation 3).
+     */
+    explicit BasicBlockTable(const Program &program,
+                             bool split_at_waitcnt = false);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    std::uint32_t numBlocks() const
+    {
+        return static_cast<std::uint32_t>(blocks_.size());
+    }
+    const BasicBlock &block(BbId id) const { return blocks_[id]; }
+
+    /** Basic block containing instruction @p pc. */
+    BbId blockAt(std::uint32_t pc) const { return pcToBlock_[pc]; }
+
+    /** True when @p pc is the first instruction of a block. */
+    bool isLeader(std::uint32_t pc) const
+    {
+        return blocks_[pcToBlock_[pc]].startPc == pc;
+    }
+
+  private:
+    std::vector<BasicBlock> blocks_;
+    std::vector<BbId> pcToBlock_;
+};
+
+} // namespace photon::isa
+
+#endif // PHOTON_ISA_BASIC_BLOCK_HPP

@@ -1,0 +1,195 @@
+#include "isa/builder.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace photon::isa {
+
+KernelBuilder::KernelBuilder(std::string kernel_name)
+    : name_(std::move(kernel_name))
+{}
+
+Label
+KernelBuilder::label()
+{
+    labelPcs_.push_back(-1);
+    return Label{static_cast<std::int32_t>(labelPcs_.size()) - 1};
+}
+
+void
+KernelBuilder::bind(Label l)
+{
+    PHOTON_ASSERT(l.id >= 0 &&
+                  l.id < static_cast<std::int32_t>(labelPcs_.size()),
+                  "invalid label");
+    PHOTON_ASSERT(labelPcs_[l.id] == -1, "label bound twice");
+    labelPcs_[l.id] = static_cast<std::int32_t>(code_.size());
+}
+
+void
+KernelBuilder::note(const Operand &o)
+{
+    if (o.kind == OperandKind::SReg) {
+        maxSgpr_ = std::max(maxSgpr_, static_cast<std::uint32_t>(o.value));
+    } else if (o.kind == OperandKind::VReg) {
+        maxVgpr_ = std::max(maxVgpr_, static_cast<std::uint32_t>(o.value));
+    }
+}
+
+KernelBuilder &
+KernelBuilder::emit(Opcode op, Operand dst, Operand src0, Operand src1,
+                    Operand src2)
+{
+    PHOTON_ASSERT(!finished_, "emit after finish");
+    note(dst);
+    note(src0);
+    note(src1);
+    note(src2);
+    code_.push_back(Instruction{op, dst, src0, src1, src2, -1});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::branch(Opcode op, Label l)
+{
+    PHOTON_ASSERT(isBranch(op), "branch() needs a branch opcode");
+    emit(op);
+    code_.back().target = l.id; // placeholder; resolved in finish()
+    pendingBranch_.push_back(static_cast<std::uint32_t>(code_.size()) - 1);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::sMov(std::int32_t sdst, Operand src)
+{
+    return emit(Opcode::S_MOV_B32, sreg(sdst), src);
+}
+
+KernelBuilder &
+KernelBuilder::sAdd(std::int32_t sdst, Operand a, Operand b)
+{
+    return emit(Opcode::S_ADD_U32, sreg(sdst), a, b);
+}
+
+KernelBuilder &
+KernelBuilder::sMul(std::int32_t sdst, Operand a, Operand b)
+{
+    return emit(Opcode::S_MUL_U32, sreg(sdst), a, b);
+}
+
+KernelBuilder &
+KernelBuilder::sLoad(std::int32_t sdst, std::int32_t sbase,
+                     std::uint32_t byte_offset)
+{
+    return emit(Opcode::S_LOAD_DWORD, sreg(sdst), sreg(sbase),
+                imm(byte_offset));
+}
+
+KernelBuilder &
+KernelBuilder::vMov(std::int32_t vdst, Operand src)
+{
+    return emit(Opcode::V_MOV_B32, vreg(vdst), src);
+}
+
+KernelBuilder &
+KernelBuilder::vAddU32(std::int32_t vdst, Operand a, Operand b)
+{
+    return emit(Opcode::V_ADD_U32, vreg(vdst), a, b);
+}
+
+KernelBuilder &
+KernelBuilder::vMulU32(std::int32_t vdst, Operand a, Operand b)
+{
+    return emit(Opcode::V_MUL_LO_U32, vreg(vdst), a, b);
+}
+
+KernelBuilder &
+KernelBuilder::vMad(std::int32_t vdst, Operand a, Operand b, Operand c)
+{
+    return emit(Opcode::V_MAD_U32, vreg(vdst), a, b, c);
+}
+
+KernelBuilder &
+KernelBuilder::vAddF32(std::int32_t vdst, Operand a, Operand b)
+{
+    return emit(Opcode::V_ADD_F32, vreg(vdst), a, b);
+}
+
+KernelBuilder &
+KernelBuilder::vMulF32(std::int32_t vdst, Operand a, Operand b)
+{
+    return emit(Opcode::V_MUL_F32, vreg(vdst), a, b);
+}
+
+KernelBuilder &
+KernelBuilder::vMacF32(std::int32_t vdst, Operand a, Operand b)
+{
+    return emit(Opcode::V_MAC_F32, vreg(vdst), a, b);
+}
+
+KernelBuilder &
+KernelBuilder::flatLoad(std::int32_t vdst, std::int32_t vaddr)
+{
+    return emit(Opcode::FLAT_LOAD_DWORD, vreg(vdst), vreg(vaddr));
+}
+
+KernelBuilder &
+KernelBuilder::flatStore(std::int32_t vaddr, Operand vsrc)
+{
+    return emit(Opcode::FLAT_STORE_DWORD, {}, vreg(vaddr), vsrc);
+}
+
+KernelBuilder &
+KernelBuilder::dsRead(std::int32_t vdst, std::int32_t vaddr)
+{
+    return emit(Opcode::DS_READ_B32, vreg(vdst), vreg(vaddr));
+}
+
+KernelBuilder &
+KernelBuilder::dsWrite(std::int32_t vaddr, Operand vsrc)
+{
+    return emit(Opcode::DS_WRITE_B32, {}, vreg(vaddr), vsrc);
+}
+
+KernelBuilder &
+KernelBuilder::barrier()
+{
+    return emit(Opcode::S_BARRIER);
+}
+
+KernelBuilder &
+KernelBuilder::waitcnt()
+{
+    return emit(Opcode::S_WAITCNT);
+}
+
+KernelBuilder &
+KernelBuilder::endProgram()
+{
+    return emit(Opcode::S_ENDPGM);
+}
+
+ProgramPtr
+KernelBuilder::finish()
+{
+    PHOTON_ASSERT(!finished_, "finish called twice");
+    finished_ = true;
+
+    for (std::uint32_t pc : pendingBranch_) {
+        std::int32_t label_id = code_[pc].target;
+        PHOTON_ASSERT(label_id >= 0 &&
+                      label_id <
+                          static_cast<std::int32_t>(labelPcs_.size()),
+                      "bad label id");
+        std::int32_t target = labelPcs_[label_id];
+        if (target < 0)
+            panic("program ", name_, ": unbound label ", label_id);
+        code_[pc].target = target;
+    }
+
+    return std::make_shared<Program>(name_, std::move(code_), maxSgpr_ + 1,
+                                     maxVgpr_ + 1, ldsBytes_);
+}
+
+} // namespace photon::isa

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * A fluent kernel-assembly API with forward-referencing labels. Workload
+ * code constructs programs through this builder instead of parsing text.
+ *
+ * Calling convention established by the dispatcher for every wavefront:
+ *   s0 = flat workgroup id
+ *   s1 = wavefront index within the workgroup
+ *   s2 = kernarg segment base address
+ *   v0 = work-item local id within the workgroup (wave*64 + lane)
+ * Kernels load their arguments with s_load_dword from the kernarg base.
+ */
+
+#ifndef PHOTON_ISA_BUILDER_HPP
+#define PHOTON_ISA_BUILDER_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace photon::isa {
+
+/** SGPRs preloaded by the dispatcher. */
+inline constexpr std::int32_t kSgprWorkgroupId = 0;
+inline constexpr std::int32_t kSgprWaveInGroup = 1;
+inline constexpr std::int32_t kSgprKernargBase = 2;
+/** First SGPR free for kernel use. */
+inline constexpr std::int32_t kSgprFirstFree = 3;
+/** VGPR preloaded with the work-item local id. */
+inline constexpr std::int32_t kVgprLocalId = 0;
+/** First VGPR free for kernel use. */
+inline constexpr std::int32_t kVgprFirstFree = 1;
+
+/** Opaque label handle returned by KernelBuilder::label(). */
+struct Label
+{
+    std::int32_t id = -1;
+};
+
+/**
+ * Assembles a Program instruction by instruction. Tracks the maximum
+ * register indices touched and resolves labels at finish() time.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string kernel_name);
+
+    /** Create a fresh label that can be bound later with bind(). */
+    Label label();
+
+    /** Bind @p l to the next emitted instruction. */
+    void bind(Label l);
+
+    /** Set the static per-workgroup LDS allocation. */
+    void setLdsBytes(std::uint32_t bytes) { ldsBytes_ = bytes; }
+
+    /** Emit a generic instruction. */
+    KernelBuilder &emit(Opcode op, Operand dst = {}, Operand src0 = {},
+                        Operand src1 = {}, Operand src2 = {});
+
+    /** Emit a branch to @p l. For conditional branches the condition is
+     *  implied by the opcode (SCC / VCC / EXEC). */
+    KernelBuilder &branch(Opcode op, Label l);
+
+    /** Shorthand emitters for common instructions. @{ */
+    KernelBuilder &sMov(std::int32_t sdst, Operand src);
+    KernelBuilder &sAdd(std::int32_t sdst, Operand a, Operand b);
+    KernelBuilder &sMul(std::int32_t sdst, Operand a, Operand b);
+    KernelBuilder &sLoad(std::int32_t sdst, std::int32_t sbase,
+                         std::uint32_t byte_offset);
+    KernelBuilder &vMov(std::int32_t vdst, Operand src);
+    KernelBuilder &vAddU32(std::int32_t vdst, Operand a, Operand b);
+    KernelBuilder &vMulU32(std::int32_t vdst, Operand a, Operand b);
+    /** vdst = a * b + c (unsigned integer multiply-add). */
+    KernelBuilder &vMad(std::int32_t vdst, Operand a, Operand b, Operand c);
+    KernelBuilder &vAddF32(std::int32_t vdst, Operand a, Operand b);
+    KernelBuilder &vMulF32(std::int32_t vdst, Operand a, Operand b);
+    /** vdst += a * b (float multiply-accumulate). */
+    KernelBuilder &vMacF32(std::int32_t vdst, Operand a, Operand b);
+    KernelBuilder &flatLoad(std::int32_t vdst, std::int32_t vaddr);
+    KernelBuilder &flatStore(std::int32_t vaddr, Operand vsrc);
+    KernelBuilder &dsRead(std::int32_t vdst, std::int32_t vaddr);
+    KernelBuilder &dsWrite(std::int32_t vaddr, Operand vsrc);
+    KernelBuilder &barrier();
+    KernelBuilder &waitcnt();
+    KernelBuilder &endProgram();
+    /** @} */
+
+    /** Number of instructions emitted so far. */
+    std::uint32_t pc() const
+    {
+        return static_cast<std::uint32_t>(code_.size());
+    }
+
+    /** Resolve labels, validate and produce the immutable program. */
+    ProgramPtr finish();
+
+  private:
+    void note(const Operand &o);
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<std::int32_t> labelPcs_;       // label id -> pc or -1
+    std::vector<std::uint32_t> pendingBranch_; // pcs with label-id targets
+    std::uint32_t maxSgpr_ = 2; // dispatcher preloads s0..s2
+    std::uint32_t maxVgpr_ = 0; // dispatcher preloads v0
+    std::uint32_t ldsBytes_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace photon::isa
+
+#endif // PHOTON_ISA_BUILDER_HPP

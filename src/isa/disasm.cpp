@@ -1,0 +1,68 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+namespace photon::isa {
+
+namespace {
+
+void
+renderOperand(std::ostringstream &os, const Operand &o, bool &first)
+{
+    if (o.kind == OperandKind::None)
+        return;
+    os << (first ? " " : ", ");
+    first = false;
+    switch (o.kind) {
+      case OperandKind::SReg:
+        os << "s" << o.value;
+        break;
+      case OperandKind::VReg:
+        os << "v" << o.value;
+        break;
+      case OperandKind::Mask:
+        switch (o.value) {
+          case kMaskVcc: os << "vcc"; break;
+          case kMaskExec: os << "exec"; break;
+          case kMaskAllOnes: os << "ones"; break;
+          default: os << "m" << o.value; break;
+        }
+        break;
+      case OperandKind::Imm:
+        os << o.value;
+        break;
+      case OperandKind::None:
+        break;
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op);
+    bool first = true;
+    renderOperand(os, inst.dst, first);
+    renderOperand(os, inst.src0, first);
+    renderOperand(os, inst.src1, first);
+    renderOperand(os, inst.src2, first);
+    if (isBranch(inst.op))
+        os << (first ? " " : ", ") << "@" << inst.target;
+    return os.str();
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream os;
+    os << "; kernel " << program.name() << "  sgprs=" << program.numSgprs()
+       << " vgprs=" << program.numVgprs() << " lds=" << program.ldsBytes()
+       << "\n";
+    for (std::uint32_t pc = 0; pc < program.size(); ++pc)
+        os << pc << ": " << disassemble(program.at(pc)) << "\n";
+    return os.str();
+}
+
+} // namespace photon::isa

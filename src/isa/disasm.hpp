@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembler: renders instructions and programs as readable text for
+ * debugging and documentation.
+ */
+
+#ifndef PHOTON_ISA_DISASM_HPP
+#define PHOTON_ISA_DISASM_HPP
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace photon::isa {
+
+/** Render one instruction (no trailing newline). */
+std::string disassemble(const Instruction &inst);
+
+/** Render a whole program, one "pc: text" line per instruction. */
+std::string disassemble(const Program &program);
+
+} // namespace photon::isa
+
+#endif // PHOTON_ISA_DISASM_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instruction and operand encodings.
+ */
+
+#ifndef PHOTON_ISA_INSTRUCTION_HPP
+#define PHOTON_ISA_INSTRUCTION_HPP
+
+#include <bit>
+#include <cstdint>
+
+#include "isa/opcode.hpp"
+
+namespace photon::isa {
+
+/** Where an operand's value lives. */
+enum class OperandKind : std::uint8_t
+{
+    None, ///< operand unused
+    SReg, ///< scalar register s[value]
+    VReg, ///< vector register v[value] (per-lane)
+    Mask, ///< 64-bit mask register, see MaskReg
+    Imm,  ///< 32-bit immediate (raw bit pattern; may encode a float)
+};
+
+/** Indices of the 64-bit mask register space. */
+enum MaskReg : std::int32_t
+{
+    kMask0 = 0,
+    kMask1 = 1,
+    kMask2 = 2,
+    kMask3 = 3,
+    kMaskVcc = 4,
+    kMaskExec = 5,
+    kMaskAllOnes = 6, ///< read-only constant ~0ull
+};
+
+/** One instruction operand. */
+struct Operand
+{
+    OperandKind kind = OperandKind::None;
+    std::int32_t value = 0;
+
+    constexpr bool isReg() const
+    {
+        return kind == OperandKind::SReg || kind == OperandKind::VReg;
+    }
+};
+
+/** Build a scalar-register operand. */
+constexpr Operand
+sreg(std::int32_t idx)
+{
+    return {OperandKind::SReg, idx};
+}
+
+/** Build a vector-register operand. */
+constexpr Operand
+vreg(std::int32_t idx)
+{
+    return {OperandKind::VReg, idx};
+}
+
+/** Build a mask-register operand. */
+constexpr Operand
+mreg(std::int32_t idx)
+{
+    return {OperandKind::Mask, idx};
+}
+
+/** Build an integer immediate operand. */
+constexpr Operand
+imm(std::int64_t v)
+{
+    return {OperandKind::Imm, static_cast<std::int32_t>(v)};
+}
+
+/** Build a float immediate operand (stored as raw bits). */
+inline Operand
+immF(float v)
+{
+    return {OperandKind::Imm, std::bit_cast<std::int32_t>(v)};
+}
+
+/**
+ * One decoded instruction. Branch targets are instruction indices
+ * (PCs count instructions, not bytes) resolved by the KernelBuilder.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::S_NOP;
+    Operand dst;
+    Operand src0;
+    Operand src1;
+    Operand src2;
+    std::int32_t target = -1; ///< branch target PC, -1 when not a branch
+};
+
+} // namespace photon::isa
+
+#endif // PHOTON_ISA_INSTRUCTION_HPP

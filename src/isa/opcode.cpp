@@ -1,0 +1,110 @@
+#include "isa/opcode.hpp"
+
+#include <array>
+
+#include "sim/log.hpp"
+
+namespace photon::isa {
+
+namespace {
+
+constexpr OpcodeInfo
+op(std::string_view name, FuncUnit unit, bool is_branch = false,
+   bool ends_bb = false)
+{
+    return OpcodeInfo{name, unit, is_branch, ends_bb};
+}
+
+// Indexed by Opcode; keep in the exact enum order.
+const std::array<OpcodeInfo, kNumOpcodes> kTable = {{
+    op("s_mov_b32", FuncUnit::SALU),
+    op("s_add_u32", FuncUnit::SALU),
+    op("s_sub_u32", FuncUnit::SALU),
+    op("s_mul_u32", FuncUnit::SALU),
+    op("s_lshl_b32", FuncUnit::SALU),
+    op("s_lshr_b32", FuncUnit::SALU),
+    op("s_and_b32", FuncUnit::SALU),
+    op("s_or_b32", FuncUnit::SALU),
+    op("s_xor_b32", FuncUnit::SALU),
+    op("s_min_u32", FuncUnit::SALU),
+    op("s_max_u32", FuncUnit::SALU),
+    op("s_cmp_lt_u32", FuncUnit::SALU),
+    op("s_cmp_le_u32", FuncUnit::SALU),
+    op("s_cmp_gt_u32", FuncUnit::SALU),
+    op("s_cmp_ge_u32", FuncUnit::SALU),
+    op("s_cmp_eq_u32", FuncUnit::SALU),
+    op("s_cmp_ne_u32", FuncUnit::SALU),
+
+    op("s_mov_mask", FuncUnit::SALU),
+    op("s_and_mask", FuncUnit::SALU),
+    op("s_or_mask", FuncUnit::SALU),
+    op("s_andn2_mask", FuncUnit::SALU),
+
+    op("s_branch", FuncUnit::BRANCH, true, true),
+    op("s_cbranch_scc0", FuncUnit::BRANCH, true, true),
+    op("s_cbranch_scc1", FuncUnit::BRANCH, true, true),
+    op("s_cbranch_vccz", FuncUnit::BRANCH, true, true),
+    op("s_cbranch_vccnz", FuncUnit::BRANCH, true, true),
+    op("s_cbranch_execz", FuncUnit::BRANCH, true, true),
+    op("s_cbranch_execnz", FuncUnit::BRANCH, true, true),
+    op("s_barrier", FuncUnit::SYNC, false, true),
+    op("s_waitcnt", FuncUnit::SYNC),
+    op("s_nop", FuncUnit::SALU),
+    op("s_endpgm", FuncUnit::SYNC, false, true),
+
+    op("s_load_dword", FuncUnit::SMEM),
+
+    op("v_mov_b32", FuncUnit::VALU),
+    op("v_add_u32", FuncUnit::VALU),
+    op("v_sub_u32", FuncUnit::VALU),
+    op("v_mul_lo_u32", FuncUnit::VALU),
+    op("v_mad_u32", FuncUnit::VALU),
+    op("v_lshl_b32", FuncUnit::VALU),
+    op("v_lshr_b32", FuncUnit::VALU),
+    op("v_ashr_i32", FuncUnit::VALU),
+    op("v_and_b32", FuncUnit::VALU),
+    op("v_or_b32", FuncUnit::VALU),
+    op("v_xor_b32", FuncUnit::VALU),
+    op("v_add_f32", FuncUnit::VALU),
+    op("v_sub_f32", FuncUnit::VALU),
+    op("v_mul_f32", FuncUnit::VALU),
+    op("v_mac_f32", FuncUnit::VALU),
+    op("v_fma_f32", FuncUnit::VALU),
+    op("v_max_f32", FuncUnit::VALU),
+    op("v_min_f32", FuncUnit::VALU),
+    op("v_max_u32", FuncUnit::VALU),
+    op("v_min_u32", FuncUnit::VALU),
+    op("v_rcp_f32", FuncUnit::VALU4),
+    op("v_sqrt_f32", FuncUnit::VALU4),
+    op("v_cvt_f32_u32", FuncUnit::VALU),
+    op("v_cvt_f32_i32", FuncUnit::VALU),
+    op("v_cvt_u32_f32", FuncUnit::VALU),
+    op("v_cmp_lt_u32", FuncUnit::VALU),
+    op("v_cmp_ge_u32", FuncUnit::VALU),
+    op("v_cmp_eq_u32", FuncUnit::VALU),
+    op("v_cmp_ne_u32", FuncUnit::VALU),
+    op("v_cmp_lt_i32", FuncUnit::VALU),
+    op("v_cmp_ge_i32", FuncUnit::VALU),
+    op("v_cmp_lt_f32", FuncUnit::VALU),
+    op("v_cmp_gt_f32", FuncUnit::VALU),
+    op("v_cmp_ge_f32", FuncUnit::VALU),
+    op("v_cndmask_b32", FuncUnit::VALU),
+
+    op("flat_load_dword", FuncUnit::VMEM),
+    op("flat_store_dword", FuncUnit::VMEM),
+
+    op("ds_read_b32", FuncUnit::LDS),
+    op("ds_write_b32", FuncUnit::LDS),
+}};
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    auto idx = static_cast<unsigned>(op);
+    PHOTON_ASSERT(idx < kNumOpcodes, "opcode out of range: ", idx);
+    return kTable[idx];
+}
+
+} // namespace photon::isa

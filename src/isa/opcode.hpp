@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The compact GCN-like instruction set understood by the functional
+ * emulator and the timing model. Opcode names and semantics follow AMD
+ * GCN3 conventions (the ISA MGPUSim executes), reduced to the subset the
+ * workloads in this repository need.
+ */
+
+#ifndef PHOTON_ISA_OPCODE_HPP
+#define PHOTON_ISA_OPCODE_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace photon::isa {
+
+/** All supported opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Scalar ALU.
+    S_MOV_B32,
+    S_ADD_U32,
+    S_SUB_U32,
+    S_MUL_U32,
+    S_LSHL_B32,
+    S_LSHR_B32,
+    S_AND_B32,
+    S_OR_B32,
+    S_XOR_B32,
+    S_MIN_U32,
+    S_MAX_U32,
+    S_CMP_LT_U32,
+    S_CMP_LE_U32,
+    S_CMP_GT_U32,
+    S_CMP_GE_U32,
+    S_CMP_EQ_U32,
+    S_CMP_NE_U32,
+
+    // 64-bit execution-mask manipulation (mask register file + VCC/EXEC).
+    S_MOV_MASK,
+    S_AND_MASK,
+    S_OR_MASK,
+    S_ANDN2_MASK,
+
+    // Control flow and synchronisation.
+    S_BRANCH,
+    S_CBRANCH_SCC0,
+    S_CBRANCH_SCC1,
+    S_CBRANCH_VCCZ,
+    S_CBRANCH_VCCNZ,
+    S_CBRANCH_EXECZ,
+    S_CBRANCH_EXECNZ,
+    S_BARRIER,
+    S_WAITCNT,
+    S_NOP,
+    S_ENDPGM,
+
+    // Scalar memory (kernel arguments and other read-only data).
+    S_LOAD_DWORD,
+
+    // Vector ALU.
+    V_MOV_B32,
+    V_ADD_U32,
+    V_SUB_U32,
+    V_MUL_LO_U32,
+    V_MAD_U32,
+    V_LSHL_B32,
+    V_LSHR_B32,
+    V_ASHR_I32,
+    V_AND_B32,
+    V_OR_B32,
+    V_XOR_B32,
+    V_ADD_F32,
+    V_SUB_F32,
+    V_MUL_F32,
+    V_MAC_F32,
+    V_FMA_F32,
+    V_MAX_F32,
+    V_MIN_F32,
+    V_MAX_U32,
+    V_MIN_U32,
+    V_RCP_F32,
+    V_SQRT_F32,
+    V_CVT_F32_U32,
+    V_CVT_F32_I32,
+    V_CVT_U32_F32,
+    V_CMP_LT_U32,
+    V_CMP_GE_U32,
+    V_CMP_EQ_U32,
+    V_CMP_NE_U32,
+    V_CMP_LT_I32,
+    V_CMP_GE_I32,
+    V_CMP_LT_F32,
+    V_CMP_GT_F32,
+    V_CMP_GE_F32,
+    V_CNDMASK_B32,
+
+    // Vector memory (global, through L1V).
+    FLAT_LOAD_DWORD,
+    FLAT_STORE_DWORD,
+
+    // Local data share (shared memory).
+    DS_READ_B32,
+    DS_WRITE_B32,
+
+    NUM_OPCODES,
+};
+
+/** The functional unit class an opcode issues to; drives timing. */
+enum class FuncUnit : std::uint8_t
+{
+    SALU,   ///< scalar ALU / mask ops
+    VALU,   ///< vector ALU (full rate)
+    VALU4,  ///< vector ALU (quarter rate: rcp, sqrt)
+    BRANCH, ///< branch unit
+    SYNC,   ///< barrier / waitcnt / endpgm
+    SMEM,   ///< scalar memory (L1K path)
+    VMEM,   ///< vector memory (L1V path)
+    LDS,    ///< local data share
+};
+
+/** Static per-opcode properties. */
+struct OpcodeInfo
+{
+    std::string_view name;
+    FuncUnit unit;
+    bool isBranch;       ///< any opcode that may redirect the PC
+    bool endsBasicBlock; ///< branch, barrier or endpgm (paper Obs. 3)
+};
+
+/** Look up static properties of an opcode. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** Human-readable opcode mnemonic. */
+inline std::string_view
+opcodeName(Opcode op)
+{
+    return opcodeInfo(op).name;
+}
+
+/** True when @p op may redirect control flow. */
+inline bool
+isBranch(Opcode op)
+{
+    return opcodeInfo(op).isBranch;
+}
+
+/** True when @p op terminates a Photon basic block (branch/barrier/end). */
+inline bool
+endsBasicBlock(Opcode op)
+{
+    return opcodeInfo(op).endsBasicBlock;
+}
+
+/** True when @p op accesses memory (any space). */
+inline bool
+isMemory(Opcode op)
+{
+    FuncUnit u = opcodeInfo(op).unit;
+    return u == FuncUnit::SMEM || u == FuncUnit::VMEM || u == FuncUnit::LDS;
+}
+
+/** Total number of opcodes (for latency tables). */
+inline constexpr unsigned kNumOpcodes =
+    static_cast<unsigned>(Opcode::NUM_OPCODES);
+
+} // namespace photon::isa
+
+#endif // PHOTON_ISA_OPCODE_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A kernel program: an immutable instruction list plus resource metadata.
+ */
+
+#ifndef PHOTON_ISA_PROGRAM_HPP
+#define PHOTON_ISA_PROGRAM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace photon::isa {
+
+/** Register-file and LDS limits enforced on programs. */
+inline constexpr unsigned kMaxSgprs = 32;
+inline constexpr unsigned kMaxVgprs = 32;
+inline constexpr unsigned kMaxMaskRegs = 4;
+
+/**
+ * An executable GPU kernel. Produced by KernelBuilder; shared (immutable)
+ * between launches via shared_ptr.
+ */
+class Program
+{
+  public:
+    Program(std::string name, std::vector<Instruction> code,
+            std::uint32_t num_sgprs, std::uint32_t num_vgprs,
+            std::uint32_t lds_bytes);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Instruction> &code() const { return code_; }
+    const Instruction &at(std::uint32_t pc) const { return code_[pc]; }
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(code_.size());
+    }
+
+    /** Highest scalar register index used, plus one. */
+    std::uint32_t numSgprs() const { return numSgprs_; }
+    /** Highest vector register index used, plus one. */
+    std::uint32_t numVgprs() const { return numVgprs_; }
+    /** Static LDS allocation per workgroup in bytes. */
+    std::uint32_t ldsBytes() const { return ldsBytes_; }
+
+    /** Validate register indices and branch targets; panics on errors. */
+    void validate() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::uint32_t numSgprs_;
+    std::uint32_t numVgprs_;
+    std::uint32_t ldsBytes_;
+};
+
+using ProgramPtr = std::shared_ptr<const Program>;
+
+} // namespace photon::isa
+
+#endif // PHOTON_ISA_PROGRAM_HPP

@@ -1,0 +1,82 @@
+#include "sampling/analysis.hpp"
+
+#include <algorithm>
+
+#include "sampling/bbv.hpp"
+
+namespace photon::sampling {
+
+std::uint64_t
+traceWarpBbv(const isa::Program &program,
+             const isa::BasicBlockTable &bb_table,
+             const func::LaunchDims &dims, func::GlobalMemory &mem,
+             WarpId warp, Bbv &bbv_out)
+{
+    func::Emulator emu;
+    func::WaveState ws;
+    ws.init(program, dims, warp);
+    // Per-warp LDS stand-in: control flow in the supported workloads
+    // never depends on LDS *values*, so functional analysis of one warp
+    // in isolation is sound (addresses/BBVs are exact).
+    std::vector<std::uint8_t> lds(program.ldsBytes(), 0);
+
+    BbTracker tracker(bb_table);
+    func::StepResult res;
+    std::uint64_t insts = 0;
+    while (!ws.done) {
+        BbTracker::Event ev = tracker.onInstruction(ws.pc, ws.exec);
+        if (ev.valid())
+            bbv_out.add(ev.bb, ev.activeLanes);
+        emu.step(program, ws, mem, lds, res);
+        ++insts;
+    }
+    BbTracker::Event last = tracker.finish();
+    bbv_out.add(last.bb, last.activeLanes);
+    return insts;
+}
+
+OnlineAnalysis
+analyzeKernel(const isa::Program &program,
+              const isa::BasicBlockTable &bb_table,
+              const func::LaunchDims &dims, func::GlobalMemory &mem,
+              const SamplingConfig &cfg)
+{
+    OnlineAnalysis out;
+    out.totalWarps = dims.totalWaves();
+    out.bbExecCounts.assign(std::size_t{bb_table.numBlocks()} *
+                                kLaneBuckets,
+                            0);
+    out.bbInstCounts.assign(out.bbExecCounts.size(), 0);
+
+    std::uint32_t want = std::max<std::uint32_t>(
+        cfg.onlineSampleMin,
+        static_cast<std::uint32_t>(cfg.onlineSampleRate * out.totalWarps));
+    want = std::min(want, out.totalWarps);
+    // Evenly spread the sample across the launch so early/late phases
+    // are both represented.
+    double stride = static_cast<double>(out.totalWarps) / want;
+
+    for (std::uint32_t i = 0; i < want; ++i) {
+        WarpId warp = static_cast<WarpId>(i * stride);
+        Bbv bbv(bb_table.numBlocks());
+        std::uint64_t insts =
+            traceWarpBbv(program, bb_table, dims, mem, warp, bbv);
+        out.classifier.classify(bbv, insts);
+        for (std::uint32_t s = 0; s < bbv.counts().size(); ++s) {
+            std::uint64_t c = bbv.counts()[s];
+            out.bbExecCounts[s] += c;
+            out.bbInstCounts[s] +=
+                c * bb_table.block(s / kLaneBuckets).length;
+        }
+        out.sampledInsts += insts;
+        ++out.sampledWarps;
+    }
+
+    out.signature =
+        GpuBbv::build(out.classifier, cfg.bbvDims, cfg.gpuBbvClusters);
+    out.dominantType = out.classifier.dominantType();
+    out.dominantRate = out.classifier.dominantRate();
+    return out;
+}
+
+} // namespace photon::sampling

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Online analysis (paper Figures 7/10/12, Step 1): functionally simulate
+ * a small sample of warps (default 1%) at kernel launch to learn the
+ * kernel's basic-block distribution, warp-type distribution and GPU BBV
+ * signature — with no up-front profiling.
+ */
+
+#ifndef PHOTON_SAMPLING_ANALYSIS_HPP
+#define PHOTON_SAMPLING_ANALYSIS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "func/emulator.hpp"
+#include "func/memory.hpp"
+#include "func/wave_state.hpp"
+#include "isa/basic_block.hpp"
+#include "isa/program.hpp"
+#include "sampling/gpu_bbv.hpp"
+#include "sampling/warp_class.hpp"
+#include "sim/config.hpp"
+
+namespace photon::sampling {
+
+/** Result of the online-analysis pass for one kernel launch. */
+struct OnlineAnalysis
+{
+    std::uint32_t totalWarps = 0;
+    std::uint32_t sampledWarps = 0;
+    std::uint64_t sampledInsts = 0;
+
+    /** Warp types among the sampled warps. */
+    WarpClassifier classifier;
+    /** Kernel signature for kernel-sampling. */
+    GpuBbv signature;
+
+    /** Aggregated dynamic execution count per (block, lane-bucket)
+     *  slot (see bbSlot()). */
+    std::vector<std::uint64_t> bbExecCounts;
+    /** Execution count x block length per slot (instruction-weighted). */
+    std::vector<std::uint64_t> bbInstCounts;
+
+    WarpTypeId dominantType = WarpClassifier::kNoType;
+    double dominantRate = 0.0;
+
+    double
+    avgInstsPerWarp() const
+    {
+        return sampledWarps ? static_cast<double>(sampledInsts) /
+                                  sampledWarps
+                            : 0.0;
+    }
+};
+
+/**
+ * Run the online-analysis pass. Evenly samples
+ * max(onlineSampleMin, rate * totalWarps) warps across the launch and
+ * functionally executes them.
+ *
+ * Stores performed by sampled warps hit real simulated memory; kernels
+ * are required to be write-idempotent (each output location written
+ * with a value independent of prior kernel-local writes), which every
+ * workload in this repository satisfies.
+ */
+OnlineAnalysis analyzeKernel(const isa::Program &program,
+                             const isa::BasicBlockTable &bb_table,
+                             const func::LaunchDims &dims,
+                             func::GlobalMemory &mem,
+                             const SamplingConfig &cfg);
+
+/**
+ * Functionally execute one warp, collecting its BBV.
+ * @return instruction count.
+ */
+std::uint64_t traceWarpBbv(const isa::Program &program,
+                           const isa::BasicBlockTable &bb_table,
+                           const func::LaunchDims &dims,
+                           func::GlobalMemory &mem, WarpId warp,
+                           Bbv &bbv_out);
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_ANALYSIS_HPP

@@ -1,0 +1,65 @@
+#include "sampling/bbv.hpp"
+
+namespace photon::sampling {
+
+std::uint64_t
+Bbv::blockCount(isa::BbId bb) const
+{
+    std::uint64_t sum = 0;
+    for (std::uint32_t k = 0; k < kLaneBuckets; ++k)
+        sum += counts_[std::size_t{bb} * kLaneBuckets + k];
+    return sum;
+}
+
+std::uint64_t
+Bbv::total() const
+{
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : counts_)
+        sum += c;
+    return sum;
+}
+
+std::uint64_t
+Bbv::blockHash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t bb = 0; bb * kLaneBuckets < counts_.size(); ++bb) {
+        h ^= blockCount(static_cast<isa::BbId>(bb));
+        h *= 0x100000001b3ull;
+        h ^= h >> 29;
+    }
+    return h;
+}
+
+std::uint64_t
+Bbv::hash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t c : counts_) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+        h ^= h >> 29;
+    }
+    return h;
+}
+
+std::vector<double>
+Bbv::project(std::uint32_t dims) const
+{
+    std::vector<double> out(dims, 0.0);
+    std::uint64_t sum = 0;
+    for (std::size_t s = 0; s < counts_.size(); ++s) {
+        // Cheap integer hash spreads slots across dimensions.
+        std::uint64_t h = (s * 0x9e3779b97f4a7c15ull) >> 32;
+        out[h % dims] += static_cast<double>(counts_[s]);
+        sum += counts_[s];
+    }
+    if (sum > 0) {
+        for (double &v : out)
+            v /= static_cast<double>(sum);
+    }
+    return out;
+}
+
+} // namespace photon::sampling

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Per-warp Basic Block Vectors (paper Observation 4/5). A BBV counts how
+ * many times each static basic block was executed by one warp. Warps with
+ * identical BBVs form one warp type; BBVs are also projected to a fixed
+ * dimensionality (16) to build kernel-level GPU BBV signatures.
+ *
+ * Extension over the paper: counts are bucketed by the EXEC population
+ * at block entry. The paper argues divergence is latency-neutral on its
+ * AMD substrate; on this simulator a gather's memory footprint is
+ * proportional to its active lanes, so blocks at different divergence
+ * levels are distinct statistical units.
+ */
+
+#ifndef PHOTON_SAMPLING_BBV_HPP
+#define PHOTON_SAMPLING_BBV_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/basic_block.hpp"
+#include "sim/types.hpp"
+
+namespace photon::sampling {
+
+/** Number of active-lane buckets per static block. */
+inline constexpr std::uint32_t kLaneBuckets = 4;
+
+/** Bucket an EXEC population: 64 / 33-63 / 9-32 / 0-8 lanes. */
+inline std::uint32_t
+laneBucket(std::uint32_t active_lanes)
+{
+    if (active_lanes >= 64)
+        return 3;
+    if (active_lanes >= 33)
+        return 2;
+    if (active_lanes >= 9)
+        return 1;
+    return 0;
+}
+
+/** Index of (block, lane-bucket) in the extended count vector. */
+inline std::uint32_t
+bbSlot(isa::BbId bb, std::uint32_t active_lanes)
+{
+    return bb * kLaneBuckets + laneBucket(active_lanes);
+}
+
+/** Basic-block execution counts of one warp (lane-bucketed). */
+class Bbv
+{
+  public:
+    Bbv() = default;
+    explicit Bbv(std::uint32_t num_blocks)
+        : counts_(std::size_t{num_blocks} * kLaneBuckets, 0)
+    {}
+
+    void
+    add(isa::BbId bb, std::uint32_t active_lanes, std::uint64_t n = 1)
+    {
+        counts_[bbSlot(bb, active_lanes)] += n;
+    }
+
+    /** Extended (block x bucket) count vector. */
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+    /** Count for one (block, bucket) slot. */
+    std::uint64_t
+    slotCount(std::uint32_t slot) const
+    {
+        return counts_[slot];
+    }
+
+    /** Total executions of @p bb across all buckets. */
+    std::uint64_t blockCount(isa::BbId bb) const;
+
+    /** Total dynamic basic-block executions. */
+    std::uint64_t total() const;
+
+    /** Order-sensitive FNV-1a hash over the count vector; two warps are
+     *  the same type iff their hashes (and vectors) match. */
+    std::uint64_t hash() const;
+
+    /** Hash over per-block totals, ignoring lane buckets. This is the
+     *  paper's warp-type identity: warps executing identical
+     *  instruction sequences are one type "independent of whether
+     *  threads inside a warp are masked" (Observation 4). */
+    std::uint64_t blockHash() const;
+
+    bool operator==(const Bbv &other) const
+    {
+        return counts_ == other.counts_;
+    }
+
+    /**
+     * Project to @p dims dimensions (paper uses 16): slot s contributes
+     * its count to dimension hash(s) % dims. The result is normalised to
+     * sum to 1 so signatures of different-length warps are comparable.
+     */
+    std::vector<double> project(std::uint32_t dims) const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+};
+
+/**
+ * Tracks dynamic basic-block boundaries while a warp executes
+ * functionally (mirrors the detection the timing model performs).
+ * Feed the PC and EXEC mask of each instruction before it executes,
+ * then finish().
+ */
+class BbTracker
+{
+  public:
+    /** A completed block execution. */
+    struct Event
+    {
+        isa::BbId bb = isa::kNoBb;
+        std::uint32_t activeLanes = 0;
+
+        bool valid() const { return bb != isa::kNoBb; }
+    };
+
+    explicit BbTracker(const isa::BasicBlockTable &table)
+        : table_(table)
+    {}
+
+    /** @return the block that just *completed* (invalid Event if none). */
+    Event
+    onInstruction(std::uint32_t pc, std::uint64_t exec)
+    {
+        if (!table_.isLeader(pc))
+            return {};
+        Event finished{current_, currentLanes_};
+        current_ = table_.blockAt(pc);
+        currentLanes_ = popcount64(exec);
+        return finished;
+    }
+
+    /** The block in flight at program end (always valid after at least
+     *  one instruction). */
+    Event
+    finish()
+    {
+        Event last{current_, currentLanes_};
+        current_ = isa::kNoBb;
+        return last;
+    }
+
+  private:
+    static std::uint32_t
+    popcount64(std::uint64_t v)
+    {
+        std::uint32_t c = 0;
+        while (v) {
+            v &= v - 1;
+            ++c;
+        }
+        return c;
+    }
+
+    const isa::BasicBlockTable &table_;
+    isa::BbId current_ = isa::kNoBb;
+    std::uint32_t currentLanes_ = 0;
+};
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_BBV_HPP

@@ -1,0 +1,58 @@
+#include "sampling/gpu_bbv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace photon::sampling {
+
+GpuBbv
+GpuBbv::build(const WarpClassifier &classifier, std::uint32_t dims,
+              std::uint32_t max_clusters)
+{
+    GpuBbv sig;
+    sig.dims_ = dims;
+
+    const auto &types = classifier.types();
+    std::vector<std::uint32_t> order(types.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  if (types[a].numWarps != types[b].numWarps)
+                      return types[a].numWarps > types[b].numWarps;
+                  return a < b; // deterministic tie-break
+              });
+
+    std::uint32_t keep = std::min<std::uint32_t>(
+        max_clusters, static_cast<std::uint32_t>(order.size()));
+    sig.clusters_ = keep;
+    sig.vec_.reserve(std::size_t{keep} * dims);
+
+    double total = static_cast<double>(classifier.totalWarps());
+    for (std::uint32_t c = 0; c < keep; ++c) {
+        const WarpType &type = types[order[c]];
+        double weight =
+            total > 0 ? static_cast<double>(type.numWarps) / total : 0.0;
+        std::vector<double> proj = type.bbv.project(dims);
+        for (double v : proj)
+            sig.vec_.push_back(weight * v);
+    }
+    return sig;
+}
+
+double
+GpuBbv::distance(const GpuBbv &other) const
+{
+    if (dims_ != other.dims_)
+        return 2.0;
+    std::size_t n = std::max(vec_.size(), other.vec_.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double a = i < vec_.size() ? vec_[i] : 0.0;
+        double b = i < other.vec_.size() ? other.vec_[i] : 0.0;
+        d += std::abs(a - b);
+    }
+    return d;
+}
+
+} // namespace photon::sampling

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * GPU BBV (paper Figure 5): the kernel-level signature used for
+ * kernel-sampling. Per-warp BBVs are projected to a fixed size, warps are
+ * clustered by BBV equality, cluster weights are computed, and the
+ * weighted projected BBVs — sorted by descending weight — are
+ * concatenated into one vector.
+ */
+
+#ifndef PHOTON_SAMPLING_GPU_BBV_HPP
+#define PHOTON_SAMPLING_GPU_BBV_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/warp_class.hpp"
+
+namespace photon::sampling {
+
+/** Kernel-level behaviour signature. */
+class GpuBbv
+{
+  public:
+    GpuBbv() = default;
+
+    /**
+     * Build a signature from a classifier's warp types.
+     *
+     * @param classifier warp types with populations
+     * @param dims per-cluster projected dimensionality (paper: 16)
+     * @param max_clusters keep only the heaviest clusters
+     */
+    static GpuBbv build(const WarpClassifier &classifier,
+                        std::uint32_t dims, std::uint32_t max_clusters);
+
+    /**
+     * Distance between signatures: L1 over the weighted concatenation,
+     * normalised so identical signatures give 0 and disjoint ones give
+     * about 2. Signatures with different dims compare as maximally far.
+     */
+    double distance(const GpuBbv &other) const;
+
+    const std::vector<double> &vec() const { return vec_; }
+    std::uint32_t dims() const { return dims_; }
+    std::uint32_t numClusters() const { return clusters_; }
+    bool empty() const { return vec_.empty(); }
+
+  private:
+    std::vector<double> vec_; ///< clusters_ x dims_, weight-scaled
+    std::uint32_t dims_ = 0;
+    std::uint32_t clusters_ = 0;
+};
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_GPU_BBV_HPP

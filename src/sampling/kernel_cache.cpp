@@ -1,0 +1,61 @@
+#include "sampling/kernel_cache.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace photon::sampling {
+
+const KernelRecord *
+KernelCache::match(const GpuBbv &signature, std::uint32_t num_warps) const
+{
+    const KernelRecord *best = nullptr;
+    std::uint64_t best_warp_diff = ~std::uint64_t{0};
+    for (const KernelRecord &rec : records_) {
+        double d = signature.distance(rec.signature);
+        if (d >= cfg_.kernelMatchThreshold)
+            continue;
+        // Small kernels (fewer warps than the machine holds) have
+        // occupancy-dependent IPC: require an exact warp-count match.
+        if ((num_warps < smallKernelWarps_ ||
+             rec.numWarps < smallKernelWarps_) &&
+            rec.numWarps != num_warps) {
+            continue;
+        }
+        std::uint64_t diff =
+            num_warps > rec.numWarps
+                ? num_warps - rec.numWarps
+                : rec.numWarps - num_warps;
+        if (diff < best_warp_diff) {
+            best_warp_diff = diff;
+            best = &rec;
+        }
+    }
+    return best;
+}
+
+KernelPrediction
+KernelCache::predict(const KernelRecord &record,
+                     std::uint64_t sampled_insts)
+{
+    KernelPrediction p;
+    p.source = &record;
+    // #insts = #insts^K' * #insts_sample / #insts^K'_sample (paper 4.3).
+    double insts = record.sampledInsts
+                       ? static_cast<double>(record.totalInsts) *
+                             static_cast<double>(sampled_insts) /
+                             static_cast<double>(record.sampledInsts)
+                       : static_cast<double>(record.totalInsts);
+    p.insts = static_cast<std::uint64_t>(std::llround(insts));
+    double ipc = record.ipc();
+    p.cycles = ipc > 0 ? static_cast<Cycle>(std::llround(insts / ipc))
+                       : record.cycles;
+    return p;
+}
+
+void
+KernelCache::insert(KernelRecord record)
+{
+    records_.push_back(std::move(record));
+}
+
+} // namespace photon::sampling

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Kernel-sampling (paper Section 4.3, Figure 12): a cache of previously
+ * simulated kernel signatures. A new launch whose GPU BBV is within the
+ * distance threshold of a prior kernel is not simulated; its time is
+ * predicted from the prior kernel's IPC and a scaled instruction count.
+ */
+
+#ifndef PHOTON_SAMPLING_KERNEL_CACHE_HPP
+#define PHOTON_SAMPLING_KERNEL_CACHE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sampling/gpu_bbv.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace photon::sampling {
+
+/** Signature + measurements of one simulated kernel. */
+struct KernelRecord
+{
+    std::string name;
+    GpuBbv signature;
+    std::uint32_t numWarps = 0;
+    std::uint64_t totalInsts = 0;
+    std::uint64_t sampledInsts = 0; ///< from its online analysis
+    Cycle cycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(totalInsts) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/** Prediction derived from a cache hit. */
+struct KernelPrediction
+{
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    const KernelRecord *source = nullptr;
+};
+
+/** The prior-kernel store. */
+class KernelCache
+{
+  public:
+    /**
+     * @param cfg sampling parameters (match threshold)
+     * @param small_kernel_warps kernels with fewer warps than this (the
+     *        GPU's wavefront-slot count) underfill the machine; matching
+     *        then additionally requires an equal warp count (paper
+     *        Section 4.3).
+     */
+    KernelCache(const SamplingConfig &cfg,
+                std::uint32_t small_kernel_warps)
+        : cfg_(cfg), smallKernelWarps_(small_kernel_warps)
+    {}
+
+    /**
+     * Find the best prior kernel: among records within the distance
+     * threshold, the one with the closest warp count.
+     * @return nullptr when nothing matches.
+     */
+    const KernelRecord *match(const GpuBbv &signature,
+                              std::uint32_t num_warps) const;
+
+    /** Predict time/instructions for a launch matched to @p record.
+     *  @param sampled_insts the launch's own online-analysis count. */
+    static KernelPrediction predict(const KernelRecord &record,
+                                    std::uint64_t sampled_insts);
+
+    void insert(KernelRecord record);
+
+    std::size_t size() const { return records_.size(); }
+    const std::vector<KernelRecord> &records() const { return records_; }
+    void clear() { records_.clear(); }
+
+  private:
+    SamplingConfig cfg_;
+    std::uint32_t smallKernelWarps_;
+    std::vector<KernelRecord> records_;
+};
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_KERNEL_CACHE_HPP

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Least-squares fitting (paper Equation 1) and the rolling stability
+ * detector built on it (paper Sections 4.1/4.2): a unit of work (warp or
+ * basic block) is stable when the slope of retired-time vs issue-time
+ * over the last n observations satisfies |a - 1| < delta, and — to avoid
+ * locking onto a local optimum — the mean execution time over the most
+ * recent n observations differs from the mean over the n before them by
+ * less than delta as well.
+ */
+
+#ifndef PHOTON_SAMPLING_LEAST_SQUARES_HPP
+#define PHOTON_SAMPLING_LEAST_SQUARES_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace photon::sampling {
+
+/** Result of a least-squares line fit y = a*x + b. */
+struct LineFit
+{
+    double a = 0.0;
+    double b = 0.0;
+    bool valid = false; ///< false when x has no variance or n < 2
+};
+
+/** Fit a line through (x[i], y[i]) per paper Equation 1. */
+LineFit leastSquares(const std::vector<double> &x,
+                     const std::vector<double> &y);
+
+/**
+ * Rolling (issue, retire) window with the paper's stability criterion.
+ * Holds the last 2n points in a ring buffer; stability checks are O(n)
+ * and cached until the next insertion.
+ */
+class StabilityDetector
+{
+  public:
+    /**
+     * @param window the paper's n (1024 for warps, 2048 for blocks)
+     * @param delta the stability threshold (paper: 0.03)
+     */
+    StabilityDetector(std::uint32_t window, double delta);
+
+    /** Record one completed execution. */
+    void addPoint(double issue_time, double retired_time);
+
+    /** Observations recorded so far (saturating at 2n retained). */
+    std::uint64_t totalPoints() const { return total_; }
+
+    /** True when the slope and local-optimum criteria both hold. */
+    bool stable() const;
+
+    /** Slope over the most recent n points (NaN-free; valid flag). */
+    LineFit recentFit() const;
+
+    /** Mean execution time (retire - issue) over the last n points. */
+    double meanExecTime() const;
+
+    /** Relative drift of execution time across the last n points (the
+     *  quantity tested against delta). */
+    double relativeDrift() const;
+
+    /** Mean execution time over the n points preceding the last n. */
+    double previousMeanExecTime() const;
+
+    std::uint32_t window() const { return window_; }
+
+  private:
+    void computeIfDirty() const;
+
+    std::uint32_t window_;
+    double delta_;
+    std::vector<double> issue_;  ///< ring of 2n
+    std::vector<double> retire_; ///< ring of 2n
+    std::uint64_t total_ = 0;
+
+    mutable bool dirty_ = true;
+    mutable bool stable_ = false;
+    mutable LineFit fit_;
+    mutable double meanRecent_ = 0.0;
+    mutable double meanPrev_ = 0.0;
+    mutable double drift_ = 0.0;
+};
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_LEAST_SQUARES_HPP

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The Photon orchestrator (paper Section 4): combines kernel-, warp- and
+ * basic-block-sampling over the detailed GPU model, fully online.
+ *
+ * Per kernel launch:
+ *   1. Online analysis functionally simulates ~1% of warps.
+ *   2. Kernel-sampling: if a prior kernel's GPU BBV matches, skip
+ *      simulation entirely and predict from its IPC.
+ *   3. Otherwise run detailed simulation with the warp- and basic-block
+ *      detectors attached; warp-sampling wins when both trigger (it is
+ *      faster). On a switch, dispatching halts, residents drain, and the
+ *      remaining warps are predicted (warp level: mean duration,
+ *      scheduler-only; block level: functional simulation plus per-block
+ *      time prediction) through the slot-occupancy scheduler model.
+ *   4. If no level triggers, the kernel falls back to full detail.
+ */
+
+#ifndef PHOTON_SAMPLING_PHOTON_HPP
+#define PHOTON_SAMPLING_PHOTON_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "func/memory.hpp"
+#include "sampling/analysis.hpp"
+#include "func/wave_state.hpp"
+#include "isa/program.hpp"
+#include "sampling/kernel_cache.hpp"
+#include "sim/config.hpp"
+#include "timing/gpu.hpp"
+
+namespace photon::sampling {
+
+/** Which mechanism produced a kernel's predicted time. */
+enum class SampleLevel
+{
+    Full,       ///< complete detailed simulation (fallback)
+    Kernel,     ///< skipped via kernel-sampling
+    Warp,       ///< switched to warp-sampling
+    BasicBlock, ///< switched to basic-block-sampling
+};
+
+/** Human-readable level name. */
+const char *sampleLevelName(SampleLevel level);
+
+/** Result of one (possibly sampled) kernel run. */
+struct KernelRunResult
+{
+    Cycle cycles = 0;             ///< predicted kernel execution time
+    std::uint64_t insts = 0;      ///< predicted instruction count
+    SampleLevel level = SampleLevel::Full;
+
+    // Diagnostics.
+    Cycle detailedCycles = 0;     ///< cycles spent in detailed mode
+    std::uint64_t detailedInsts = 0;
+    std::uint32_t detailedWarps = 0;
+    std::uint32_t totalWarps = 0;
+    std::uint64_t analysisInsts = 0; ///< online-analysis instructions
+
+    double
+    detailedFraction() const
+    {
+        return totalWarps ? static_cast<double>(detailedWarps) /
+                                totalWarps
+                          : 1.0;
+    }
+};
+
+/** The Photon sampled simulator, wrapping a detailed Gpu. */
+class PhotonSampler
+{
+  public:
+    PhotonSampler(timing::Gpu &gpu, const SamplingConfig &cfg);
+
+    /** Run (or skip) one kernel with the full Photon methodology. */
+    KernelRunResult runKernel(const isa::Program &program,
+                              const func::LaunchDims &dims,
+                              func::GlobalMemory &mem);
+
+    /** The prior-kernel store (persists across launches). */
+    KernelCache &cache() { return cache_; }
+    const SamplingConfig &config() const { return cfg_; }
+
+    /**
+     * Offline mode (paper Section 6.3): online-analysis results are
+     * micro-architecture agnostic, so a prior run's analysis store can
+     * be imported to skip the functional analysis pass entirely.
+     */
+    using AnalysisStore = std::unordered_map<std::string, OnlineAnalysis>;
+
+    /** Export this run's per-launch analysis results. */
+    const AnalysisStore &analysisStore() const { return analyses_; }
+
+    /** Import a prior run's analysis results (enables offline mode). */
+    void importAnalysisStore(AnalysisStore store)
+    {
+        analyses_ = std::move(store);
+    }
+
+  private:
+    static std::string launchKey(const isa::Program &program,
+                                 const func::LaunchDims &dims);
+
+    timing::Gpu &gpu_;
+    SamplingConfig cfg_;
+    KernelCache cache_;
+    AnalysisStore analyses_;
+};
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_PHOTON_HPP

@@ -1,0 +1,175 @@
+#include "sampling/pka.hpp"
+
+#include <cmath>
+#include <deque>
+#include <sstream>
+
+#include "isa/basic_block.hpp"
+#include "sampling/analysis.hpp"
+#include "sampling/bbv.hpp"
+
+namespace photon::sampling {
+
+namespace {
+
+/** IPC-stability monitor: variance of per-CU IPC over the last
+ *  windowCycles, sampled in fixed buckets. */
+class PkaMonitor : public timing::KernelMonitor
+{
+  public:
+    PkaMonitor(const SamplingConfig &cfg, std::uint32_t num_cus)
+        : bucketCycles_(100),
+          numBuckets_(static_cast<std::size_t>(
+              cfg.pkaWindowCycles / 100)),
+          threshold_(cfg.pkaVarianceThreshold), numCus_(num_cus)
+    {}
+
+    void
+    onInstruction(WarpId, const func::StepResult &, Cycle issue,
+                  Cycle) override
+    {
+        advanceTo(issue);
+        ++instsInBucket_;
+        ++totalInsts_;
+    }
+
+    bool
+    wantsStop(Cycle now) override
+    {
+        if (stopped_)
+            return true;
+        advanceTo(now);
+        if (ipcWindow_.size() < numBuckets_)
+            return false;
+        double mean = 0.0;
+        for (double v : ipcWindow_)
+            mean += v;
+        mean /= static_cast<double>(ipcWindow_.size());
+        double var = 0.0;
+        for (double v : ipcWindow_)
+            var += (v - mean) * (v - mean);
+        var /= static_cast<double>(ipcWindow_.size());
+        if (var < threshold_ && mean > 0.0) {
+            stopped_ = true;
+            stableIpcPerCu_ = mean;
+            stopCycle_ = now;
+            return true;
+        }
+        return false;
+    }
+
+    bool stopped() const { return stopped_; }
+    /** GPU-wide IPC at the stable point. */
+    double
+    stableGpuIpc() const
+    {
+        return stableIpcPerCu_ * numCus_;
+    }
+    Cycle stopCycle() const { return stopCycle_; }
+
+  private:
+    void
+    advanceTo(Cycle now)
+    {
+        if (!init_) {
+            // The GPU clock is monotonic across kernels; anchor the
+            // first bucket at this kernel's first observed cycle.
+            bucketStart_ = now - (now % bucketCycles_);
+            init_ = true;
+        }
+        while (now >= bucketStart_ + bucketCycles_) {
+            double ipc = static_cast<double>(instsInBucket_) /
+                         static_cast<double>(bucketCycles_) / numCus_;
+            ipcWindow_.push_back(ipc);
+            if (ipcWindow_.size() > numBuckets_)
+                ipcWindow_.pop_front();
+            instsInBucket_ = 0;
+            bucketStart_ += bucketCycles_;
+        }
+    }
+
+    Cycle bucketCycles_;
+    std::size_t numBuckets_;
+    double threshold_;
+    std::uint32_t numCus_;
+
+    bool init_ = false;
+    Cycle bucketStart_ = 0;
+    std::uint64_t instsInBucket_ = 0;
+    std::uint64_t totalInsts_ = 0;
+    std::deque<double> ipcWindow_;
+    bool stopped_ = false;
+    double stableIpcPerCu_ = 0.0;
+    Cycle stopCycle_ = 0;
+};
+
+std::string
+pkaKey(const isa::Program &program, const func::LaunchDims &dims)
+{
+    std::ostringstream os;
+    os << program.name() << '#' << dims.numWorkgroups << 'x'
+       << dims.wavesPerWorkgroup;
+    return os.str();
+}
+
+} // namespace
+
+PkaSampler::PkaSampler(timing::Gpu &gpu, const SamplingConfig &cfg)
+    : gpu_(gpu), cfg_(cfg)
+{}
+
+KernelRunResult
+PkaSampler::runKernel(const isa::Program &program,
+                      const func::LaunchDims &dims,
+                      func::GlobalMemory &mem)
+{
+    KernelRunResult res;
+    res.totalWarps = dims.totalWaves();
+
+    // Inter-kernel: principal kernel selection.
+    std::string key = pkaKey(program, dims);
+    if (auto it = principals_.find(key); it != principals_.end()) {
+        res.cycles = it->second.cycles;
+        res.insts = it->second.insts;
+        res.level = SampleLevel::Kernel;
+        gpu_.skipTime(res.cycles);
+        return res;
+    }
+
+    PkaMonitor mon(cfg_, gpu_.config().numCus);
+    timing::RunOutcome outcome = gpu_.runKernel(program, dims, mem, &mon);
+    res.detailedCycles = outcome.cycles();
+    res.detailedInsts = outcome.instsIssued;
+    res.detailedWarps = outcome.wavesCompleted;
+
+    if (!outcome.stoppedEarly) {
+        res.cycles = outcome.cycles();
+        res.insts = outcome.instsIssued;
+        res.level = SampleLevel::Full;
+    } else {
+        // Functionally count the remaining instructions (PKA's
+        // profiling pass) and extrapolate at the stable IPC.
+        isa::BasicBlockTable bb_table(program);
+        std::uint32_t dispatched_warps =
+            outcome.firstUndispatchedWg * dims.wavesPerWorkgroup;
+        std::uint64_t rem_insts = 0;
+        for (WarpId w = dispatched_warps; w < res.totalWarps; ++w) {
+            Bbv bbv(bb_table.numBlocks());
+            rem_insts +=
+                traceWarpBbv(program, bb_table, dims, mem, w, bbv);
+        }
+        double ipc = mon.stableGpuIpc();
+        Cycle rem_cycles =
+            ipc > 0 ? static_cast<Cycle>(std::llround(rem_insts / ipc))
+                    : 0;
+        gpu_.skipTime(rem_cycles);
+        res.cycles = outcome.cycles() + rem_cycles;
+        res.insts = outcome.instsIssued + rem_insts;
+        res.level = SampleLevel::Warp; // intra-kernel truncation
+    }
+
+    principals_[key] = PkRecord{res.cycles, res.insts};
+    return res;
+}
+
+} // namespace photon::sampling

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * PKA (Principal Kernel Analysis, Baddouh et al., MICRO 2021) baseline,
+ * re-implemented from its description as the paper does (Section 6.1):
+ *
+ *  - Intra-kernel: GPU IPC is monitored over a sliding window (3000
+ *    cycles, sampled in 100-cycle buckets, normalised per CU). When the
+ *    variance drops below s = 0.25 the detailed simulation stops and the
+ *    remaining instructions are extrapolated at the stable IPC. The
+ *    remaining instruction count comes from functional simulation of the
+ *    remaining warps (PKA's profiling step, charged to wall time here).
+ *  - Inter-kernel (principal kernel selection): kernels with the same
+ *    name and launch geometry reuse the first instance's measured time.
+ */
+
+#ifndef PHOTON_SAMPLING_PKA_HPP
+#define PHOTON_SAMPLING_PKA_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "func/memory.hpp"
+#include "func/wave_state.hpp"
+#include "isa/program.hpp"
+#include "sampling/photon.hpp"
+#include "sim/config.hpp"
+#include "timing/gpu.hpp"
+
+namespace photon::sampling {
+
+/** The PKA baseline sampler, wrapping the same detailed Gpu. */
+class PkaSampler
+{
+  public:
+    PkaSampler(timing::Gpu &gpu, const SamplingConfig &cfg);
+
+    /** Run (or skip / truncate) one kernel with the PKA methodology. */
+    KernelRunResult runKernel(const isa::Program &program,
+                              const func::LaunchDims &dims,
+                              func::GlobalMemory &mem);
+
+    const SamplingConfig &config() const { return cfg_; }
+
+  private:
+    struct PkRecord
+    {
+        Cycle cycles = 0;
+        std::uint64_t insts = 0;
+    };
+
+    timing::Gpu &gpu_;
+    SamplingConfig cfg_;
+    std::unordered_map<std::string, PkRecord> principals_;
+};
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_PKA_HPP

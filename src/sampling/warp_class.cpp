@@ -1,0 +1,51 @@
+#include "sampling/warp_class.hpp"
+
+namespace photon::sampling {
+
+WarpTypeId
+WarpClassifier::classify(const Bbv &bbv, std::uint64_t inst_count)
+{
+    ++totalWarps_;
+    std::uint64_t h = bbv.blockHash();
+    auto [it, inserted] = byHash_.try_emplace(
+        h, static_cast<WarpTypeId>(types_.size()));
+    if (inserted) {
+        WarpType type;
+        type.bbv = bbv;
+        type.instCount = inst_count;
+        type.numWarps = 1;
+        types_.push_back(std::move(type));
+        return it->second;
+    }
+    // Warps of one type execute identical basic-block sequences, so
+    // their instruction counts match; the first observation stands.
+    WarpType &type = types_[it->second];
+    ++type.numWarps;
+    return it->second;
+}
+
+WarpTypeId
+WarpClassifier::dominantType() const
+{
+    WarpTypeId best = kNoType;
+    std::uint64_t best_count = 0;
+    for (std::size_t i = 0; i < types_.size(); ++i) {
+        if (types_[i].numWarps > best_count) {
+            best_count = types_[i].numWarps;
+            best = static_cast<WarpTypeId>(i);
+        }
+    }
+    return best;
+}
+
+double
+WarpClassifier::dominantRate() const
+{
+    WarpTypeId d = dominantType();
+    if (d == kNoType || totalWarps_ == 0)
+        return 0.0;
+    return static_cast<double>(types_[d].numWarps) /
+           static_cast<double>(totalWarps_);
+}
+
+} // namespace photon::sampling

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Warp classification: warps executing identical instruction sequences
+ * (identical BBVs) form one warp type (paper Observation 4). The
+ * classifier aggregates type populations and per-type instruction counts.
+ */
+
+#ifndef PHOTON_SAMPLING_WARP_CLASS_HPP
+#define PHOTON_SAMPLING_WARP_CLASS_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sampling/bbv.hpp"
+
+namespace photon::sampling {
+
+/** Index of a warp type within one kernel's classifier. */
+using WarpTypeId = std::uint32_t;
+
+/** Aggregate data about one warp type. */
+struct WarpType
+{
+    Bbv bbv;                      ///< representative BBV
+    std::uint64_t instCount = 0;  ///< instructions per warp of this type
+    std::uint64_t numWarps = 0;   ///< population (among classified warps)
+};
+
+/** Groups warps into types by exact BBV equality. */
+class WarpClassifier
+{
+  public:
+    /** Classify one warp; creates the type on first sight. */
+    WarpTypeId classify(const Bbv &bbv, std::uint64_t inst_count);
+
+    const std::vector<WarpType> &types() const { return types_; }
+    std::uint64_t totalWarps() const { return totalWarps_; }
+    std::uint32_t numTypes() const
+    {
+        return static_cast<std::uint32_t>(types_.size());
+    }
+
+    /** Type with the largest population; kNoType when empty. */
+    WarpTypeId dominantType() const;
+
+    /** Population share of the dominant type in [0, 1]. */
+    double dominantRate() const;
+
+    static constexpr WarpTypeId kNoType = ~WarpTypeId{0};
+
+  private:
+    std::unordered_map<std::uint64_t, WarpTypeId> byHash_;
+    std::vector<WarpType> types_;
+    std::uint64_t totalWarps_ = 0;
+};
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_WARP_CLASS_HPP

@@ -1,0 +1,52 @@
+#include "sampling/warp_sampler.hpp"
+
+namespace photon::sampling {
+
+WarpSampler::WarpSampler(const OnlineAnalysis &analysis,
+                         const SamplingConfig &cfg)
+    : cfg_(cfg), armed_(analysis.dominantRate >= cfg.dominantWarpRate),
+      detector_(cfg.warpWindow, cfg.delta),
+      checkInterval_(cfg.warpWindow / 8)
+{}
+
+void
+WarpSampler::onWaveDispatched(WarpId warp, Cycle now)
+{
+    if (!armed_)
+        return;
+    dispatchTime_.emplace(warp, now);
+}
+
+void
+WarpSampler::onWaveRetired(WarpId warp, Cycle now)
+{
+    if (!armed_)
+        return;
+    auto it = dispatchTime_.find(warp);
+    if (it == dispatchTime_.end())
+        return;
+    detector_.addPoint(static_cast<double>(it->second),
+                       static_cast<double>(now));
+    dispatchTime_.erase(it);
+    ++eventsSinceCheck_;
+}
+
+bool
+WarpSampler::wantsSwitch()
+{
+    if (switched_)
+        return true;
+    if (!armed_ || eventsSinceCheck_ < checkInterval_)
+        return false;
+    eventsSinceCheck_ = 0;
+    // Same persistence guard as basic-block-sampling.
+    if (detector_.stable()) {
+        if (++confirmations_ >= cfg_.confirmChecks)
+            switched_ = true;
+    } else {
+        confirmations_ = 0;
+    }
+    return switched_;
+}
+
+} // namespace photon::sampling

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Warp-sampling (paper Section 4.2, Figure 10). Armed only when one warp
+ * type dominates the online-analysis sample (>= 95%). During detailed
+ * simulation, (dispatch, retire) pairs of completed warps feed a rolling
+ * stability detector (n = 1024). Once stable, the remaining warps are
+ * not executed at all: only the scheduler is simulated and each warp's
+ * duration is the mean of the last n observed warps.
+ */
+
+#ifndef PHOTON_SAMPLING_WARP_SAMPLER_HPP
+#define PHOTON_SAMPLING_WARP_SAMPLER_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sampling/analysis.hpp"
+#include "sampling/least_squares.hpp"
+#include "sim/config.hpp"
+
+namespace photon::sampling {
+
+/** Per-kernel warp-sampling state machine. */
+class WarpSampler
+{
+  public:
+    WarpSampler(const OnlineAnalysis &analysis, const SamplingConfig &cfg);
+
+    /** True when the kernel has a dominant warp type (the precondition
+     *  from the online analysis). */
+    bool armed() const { return armed_; }
+
+    void onWaveDispatched(WarpId warp, Cycle now);
+    void onWaveRetired(WarpId warp, Cycle now);
+
+    /** True once the warp stream is stable (throttled checks). */
+    bool wantsSwitch();
+
+    /** Predicted duration of each remaining warp: mean of the last n. */
+    double meanWarpDuration() const { return detector_.meanExecTime(); }
+
+    const StabilityDetector &detector() const { return detector_; }
+
+  private:
+    const SamplingConfig &cfg_;
+    bool armed_;
+    StabilityDetector detector_;
+    std::unordered_map<WarpId, Cycle> dispatchTime_;
+    std::uint64_t eventsSinceCheck_ = 0;
+    std::uint64_t checkInterval_;
+    std::uint32_t confirmations_ = 0;
+    bool switched_ = false;
+};
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_WARP_SAMPLER_HPP

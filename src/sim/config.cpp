@@ -1,0 +1,55 @@
+#include "sim/config.hpp"
+
+namespace photon {
+
+GpuConfig
+GpuConfig::r9Nano()
+{
+    GpuConfig cfg;
+    cfg.name = "R9Nano";
+    cfg.numCus = 64;
+    cfg.l1v = {16 * 1024, 4, kLineBytes, 16};
+    cfg.l1i = {32 * 1024, 4, kLineBytes, 8};
+    cfg.l1k = {16 * 1024, 4, kLineBytes, 8};
+    cfg.l2 = {256 * 1024, 16, kLineBytes, 110};
+    cfg.l2Banks = 8;
+    cfg.dram.sizeBytes = 4ull << 30;
+    cfg.dram.numBanks = 16;
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::mi100()
+{
+    GpuConfig cfg;
+    cfg.name = "MI100";
+    cfg.numCus = 120;
+    cfg.l1v = {16 * 1024, 4, kLineBytes, 16};
+    cfg.l1i = {32 * 1024, 4, kLineBytes, 8};
+    cfg.l1k = {16 * 1024, 4, kLineBytes, 8};
+    // 8 MB L2 split over 32 banks: 256 KB per bank.
+    cfg.l2 = {256 * 1024, 16, kLineBytes, 100};
+    cfg.l2Banks = 32;
+    cfg.dram.sizeBytes = 32ull << 30;
+    cfg.dram.numBanks = 32;
+    cfg.dram.cyclesPerLine = 2; // HBM2: higher bandwidth than the R9 Nano
+    return cfg;
+}
+
+GpuConfig
+GpuConfig::testTiny()
+{
+    GpuConfig cfg;
+    cfg.name = "TestTiny";
+    cfg.numCus = 4;
+    cfg.l1v = {4 * 1024, 2, kLineBytes, 16};
+    cfg.l1i = {8 * 1024, 2, kLineBytes, 8};
+    cfg.l1k = {4 * 1024, 2, kLineBytes, 8};
+    cfg.l2 = {32 * 1024, 4, kLineBytes, 110};
+    cfg.l2Banks = 2;
+    cfg.dram.sizeBytes = 256ull << 20;
+    cfg.dram.numBanks = 4;
+    return cfg;
+}
+
+} // namespace photon

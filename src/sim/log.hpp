@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() terminates because of a user error (bad configuration, invalid
+ * arguments); panic() terminates because of an internal simulator bug.
+ */
+
+#ifndef PHOTON_SIM_LOG_HPP
+#define PHOTON_SIM_LOG_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace photon {
+
+namespace detail {
+
+inline void
+append(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+append(std::ostringstream &os, T &&first, Rest &&...rest)
+{
+    os << std::forward<T>(first);
+    append(os, std::forward<Rest>(rest)...);
+}
+
+} // namespace detail
+
+/** Terminate the simulation due to a user-caused error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::ostringstream os;
+    detail::append(os, std::forward<Args>(args)...);
+    std::fprintf(stderr, "fatal: %s\n", os.str().c_str());
+    std::exit(1);
+}
+
+/** Terminate the simulation due to an internal simulator bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::ostringstream os;
+    detail::append(os, std::forward<Args>(args)...);
+    std::fprintf(stderr, "panic: %s\n", os.str().c_str());
+    std::abort();
+}
+
+/** Warn the user about suspicious but non-fatal conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::ostringstream os;
+    detail::append(os, std::forward<Args>(args)...);
+    std::fprintf(stderr, "warn: %s\n", os.str().c_str());
+}
+
+/** Assert an invariant; panics with a message when violated. */
+#define PHOTON_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::photon::panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        }                                                                   \
+    } while (0)
+
+} // namespace photon
+
+#endif // PHOTON_SIM_LOG_HPP

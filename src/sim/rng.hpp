@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator used to build workload
+ * inputs. The simulated timing path itself never consumes randomness, so
+ * every run of a benchmark reproduces the same cycle counts.
+ */
+
+#ifndef PHOTON_SIM_RNG_HPP
+#define PHOTON_SIM_RNG_HPP
+
+#include <cstdint>
+
+namespace photon {
+
+/**
+ * xorshift64* generator. Small, fast and deterministic across platforms;
+ * quality is more than sufficient for generating benchmark inputs.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next() >> 40) /
+               static_cast<float>(1ull << 24);
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextFloat(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace photon
+
+#endif // PHOTON_SIM_RNG_HPP

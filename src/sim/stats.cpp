@@ -1,0 +1,54 @@
+#include "sim/stats.hpp"
+
+#include <iomanip>
+
+namespace photon {
+
+void
+StatRegistry::add(const std::string &name, double delta)
+{
+    values_[name] += delta;
+}
+
+void
+StatRegistry::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+double
+StatRegistry::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+void
+StatRegistry::clear()
+{
+    values_.clear();
+}
+
+void
+StatRegistry::merge(const StatRegistry &other)
+{
+    for (const auto &[name, value] : other.values_)
+        values_[name] += value;
+}
+
+void
+StatRegistry::print(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, value] : values_) {
+        os << prefix << std::left << std::setw(40) << name << " "
+           << value << "\n";
+    }
+}
+
+} // namespace photon

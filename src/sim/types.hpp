@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef PHOTON_SIM_TYPES_HPP
+#define PHOTON_SIM_TYPES_HPP
+
+#include <cstdint>
+
+namespace photon {
+
+/** Simulated GPU clock cycle count. The GPU clock is 1 GHz, so one cycle
+ *  equals one nanosecond of simulated time. */
+using Cycle = std::uint64_t;
+
+/** Flat byte address in simulated global memory. */
+using Addr = std::uint64_t;
+
+/** Sequential wavefront (warp) identifier within one kernel launch. */
+using WarpId = std::uint32_t;
+
+/** Sequential workgroup identifier within one kernel launch. */
+using WorkgroupId = std::uint32_t;
+
+/** Number of lanes (threads) per wavefront, matching AMD GCN/CDNA. */
+inline constexpr unsigned kWavefrontLanes = 64;
+
+/** Cache line / memory transaction size in bytes. */
+inline constexpr unsigned kLineBytes = 64;
+
+/** An invalid / not-yet-assigned cycle value. */
+inline constexpr Cycle kNoCycle = ~Cycle{0};
+
+} // namespace photon
+
+#endif // PHOTON_SIM_TYPES_HPP

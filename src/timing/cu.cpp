@@ -1,0 +1,303 @@
+#include "timing/cu.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "sim/log.hpp"
+
+namespace photon::timing {
+
+namespace {
+
+/** Bytes per encoded instruction for L1I address purposes. */
+constexpr Addr kInstBytes = 8;
+
+} // namespace
+
+ComputeUnit::ComputeUnit(const GpuConfig &cfg, std::uint32_t cuId,
+                         MemorySystem &memsys, const func::Emulator &emu)
+    : cfg_(cfg), cuId_(cuId), memsys_(memsys), emu_(emu),
+      waves_(cfg.simdsPerCu * cfg.wavesPerSimd),
+      slotReady_(cfg.simdsPerCu * cfg.wavesPerSimd, kNoCycle),
+      wgs_(cfg.workgroupsPerCu), simdFree_(cfg.simdsPerCu, 0),
+      rr_(cfg.simdsPerCu, 0)
+{}
+
+void
+ComputeUnit::startKernel(const KernelContext &ctx)
+{
+    PHOTON_ASSERT(residentWaves_ == 0, "CU busy at kernel start");
+    ctx_ = ctx;
+    for (Wave &w : waves_) {
+        w.active = false;
+    }
+    std::fill(slotReady_.begin(), slotReady_.end(), kNoCycle);
+    for (Workgroup &wg : wgs_) {
+        wg.active = false;
+    }
+    std::fill(simdFree_.begin(), simdFree_.end(), 0);
+    std::fill(rr_.begin(), rr_.end(), 0);
+    nextHint_ = kNoCycle;
+    residentWaves_ = 0;
+    residentWgs_ = 0;
+    instsIssued_ = 0;
+    wavesRetired_ = 0;
+}
+
+bool
+ComputeUnit::canAcceptWorkgroup() const
+{
+    if (residentWgs_ >= cfg_.workgroupsPerCu)
+        return false;
+    std::uint32_t free_slots =
+        static_cast<std::uint32_t>(waves_.size()) - residentWaves_;
+    if (free_slots < ctx_.dims->wavesPerWorkgroup)
+        return false;
+    std::uint64_t lds_needed =
+        std::uint64_t{residentWgs_ + 1} * ctx_.program->ldsBytes();
+    return lds_needed <= cfg_.ldsBytesPerCu;
+}
+
+void
+ComputeUnit::placeWorkgroup(WorkgroupId wg, Cycle now)
+{
+    PHOTON_ASSERT(canAcceptWorkgroup(), "placeWorkgroup without capacity");
+
+    std::uint32_t wg_slot = 0;
+    while (wgs_[wg_slot].active)
+        ++wg_slot;
+    Workgroup &group = wgs_[wg_slot];
+    group.active = true;
+    group.id = wg;
+    group.wavesLeft = ctx_.dims->wavesPerWorkgroup;
+    group.barrierWaiting = 0;
+    group.lds.assign(ctx_.program->ldsBytes(), 0);
+    ++residentWgs_;
+
+    std::uint32_t wave_slot = 0;
+    for (std::uint32_t i = 0; i < ctx_.dims->wavesPerWorkgroup; ++i) {
+        while (waves_[wave_slot].active)
+            ++wave_slot;
+        Wave &w = waves_[wave_slot];
+        WarpId warp = wg * ctx_.dims->wavesPerWorkgroup + i;
+        w.ws.init(*ctx_.program, *ctx_.dims, warp);
+        w.active = true;
+        w.atBarrier = false;
+        w.readyAt = now + 4; // dispatch latency
+        w.instCount = 0;
+        w.wgSlot = wg_slot;
+        w.lastFetchLine = ~std::uint64_t{0};
+        w.bbValid = false;
+        slotReady_[readyIndex(wave_slot)] = w.readyAt;
+        nextHint_ = std::min(nextHint_, w.readyAt);
+        ++residentWaves_;
+        if (ctx_.monitor)
+            ctx_.monitor->onWaveDispatched(warp, now);
+    }
+}
+
+std::uint32_t
+ComputeUnit::tick(Cycle now)
+{
+    if (residentWaves_ == 0)
+        return 0;
+
+    std::uint32_t issued = 0;
+    const std::uint32_t simds = cfg_.simdsPerCu;
+    const std::uint32_t per_simd = cfg_.wavesPerSimd;
+
+    for (std::uint32_t s = 0; s < simds; ++s) {
+        if (simdFree_[s] > now)
+            continue;
+        // Age-prioritised arbitration (GCN issues the oldest ready
+        // wavefront): staggers wavefront completion instead of keeping
+        // all residents phase-locked.
+        const Cycle *ready = &slotReady_[s * per_simd];
+        std::uint32_t best = per_simd;
+        WarpId best_warp = ~WarpId{0};
+        for (std::uint32_t k = 0; k < per_simd; ++k) {
+            if (ready[k] > now)
+                continue;
+            WarpId warp = waves_[s + k * simds].ws.warpId;
+            if (warp < best_warp) {
+                best_warp = warp;
+                best = k;
+            }
+        }
+        if (best != per_simd) {
+            issueWave(s + best * simds, now);
+            ++issued;
+        }
+    }
+    return issued;
+}
+
+void
+ComputeUnit::issueWave(std::uint32_t slot, Cycle now)
+{
+    Wave &w = waves_[slot];
+    Workgroup &wg = wgs_[w.wgSlot];
+    const std::uint32_t simd = slot % cfg_.simdsPerCu;
+    const std::uint32_t pc_before = w.ws.pc;
+
+    // Dynamic basic-block boundary: issuing the first instruction of a
+    // block ends the previous one (paper Observation 3 definition).
+    if (ctx_.bbTable->isLeader(pc_before)) {
+        if (w.bbValid && ctx_.monitor) {
+            ctx_.monitor->onBbExecuted(w.ws.warpId, w.curBb, w.curBbIssue,
+                                       now, w.curBbLanes);
+        }
+        w.curBb = ctx_.bbTable->blockAt(pc_before);
+        w.curBbIssue = now;
+        w.curBbLanes =
+            static_cast<std::uint32_t>(std::popcount(w.ws.exec));
+        w.bbValid = true;
+    }
+
+    // Instruction fetch through the L1I (one access per line crossed).
+    Cycle fetch_ready = now;
+    std::uint64_t fetch_line =
+        (ctx_.codeBase + Addr{pc_before} * kInstBytes) / kLineBytes;
+    if (fetch_line != w.lastFetchLine) {
+        fetch_ready = memsys_.instAccess(cuId_, fetch_line, now);
+        w.lastFetchLine = fetch_line;
+    }
+
+    emu_.step(*ctx_.program, w.ws, *ctx_.mem, wg.lds, step_);
+    ++w.instCount;
+    ++instsIssued_;
+
+    Cycle complete = now + 1;
+    Cycle ready = now + 1;
+    switch (step_.unit) {
+      case isa::FuncUnit::SALU:
+        complete = now + cfg_.saluLatency;
+        ready = complete;
+        simdFree_[simd] = now + cfg_.scalarIssueCycles;
+        break;
+      case isa::FuncUnit::BRANCH:
+        complete = now + cfg_.saluLatency;
+        ready = complete;
+        simdFree_[simd] = now + cfg_.scalarIssueCycles;
+        break;
+      case isa::FuncUnit::VALU:
+        complete = now + cfg_.valuLatency;
+        ready = complete;
+        simdFree_[simd] = now + cfg_.vectorIssueCycles;
+        break;
+      case isa::FuncUnit::VALU4:
+        complete = now + 4 * cfg_.valuLatency;
+        ready = complete;
+        simdFree_[simd] = now + 4 * cfg_.vectorIssueCycles;
+        break;
+      case isa::FuncUnit::LDS:
+        // Charge one extra cycle per 16 lane-accesses (bank conflicts
+        // beyond the 16-bank width are second order).
+        complete = now + cfg_.ldsLatency + step_.ldsAccesses / 16;
+        ready = complete;
+        simdFree_[simd] = now + cfg_.vectorIssueCycles;
+        break;
+      case isa::FuncUnit::SMEM: {
+        complete = memsys_.scalarAccess(cuId_, step_.lines[0], now);
+        ready = complete;
+        simdFree_[simd] = now + cfg_.scalarIssueCycles;
+        break;
+      }
+      case isa::FuncUnit::VMEM: {
+        Cycle finish = now;
+        for (std::uint32_t i = 0; i < step_.numLines; ++i) {
+            Cycle t = memsys_.vectorAccess(cuId_, step_.lines[i],
+                                           step_.linesWrite, now);
+            finish = std::max(finish, t);
+        }
+        complete = finish;
+        // Loads block the wavefront until data returns; stores retire
+        // from the wavefront's perspective once issued.
+        ready = step_.linesWrite ? now + cfg_.vectorIssueCycles : finish;
+        simdFree_[simd] = now + cfg_.vectorIssueCycles;
+        break;
+      }
+      case isa::FuncUnit::SYNC:
+        complete = now + 1;
+        ready = now + 1;
+        simdFree_[simd] = now + 1;
+        break;
+    }
+
+    w.readyAt = std::max(ready, fetch_ready);
+    slotReady_[readyIndex(slot)] = w.readyAt;
+
+    if (ctx_.monitor)
+        ctx_.monitor->onInstruction(w.ws.warpId, step_, now, complete);
+
+    if (step_.barrier) {
+        w.atBarrier = true;
+        slotReady_[readyIndex(slot)] = kNoCycle;
+        ++wg.barrierWaiting;
+        if (wg.barrierWaiting == wg.wavesLeft)
+            releaseBarrier(w.wgSlot, now);
+    }
+
+    if (step_.done)
+        retireWave(slot, now);
+}
+
+void
+ComputeUnit::retireWave(std::uint32_t slot, Cycle now)
+{
+    Wave &w = waves_[slot];
+    Workgroup &wg = wgs_[w.wgSlot];
+
+    if (w.bbValid && ctx_.monitor) {
+        ctx_.monitor->onBbExecuted(w.ws.warpId, w.curBb, w.curBbIssue, now,
+                                   w.curBbLanes);
+    }
+    if (ctx_.monitor)
+        ctx_.monitor->onWaveRetired(w.ws.warpId, now, w.instCount);
+
+    w.active = false;
+    slotReady_[readyIndex(slot)] = kNoCycle;
+    --residentWaves_;
+    ++wavesRetired_;
+    --wg.wavesLeft;
+    if (wg.wavesLeft == 0) {
+        wg.active = false;
+        --residentWgs_;
+    } else if (wg.barrierWaiting > 0 &&
+               wg.barrierWaiting == wg.wavesLeft) {
+        // A retiring wavefront can complete a barrier for the others.
+        releaseBarrier(w.wgSlot, now);
+    }
+}
+
+void
+ComputeUnit::releaseBarrier(std::uint32_t wgSlot, Cycle now)
+{
+    for (std::uint32_t slot = 0; slot < waves_.size(); ++slot) {
+        Wave &w = waves_[slot];
+        if (w.active && w.wgSlot == wgSlot && w.atBarrier) {
+            w.atBarrier = false;
+            w.readyAt = std::max(w.readyAt, now + 1);
+            slotReady_[readyIndex(slot)] = w.readyAt;
+            nextHint_ = std::min(nextHint_, w.readyAt);
+        }
+    }
+    wgs_[wgSlot].barrierWaiting = 0;
+}
+
+Cycle
+ComputeUnit::nextEventAt() const
+{
+    Cycle next = kNoCycle;
+    const std::uint32_t per_simd = cfg_.wavesPerSimd;
+    for (std::uint32_t i = 0; i < slotReady_.size(); ++i) {
+        Cycle r = slotReady_[i];
+        if (r == kNoCycle)
+            continue;
+        Cycle t = std::max(r, simdFree_[i / per_simd]);
+        next = std::min(next, t);
+    }
+    return next;
+}
+
+} // namespace photon::timing

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Compute unit (CU) timing model: 4 SIMD units, wavefront slots, in-order
+ * per-wavefront issue with round-robin arbitration, blocking vector memory
+ * (latency hidden by switching among resident wavefronts), workgroup
+ * barriers and an instruction-fetch path through the L1I.
+ */
+
+#ifndef PHOTON_TIMING_CU_HPP
+#define PHOTON_TIMING_CU_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "func/emulator.hpp"
+#include "func/wave_state.hpp"
+#include "isa/basic_block.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+#include "timing/memsys.hpp"
+#include "timing/monitor.hpp"
+
+namespace photon::timing {
+
+/** Everything shared by all CUs for one kernel launch. */
+struct KernelContext
+{
+    const isa::Program *program = nullptr;
+    const isa::BasicBlockTable *bbTable = nullptr;
+    const func::LaunchDims *dims = nullptr;
+    func::GlobalMemory *mem = nullptr;
+    KernelMonitor *monitor = nullptr; ///< may be null
+    /** Virtual base address of the kernel's code (for L1I tags). */
+    Addr codeBase = 1ull << 40;
+};
+
+/** One GCN-style compute unit. */
+class ComputeUnit
+{
+  public:
+    ComputeUnit(const GpuConfig &cfg, std::uint32_t cuId,
+                MemorySystem &memsys, const func::Emulator &emu);
+
+    /** Reset per-kernel state and bind the launch context. */
+    void startKernel(const KernelContext &ctx);
+
+    /** True when a workgroup of the bound kernel fits right now. */
+    bool canAcceptWorkgroup() const;
+
+    /** Place workgroup @p wg; requires canAcceptWorkgroup(). */
+    void placeWorkgroup(WorkgroupId wg, Cycle now);
+
+    /**
+     * Let every SIMD try to issue one instruction at cycle @p now.
+     * @return number of instructions issued.
+     */
+    std::uint32_t tick(Cycle now);
+
+    /** Earliest cycle at which any resident wavefront can issue;
+     *  kNoCycle when the CU is empty or fully barrier-blocked. */
+    Cycle nextEventAt() const;
+
+    /** Cheap lower bound on nextEventAt(), maintained incrementally.
+     *  The run loop skips the CU while the hint is in the future and
+     *  refreshes it (refreshHint) after an idle tick. */
+    Cycle nextHint() const { return nextHint_; }
+    void refreshHint() { nextHint_ = nextEventAt(); }
+
+    /** No resident wavefronts. */
+    bool idle() const { return residentWaves_ == 0; }
+
+    std::uint32_t residentWaves() const { return residentWaves_; }
+    std::uint64_t instsIssued() const { return instsIssued_; }
+    std::uint32_t wavesRetired() const { return wavesRetired_; }
+
+  private:
+    struct Wave
+    {
+        func::WaveState ws;
+        Cycle readyAt = 0;
+        bool active = false;
+        bool atBarrier = false;
+        std::uint64_t instCount = 0;
+        std::uint32_t wgSlot = 0;
+        std::uint64_t lastFetchLine = ~std::uint64_t{0};
+        // Dynamic basic-block tracking.
+        bool bbValid = false;
+        isa::BbId curBb = isa::kNoBb;
+        Cycle curBbIssue = 0;
+        std::uint32_t curBbLanes = 0;
+    };
+
+    struct Workgroup
+    {
+        WorkgroupId id = 0;
+        std::uint32_t wavesLeft = 0;
+        std::uint32_t barrierWaiting = 0;
+        std::vector<std::uint8_t> lds;
+        bool active = false;
+    };
+
+    /** Issue the next instruction of wavefront slot @p slot at @p now. */
+    void issueWave(std::uint32_t slot, Cycle now);
+    void retireWave(std::uint32_t slot, Cycle now);
+    void releaseBarrier(std::uint32_t wgSlot, Cycle now);
+
+    const GpuConfig &cfg_;
+    std::uint32_t cuId_;
+    MemorySystem &memsys_;
+    const func::Emulator &emu_;
+    KernelContext ctx_;
+
+    std::vector<Wave> waves_;        ///< simdsPerCu * wavesPerSimd slots
+    /** Compact per-slot scheduling key: the cycle the slot's wavefront
+     *  can next issue, or kNoCycle when empty / at a barrier. Stored
+     *  SIMD-major (simd * wavesPerSimd + k for slot = simd + k * simds)
+     *  so one SIMD's scan touches contiguous memory. */
+    std::vector<Cycle> slotReady_;
+
+    /** Index of slot's scheduling key in slotReady_. */
+    std::uint32_t
+    readyIndex(std::uint32_t slot) const
+    {
+        return (slot % cfg_.simdsPerCu) * cfg_.wavesPerSimd +
+               slot / cfg_.simdsPerCu;
+    }
+    std::vector<Workgroup> wgs_;     ///< workgroupsPerCu slots
+    std::vector<Cycle> simdFree_;    ///< per-SIMD issue-port availability
+    std::vector<std::uint32_t> rr_;  ///< per-SIMD round-robin pointer
+    Cycle nextHint_ = kNoCycle;
+    std::uint32_t residentWaves_ = 0;
+    std::uint32_t residentWgs_ = 0;
+    std::uint64_t instsIssued_ = 0;
+    std::uint32_t wavesRetired_ = 0;
+    func::StepResult step_;          ///< reused per issue
+};
+
+} // namespace photon::timing
+
+#endif // PHOTON_TIMING_CU_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Workgroup dispatcher: assigns pending workgroups to compute units with
+ * free capacity, round-robin, in workgroup-id order (MGPUSim's default
+ * scheduling policy).
+ */
+
+#ifndef PHOTON_TIMING_DISPATCHER_HPP
+#define PHOTON_TIMING_DISPATCHER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+#include "timing/cu.hpp"
+
+namespace photon::timing {
+
+/** Round-robin workgroup dispatcher over a CU array. */
+class Dispatcher
+{
+  public:
+    explicit Dispatcher(std::vector<ComputeUnit> &cus) : cus_(cus) {}
+
+    /** Reset for a kernel with @p numWorkgroups workgroups. */
+    void
+    startKernel(std::uint32_t numWorkgroups)
+    {
+        numWgs_ = numWorkgroups;
+        nextWg_ = 0;
+        rr_ = 0;
+    }
+
+    /** Stop issuing new workgroups (sampling switch / drain). */
+    void
+    halt()
+    {
+        halted_ = true;
+    }
+
+    void
+    resume()
+    {
+        halted_ = false;
+    }
+
+    /** Place as many pending workgroups as capacity allows. */
+    void
+    tryDispatch(Cycle now)
+    {
+        if (halted_)
+            return;
+        while (nextWg_ < numWgs_) {
+            bool placed = false;
+            for (std::size_t i = 0; i < cus_.size(); ++i) {
+                std::size_t cu = (rr_ + i) % cus_.size();
+                if (cus_[cu].canAcceptWorkgroup()) {
+                    cus_[cu].placeWorkgroup(nextWg_++, now);
+                    rr_ = (cu + 1) % cus_.size();
+                    placed = true;
+                    break;
+                }
+            }
+            if (!placed)
+                return;
+        }
+    }
+
+    bool allDispatched() const { return nextWg_ >= numWgs_; }
+    std::uint32_t nextWorkgroup() const { return nextWg_; }
+
+  private:
+    std::vector<ComputeUnit> &cus_;
+    std::uint32_t numWgs_ = 0;
+    std::uint32_t nextWg_ = 0;
+    std::size_t rr_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace photon::timing
+
+#endif // PHOTON_TIMING_DISPATCHER_HPP

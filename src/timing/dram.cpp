@@ -1,0 +1,19 @@
+#include "timing/dram.hpp"
+
+namespace photon::timing {
+
+Dram::Dram(const DramConfig &cfg) : cfg_(cfg), bankFree_(cfg.numBanks, 0)
+{}
+
+Cycle
+Dram::access(std::uint64_t lineAddr, Cycle now)
+{
+    std::uint32_t bank = lineAddr % cfg_.numBanks;
+    Cycle start = now > bankFree_[bank] ? now : bankFree_[bank];
+    queueingCycles_ += start - now;
+    bankFree_[bank] = start + cfg_.cyclesPerLine;
+    ++accesses_;
+    return start + cfg_.accessLatency;
+}
+
+} // namespace photon::timing

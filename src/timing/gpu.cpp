@@ -1,0 +1,119 @@
+#include "timing/gpu.hpp"
+
+#include <algorithm>
+
+#include "isa/basic_block.hpp"
+#include "sim/log.hpp"
+
+namespace photon::timing {
+
+Gpu::Gpu(const GpuConfig &cfg)
+    : cfg_(cfg), memsys_(cfg), dispatcher_(cus_)
+{
+    cus_.reserve(cfg.numCus);
+    for (std::uint32_t i = 0; i < cfg.numCus; ++i)
+        cus_.emplace_back(cfg_, i, memsys_, emu_);
+}
+
+RunOutcome
+Gpu::runKernel(const isa::Program &program, const func::LaunchDims &dims,
+               func::GlobalMemory &mem, KernelMonitor *monitor,
+               const RunOptions &opts)
+{
+    PHOTON_ASSERT(dims.numWorkgroups > 0, "empty launch");
+    PHOTON_ASSERT(dims.wavesPerWorkgroup > 0 &&
+                  dims.wavesPerWorkgroup <=
+                      cfg_.simdsPerCu * cfg_.wavesPerSimd,
+                  "workgroup does not fit in one CU");
+
+    isa::BasicBlockTable bb_table(program, opts.splitBbAtWaitcnt);
+    KernelContext ctx;
+    ctx.program = &program;
+    ctx.bbTable = &bb_table;
+    ctx.dims = &dims;
+    ctx.mem = &mem;
+    ctx.monitor = monitor;
+    ctx.codeBase = (1ull << 40) + (kernelSeq_++ << 24);
+
+    for (ComputeUnit &cu : cus_)
+        cu.startKernel(ctx);
+    dispatcher_.resume();
+    dispatcher_.startKernel(dims.numWorkgroups);
+
+    RunOutcome out;
+    out.startCycle = now_;
+
+    bool stopping = false;
+    std::uint64_t insts_at_start = 0; // CU counters reset at startKernel
+
+    while (true) {
+        if (monitor && !stopping && monitor->wantsStop(now_)) {
+            stopping = true;
+            dispatcher_.halt();
+        }
+        dispatcher_.tryDispatch(now_);
+
+        std::uint32_t issued = 0;
+        bool any_resident = false;
+        for (ComputeUnit &cu : cus_) {
+            if (cu.idle())
+                continue;
+            any_resident = true;
+            if (cu.nextHint() > now_)
+                continue;
+            std::uint32_t k = cu.tick(now_);
+            issued += k;
+            if (k == 0)
+                cu.refreshHint();
+        }
+
+        if (opts.collectIpcTrace && issued > 0) {
+            std::size_t bucket = (now_ - out.startCycle) /
+                                 opts.ipcBucketCycles;
+            if (out.ipcTrace.size() <= bucket)
+                out.ipcTrace.resize(bucket + 1, 0.0);
+            out.ipcTrace[bucket] += issued;
+        }
+
+        bool done = !any_resident &&
+                    (dispatcher_.allDispatched() || stopping);
+        if (done)
+            break;
+
+        if (issued == 0) {
+            Cycle next = kNoCycle;
+            for (ComputeUnit &cu : cus_) {
+                if (!cu.idle())
+                    next = std::min(next, cu.nextHint());
+            }
+            now_ = (next == kNoCycle) ? now_ + 1
+                                      : std::max(now_ + 1, next);
+        } else {
+            ++now_;
+        }
+    }
+
+    out.endCycle = now_;
+    out.stoppedEarly = stopping;
+    out.firstUndispatchedWg = dispatcher_.nextWorkgroup();
+    for (const ComputeUnit &cu : cus_) {
+        out.instsIssued += cu.instsIssued();
+        out.wavesCompleted += cu.wavesRetired();
+    }
+    out.instsIssued -= insts_at_start;
+
+    if (opts.collectIpcTrace) {
+        for (double &v : out.ipcTrace)
+            v /= static_cast<double>(opts.ipcBucketCycles);
+    }
+    return out;
+}
+
+void
+Gpu::exportStats(StatRegistry &stats) const
+{
+    memsys_.exportStats(stats);
+    stats.set("gpu.now_cycles", static_cast<double>(now_));
+}
+
+} // namespace photon::timing

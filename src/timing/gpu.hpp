@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Top-level GPU timing model: owns the CUs and the memory hierarchy and
+ * runs kernels in detailed (execution-driven) mode, with optional monitor
+ * hooks and early-stop for sampled simulation.
+ */
+
+#ifndef PHOTON_TIMING_GPU_HPP
+#define PHOTON_TIMING_GPU_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "func/emulator.hpp"
+#include "func/memory.hpp"
+#include "func/wave_state.hpp"
+#include "isa/program.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "timing/cu.hpp"
+#include "timing/dispatcher.hpp"
+#include "timing/memsys.hpp"
+#include "timing/monitor.hpp"
+
+namespace photon::timing {
+
+/** Options for one detailed kernel run. */
+struct RunOptions
+{
+    bool collectIpcTrace = false;
+    Cycle ipcBucketCycles = 1024;
+    /** Delimit monitored basic blocks at s_waitcnt as well (must match
+     *  the sampler's own block table). */
+    bool splitBbAtWaitcnt = false;
+};
+
+/** Result of one detailed kernel run. */
+struct RunOutcome
+{
+    Cycle startCycle = 0;        ///< absolute GPU cycle at launch
+    Cycle endCycle = 0;          ///< absolute GPU cycle at completion
+    std::uint64_t instsIssued = 0;
+    std::uint32_t wavesCompleted = 0;
+    bool stoppedEarly = false;   ///< monitor requested a sampling switch
+    /** First workgroup never dispatched (== numWorkgroups when all ran). */
+    std::uint32_t firstUndispatchedWg = 0;
+    /** Wavefront IPC per time bucket when collectIpcTrace is set. */
+    std::vector<double> ipcTrace;
+
+    Cycle cycles() const { return endCycle - startCycle; }
+};
+
+/**
+ * The GPU. The clock is monotonic across kernel launches so caches stay
+ * warm and port/bank availability timestamps remain meaningful, exactly
+ * as on hardware.
+ */
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuConfig &cfg);
+
+    /**
+     * Run one kernel in detailed mode. When @p monitor requests a stop,
+     * dispatching halts, resident workgroups drain, and the outcome
+     * reports stoppedEarly plus the first undispatched workgroup.
+     */
+    RunOutcome runKernel(const isa::Program &program,
+                         const func::LaunchDims &dims,
+                         func::GlobalMemory &mem,
+                         KernelMonitor *monitor = nullptr,
+                         const RunOptions &opts = {});
+
+    /** Advance the clock without simulating (sampled/skipped periods). */
+    void skipTime(Cycle cycles) { now_ += cycles; }
+
+    Cycle now() const { return now_; }
+    const GpuConfig &config() const { return cfg_; }
+    MemorySystem &memsys() { return memsys_; }
+    const func::Emulator &emulator() const { return emu_; }
+
+    /** Export memory-system statistics. */
+    void exportStats(StatRegistry &stats) const;
+
+  private:
+    GpuConfig cfg_;
+    MemorySystem memsys_;
+    func::Emulator emu_;
+    std::vector<ComputeUnit> cus_;
+    Dispatcher dispatcher_;
+    Cycle now_ = 0;
+    std::uint64_t kernelSeq_ = 0;
+};
+
+} // namespace photon::timing
+
+#endif // PHOTON_TIMING_GPU_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The full GPU memory hierarchy: per-CU L1 vector caches, per-CU-group
+ * L1 instruction and scalar caches, banked shared L2, and DRAM
+ * (paper Table 1).
+ */
+
+#ifndef PHOTON_TIMING_MEMSYS_HPP
+#define PHOTON_TIMING_MEMSYS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+#include "timing/cache.hpp"
+#include "timing/dram.hpp"
+
+namespace photon::timing {
+
+/** Number of CUs sharing one L1I / L1K instance (GCN shader arrays). */
+inline constexpr std::uint32_t kCusPerL1Group = 4;
+
+/**
+ * Owns every cache and the DRAM model; CUs call into it with line
+ * addresses and receive data-ready cycles.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const GpuConfig &cfg);
+
+    /** Vector (FLAT) access from CU @p cuId. Returns data-ready cycle. */
+    Cycle vectorAccess(std::uint32_t cuId, std::uint64_t lineAddr,
+                       bool write, Cycle now);
+
+    /** Scalar (s_load) access from CU @p cuId via the L1K path. */
+    Cycle scalarAccess(std::uint32_t cuId, std::uint64_t lineAddr,
+                       Cycle now);
+
+    /** Instruction-fetch access via the L1I path. */
+    Cycle instAccess(std::uint32_t cuId, std::uint64_t lineAddr, Cycle now);
+
+    /** Export hit/miss/queueing counters into @p stats. */
+    void exportStats(StatRegistry &stats) const;
+
+    const SetAssocCache &l1v(std::uint32_t cuId) const
+    {
+        return l1v_[cuId];
+    }
+    const Dram &dram() const { return dram_; }
+
+  private:
+    /** Shared L2 + DRAM path used by all three L1 kinds on a miss. */
+    Cycle l2Access(std::uint64_t lineAddr, Cycle now);
+
+    GpuConfig cfg_;
+    /** Per-CU MSHR next-free times (ring-allocated). */
+    std::vector<std::vector<Cycle>> mshrFree_;
+    std::vector<std::uint32_t> mshrPtr_;
+    std::vector<SetAssocCache> l1v_;  ///< one per CU
+    std::vector<SetAssocCache> l1i_;  ///< one per CU group
+    std::vector<SetAssocCache> l1k_;  ///< one per CU group
+    std::vector<SetAssocCache> l2_;   ///< one per bank
+    Dram dram_;
+};
+
+} // namespace photon::timing
+
+#endif // PHOTON_TIMING_MEMSYS_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Observation hooks the sampling layer attaches to a detailed simulation.
+ * The timing model pushes wavefront, instruction and basic-block events;
+ * the monitor may ask the run loop to stop dispatching new work (the
+ * "switch to sampling" decision).
+ */
+
+#ifndef PHOTON_TIMING_MONITOR_HPP
+#define PHOTON_TIMING_MONITOR_HPP
+
+#include <cstdint>
+
+#include "func/emulator.hpp"
+#include "isa/basic_block.hpp"
+#include "sim/types.hpp"
+
+namespace photon::timing {
+
+/**
+ * Base class for kernel-execution observers. All callbacks default to
+ * no-ops so monitors only override what they need.
+ */
+class KernelMonitor
+{
+  public:
+    virtual ~KernelMonitor() = default;
+
+    /** A wavefront was scheduled onto a compute unit. */
+    virtual void
+    onWaveDispatched(WarpId warp, Cycle now)
+    {
+        (void)warp;
+        (void)now;
+    }
+
+    /** A wavefront executed s_endpgm. */
+    virtual void
+    onWaveRetired(WarpId warp, Cycle now, std::uint64_t inst_count)
+    {
+        (void)warp;
+        (void)now;
+        (void)inst_count;
+    }
+
+    /** One instruction issued; @p complete is the cycle its result is
+     *  ready (memory included). */
+    virtual void
+    onInstruction(WarpId warp, const func::StepResult &result, Cycle issue,
+                  Cycle complete)
+    {
+        (void)warp;
+        (void)result;
+        (void)issue;
+        (void)complete;
+    }
+
+    /** One dynamic basic-block execution finished. Per the paper, the
+     *  execution time of a block is the interval between the issue of its
+     *  first instruction and the issue of the next block's first
+     *  instruction. @p active_lanes is the EXEC population at the
+     *  block's first instruction — divergence changes a block's memory
+     *  footprint, so the samplers track it. */
+    virtual void
+    onBbExecuted(WarpId warp, isa::BbId bb, Cycle issue, Cycle retire,
+                 std::uint32_t active_lanes)
+    {
+        (void)warp;
+        (void)bb;
+        (void)issue;
+        (void)retire;
+        (void)active_lanes;
+    }
+
+    /** Polled by the run loop; return true to stop dispatching new
+     *  workgroups (resident ones drain). */
+    virtual bool
+    wantsStop(Cycle now)
+    {
+        (void)now;
+        return false;
+    }
+};
+
+} // namespace photon::timing
+
+#endif // PHOTON_TIMING_MONITOR_HPP

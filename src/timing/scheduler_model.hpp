@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Slot-occupancy scheduler model used during sampled phases: the paper's
+ * warp-sampling "only simulates the scheduler". Each GPU wavefront slot is
+ * a server; warps are assigned, in dispatch order, to the earliest-free
+ * slot and occupy it for their predicted duration.
+ */
+
+#ifndef PHOTON_TIMING_SCHEDULER_MODEL_HPP
+#define PHOTON_TIMING_SCHEDULER_MODEL_HPP
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace photon::timing {
+
+/**
+ * Models occupancy of the GPU's wavefront slots without executing any
+ * instructions. Workgroup granularity is approximated at wavefront
+ * granularity (slots are fungible across CUs), which is accurate whenever
+ * warp durations within a workgroup are similar — the precondition for
+ * being in a sampled phase in the first place.
+ */
+class SchedulerModel
+{
+  public:
+    /**
+     * @param num_slots effective wavefront slots (see effectiveSlots())
+     * @param start_cycle all slots become free at this cycle.
+     */
+    SchedulerModel(std::uint32_t num_slots, Cycle start_cycle);
+
+    /**
+     * Initialise with explicit per-slot free times (e.g. the retire
+     * cycles observed while resident wavefronts drained after a sampling
+     * switch). The vector is padded/truncated to the slot count.
+     */
+    SchedulerModel(std::uint32_t num_slots, Cycle start_cycle,
+                   std::vector<Cycle> slot_free_times);
+
+    /**
+     * Wavefront slots a launch can actually occupy: the per-CU wave
+     * capacity clipped by the workgroup-slot and LDS-capacity limits.
+     */
+    static std::uint32_t effectiveSlots(const GpuConfig &cfg,
+                                        std::uint32_t waves_per_wg,
+                                        std::uint32_t lds_bytes);
+
+    /**
+     * Assign the next warp, with predicted duration @p duration cycles,
+     * to the earliest-free slot.
+     *
+     * @return the warp's predicted completion cycle.
+     */
+    Cycle scheduleWarp(Cycle duration);
+
+    /** Completion cycle of the latest warp scheduled so far. */
+    Cycle endCycle() const { return end_; }
+
+    /** Number of warps scheduled. */
+    std::uint64_t warpsScheduled() const { return count_; }
+
+  private:
+    static constexpr Cycle kDispatchLatency = 4;
+
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>> slots_;
+    Cycle end_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace photon::timing
+
+#endif // PHOTON_TIMING_SCHEDULER_MODEL_HPP

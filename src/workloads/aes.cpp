@@ -1,0 +1,162 @@
+/**
+ * @file
+ * AES (Hetero-Mark): AES-256-style encryption, one 16-byte block per
+ * thread. The kernel is a long straight-line sequence (~400
+ * instructions; paper Section 6.1): 14 rounds of T-table lookups and
+ * mixing over a 4-dword state. The table lookups are per-lane gathers
+ * into a 1 KB table (L1-resident).
+ */
+
+#include <array>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace photon::workloads {
+
+namespace {
+
+using namespace photon::isa;
+
+constexpr std::uint32_t kWavesPerWg = 4;
+constexpr std::uint32_t kRounds = 14;
+
+ProgramPtr
+buildAes(std::uint32_t wg_size)
+{
+    KernelBuilder b("aes");
+    b.sLoad(3, kSgprKernargBase, 0);  // in
+    b.sLoad(4, kSgprKernargBase, 4);  // out
+    b.sLoad(5, kSgprKernargBase, 8);  // T table
+    b.sLoad(6, kSgprKernargBase, 12); // round key seed
+    emitTid(b, wg_size, 1);
+
+    // Load the 4-dword state: v2..v5.
+    b.vMad(6, vreg(1), imm(16), sreg(3)); // &in[tid*16]
+    for (std::int32_t w = 0; w < 4; ++w) {
+        b.flatLoad(2 + w, 6);
+        if (w < 3)
+            b.vAddU32(6, vreg(6), imm(4));
+    }
+    b.waitcnt();
+
+    // 14 rounds; each round transforms every state word via a T-table
+    // lookup mixed with the neighbouring word and the round key.
+    for (std::uint32_t r = 0; r < kRounds; ++r) {
+        for (std::int32_t w = 0; w < 4; ++w) {
+            std::int32_t cur = 2 + w;
+            std::int32_t nxt = 2 + ((w + 1) & 3);
+            b.emit(Opcode::V_AND_B32, vreg(7), vreg(cur), imm(0xff));
+            b.vMad(8, vreg(7), imm(4), sreg(5)); // &T[idx]
+            b.flatLoad(7, 8);
+            b.waitcnt();
+            b.emit(Opcode::V_LSHR_B32, vreg(9), vreg(nxt), imm(8));
+            b.emit(Opcode::V_XOR_B32, vreg(7), vreg(7), vreg(9));
+            b.emit(Opcode::V_XOR_B32, vreg(cur), vreg(7), sreg(6));
+        }
+        // Evolve the round key scalar (cheap key schedule stand-in).
+        b.emit(Opcode::S_XOR_B32, sreg(6), sreg(6),
+               imm(0x9e3779b9u ^ (r * 0x85ebca6bu)));
+    }
+
+    // Store the state.
+    b.vMad(6, vreg(1), imm(16), sreg(4));
+    for (std::int32_t w = 0; w < 4; ++w) {
+        b.flatStore(6, vreg(2 + w));
+        if (w < 3)
+            b.vAddU32(6, vreg(6), imm(4));
+    }
+    b.endProgram();
+    return b.finish();
+}
+
+/** Host reference of the same transformation. */
+void
+aesReference(std::vector<std::uint32_t> &state,
+             const std::vector<std::uint32_t> &table, std::uint32_t key0)
+{
+    for (std::size_t block = 0; block < state.size() / 4; ++block) {
+        std::uint32_t *s = &state[block * 4];
+        std::uint32_t key = key0;
+        for (std::uint32_t r = 0; r < kRounds; ++r) {
+            for (std::uint32_t w = 0; w < 4; ++w) {
+                std::uint32_t t = table[s[w] & 0xff];
+                t ^= s[(w + 1) & 3] >> 8;
+                s[w] = t ^ key;
+            }
+            key ^= 0x9e3779b9u ^ (r * 0x85ebca6bu);
+        }
+    }
+}
+
+class AesWorkload : public Workload
+{
+  public:
+    explicit AesWorkload(std::uint32_t num_warps)
+        : numWgs_(workgroupsFor(num_warps, kWavesPerWg))
+    {}
+
+    std::string name() const override { return "AES"; }
+
+    void
+    setup(driver::Platform &p) override
+    {
+        n_ = numWgs_ * kWavesPerWg * kWavefrontLanes; // blocks
+        hostIn_.resize(std::size_t{n_} * 4);
+        table_.resize(256);
+        Rng rng(46);
+        for (std::uint32_t &v : hostIn_)
+            v = static_cast<std::uint32_t>(rng.next());
+        for (std::uint32_t &v : table_)
+            v = static_cast<std::uint32_t>(rng.next());
+        key0_ = 0x2b7e1516;
+
+        in_ = p.alloc(hostIn_.size() * 4);
+        out_ = p.alloc(hostIn_.size() * 4);
+        tbl_ = p.alloc(table_.size() * 4);
+        p.memWrite(in_, hostIn_.data(), hostIn_.size() * 4);
+        p.memWrite(tbl_, table_.data(), table_.size() * 4);
+
+        Addr kernarg = p.packArgs({static_cast<std::uint32_t>(in_),
+                                   static_cast<std::uint32_t>(out_),
+                                   static_cast<std::uint32_t>(tbl_),
+                                   key0_});
+        launches_.push_back({buildAes(kWavesPerWg * kWavefrontLanes),
+                             numWgs_, kWavesPerWg, kernarg, "aes"});
+    }
+
+    const std::vector<LaunchSpec> &launches() const override
+    {
+        return launches_;
+    }
+
+    bool
+    check(driver::Platform &p) const override
+    {
+        std::vector<std::uint32_t> got(hostIn_.size());
+        p.memRead(out_, got.data(), got.size() * 4);
+        std::vector<std::uint32_t> want = hostIn_;
+        aesReference(want, table_, key0_);
+        return got == want;
+    }
+
+  private:
+    std::uint32_t numWgs_;
+    std::uint32_t n_ = 0;
+    std::uint32_t key0_ = 0;
+    Addr in_ = 0, out_ = 0, tbl_ = 0;
+    std::vector<std::uint32_t> hostIn_, table_;
+    std::vector<LaunchSpec> launches_;
+};
+
+} // namespace
+
+WorkloadPtr
+makeAes(std::uint32_t num_warps)
+{
+    return std::make_unique<AesWorkload>(num_warps);
+}
+
+} // namespace photon::workloads

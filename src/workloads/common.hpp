@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Small shared helpers for workload kernel builders.
+ */
+
+#ifndef PHOTON_WORKLOADS_COMMON_HPP
+#define PHOTON_WORKLOADS_COMMON_HPP
+
+#include <cstdint>
+
+#include "isa/builder.hpp"
+
+namespace photon::workloads {
+
+/** Emit v[v_tid] = workgroupId * wg_size + localId (the global thread
+ *  id under the dispatcher's calling convention). */
+inline void
+emitTid(isa::KernelBuilder &b, std::uint32_t wg_size, std::int32_t v_tid)
+{
+    b.vMad(v_tid, isa::sreg(isa::kSgprWorkgroupId), isa::imm(wg_size),
+           isa::vreg(isa::kVgprLocalId));
+}
+
+/** Emit exec &= (v[v_tid] < bound); branch to @p end when no lane
+ *  survives. */
+inline void
+emitGuardLt(isa::KernelBuilder &b, std::int32_t v_tid, isa::Operand bound,
+            isa::Label end)
+{
+    b.emit(isa::Opcode::V_CMP_LT_U32, {}, isa::vreg(v_tid), bound);
+    b.emit(isa::Opcode::S_AND_MASK, isa::mreg(isa::kMaskExec),
+           isa::mreg(isa::kMaskExec), isa::mreg(isa::kMaskVcc));
+    b.branch(isa::Opcode::S_CBRANCH_EXECZ, end);
+}
+
+/** Round @p warps up to a whole number of @p waves_per_wg workgroups. */
+inline std::uint32_t
+workgroupsFor(std::uint32_t warps, std::uint32_t waves_per_wg)
+{
+    return (warps + waves_per_wg - 1) / waves_per_wg;
+}
+
+} // namespace photon::workloads
+
+#endif // PHOTON_WORKLOADS_COMMON_HPP

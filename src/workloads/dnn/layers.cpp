@@ -1,0 +1,430 @@
+#include "workloads/dnn/layers.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+#include "workloads/common.hpp"
+
+namespace photon::workloads::dnn {
+
+namespace {
+
+using namespace photon::isa;
+
+std::uint32_t
+log2of(std::uint32_t v)
+{
+    PHOTON_ASSERT(v > 0 && (v & (v - 1)) == 0, "dimension ", v,
+                  " must be a power of two");
+    std::uint32_t l = 0;
+    while ((1u << l) < v)
+        ++l;
+    return l;
+}
+
+/** Round a logical element count up to whole wavefronts. */
+std::uint32_t
+warpAlign(std::uint32_t n)
+{
+    return (n + 63) / 64 * 64;
+}
+
+/** Launch geometry used by all DNN kernels: workgroups of up to 4
+ *  wavefronts over a warp-aligned thread count. */
+std::uint32_t
+wgSizeFor(std::uint32_t threads)
+{
+    return std::min<std::uint32_t>(256, warpAlign(threads));
+}
+
+} // namespace
+
+isa::ProgramPtr
+buildConv(const ConvParams &p)
+{
+    const std::uint32_t ow = p.outW(), oh = p.outH();
+    const std::uint32_t log_ow = log2of(ow), log_oh = log2of(oh);
+    const std::uint32_t k = p.kernel;
+    const bool guard = p.pad > 0;
+    const std::uint32_t threads = p.outputCount();
+
+    KernelBuilder b("conv" + std::to_string(k) + "x" + std::to_string(k) +
+                    "s" + std::to_string(p.stride) + "_c" +
+                    std::to_string(p.inC) + "x" + std::to_string(p.outC) +
+                    "_" + std::to_string(p.inH));
+    b.sLoad(3, kSgprKernargBase, 0); // in
+    b.sLoad(4, kSgprKernargBase, 4); // w
+    b.sLoad(5, kSgprKernargBase, 8); // out
+    emitTid(b, wgSizeFor(threads), 1);
+
+    b.emit(Opcode::V_AND_B32, vreg(2), vreg(1), imm(ow - 1));       // ox
+    b.emit(Opcode::V_LSHR_B32, vreg(3), vreg(1), imm(log_ow));
+    b.emit(Opcode::V_AND_B32, vreg(3), vreg(3), imm(oh - 1));       // oy
+    b.emit(Opcode::V_LSHR_B32, vreg(4), vreg(1), imm(log_ow + log_oh)); // oc
+    b.vMov(5, immF(0.0f)); // acc
+    b.sMov(8, imm(0));     // ic
+
+    Label loop = b.label();
+    b.bind(loop);
+    for (std::uint32_t ky = 0; ky < k; ++ky) {
+        for (std::uint32_t kx = 0; kx < k; ++kx) {
+            std::int32_t dy = static_cast<std::int32_t>(ky) -
+                              static_cast<std::int32_t>(p.pad);
+            std::int32_t dx = static_cast<std::int32_t>(kx) -
+                              static_cast<std::int32_t>(p.pad);
+            // iy = oy*stride + dy, ix = ox*stride + dx (unsigned wrap
+            // makes out-of-range negatives huge, so one < test guards
+            // both ends).
+            b.vMad(6, vreg(3), imm(p.stride), imm(dy));
+            b.vMad(7, vreg(2), imm(p.stride), imm(dx));
+            if (guard) {
+                b.emit(Opcode::V_CMP_LT_U32, {}, vreg(6), imm(p.inH));
+                b.emit(Opcode::S_MOV_MASK, mreg(kMask1), mreg(kMaskVcc));
+                b.emit(Opcode::V_CMP_LT_U32, {}, vreg(7), imm(p.inW));
+                b.emit(Opcode::S_AND_MASK, mreg(kMask1), mreg(kMask1),
+                       mreg(kMaskVcc));
+            }
+            // input offset = (ic*inH + iy)*inW + ix
+            b.vMad(8, vreg(6), imm(p.inW), vreg(7));
+            b.vMad(8, sreg(8), imm(p.inH * p.inW), vreg(8));
+            b.vMad(8, vreg(8), imm(4), sreg(3));
+            if (guard) {
+                b.emit(Opcode::S_MOV_MASK, mreg(kMaskVcc), mreg(kMask1));
+                b.emit(Opcode::V_CNDMASK_B32, vreg(8), sreg(3), vreg(8));
+            }
+            b.flatLoad(9, 8);
+            // weight offset = ((oc*inC + ic)*k + ky)*k + kx
+            b.vMulU32(10, vreg(4), imm(p.inC * k * k));
+            b.vMad(10, sreg(8), imm(k * k), vreg(10));
+            b.vAddU32(10, vreg(10), imm(ky * k + kx));
+            b.vMad(10, vreg(10), imm(4), sreg(4));
+            b.flatLoad(11, 10);
+            b.waitcnt();
+            if (guard)
+                b.emit(Opcode::V_CNDMASK_B32, vreg(9), immF(0.0f),
+                       vreg(9));
+            b.vMacF32(5, vreg(9), vreg(11));
+        }
+    }
+    b.sAdd(8, sreg(8), imm(1));
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(8), imm(p.inC));
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);
+
+    b.vMad(12, vreg(1), imm(4), sreg(5));
+    b.flatStore(12, vreg(5));
+    b.endProgram();
+    return b.finish();
+}
+
+isa::ProgramPtr
+buildMaxPool(std::uint32_t c, std::uint32_t in_h, std::uint32_t in_w)
+{
+    const std::uint32_t oh = in_h / 2, ow = in_w / 2;
+    const std::uint32_t log_ow = log2of(ow), log_oh = log2of(oh);
+    const std::uint32_t threads = c * oh * ow;
+
+    KernelBuilder b("maxpool_c" + std::to_string(c) + "_" +
+                    std::to_string(in_h));
+    b.sLoad(3, kSgprKernargBase, 0); // in
+    b.sLoad(4, kSgprKernargBase, 4); // out
+    emitTid(b, wgSizeFor(threads), 1);
+
+    b.emit(Opcode::V_AND_B32, vreg(2), vreg(1), imm(ow - 1));
+    b.emit(Opcode::V_LSHR_B32, vreg(3), vreg(1), imm(log_ow));
+    b.emit(Opcode::V_AND_B32, vreg(3), vreg(3), imm(oh - 1));
+    b.emit(Opcode::V_LSHR_B32, vreg(4), vreg(1), imm(log_ow + log_oh));
+
+    // base = ((ch*inH + 2*oy)*inW + 2*ox)*4 + in
+    b.emit(Opcode::V_LSHL_B32, vreg(5), vreg(3), imm(1));
+    b.vMad(5, vreg(4), imm(in_h), vreg(5));
+    b.vMulU32(5, vreg(5), imm(in_w));
+    b.emit(Opcode::V_LSHL_B32, vreg(6), vreg(2), imm(1));
+    b.vAddU32(5, vreg(5), vreg(6));
+    b.vMad(5, vreg(5), imm(4), sreg(3));
+
+    b.flatLoad(7, 5);
+    b.vAddU32(5, vreg(5), imm(4));
+    b.flatLoad(8, 5);
+    b.vAddU32(5, vreg(5), imm(in_w * 4 - 4));
+    b.flatLoad(9, 5);
+    b.vAddU32(5, vreg(5), imm(4));
+    b.flatLoad(10, 5);
+    b.waitcnt();
+    b.emit(Opcode::V_MAX_F32, vreg(7), vreg(7), vreg(8));
+    b.emit(Opcode::V_MAX_F32, vreg(9), vreg(9), vreg(10));
+    b.emit(Opcode::V_MAX_F32, vreg(7), vreg(7), vreg(9));
+
+    b.vMad(11, vreg(1), imm(4), sreg(4));
+    b.flatStore(11, vreg(7));
+    b.endProgram();
+    return b.finish();
+}
+
+isa::ProgramPtr
+buildGlobalAvgPool(std::uint32_t c, std::uint32_t in_h, std::uint32_t in_w)
+{
+    const std::uint32_t hw = in_h * in_w;
+    KernelBuilder b("gavgpool_c" + std::to_string(c));
+    b.sLoad(3, kSgprKernargBase, 0); // in
+    b.sLoad(4, kSgprKernargBase, 4); // out
+    emitTid(b, wgSizeFor(warpAlign(c)), 1);
+    Label end = b.label();
+    emitGuardLt(b, 1, imm(c), end);
+
+    b.vMulU32(2, vreg(1), imm(hw));
+    b.vMad(2, vreg(2), imm(4), sreg(3)); // &in[ch*hw]
+    b.vMov(3, immF(0.0f));
+    b.sMov(8, imm(0));
+
+    Label loop = b.label();
+    b.bind(loop);
+    b.flatLoad(4, 2);
+    b.waitcnt();
+    b.vAddF32(3, vreg(3), vreg(4));
+    b.vAddU32(2, vreg(2), imm(4));
+    b.sAdd(8, sreg(8), imm(1));
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(8), imm(hw));
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);
+
+    b.vMulF32(3, vreg(3), immF(1.0f / static_cast<float>(hw)));
+    b.vMad(5, vreg(1), imm(4), sreg(4));
+    b.flatStore(5, vreg(3));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+isa::ProgramPtr
+buildDense(std::uint32_t in_n, std::uint32_t out_n)
+{
+    KernelBuilder b("dense_" + std::to_string(in_n) + "x" +
+                    std::to_string(out_n));
+    b.sLoad(3, kSgprKernargBase, 0); // in
+    b.sLoad(4, kSgprKernargBase, 4); // w
+    b.sLoad(5, kSgprKernargBase, 8); // out
+    emitTid(b, wgSizeFor(warpAlign(out_n)), 1);
+    Label end = b.label();
+    emitGuardLt(b, 1, imm(out_n), end);
+
+    b.vMad(2, vreg(1), imm(in_n * 4), sreg(4)); // &w[o][0]
+    b.vMov(3, immF(0.0f));                      // acc
+    b.sMov(8, imm(0));                          // i
+    b.sMov(9, sreg(3));                         // &in[i]
+
+    Label loop = b.label();
+    b.bind(loop);
+    b.sLoad(10, 9, 0);
+    b.flatLoad(4, 2);
+    b.waitcnt();
+    b.vMacF32(3, vreg(4), sreg(10));
+    b.vAddU32(2, vreg(2), imm(4));
+    b.sAdd(9, sreg(9), imm(4));
+    b.sAdd(8, sreg(8), imm(1));
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(8), imm(in_n));
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);
+
+    b.vMad(5, vreg(1), imm(4), sreg(5));
+    b.flatStore(5, vreg(3));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+isa::ProgramPtr
+buildReluN()
+{
+    KernelBuilder b("relu_n");
+    b.sLoad(3, kSgprKernargBase, 0);
+    b.sLoad(4, kSgprKernargBase, 4);
+    b.sLoad(5, kSgprKernargBase, 8); // n
+    emitTid(b, 256, 1);
+    Label end = b.label();
+    emitGuardLt(b, 1, sreg(5), end);
+    b.emit(Opcode::V_LSHL_B32, vreg(2), vreg(1), imm(2));
+    b.vAddU32(3, vreg(2), sreg(3));
+    b.flatLoad(4, 3);
+    b.waitcnt();
+    b.emit(Opcode::V_MAX_F32, vreg(4), vreg(4), immF(0.0f));
+    b.vAddU32(5, vreg(2), sreg(4));
+    b.flatStore(5, vreg(4));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+isa::ProgramPtr
+buildAddN()
+{
+    KernelBuilder b("add_n");
+    b.sLoad(3, kSgprKernargBase, 0);  // a
+    b.sLoad(4, kSgprKernargBase, 4);  // b
+    b.sLoad(5, kSgprKernargBase, 8);  // out
+    b.sLoad(6, kSgprKernargBase, 12); // n
+    emitTid(b, 256, 1);
+    Label end = b.label();
+    emitGuardLt(b, 1, sreg(6), end);
+    b.emit(Opcode::V_LSHL_B32, vreg(2), vreg(1), imm(2));
+    b.vAddU32(3, vreg(2), sreg(3));
+    b.flatLoad(4, 3);
+    b.vAddU32(5, vreg(2), sreg(4));
+    b.flatLoad(6, 5);
+    b.waitcnt();
+    b.vAddF32(7, vreg(4), vreg(6));
+    b.vAddU32(8, vreg(2), sreg(5));
+    b.flatStore(8, vreg(7));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+isa::ProgramPtr
+buildBatchNorm(std::uint32_t c, std::uint32_t hw)
+{
+    const std::uint32_t log_hw = log2of(hw);
+    KernelBuilder b("bn_c" + std::to_string(c) + "_" +
+                    std::to_string(hw));
+    b.sLoad(3, kSgprKernargBase, 0);  // in
+    b.sLoad(4, kSgprKernargBase, 4);  // gamma
+    b.sLoad(5, kSgprKernargBase, 8);  // beta
+    b.sLoad(6, kSgprKernargBase, 12); // out
+    emitTid(b, wgSizeFor(c * hw), 1);
+
+    b.emit(Opcode::V_LSHR_B32, vreg(2), vreg(1), imm(log_hw)); // ch
+    b.vMad(3, vreg(2), imm(4), sreg(4));
+    b.flatLoad(4, 3); // gamma[ch]
+    b.vMad(5, vreg(2), imm(4), sreg(5));
+    b.flatLoad(6, 5); // beta[ch]
+    b.vMad(7, vreg(1), imm(4), sreg(3));
+    b.flatLoad(8, 7); // in[tid]
+    b.waitcnt();
+    b.vMulF32(9, vreg(8), vreg(4));
+    b.vAddF32(9, vreg(9), vreg(6));
+    b.vMad(10, vreg(1), imm(4), sreg(6));
+    b.flatStore(10, vreg(9));
+    b.endProgram();
+    return b.finish();
+}
+
+// --------------------------- references ------------------------------
+
+void
+refConv(const ConvParams &p, const std::vector<float> &in,
+        const std::vector<float> &w, std::vector<float> &out)
+{
+    const std::uint32_t oh = p.outH(), ow = p.outW(), k = p.kernel;
+    out.assign(std::size_t{p.outC} * oh * ow, 0.0f);
+    for (std::uint32_t oc = 0; oc < p.outC; ++oc) {
+        for (std::uint32_t oy = 0; oy < oh; ++oy) {
+            for (std::uint32_t ox = 0; ox < ow; ++ox) {
+                float acc = 0.0f;
+                for (std::uint32_t ic = 0; ic < p.inC; ++ic) {
+                    for (std::uint32_t ky = 0; ky < k; ++ky) {
+                        for (std::uint32_t kx = 0; kx < k; ++kx) {
+                            std::int64_t iy =
+                                std::int64_t{oy} * p.stride + ky - p.pad;
+                            std::int64_t ix =
+                                std::int64_t{ox} * p.stride + kx - p.pad;
+                            float v = 0.0f;
+                            if (iy >= 0 && iy < p.inH && ix >= 0 &&
+                                ix < p.inW) {
+                                v = in[(std::size_t{ic} * p.inH + iy) *
+                                           p.inW +
+                                       ix];
+                            }
+                            acc += v * w[((std::size_t{oc} * p.inC + ic) *
+                                              k +
+                                          ky) *
+                                             k +
+                                         kx];
+                        }
+                    }
+                }
+                out[(std::size_t{oc} * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+}
+
+void
+refMaxPool(std::uint32_t c, std::uint32_t in_h, std::uint32_t in_w,
+           const std::vector<float> &in, std::vector<float> &out)
+{
+    const std::uint32_t oh = in_h / 2, ow = in_w / 2;
+    out.assign(std::size_t{c} * oh * ow, 0.0f);
+    for (std::uint32_t ch = 0; ch < c; ++ch) {
+        for (std::uint32_t oy = 0; oy < oh; ++oy) {
+            for (std::uint32_t ox = 0; ox < ow; ++ox) {
+                auto at = [&](std::uint32_t y, std::uint32_t x) {
+                    return in[(std::size_t{ch} * in_h + y) * in_w + x];
+                };
+                float m = std::max(
+                    std::max(at(2 * oy, 2 * ox), at(2 * oy, 2 * ox + 1)),
+                    std::max(at(2 * oy + 1, 2 * ox),
+                             at(2 * oy + 1, 2 * ox + 1)));
+                out[(std::size_t{ch} * oh + oy) * ow + ox] = m;
+            }
+        }
+    }
+}
+
+void
+refGlobalAvgPool(std::uint32_t c, std::uint32_t in_h, std::uint32_t in_w,
+                 const std::vector<float> &in, std::vector<float> &out)
+{
+    const std::uint32_t hw = in_h * in_w;
+    out.assign(c, 0.0f);
+    for (std::uint32_t ch = 0; ch < c; ++ch) {
+        float acc = 0.0f;
+        for (std::uint32_t i = 0; i < hw; ++i)
+            acc += in[std::size_t{ch} * hw + i];
+        out[ch] = acc * (1.0f / static_cast<float>(hw));
+    }
+}
+
+void
+refDense(std::uint32_t in_n, std::uint32_t out_n,
+         const std::vector<float> &in, const std::vector<float> &w,
+         std::vector<float> &out)
+{
+    out.assign(out_n, 0.0f);
+    for (std::uint32_t o = 0; o < out_n; ++o) {
+        float acc = 0.0f;
+        for (std::uint32_t i = 0; i < in_n; ++i)
+            acc += in[i] * w[std::size_t{o} * in_n + i];
+        out[o] = acc;
+    }
+}
+
+void
+refRelu(const std::vector<float> &in, std::vector<float> &out)
+{
+    out.resize(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = std::max(0.0f, in[i]);
+}
+
+void
+refAdd(const std::vector<float> &a, const std::vector<float> &b,
+       std::vector<float> &out)
+{
+    out.resize(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        out[i] = a[i] + b[i];
+}
+
+void
+refBatchNorm(std::uint32_t c, std::uint32_t hw,
+             const std::vector<float> &in,
+             const std::vector<float> &gamma,
+             const std::vector<float> &beta, std::vector<float> &out)
+{
+    out.resize(in.size());
+    for (std::uint32_t ch = 0; ch < c; ++ch) {
+        for (std::uint32_t i = 0; i < hw; ++i) {
+            std::size_t idx = std::size_t{ch} * hw + i;
+            out[idx] = in[idx] * gamma[ch] + beta[ch];
+        }
+    }
+}
+
+} // namespace photon::workloads::dnn

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DNN layer kernels: direct convolution, max/global-average pooling,
+ * dense (fully connected), batch-norm (scale+shift), ReLU and residual
+ * add — the kernel mix behind the paper's VGG and ResNet evaluations.
+ *
+ * All spatial/channel dimensions must be powers of two (index math uses
+ * shifts, as the real kernels do for these shapes). Batch size is 1,
+ * matching the paper. Layout is CHW.
+ */
+
+#ifndef PHOTON_WORKLOADS_DNN_LAYERS_HPP
+#define PHOTON_WORKLOADS_DNN_LAYERS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace photon::workloads::dnn {
+
+/** Convolution geometry. */
+struct ConvParams
+{
+    std::uint32_t inC = 1, inH = 1, inW = 1;
+    std::uint32_t outC = 1;
+    std::uint32_t kernel = 3; ///< square kernel
+    std::uint32_t stride = 1;
+    std::uint32_t pad = 1;
+
+    std::uint32_t outH() const { return inH / stride; }
+    std::uint32_t outW() const { return inW / stride; }
+    std::uint64_t
+    weightCount() const
+    {
+        return std::uint64_t{outC} * inC * kernel * kernel;
+    }
+    std::uint32_t
+    outputCount() const
+    {
+        return outC * outH() * outW();
+    }
+};
+
+/** kernarg: in, w, out. */
+isa::ProgramPtr buildConv(const ConvParams &p);
+
+/** 2x2 stride-2 max pooling. kernarg: in, out. */
+isa::ProgramPtr buildMaxPool(std::uint32_t c, std::uint32_t in_h,
+                             std::uint32_t in_w);
+
+/** Global average pooling to 1x1. kernarg: in, out. */
+isa::ProgramPtr buildGlobalAvgPool(std::uint32_t c, std::uint32_t in_h,
+                                   std::uint32_t in_w);
+
+/** Dense layer out[o] = sum_i in[i] * w[o*inN + i]. kernarg: in, w, out. */
+isa::ProgramPtr buildDense(std::uint32_t in_n, std::uint32_t out_n);
+
+/** Elementwise ReLU over n values. kernarg: in, out, n. */
+isa::ProgramPtr buildReluN();
+
+/** Elementwise residual add over n values. kernarg: a, b, out, n. */
+isa::ProgramPtr buildAddN();
+
+/** Per-channel scale+shift (inference batch-norm).
+ *  kernarg: in, gamma, beta, out. */
+isa::ProgramPtr buildBatchNorm(std::uint32_t c, std::uint32_t hw);
+
+// ----- Host references (used by Workload::check and the unit tests) ---
+
+void refConv(const ConvParams &p, const std::vector<float> &in,
+             const std::vector<float> &w, std::vector<float> &out);
+void refMaxPool(std::uint32_t c, std::uint32_t in_h, std::uint32_t in_w,
+                const std::vector<float> &in, std::vector<float> &out);
+void refGlobalAvgPool(std::uint32_t c, std::uint32_t in_h,
+                      std::uint32_t in_w, const std::vector<float> &in,
+                      std::vector<float> &out);
+void refDense(std::uint32_t in_n, std::uint32_t out_n,
+              const std::vector<float> &in, const std::vector<float> &w,
+              std::vector<float> &out);
+void refRelu(const std::vector<float> &in, std::vector<float> &out);
+void refAdd(const std::vector<float> &a, const std::vector<float> &b,
+            std::vector<float> &out);
+void refBatchNorm(std::uint32_t c, std::uint32_t hw,
+                  const std::vector<float> &in,
+                  const std::vector<float> &gamma,
+                  const std::vector<float> &beta, std::vector<float> &out);
+
+} // namespace photon::workloads::dnn
+
+#endif // PHOTON_WORKLOADS_DNN_LAYERS_HPP

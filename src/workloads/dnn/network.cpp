@@ -1,0 +1,450 @@
+#include "workloads/dnn/network.hpp"
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+#include "workloads/dnn/layers.hpp"
+
+namespace photon::workloads::dnn {
+
+namespace {
+
+/** A device tensor plus its id in the host-reference value table. */
+struct Tensor
+{
+    std::uint32_t c = 0, h = 0, w = 0;
+    Addr dev = 0;
+    int host = -1;
+
+    std::uint32_t count() const { return c * h * w; }
+};
+
+/** One host-reference op: computes its output from prior values. */
+struct HostOp
+{
+    std::vector<int> inputs;
+    std::function<std::vector<float>(
+        const std::vector<std::vector<float>> &)> fn;
+};
+
+/** Incrementally builds the launch sequence + host reference graph. */
+class NetBuilder
+{
+  public:
+    NetBuilder(driver::Platform &p, std::vector<LaunchSpec> &launches,
+               std::vector<HostOp> &ops, std::uint64_t seed)
+        : p_(p), launches_(launches), ops_(ops), rng_(seed)
+    {}
+
+    Tensor
+    input(std::uint32_t c, std::uint32_t h, std::uint32_t w)
+    {
+        std::vector<float> host(std::size_t{c} * h * w);
+        for (float &v : host)
+            v = rng_.nextFloat(-1.0f, 1.0f);
+        Tensor t = allocTensor(c, h, w);
+        p_.memWrite(t.dev, host.data(), host.size() * 4);
+        t.host = addOp({{}, [host](const auto &) { return host; }});
+        return t;
+    }
+
+    Tensor
+    conv(const Tensor &in, std::uint32_t out_c, std::uint32_t kernel,
+         std::uint32_t stride, std::uint32_t pad,
+         const std::string &label)
+    {
+        ConvParams cp;
+        cp.inC = in.c;
+        cp.inH = in.h;
+        cp.inW = in.w;
+        cp.outC = out_c;
+        cp.kernel = kernel;
+        cp.stride = stride;
+        cp.pad = pad;
+
+        float bound = std::sqrt(
+            2.0f / static_cast<float>(in.c * kernel * kernel));
+        std::vector<float> w(cp.weightCount());
+        for (float &v : w)
+            v = rng_.nextFloat(-bound, bound);
+        Addr wdev = p_.alloc(w.size() * 4);
+        p_.memWrite(wdev, w.data(), w.size() * 4);
+
+        Tensor out = allocTensor(out_c, cp.outH(), cp.outW());
+        addLaunch(getProgram("conv", [&] { return buildConv(cp); }, cp),
+                  out.count(),
+                  {u32(in.dev), u32(wdev), u32(out.dev)}, label);
+        out.host = addOp(
+            {{in.host}, [cp, w = std::move(w)](const auto &vals) {
+                 std::vector<float> o;
+                 refConv(cp, vals[0], w, o);
+                 return o;
+             }});
+        return out;
+    }
+
+    Tensor
+    maxpool(const Tensor &in, const std::string &label)
+    {
+        Tensor out = allocTensor(in.c, in.h / 2, in.w / 2);
+        addLaunch(getProgram("maxpool" + dimKey(in),
+                             [&] { return buildMaxPool(in.c, in.h, in.w); }),
+                  out.count(), {u32(in.dev), u32(out.dev)}, label);
+        std::uint32_t c = in.c, h = in.h, w = in.w;
+        out.host = addOp({{in.host}, [c, h, w](const auto &vals) {
+                              std::vector<float> o;
+                              refMaxPool(c, h, w, vals[0], o);
+                              return o;
+                          }});
+        return out;
+    }
+
+    Tensor
+    globalAvgPool(const Tensor &in, const std::string &label)
+    {
+        Tensor out = allocTensor(in.c, 1, 1);
+        addLaunch(getProgram("gavg" + dimKey(in),
+                             [&] {
+                                 return buildGlobalAvgPool(in.c, in.h,
+                                                           in.w);
+                             }),
+                  out.count(), {u32(in.dev), u32(out.dev)}, label);
+        std::uint32_t c = in.c, h = in.h, w = in.w;
+        out.host = addOp({{in.host}, [c, h, w](const auto &vals) {
+                              std::vector<float> o;
+                              refGlobalAvgPool(c, h, w, vals[0], o);
+                              return o;
+                          }});
+        return out;
+    }
+
+    Tensor
+    dense(const Tensor &in, std::uint32_t out_n, const std::string &label)
+    {
+        std::uint32_t in_n = in.count();
+        float bound = std::sqrt(2.0f / static_cast<float>(in_n));
+        std::vector<float> w(std::size_t{out_n} * in_n);
+        for (float &v : w)
+            v = rng_.nextFloat(-bound, bound);
+        Addr wdev = p_.alloc(w.size() * 4);
+        p_.memWrite(wdev, w.data(), w.size() * 4);
+
+        Tensor out = allocTensor(out_n, 1, 1);
+        addLaunch(getProgram("dense" + std::to_string(in_n) + "_" +
+                                 std::to_string(out_n),
+                             [&] { return buildDense(in_n, out_n); }),
+                  out_n, {u32(in.dev), u32(wdev), u32(out.dev)}, label);
+        out.host = addOp(
+            {{in.host},
+             [in_n, out_n, w = std::move(w)](const auto &vals) {
+                 std::vector<float> o;
+                 refDense(in_n, out_n, vals[0], w, o);
+                 return o;
+             }});
+        return out;
+    }
+
+    Tensor
+    relu(const Tensor &in, const std::string &label)
+    {
+        Tensor out = allocTensor(in.c, in.h, in.w);
+        addLaunch(getProgram("relu_n", [] { return buildReluN(); }),
+                  in.count(),
+                  {u32(in.dev), u32(out.dev), in.count()}, label);
+        out.host = addOp({{in.host}, [](const auto &vals) {
+                              std::vector<float> o;
+                              refRelu(vals[0], o);
+                              return o;
+                          }});
+        return out;
+    }
+
+    Tensor
+    add(const Tensor &a, const Tensor &b, const std::string &label)
+    {
+        Tensor out = allocTensor(a.c, a.h, a.w);
+        addLaunch(getProgram("add_n", [] { return buildAddN(); }),
+                  a.count(),
+                  {u32(a.dev), u32(b.dev), u32(out.dev), a.count()},
+                  label);
+        out.host = addOp({{a.host, b.host}, [](const auto &vals) {
+                              std::vector<float> o;
+                              refAdd(vals[0], vals[1], o);
+                              return o;
+                          }});
+        return out;
+    }
+
+    Tensor
+    batchNorm(const Tensor &in, const std::string &label)
+    {
+        std::uint32_t c = in.c, hw = in.h * in.w;
+        std::vector<float> gamma(c), beta(c);
+        for (float &v : gamma)
+            v = rng_.nextFloat(0.8f, 1.2f);
+        for (float &v : beta)
+            v = rng_.nextFloat(-0.1f, 0.1f);
+        Addr gdev = p_.alloc(c * 4), bdev = p_.alloc(c * 4);
+        p_.memWrite(gdev, gamma.data(), c * 4);
+        p_.memWrite(bdev, beta.data(), c * 4);
+
+        Tensor out = allocTensor(in.c, in.h, in.w);
+        addLaunch(getProgram("bn" + dimKey(in),
+                             [&] { return buildBatchNorm(c, hw); }),
+                  in.count(),
+                  {u32(in.dev), u32(gdev), u32(bdev), u32(out.dev)},
+                  label);
+        out.host = addOp(
+            {{in.host}, [c, hw, gamma = std::move(gamma),
+                         beta = std::move(beta)](const auto &vals) {
+                 std::vector<float> o;
+                 refBatchNorm(c, hw, vals[0], gamma, beta, o);
+                 return o;
+             }});
+        return out;
+    }
+
+  private:
+    static std::uint32_t
+    u32(Addr a)
+    {
+        return static_cast<std::uint32_t>(a);
+    }
+
+    static std::string
+    dimKey(const Tensor &t)
+    {
+        return "_" + std::to_string(t.c) + "x" + std::to_string(t.h) +
+               "x" + std::to_string(t.w);
+    }
+
+    Tensor
+    allocTensor(std::uint32_t c, std::uint32_t h, std::uint32_t w)
+    {
+        Tensor t{c, h, w, 0, -1};
+        t.dev = p_.alloc(std::uint64_t{t.count()} * 4);
+        return t;
+    }
+
+    int
+    addOp(HostOp op)
+    {
+        ops_.push_back(std::move(op));
+        return static_cast<int>(ops_.size()) - 1;
+    }
+
+    template <typename F>
+    isa::ProgramPtr
+    getProgram(const std::string &key, F build)
+    {
+        auto it = programs_.find(key);
+        if (it == programs_.end())
+            it = programs_.emplace(key, build()).first;
+        return it->second;
+    }
+
+    template <typename F>
+    isa::ProgramPtr
+    getProgram(const std::string &base, F build, const ConvParams &cp)
+    {
+        std::string key = base + std::to_string(cp.inC) + "_" +
+                          std::to_string(cp.outC) + "_" +
+                          std::to_string(cp.inH) + "_" +
+                          std::to_string(cp.kernel) + "_" +
+                          std::to_string(cp.stride);
+        return getProgram(key, build);
+    }
+
+    void
+    addLaunch(const isa::ProgramPtr &prog, std::uint32_t threads,
+              const std::vector<std::uint32_t> &args,
+              const std::string &label)
+    {
+        // Pad to whole wavefronts; the guarded kernels (dense, global
+        // average pool) mask the excess lanes off.
+        threads = (threads + 63) / 64 * 64;
+        std::uint32_t wg_size = threads < 256 ? threads : 256;
+        PHOTON_ASSERT(threads % wg_size == 0,
+                      "thread count not workgroup-aligned");
+        Addr kernarg = p_.packArgs(args);
+        launches_.push_back({prog, threads / wg_size, wg_size / 64,
+                             kernarg, label});
+    }
+
+    driver::Platform &p_;
+    std::vector<LaunchSpec> &launches_;
+    std::vector<HostOp> &ops_;
+    Rng rng_;
+    std::map<std::string, isa::ProgramPtr> programs_;
+};
+
+/** A workload defined by a network-construction function. */
+class DnnWorkload : public Workload
+{
+  public:
+    using BuildFn = std::function<Tensor(NetBuilder &)>;
+
+    DnnWorkload(std::string name, std::uint64_t seed, BuildFn build)
+        : name_(std::move(name)), seed_(seed), build_(std::move(build))
+    {}
+
+    std::string name() const override { return name_; }
+
+    void
+    setup(driver::Platform &p) override
+    {
+        NetBuilder nb(p, launches_, ops_, seed_);
+        output_ = build_(nb);
+    }
+
+    const std::vector<LaunchSpec> &launches() const override
+    {
+        return launches_;
+    }
+
+    bool
+    check(driver::Platform &p) const override
+    {
+        // Replay the host graph.
+        std::vector<std::vector<float>> vals(ops_.size());
+        for (std::size_t i = 0; i < ops_.size(); ++i) {
+            std::vector<std::vector<float>> ins;
+            for (int in : ops_[i].inputs)
+                ins.push_back(vals[in]);
+            vals[i] = ops_[i].fn(ins);
+        }
+        const std::vector<float> &want = vals[output_.host];
+        std::vector<float> got(want.size());
+        p.memRead(output_.dev, got.data(), got.size() * 4);
+        for (std::size_t i = 0; i < want.size(); ++i) {
+            float tol =
+                1e-3f * std::max(1.0f, std::abs(want[i]));
+            if (std::abs(got[i] - want[i]) > tol)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string name_;
+    std::uint64_t seed_;
+    BuildFn build_;
+    std::vector<LaunchSpec> launches_;
+    std::vector<HostOp> ops_;
+    Tensor output_;
+};
+
+} // namespace
+
+WorkloadPtr
+makeVgg(int depth, std::uint32_t base_width, std::uint32_t input_hw)
+{
+    PHOTON_ASSERT(depth == 16 || depth == 19, "VGG depth must be 16/19");
+    std::string name = "VGG-" + std::to_string(depth);
+    std::vector<std::uint32_t> convs =
+        depth == 16 ? std::vector<std::uint32_t>{2, 2, 3, 3, 3}
+                    : std::vector<std::uint32_t>{2, 2, 4, 4, 4};
+
+    auto build = [convs, base_width, input_hw](NetBuilder &nb) {
+        Tensor x = nb.input(4, input_hw, input_hw);
+        std::uint32_t widths[5] = {base_width, 2 * base_width,
+                                   4 * base_width, 8 * base_width,
+                                   8 * base_width};
+        for (std::uint32_t g = 0; g < 5; ++g) {
+            for (std::uint32_t i = 0; i < convs[g]; ++i) {
+                std::string label = "conv" + std::to_string(g + 1) + "-" +
+                                    std::to_string(i + 1);
+                x = nb.conv(x, widths[g], 3, 1, 1, label);
+                x = nb.relu(x, label);
+            }
+            x = nb.maxpool(x, "pool" + std::to_string(g + 1));
+        }
+        x = nb.dense(x, 16 * base_width, "fc-6");
+        x = nb.relu(x, "fc-6");
+        x = nb.dense(x, 16 * base_width, "fc-7");
+        x = nb.relu(x, "fc-7");
+        x = nb.dense(x, 4 * base_width, "fc-8");
+        return x;
+    };
+    return std::make_unique<DnnWorkload>(name, 0x5157 + depth, build);
+}
+
+WorkloadPtr
+makeResnet(int depth, std::uint32_t base_width, std::uint32_t input_hw)
+{
+    struct Spec
+    {
+        bool bottleneck;
+        std::uint32_t blocks[4];
+    };
+    Spec spec;
+    switch (depth) {
+      case 18: spec = {false, {2, 2, 2, 2}}; break;
+      case 34: spec = {false, {3, 4, 6, 3}}; break;
+      case 50: spec = {true, {3, 4, 6, 3}}; break;
+      case 101: spec = {true, {3, 4, 23, 3}}; break;
+      case 152: spec = {true, {3, 8, 36, 3}}; break;
+      default:
+        fatal("unsupported ResNet depth ", depth);
+    }
+    std::string name = "ResNet-" + std::to_string(depth);
+
+    auto build = [spec, base_width, input_hw](NetBuilder &nb) {
+        Tensor x = nb.input(4, input_hw, input_hw);
+        // CIFAR-style stem (3x3 stride 1) keeps every map a power of
+        // two at 32x32 inputs; the ImageNet 7x7/2 stem + maxpool is
+        // equivalent in kernel structure at 224x224.
+        x = nb.conv(x, base_width, 3, 1, 1, "conv1");
+        x = nb.batchNorm(x, "conv1");
+        x = nb.relu(x, "conv1");
+
+        std::uint32_t expansion = spec.bottleneck ? 4 : 1;
+        for (std::uint32_t stage = 0; stage < 4; ++stage) {
+            std::uint32_t planes = (base_width << stage) / expansion;
+            if (planes == 0)
+                planes = 1;
+            std::uint32_t out_c = planes * expansion;
+            for (std::uint32_t blk = 0; blk < spec.blocks[stage]; ++blk) {
+                std::string label = "layer" + std::to_string(stage + 1) +
+                                    "_" + std::to_string(blk + 1);
+                std::uint32_t stride =
+                    (stage > 0 && blk == 0) ? 2 : 1;
+                Tensor identity = x;
+                Tensor y;
+                if (spec.bottleneck) {
+                    y = nb.conv(x, planes, 1, 1, 0, label);
+                    y = nb.batchNorm(y, label);
+                    y = nb.relu(y, label);
+                    y = nb.conv(y, planes, 3, stride, 1, label);
+                    y = nb.batchNorm(y, label);
+                    y = nb.relu(y, label);
+                    y = nb.conv(y, out_c, 1, 1, 0, label);
+                    y = nb.batchNorm(y, label);
+                } else {
+                    y = nb.conv(x, out_c, 3, stride, 1, label);
+                    y = nb.batchNorm(y, label);
+                    y = nb.relu(y, label);
+                    y = nb.conv(y, out_c, 3, 1, 1, label);
+                    y = nb.batchNorm(y, label);
+                }
+                if (stride != 1 || identity.c != out_c) {
+                    identity =
+                        nb.conv(identity, out_c, 1, stride, 0, label);
+                    identity = nb.batchNorm(identity, label);
+                }
+                y = nb.add(y, identity, label);
+                x = nb.relu(y, label);
+            }
+        }
+        x = nb.globalAvgPool(x, "avgpool");
+        x = nb.dense(x, 4 * base_width, "fc");
+        return x;
+    };
+    return std::make_unique<DnnWorkload>(name, 0x4e57 + depth, build);
+}
+
+} // namespace photon::workloads::dnn

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * DNN inference workloads: layer-graph construction for VGG-16/19 and
+ * ResNet-18/34/50/101/152 (batch size 1), lowered to the kernels in
+ * layers.hpp. Networks are scaled down (32x32 inputs, base width 16) but
+ * keep the exact layer sequence and kernel repetition structure of the
+ * originals — the property kernel-sampling exploits (paper Section 6.3).
+ */
+
+#ifndef PHOTON_WORKLOADS_DNN_NETWORK_HPP
+#define PHOTON_WORKLOADS_DNN_NETWORK_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hpp"
+
+namespace photon::workloads::dnn {
+
+/**
+ * VGG-D/E. @p depth is 16 or 19. Layer labels follow the paper's
+ * Figure 17 naming (conv1-1 ... conv5-4, fc-6 ... fc-8).
+ */
+WorkloadPtr makeVgg(int depth, std::uint32_t base_width = 16,
+                    std::uint32_t input_hw = 32);
+
+/** ResNet. @p depth in {18, 34, 50, 101, 152}. */
+WorkloadPtr makeResnet(int depth, std::uint32_t base_width = 16,
+                       std::uint32_t input_hw = 32);
+
+} // namespace photon::workloads::dnn
+
+#endif // PHOTON_WORKLOADS_DNN_NETWORK_HPP

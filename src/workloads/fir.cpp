@@ -1,0 +1,132 @@
+/**
+ * @file
+ * FIR filter (Hetero-Mark): out[i] = sum_t coeff[t] * in[i + t]. A small
+ * kernel with a short uniform loop; coefficients come through the scalar
+ * (L1K) path.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace photon::workloads {
+
+namespace {
+
+using namespace photon::isa;
+
+constexpr std::uint32_t kWavesPerWg = 4;
+
+ProgramPtr
+buildFir(std::uint32_t wg_size)
+{
+    KernelBuilder b("fir");
+    b.sLoad(3, kSgprKernargBase, 0);  // in
+    b.sLoad(4, kSgprKernargBase, 4);  // coeff
+    b.sLoad(5, kSgprKernargBase, 8);  // out
+    b.sLoad(6, kSgprKernargBase, 12); // n
+    b.sLoad(7, kSgprKernargBase, 16); // taps
+    emitTid(b, wg_size, 1);
+    Label end = b.label();
+    emitGuardLt(b, 1, sreg(6), end);
+
+    b.vMov(2, immF(0.0f));                 // acc
+    b.vMad(3, vreg(1), imm(4), sreg(3));   // &in[tid]
+    b.sMov(8, imm(0));                     // t
+    b.sMov(9, sreg(4));                    // &coeff[t]
+
+    Label loop = b.label();
+    b.bind(loop);
+    b.flatLoad(4, 3);
+    b.sLoad(10, 9, 0);
+    b.waitcnt();
+    b.vMacF32(2, vreg(4), sreg(10));
+    b.vAddU32(3, vreg(3), imm(4));
+    b.sAdd(9, sreg(9), imm(4));
+    b.sAdd(8, sreg(8), imm(1));
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(8), sreg(7));
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);
+
+    b.vMad(5, vreg(1), imm(4), sreg(5));   // &out[tid]
+    b.flatStore(5, vreg(2));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+class FirWorkload : public Workload
+{
+  public:
+    FirWorkload(std::uint32_t num_warps, std::uint32_t taps)
+        : numWgs_(workgroupsFor(num_warps, kWavesPerWg)), taps_(taps)
+    {}
+
+    std::string name() const override { return "FIR"; }
+
+    void
+    setup(driver::Platform &p) override
+    {
+        n_ = numWgs_ * kWavesPerWg * kWavefrontLanes;
+        hostIn_.resize(n_ + taps_);
+        hostCoeff_.resize(taps_);
+        Rng rng(43);
+        for (float &v : hostIn_)
+            v = rng.nextFloat(-1.0f, 1.0f);
+        for (float &v : hostCoeff_)
+            v = rng.nextFloat(-0.5f, 0.5f);
+
+        in_ = p.alloc(hostIn_.size() * 4);
+        coeff_ = p.alloc(hostCoeff_.size() * 4);
+        out_ = p.alloc(std::uint64_t{n_} * 4);
+        p.memWrite(in_, hostIn_.data(), hostIn_.size() * 4);
+        p.memWrite(coeff_, hostCoeff_.data(), hostCoeff_.size() * 4);
+
+        Addr kernarg = p.packArgs({static_cast<std::uint32_t>(in_),
+                                   static_cast<std::uint32_t>(coeff_),
+                                   static_cast<std::uint32_t>(out_), n_,
+                                   taps_});
+        launches_.push_back({buildFir(kWavesPerWg * kWavefrontLanes),
+                             numWgs_, kWavesPerWg, kernarg, "fir"});
+    }
+
+    const std::vector<LaunchSpec> &launches() const override
+    {
+        return launches_;
+    }
+
+    bool
+    check(driver::Platform &p) const override
+    {
+        std::vector<float> got(n_);
+        p.memRead(out_, got.data(), std::uint64_t{n_} * 4);
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            float want = 0.0f;
+            for (std::uint32_t t = 0; t < taps_; ++t)
+                want += hostCoeff_[t] * hostIn_[i + t];
+            if (std::abs(got[i] - want) > 1e-4f)
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::uint32_t numWgs_;
+    std::uint32_t taps_;
+    std::uint32_t n_ = 0;
+    Addr in_ = 0, coeff_ = 0, out_ = 0;
+    std::vector<float> hostIn_, hostCoeff_;
+    std::vector<LaunchSpec> launches_;
+};
+
+} // namespace
+
+WorkloadPtr
+makeFir(std::uint32_t num_warps, std::uint32_t taps)
+{
+    return std::make_unique<FirWorkload>(num_warps, taps);
+}
+
+} // namespace photon::workloads

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * MM — Matrix Multiplication (AMD APP SDK): C = A x B, N x N, one output
+ * element per thread, a K-deep inner loop. The canonical "complex
+ * kernel" workload: many warps AND many instructions per warp.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace photon::workloads {
+
+namespace {
+
+using namespace photon::isa;
+
+constexpr std::uint32_t kWavesPerWg = 4;
+
+ProgramPtr
+buildMm(std::uint32_t wg_size, std::uint32_t n, std::uint32_t log_n)
+{
+    KernelBuilder b("mm");
+    b.sLoad(3, kSgprKernargBase, 0); // A
+    b.sLoad(4, kSgprKernargBase, 4); // B
+    b.sLoad(5, kSgprKernargBase, 8); // C
+    emitTid(b, wg_size, 1);
+
+    b.emit(Opcode::V_AND_B32, vreg(2), vreg(1), imm(n - 1)); // j
+    b.emit(Opcode::V_LSHR_B32, vreg(3), vreg(1), imm(log_n)); // i
+    b.vMad(4, vreg(3), imm(n * 4), sreg(3)); // &A[i][0]
+    b.vMad(5, vreg(2), imm(4), sreg(4));     // &B[0][j]
+    b.vMov(6, immF(0.0f));                   // acc
+    b.sMov(8, imm(0));                       // k
+
+    Label loop = b.label();
+    b.bind(loop);
+    b.flatLoad(7, 4);
+    b.flatLoad(9, 5);
+    b.waitcnt();
+    b.vMacF32(6, vreg(7), vreg(9));
+    b.vAddU32(4, vreg(4), imm(4));
+    b.vAddU32(5, vreg(5), imm(n * 4));
+    b.sAdd(8, sreg(8), imm(1));
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(8), imm(n));
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);
+
+    b.vMad(10, vreg(1), imm(4), sreg(5)); // &C[tid]
+    b.flatStore(10, vreg(6));
+    b.endProgram();
+    return b.finish();
+}
+
+class MmWorkload : public Workload
+{
+  public:
+    explicit MmWorkload(std::uint32_t n) : n_(n)
+    {
+        PHOTON_ASSERT((n_ & (n_ - 1)) == 0 && n_ >= 64,
+                      "MM size must be a power of two >= 64");
+        logN_ = 0;
+        while ((1u << logN_) < n_)
+            ++logN_;
+    }
+
+    std::string name() const override { return "MM"; }
+
+    void
+    setup(driver::Platform &p) override
+    {
+        std::uint64_t elems = std::uint64_t{n_} * n_;
+        hostA_.resize(elems);
+        hostB_.resize(elems);
+        Rng rng(45);
+        for (float &v : hostA_)
+            v = rng.nextFloat(-1.0f, 1.0f);
+        for (float &v : hostB_)
+            v = rng.nextFloat(-1.0f, 1.0f);
+
+        a_ = p.alloc(elems * 4);
+        bbuf_ = p.alloc(elems * 4);
+        c_ = p.alloc(elems * 4);
+        p.memWrite(a_, hostA_.data(), elems * 4);
+        p.memWrite(bbuf_, hostB_.data(), elems * 4);
+
+        Addr kernarg = p.packArgs({static_cast<std::uint32_t>(a_),
+                                   static_cast<std::uint32_t>(bbuf_),
+                                   static_cast<std::uint32_t>(c_)});
+        std::uint32_t wgs = static_cast<std::uint32_t>(
+            elems / (kWavesPerWg * kWavefrontLanes));
+        launches_.push_back({buildMm(kWavesPerWg * kWavefrontLanes, n_,
+                                     logN_),
+                             wgs, kWavesPerWg, kernarg, "mm"});
+    }
+
+    const std::vector<LaunchSpec> &launches() const override
+    {
+        return launches_;
+    }
+
+    bool
+    check(driver::Platform &p) const override
+    {
+        std::uint64_t elems = std::uint64_t{n_} * n_;
+        std::vector<float> got(elems);
+        p.memRead(c_, got.data(), elems * 4);
+        // Spot-check a grid of outputs (full N^3 reference is wasteful).
+        std::uint32_t step = n_ >= 64 ? n_ / 16 : 1;
+        for (std::uint32_t i = 0; i < n_; i += step) {
+            for (std::uint32_t j = 0; j < n_; j += step) {
+                float want = 0.0f;
+                for (std::uint32_t k = 0; k < n_; ++k)
+                    want += hostA_[i * n_ + k] * hostB_[k * n_ + j];
+                float g = got[i * n_ + j];
+                if (std::abs(g - want) >
+                    1e-3f * std::max(1.0f, std::abs(want)))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    std::uint32_t dim() const { return n_; }
+
+  private:
+    std::uint32_t n_;
+    std::uint32_t logN_ = 0;
+    Addr a_ = 0, bbuf_ = 0, c_ = 0;
+    std::vector<float> hostA_, hostB_;
+    std::vector<LaunchSpec> launches_;
+};
+
+} // namespace
+
+WorkloadPtr
+makeMm(std::uint32_t n)
+{
+    return std::make_unique<MmWorkload>(n);
+}
+
+namespace {
+
+/**
+ * LDS-tiled matrix multiplication: each 256-thread workgroup computes a
+ * 16x16 output tile, staging A/B tiles through LDS with s_barrier
+ * between load and use — the classic shared-memory GEMM shape. This is
+ * the workload that exercises barriers and LDS in the timing model.
+ */
+ProgramPtr
+buildMmTiled(std::uint32_t n, std::uint32_t log_n)
+{
+    const std::uint32_t tiles = n / 16;
+    std::uint32_t log_tiles = 0;
+    while ((1u << log_tiles) < tiles)
+        ++log_tiles;
+
+    KernelBuilder b("mm_tiled");
+    b.setLdsBytes(2048); // two 16x16 float tiles
+    b.sLoad(3, kSgprKernargBase, 0); // A
+    b.sLoad(4, kSgprKernargBase, 4); // B
+    b.sLoad(5, kSgprKernargBase, 8); // C
+
+    b.emit(Opcode::V_AND_B32, vreg(1), vreg(0), imm(15));  // tx
+    b.emit(Opcode::V_LSHR_B32, vreg(2), vreg(0), imm(4));  // ty
+    b.emit(Opcode::S_AND_B32, sreg(8), sreg(kSgprWorkgroupId),
+           imm(tiles - 1));                                // tileX
+    b.emit(Opcode::S_LSHR_B32, sreg(9), sreg(kSgprWorkgroupId),
+           imm(log_tiles));                                // tileY
+    b.vMad(3, sreg(9), imm(16), vreg(2)); // row = tileY*16 + ty
+    b.vMad(4, sreg(8), imm(16), vreg(1)); // col = tileX*16 + tx
+    b.vMov(5, immF(0.0f));                // acc
+    b.sMov(10, imm(0));                   // k0
+
+    Label loop = b.label();
+    b.bind(loop);
+    // Global loads of this thread's A/B tile elements.
+    b.vMulU32(6, vreg(3), imm(n));        // row*N
+    b.vAddU32(6, vreg(6), sreg(10));      // + k0
+    b.vAddU32(6, vreg(6), vreg(1));       // + tx
+    b.vMad(6, vreg(6), imm(4), sreg(3));
+    b.flatLoad(7, 6);
+    b.vAddU32(8, vreg(2), sreg(10));      // ty + k0
+    b.vMulU32(8, vreg(8), imm(n));
+    b.vAddU32(8, vreg(8), vreg(4));       // + col
+    b.vMad(8, vreg(8), imm(4), sreg(4));
+    b.flatLoad(9, 8);
+    b.waitcnt();
+    // Stage into LDS: Atile at lid*4, Btile at 1024 + lid*4.
+    b.emit(Opcode::V_LSHL_B32, vreg(10), vreg(0), imm(2));
+    b.dsWrite(10, vreg(7));
+    b.vAddU32(11, vreg(10), imm(1024));
+    b.dsWrite(11, vreg(9));
+    b.barrier();
+    // 16 multiply-accumulates from the staged tiles.
+    for (std::uint32_t kk = 0; kk < 16; ++kk) {
+        b.vMad(12, vreg(2), imm(64), imm(kk * 4)); // Atile[ty][kk]
+        b.dsRead(13, 12);
+        b.vMad(14, vreg(1), imm(4), imm(1024 + 64 * kk)); // Btile[kk][tx]
+        b.dsRead(15, 14);
+        b.waitcnt();
+        b.vMacF32(5, vreg(13), vreg(15));
+    }
+    b.barrier(); // tiles must be consumed before the next overwrite
+    b.sAdd(10, sreg(10), imm(16));
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(10), imm(n));
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);
+
+    // C[row][col] = acc.
+    b.emit(Opcode::V_LSHL_B32, vreg(16), vreg(3), imm(log_n));
+    b.vAddU32(16, vreg(16), vreg(4));
+    b.vMad(16, vreg(16), imm(4), sreg(5));
+    b.flatStore(16, vreg(5));
+    b.endProgram();
+    return b.finish();
+}
+
+/** Same host-side setup as MmWorkload, lowered to the tiled kernel. */
+class MmTiledWorkload : public Workload
+{
+  public:
+    explicit MmTiledWorkload(std::uint32_t n) : n_(n)
+    {
+        PHOTON_ASSERT((n_ & (n_ - 1)) == 0 && n_ >= 64,
+                      "tiled MM size must be a power of two >= 64");
+        logN_ = 0;
+        while ((1u << logN_) < n_)
+            ++logN_;
+    }
+
+    std::string name() const override { return "MM-tiled"; }
+
+    void
+    setup(driver::Platform &p) override
+    {
+        std::uint64_t elems = std::uint64_t{n_} * n_;
+        hostA_.resize(elems);
+        hostB_.resize(elems);
+        Rng rng(45); // same inputs as the naive MM
+        for (float &v : hostA_)
+            v = rng.nextFloat(-1.0f, 1.0f);
+        for (float &v : hostB_)
+            v = rng.nextFloat(-1.0f, 1.0f);
+
+        a_ = p.alloc(elems * 4);
+        bbuf_ = p.alloc(elems * 4);
+        c_ = p.alloc(elems * 4);
+        p.memWrite(a_, hostA_.data(), elems * 4);
+        p.memWrite(bbuf_, hostB_.data(), elems * 4);
+
+        Addr kernarg = p.packArgs({static_cast<std::uint32_t>(a_),
+                                   static_cast<std::uint32_t>(bbuf_),
+                                   static_cast<std::uint32_t>(c_)});
+        std::uint32_t wgs = (n_ / 16) * (n_ / 16);
+        launches_.push_back({buildMmTiled(n_, logN_), wgs, 4, kernarg,
+                             "mm_tiled"});
+    }
+
+    const std::vector<LaunchSpec> &launches() const override
+    {
+        return launches_;
+    }
+
+    bool
+    check(driver::Platform &p) const override
+    {
+        std::uint64_t elems = std::uint64_t{n_} * n_;
+        std::vector<float> got(elems);
+        p.memRead(c_, got.data(), elems * 4);
+        std::uint32_t step = n_ >= 64 ? n_ / 16 : 1;
+        for (std::uint32_t i = 0; i < n_; i += step) {
+            for (std::uint32_t j = 0; j < n_; j += step) {
+                float want = 0.0f;
+                for (std::uint32_t k = 0; k < n_; ++k)
+                    want += hostA_[i * n_ + k] * hostB_[k * n_ + j];
+                float g = got[i * n_ + j];
+                if (std::abs(g - want) >
+                    1e-3f * std::max(1.0f, std::abs(want)))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::uint32_t n_;
+    std::uint32_t logN_ = 0;
+    Addr a_ = 0, bbuf_ = 0, c_ = 0;
+    std::vector<float> hostA_, hostB_;
+    std::vector<LaunchSpec> launches_;
+};
+
+} // namespace
+
+WorkloadPtr
+makeMmTiled(std::uint32_t n)
+{
+    return std::make_unique<MmTiledWorkload>(n);
+}
+
+} // namespace photon::workloads

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * PageRank (Hetero-Mark PR-X): pull-style iterations over a CSR graph.
+ * Each iteration launches two kernels:
+ *   contrib: c[u] = rank[u] * dampedInvDeg[u]        (elementwise)
+ *   gather:  rank'[v] = base + sum c[in-neighbours]  (SPMV-like)
+ * Iterations reuse the same kernels on the same graph, so their GPU
+ * BBVs match exactly — the showcase for kernel-sampling.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace photon::workloads {
+
+namespace {
+
+using namespace photon::isa;
+
+constexpr std::uint32_t kWavesPerWg = 4;
+constexpr float kDamping = 0.85f;
+
+ProgramPtr
+buildContrib(std::uint32_t wg_size)
+{
+    KernelBuilder b("pr_contrib");
+    b.sLoad(3, kSgprKernargBase, 0); // rank
+    b.sLoad(4, kSgprKernargBase, 4); // dampedInvDeg
+    b.sLoad(5, kSgprKernargBase, 8); // contrib
+    b.sLoad(6, kSgprKernargBase, 12); // n
+    emitTid(b, wg_size, 1);
+    Label end = b.label();
+    emitGuardLt(b, 1, sreg(6), end);
+    b.emit(Opcode::V_LSHL_B32, vreg(2), vreg(1), imm(2));
+    b.vAddU32(3, vreg(2), sreg(3));
+    b.flatLoad(4, 3);
+    b.vAddU32(5, vreg(2), sreg(4));
+    b.flatLoad(6, 5);
+    b.waitcnt();
+    b.vMulF32(7, vreg(4), vreg(6));
+    b.vAddU32(8, vreg(2), sreg(5));
+    b.flatStore(8, vreg(7));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+ProgramPtr
+buildGather(std::uint32_t wg_size, float base)
+{
+    KernelBuilder b("pr_gather");
+    b.sLoad(3, kSgprKernargBase, 0);  // rowPtr (incoming edges)
+    b.sLoad(4, kSgprKernargBase, 4);  // colIdx (sources)
+    b.sLoad(5, kSgprKernargBase, 8);  // contrib
+    b.sLoad(6, kSgprKernargBase, 12); // rankOut
+    b.sLoad(7, kSgprKernargBase, 16); // n
+    emitTid(b, wg_size, 1);
+    Label end = b.label();
+    emitGuardLt(b, 1, sreg(7), end);
+
+    b.vMad(2, vreg(1), imm(4), sreg(3));
+    b.flatLoad(3, 2); // start
+    b.vAddU32(2, vreg(2), imm(4));
+    b.flatLoad(4, 2); // end
+    b.waitcnt();
+    b.vMov(5, immF(base)); // acc starts at (1-d)/N
+    b.emit(Opcode::S_MOV_MASK, mreg(kMask0), mreg(kMaskExec));
+
+    Label loop = b.label();
+    Label done = b.label();
+    b.bind(loop);
+    b.emit(Opcode::V_CMP_LT_U32, {}, vreg(3), vreg(4));
+    b.emit(Opcode::S_AND_MASK, mreg(kMaskExec), mreg(kMaskExec),
+           mreg(kMaskVcc));
+    b.branch(Opcode::S_CBRANCH_EXECZ, done);
+    b.vMad(6, vreg(3), imm(4), sreg(4)); // &colIdx[e]
+    b.flatLoad(7, 6);
+    b.waitcnt();
+    b.vMad(8, vreg(7), imm(4), sreg(5)); // &contrib[src]
+    b.flatLoad(9, 8);
+    b.waitcnt();
+    b.vAddF32(5, vreg(5), vreg(9));
+    b.vAddU32(3, vreg(3), imm(1));
+    b.branch(Opcode::S_BRANCH, loop);
+
+    b.bind(done);
+    b.emit(Opcode::S_MOV_MASK, mreg(kMaskExec), mreg(kMask0));
+    b.vMad(10, vreg(1), imm(4), sreg(6));
+    b.flatStore(10, vreg(5));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+class PagerankWorkload : public Workload
+{
+  public:
+    PagerankWorkload(std::uint32_t num_nodes, std::uint32_t iterations,
+                     std::uint32_t avg_degree, std::uint64_t seed)
+        : iters_(iterations), avgDeg_(avg_degree), seed_(seed)
+    {
+        std::uint32_t per_wg = kWavesPerWg * kWavefrontLanes;
+        n_ = (num_nodes + per_wg - 1) / per_wg * per_wg;
+    }
+
+    std::string name() const override { return "PR-" + sizeTag(); }
+
+    void
+    setup(driver::Platform &p) override
+    {
+        Rng rng(seed_);
+
+        // Incoming-edge CSR; out-degrees derived from it.
+        rowPtrH_.assign(n_ + 1, 0);
+        for (std::uint32_t v = 0; v < n_; ++v) {
+            double r = rng.nextFloat();
+            rowPtrH_[v + 1] =
+                rowPtrH_[v] +
+                static_cast<std::uint32_t>(r * r * 2 * avgDeg_);
+        }
+        std::uint32_t edges = rowPtrH_[n_];
+        colIdxH_.resize(edges);
+        std::vector<std::uint32_t> outdeg(n_, 0);
+        // Neighbourhoods cluster (community structure): sources sit
+        // near the destination id, bounding the gather footprint.
+        const std::uint32_t band = 4096 < n_ ? 4096 : n_;
+        for (std::uint32_t v = 0; v < n_; ++v) {
+            for (std::uint32_t e = rowPtrH_[v]; e < rowPtrH_[v + 1];
+                 ++e) {
+                std::int64_t u = static_cast<std::int64_t>(v) +
+                                 static_cast<std::int64_t>(
+                                     rng.nextBelow(band)) -
+                                 band / 2;
+                if (u < 0)
+                    u += n_;
+                colIdxH_[e] = static_cast<std::uint32_t>(u % n_);
+                ++outdeg[colIdxH_[e]];
+            }
+        }
+        dampedInvDegH_.resize(n_);
+        for (std::uint32_t v = 0; v < n_; ++v) {
+            dampedInvDegH_[v] =
+                outdeg[v] ? kDamping / static_cast<float>(outdeg[v])
+                          : 0.0f;
+        }
+
+        rowPtr_ = p.alloc(rowPtrH_.size() * 4);
+        colIdx_ = p.alloc(colIdxH_.empty() ? 4 : colIdxH_.size() * 4);
+        invDeg_ = p.alloc(std::uint64_t{n_} * 4);
+        contrib_ = p.alloc(std::uint64_t{n_} * 4);
+        rank_[0] = p.alloc(std::uint64_t{n_} * 4);
+        rank_[1] = p.alloc(std::uint64_t{n_} * 4);
+
+        p.memWrite(rowPtr_, rowPtrH_.data(), rowPtrH_.size() * 4);
+        if (!colIdxH_.empty())
+            p.memWrite(colIdx_, colIdxH_.data(), colIdxH_.size() * 4);
+        p.memWrite(invDeg_, dampedInvDegH_.data(),
+                   dampedInvDegH_.size() * 4);
+        std::vector<float> init(n_, 1.0f / static_cast<float>(n_));
+        p.memWrite(rank_[0], init.data(), init.size() * 4);
+
+        std::uint32_t wg_size = kWavesPerWg * kWavefrontLanes;
+        std::uint32_t wgs = n_ / wg_size;
+        float base = (1.0f - kDamping) / static_cast<float>(n_);
+        isa::ProgramPtr contrib_prog = buildContrib(wg_size);
+        isa::ProgramPtr gather_prog = buildGather(wg_size, base);
+
+        for (std::uint32_t it = 0; it < iters_; ++it) {
+            Addr rank_in = rank_[it % 2];
+            Addr rank_out = rank_[(it + 1) % 2];
+            Addr ka1 = p.packArgs({static_cast<std::uint32_t>(rank_in),
+                                   static_cast<std::uint32_t>(invDeg_),
+                                   static_cast<std::uint32_t>(contrib_),
+                                   n_});
+            launches_.push_back({contrib_prog, wgs, kWavesPerWg, ka1,
+                                 "pr_contrib_it" + std::to_string(it)});
+            Addr ka2 = p.packArgs({static_cast<std::uint32_t>(rowPtr_),
+                                   static_cast<std::uint32_t>(colIdx_),
+                                   static_cast<std::uint32_t>(contrib_),
+                                   static_cast<std::uint32_t>(rank_out),
+                                   n_});
+            launches_.push_back({gather_prog, wgs, kWavesPerWg, ka2,
+                                 "pr_gather_it" + std::to_string(it)});
+        }
+    }
+
+    const std::vector<LaunchSpec> &launches() const override
+    {
+        return launches_;
+    }
+
+    bool
+    check(driver::Platform &p) const override
+    {
+        std::vector<float> rank(n_, 1.0f / static_cast<float>(n_));
+        std::vector<float> contrib(n_), next(n_);
+        float base = (1.0f - kDamping) / static_cast<float>(n_);
+        for (std::uint32_t it = 0; it < iters_; ++it) {
+            for (std::uint32_t v = 0; v < n_; ++v)
+                contrib[v] = rank[v] * dampedInvDegH_[v];
+            for (std::uint32_t v = 0; v < n_; ++v) {
+                float acc = base;
+                for (std::uint32_t e = rowPtrH_[v]; e < rowPtrH_[v + 1];
+                     ++e) {
+                    acc += contrib[colIdxH_[e]];
+                }
+                next[v] = acc;
+            }
+            std::swap(rank, next);
+        }
+        std::vector<float> got(n_);
+        p.memRead(rank_[iters_ % 2], got.data(), std::uint64_t{n_} * 4);
+        for (std::uint32_t v = 0; v < n_; ++v) {
+            if (std::abs(got[v] - rank[v]) >
+                1e-4f * std::max(1.0f, std::abs(rank[v])))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string
+    sizeTag() const
+    {
+        if (n_ >= 1024 && n_ % 1024 == 0)
+            return std::to_string(n_ / 1024) + "K";
+        return std::to_string(n_);
+    }
+
+    std::uint32_t n_ = 0;
+    std::uint32_t iters_;
+    std::uint32_t avgDeg_;
+    std::uint64_t seed_;
+    Addr rowPtr_ = 0, colIdx_ = 0, invDeg_ = 0, contrib_ = 0;
+    Addr rank_[2] = {0, 0};
+    std::vector<std::uint32_t> rowPtrH_, colIdxH_;
+    std::vector<float> dampedInvDegH_;
+    std::vector<LaunchSpec> launches_;
+};
+
+} // namespace
+
+WorkloadPtr
+makePagerank(std::uint32_t num_nodes, std::uint32_t iterations,
+             std::uint32_t avg_degree, std::uint64_t seed)
+{
+    return std::make_unique<PagerankWorkload>(num_nodes, iterations,
+                                              avg_degree, seed);
+}
+
+} // namespace photon::workloads

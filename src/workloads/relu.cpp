@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ReLU (DNNMark): out[i] = max(0, in[i]). The canonical "small kernel"
+ * workload — two basic blocks, one warp type, tens of instructions per
+ * warp.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace photon::workloads {
+
+namespace {
+
+using namespace photon::isa;
+
+constexpr std::uint32_t kWavesPerWg = 4;
+
+ProgramPtr
+buildRelu(std::uint32_t wg_size)
+{
+    KernelBuilder b("relu");
+    b.sLoad(3, kSgprKernargBase, 0); // in
+    b.sLoad(4, kSgprKernargBase, 4); // out
+    b.sLoad(5, kSgprKernargBase, 8); // n
+    emitTid(b, wg_size, 1);
+    Label end = b.label();
+    emitGuardLt(b, 1, sreg(5), end);
+    b.emit(Opcode::V_LSHL_B32, vreg(2), vreg(1), imm(2)); // byte offset
+    b.vAddU32(3, vreg(2), sreg(3));
+    b.flatLoad(4, 3);
+    b.waitcnt();
+    b.emit(Opcode::V_MAX_F32, vreg(4), vreg(4), immF(0.0f));
+    b.vAddU32(5, vreg(2), sreg(4));
+    b.flatStore(5, vreg(4));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+class ReluWorkload : public Workload
+{
+  public:
+    explicit ReluWorkload(std::uint32_t num_warps)
+        : numWgs_(workgroupsFor(num_warps, kWavesPerWg))
+    {}
+
+    std::string name() const override { return "ReLU"; }
+
+    void
+    setup(driver::Platform &p) override
+    {
+        n_ = numWgs_ * kWavesPerWg * kWavefrontLanes;
+        hostIn_.resize(n_);
+        Rng rng(42);
+        for (float &v : hostIn_)
+            v = rng.nextFloat(-1.0f, 1.0f);
+
+        in_ = p.alloc(std::uint64_t{n_} * 4);
+        out_ = p.alloc(std::uint64_t{n_} * 4);
+        p.memWrite(in_, hostIn_.data(), std::uint64_t{n_} * 4);
+
+        Addr kernarg = p.packArgs({static_cast<std::uint32_t>(in_),
+                                   static_cast<std::uint32_t>(out_), n_});
+        launches_.push_back({buildRelu(kWavesPerWg * kWavefrontLanes),
+                             numWgs_, kWavesPerWg, kernarg, "relu"});
+    }
+
+    const std::vector<LaunchSpec> &launches() const override
+    {
+        return launches_;
+    }
+
+    bool
+    check(driver::Platform &p) const override
+    {
+        std::vector<float> got(n_);
+        p.memRead(out_, got.data(), std::uint64_t{n_} * 4);
+        for (std::uint32_t i = 0; i < n_; ++i) {
+            if (got[i] != std::max(0.0f, hostIn_[i]))
+                return false;
+        }
+        return true;
+    }
+
+  private:
+    std::uint32_t numWgs_;
+    std::uint32_t n_ = 0;
+    Addr in_ = 0, out_ = 0;
+    std::vector<float> hostIn_;
+    std::vector<LaunchSpec> launches_;
+};
+
+} // namespace
+
+WorkloadPtr
+makeRelu(std::uint32_t num_warps)
+{
+    return std::make_unique<ReluWorkload>(num_warps);
+}
+
+} // namespace photon::workloads

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * SC — Simple Convolution (AMD APP SDK): a 3x3 stencil over a 2D image,
+ * one output pixel per thread. Border threads are masked off, so warps
+ * come in a few types (interior / partially-masked / empty), including
+ * the paper's "empty task" rare-basic-block case.
+ */
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "sim/log.hpp"
+#include "sim/rng.hpp"
+#include "workloads/common.hpp"
+#include "workloads/workload.hpp"
+
+namespace photon::workloads {
+
+namespace {
+
+using namespace photon::isa;
+
+constexpr std::uint32_t kWavesPerWg = 4;
+
+ProgramPtr
+buildSc(std::uint32_t wg_size, std::uint32_t width, std::uint32_t log_w,
+        std::uint32_t height)
+{
+    KernelBuilder b("sc");
+    b.sLoad(3, kSgprKernargBase, 0); // in
+    b.sLoad(4, kSgprKernargBase, 4); // out
+    b.sLoad(5, kSgprKernargBase, 8); // n
+    // Filter coefficients through the scalar path: s10..s18.
+    for (std::uint32_t i = 0; i < 9; ++i)
+        b.sLoad(10 + static_cast<std::int32_t>(i), kSgprKernargBase,
+                12 + i * 4);
+
+    emitTid(b, wg_size, 1);
+    Label end = b.label();
+    emitGuardLt(b, 1, sreg(5), end);
+
+    b.emit(Opcode::V_AND_B32, vreg(2), vreg(1), imm(width - 1)); // x
+    b.emit(Opcode::V_LSHR_B32, vreg(3), vreg(1), imm(log_w));    // y
+    // Interior guard: 1 <= x < W-1, 1 <= y < H-1.
+    auto guard = [&](Opcode cmp, std::int32_t v, std::int64_t bound) {
+        b.emit(cmp, {}, vreg(v), imm(bound));
+        b.emit(Opcode::S_AND_MASK, mreg(kMaskExec), mreg(kMaskExec),
+               mreg(kMaskVcc));
+    };
+    guard(Opcode::V_CMP_GE_U32, 2, 1);
+    guard(Opcode::V_CMP_LT_U32, 2, width - 1);
+    guard(Opcode::V_CMP_GE_U32, 3, 1);
+    guard(Opcode::V_CMP_LT_U32, 3, height - 1);
+    b.branch(Opcode::S_CBRANCH_EXECZ, end);
+
+    // v4 = in + ((y-1)*W + (x-1)) * 4.
+    b.emit(Opcode::V_SUB_U32, vreg(4), vreg(3), imm(1));
+    b.emit(Opcode::V_LSHL_B32, vreg(4), vreg(4), imm(log_w));
+    b.emit(Opcode::V_SUB_U32, vreg(5), vreg(2), imm(1));
+    b.vAddU32(4, vreg(4), vreg(5));
+    b.vMad(4, vreg(4), imm(4), sreg(3));
+
+    b.vMov(7, immF(0.0f)); // accumulator
+    for (std::uint32_t r = 0; r < 3; ++r) {
+        for (std::uint32_t c = 0; c < 3; ++c) {
+            b.flatLoad(8, 4);
+            b.waitcnt();
+            b.vMacF32(7, vreg(8),
+                      sreg(10 + static_cast<std::int32_t>(r * 3 + c)));
+            if (c < 2)
+                b.vAddU32(4, vreg(4), imm(4));
+        }
+        if (r < 2)
+            b.vAddU32(4, vreg(4), imm((width - 2) * 4));
+    }
+
+    // Store out[y*W + x].
+    b.emit(Opcode::V_LSHL_B32, vreg(9), vreg(3), imm(log_w));
+    b.vAddU32(9, vreg(9), vreg(2));
+    b.vMad(10, vreg(9), imm(4), sreg(4));
+    b.flatStore(10, vreg(7));
+    b.bind(end);
+    b.endProgram();
+    return b.finish();
+}
+
+class ScWorkload : public Workload
+{
+  public:
+    ScWorkload(std::uint32_t num_warps, std::uint32_t width)
+        : width_(width)
+    {
+        PHOTON_ASSERT((width_ & (width_ - 1)) == 0,
+                      "SC width must be a power of two");
+        logW_ = 0;
+        while ((1u << logW_) < width_)
+            ++logW_;
+        std::uint32_t threads =
+            workgroupsFor(num_warps, kWavesPerWg) * kWavesPerWg *
+            kWavefrontLanes;
+        height_ = threads / width_;
+        PHOTON_ASSERT(height_ >= 4, "SC image too small for this width");
+    }
+
+    std::string name() const override { return "SC"; }
+
+    void
+    setup(driver::Platform &p) override
+    {
+        n_ = width_ * height_;
+        hostIn_.resize(n_);
+        Rng rng(44);
+        for (float &v : hostIn_)
+            v = rng.nextFloat(0.0f, 1.0f);
+        for (float &v : filt_)
+            v = rng.nextFloat(-0.3f, 0.3f);
+
+        in_ = p.alloc(std::uint64_t{n_} * 4);
+        out_ = p.alloc(std::uint64_t{n_} * 4);
+        p.memWrite(in_, hostIn_.data(), std::uint64_t{n_} * 4);
+
+        std::vector<std::uint32_t> args = {
+            static_cast<std::uint32_t>(in_),
+            static_cast<std::uint32_t>(out_), n_};
+        for (float f : filt_) {
+            std::uint32_t bits;
+            std::memcpy(&bits, &f, 4);
+            args.push_back(bits);
+        }
+        Addr kernarg = p.packArgs(args);
+
+        std::uint32_t wgs = n_ / (kWavesPerWg * kWavefrontLanes);
+        launches_.push_back({buildSc(kWavesPerWg * kWavefrontLanes,
+                                     width_, logW_, height_),
+                             wgs, kWavesPerWg, kernarg, "sc"});
+    }
+
+    const std::vector<LaunchSpec> &launches() const override
+    {
+        return launches_;
+    }
+
+    bool
+    check(driver::Platform &p) const override
+    {
+        std::vector<float> got(n_);
+        p.memRead(out_, got.data(), std::uint64_t{n_} * 4);
+        for (std::uint32_t y = 1; y + 1 < height_; ++y) {
+            for (std::uint32_t x = 1; x + 1 < width_; ++x) {
+                float want = 0.0f;
+                for (std::uint32_t r = 0; r < 3; ++r) {
+                    for (std::uint32_t c = 0; c < 3; ++c) {
+                        want += filt_[r * 3 + c] *
+                                hostIn_[(y + r - 1) * width_ + x + c - 1];
+                    }
+                }
+                if (std::abs(got[y * width_ + x] - want) > 1e-4f)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    std::uint32_t width_;
+    std::uint32_t logW_ = 0;
+    std::uint32_t height_ = 0;
+    std::uint32_t n_ = 0;
+    Addr in_ = 0, out_ = 0;
+    float filt_[9] = {};
+    std::vector<float> hostIn_;
+    std::vector<LaunchSpec> launches_;
+};
+
+} // namespace
+
+WorkloadPtr
+makeSc(std::uint32_t num_warps, std::uint32_t width)
+{
+    return std::make_unique<ScWorkload>(num_warps, width);
+}
+
+} // namespace photon::workloads

@@ -1,0 +1,18 @@
+#include "workloads/workload.hpp"
+
+namespace photon::workloads {
+
+std::vector<driver::LaunchResult>
+runWorkload(Workload &w, driver::Platform &platform)
+{
+    std::vector<driver::LaunchResult> results;
+    for (const LaunchSpec &spec : w.launches()) {
+        results.push_back(platform.launch(spec.program,
+                                          spec.numWorkgroups,
+                                          spec.wavesPerWorkgroup,
+                                          spec.kernarg, spec.label));
+    }
+    return results;
+}
+
+} // namespace photon::workloads

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Workload interface: each benchmark builds its kernels (in the mini GCN
+ * ISA), uploads inputs, exposes the launch sequence, and can verify the
+ * simulated results against a host reference (paper Table 2 suite).
+ */
+
+#ifndef PHOTON_WORKLOADS_WORKLOAD_HPP
+#define PHOTON_WORKLOADS_WORKLOAD_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/platform.hpp"
+#include "isa/program.hpp"
+
+namespace photon::workloads {
+
+/** One kernel launch within a workload. */
+struct LaunchSpec
+{
+    isa::ProgramPtr program;
+    std::uint32_t numWorkgroups = 1;
+    std::uint32_t wavesPerWorkgroup = 4;
+    Addr kernarg = 0;
+    std::string label;
+
+    std::uint32_t
+    totalWarps() const
+    {
+        return numWorkgroups * wavesPerWorkgroup;
+    }
+};
+
+/** A runnable benchmark. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name, e.g. "MM". */
+    virtual std::string name() const = 0;
+
+    /** Allocate buffers, upload inputs, build kernels. */
+    virtual void setup(driver::Platform &platform) = 0;
+
+    /** The kernel launch sequence (valid after setup()). */
+    virtual const std::vector<LaunchSpec> &launches() const = 0;
+
+    /**
+     * Verify simulated outputs against a host reference. Only
+     * meaningful after a run whose mode executes every warp
+     * functionally (FullDetailed, or Photon without warp-sampling).
+     */
+    virtual bool check(driver::Platform &platform) const = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/** Run every launch of @p w on @p platform; returns per-launch results. */
+std::vector<driver::LaunchResult> runWorkload(Workload &w,
+                                              driver::Platform &platform);
+
+// ----- Factories (sizes follow the paper: problem size == warp count
+// where the workload permits it) -----
+
+/** ReLU over n = warps*64 elements (DNNMark). */
+WorkloadPtr makeRelu(std::uint32_t num_warps);
+
+/** FIR filter, taps coefficients (Hetero-Mark). */
+WorkloadPtr makeFir(std::uint32_t num_warps, std::uint32_t taps = 16);
+
+/** Simple 3x3 convolution on a width x (warps*64/width) image
+ *  (AMD APP SDK). width must be a power of two. */
+WorkloadPtr makeSc(std::uint32_t num_warps, std::uint32_t width = 256);
+
+/** Matrix multiplication C = A x B, N x N, N a power of two
+ *  (AMD APP SDK). warps = N*N/64. */
+WorkloadPtr makeMm(std::uint32_t n);
+
+/** LDS-tiled matrix multiplication (16x16 tiles staged through shared
+ *  memory with s_barrier) — exercises the barrier/LDS timing path. */
+WorkloadPtr makeMmTiled(std::uint32_t n);
+
+/** AES-256-style encryption: 14 rounds of table lookups over one
+ *  16-byte block per thread (Hetero-Mark). */
+WorkloadPtr makeAes(std::uint32_t num_warps);
+
+/** Sparse matrix-vector multiplication, CSR, one row per thread, row
+ *  lengths drawn from a skewed distribution (SHOC). */
+WorkloadPtr makeSpmv(std::uint32_t num_rows, std::uint32_t max_row_len = 64,
+                     std::uint64_t seed = 1);
+
+/** PageRank with @p num_nodes nodes, @p iterations pull iterations
+ *  (Hetero-Mark PR-X). */
+WorkloadPtr makePagerank(std::uint32_t num_nodes,
+                         std::uint32_t iterations = 8,
+                         std::uint32_t avg_degree = 8,
+                         std::uint64_t seed = 2);
+
+} // namespace photon::workloads
+
+#endif // PHOTON_WORKLOADS_WORKLOAD_HPP

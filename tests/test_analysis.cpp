@@ -1,0 +1,134 @@
+/** @file Tests for the online-analysis pass (paper Figures 8/11/12). */
+
+#include <gtest/gtest.h>
+
+#include "driver/platform.hpp"
+#include "isa/basic_block.hpp"
+#include "sampling/analysis.hpp"
+#include "workloads/workload.hpp"
+
+using namespace photon;
+using namespace photon::sampling;
+
+namespace {
+
+struct Prepared
+{
+    std::unique_ptr<driver::Platform> platform;
+    workloads::WorkloadPtr workload;
+    func::LaunchDims dims;
+    isa::ProgramPtr program;
+};
+
+Prepared
+prepare(workloads::WorkloadPtr w)
+{
+    Prepared p;
+    p.platform = std::make_unique<driver::Platform>(
+        GpuConfig::testTiny(), driver::SimMode::FullDetailed);
+    p.workload = std::move(w);
+    p.workload->setup(*p.platform);
+    const auto &spec = p.workload->launches()[0];
+    p.dims = {spec.numWorkgroups, spec.wavesPerWorkgroup, spec.kernarg};
+    p.program = spec.program;
+    return p;
+}
+
+} // namespace
+
+TEST(Analysis, SampleCountRespectsRateAndMinimum)
+{
+    Prepared p = prepare(workloads::makeRelu(1024));
+    isa::BasicBlockTable bbs(*p.program);
+    SamplingConfig cfg;
+    cfg.onlineSampleRate = 0.01;
+    cfg.onlineSampleMin = 8;
+    OnlineAnalysis a = analyzeKernel(*p.program, bbs, p.dims,
+                                     p.platform->mem(), cfg);
+    EXPECT_EQ(a.totalWarps, 1024u);
+    EXPECT_EQ(a.sampledWarps, 10u); // 1% of 1024, above the minimum
+
+    cfg.onlineSampleRate = 0.001;
+    OnlineAnalysis b = analyzeKernel(*p.program, bbs, p.dims,
+                                     p.platform->mem(), cfg);
+    EXPECT_EQ(b.sampledWarps, 8u); // clamped to the minimum
+}
+
+TEST(Analysis, ReluHasOneDominantType)
+{
+    Prepared p = prepare(workloads::makeRelu(1024));
+    isa::BasicBlockTable bbs(*p.program);
+    SamplingConfig cfg;
+    OnlineAnalysis a = analyzeKernel(*p.program, bbs, p.dims,
+                                     p.platform->mem(), cfg);
+    EXPECT_EQ(a.classifier.numTypes(), 1u);
+    EXPECT_DOUBLE_EQ(a.dominantRate, 1.0);
+    EXPECT_GT(a.sampledInsts, 0u);
+    EXPECT_GT(a.avgInstsPerWarp(), 0.0);
+}
+
+TEST(Analysis, SpmvHasManyTypes)
+{
+    Prepared p = prepare(workloads::makeSpmv(512 * 64));
+    isa::BasicBlockTable bbs(*p.program);
+    SamplingConfig cfg;
+    cfg.onlineSampleRate = 0.05;
+    OnlineAnalysis a = analyzeKernel(*p.program, bbs, p.dims,
+                                     p.platform->mem(), cfg);
+    EXPECT_GT(a.classifier.numTypes(), 3u);
+    EXPECT_LT(a.dominantRate, 0.95);
+}
+
+TEST(Analysis, SampledDistributionMatchesFull)
+{
+    // Paper Figure 8: the 1% sample's BB distribution tracks the full
+    // one within a few percentage points.
+    Prepared p = prepare(workloads::makeSpmv(512 * 64));
+    isa::BasicBlockTable bbs(*p.program);
+    SamplingConfig cfg;
+    OnlineAnalysis sampled = analyzeKernel(*p.program, bbs, p.dims,
+                                           p.platform->mem(), cfg);
+    SamplingConfig full_cfg;
+    full_cfg.onlineSampleRate = 1.0;
+    OnlineAnalysis full = analyzeKernel(*p.program, bbs, p.dims,
+                                        p.platform->mem(), full_cfg);
+    auto total = [](const std::vector<std::uint64_t> &v) {
+        std::uint64_t t = 0;
+        for (auto c : v)
+            t += c;
+        return static_cast<double>(t);
+    };
+    double ts = total(sampled.bbInstCounts);
+    double tf = total(full.bbInstCounts);
+    ASSERT_GT(ts, 0);
+    ASSERT_GT(tf, 0);
+    for (std::size_t i = 0; i < full.bbInstCounts.size(); ++i) {
+        double fs = full.bbInstCounts[i] / tf;
+        double ss = sampled.bbInstCounts[i] / ts;
+        EXPECT_NEAR(fs, ss, 0.08) << "slot " << i;
+    }
+}
+
+TEST(Analysis, SignatureStableAcrossRepeats)
+{
+    Prepared p = prepare(workloads::makeRelu(512));
+    isa::BasicBlockTable bbs(*p.program);
+    SamplingConfig cfg;
+    OnlineAnalysis a = analyzeKernel(*p.program, bbs, p.dims,
+                                     p.platform->mem(), cfg);
+    OnlineAnalysis b = analyzeKernel(*p.program, bbs, p.dims,
+                                     p.platform->mem(), cfg);
+    EXPECT_DOUBLE_EQ(a.signature.distance(b.signature), 0.0);
+}
+
+TEST(Analysis, TraceWarpBbvCountsInstructions)
+{
+    Prepared p = prepare(workloads::makeRelu(512));
+    isa::BasicBlockTable bbs(*p.program);
+    Bbv bbv(bbs.numBlocks());
+    std::uint64_t insts = traceWarpBbv(*p.program, bbs, p.dims,
+                                       p.platform->mem(), 0, bbv);
+    EXPECT_GT(insts, 5u);
+    EXPECT_EQ(bbv.total(), bbs.numBlocks() >= 2 ? bbv.total() : 0);
+    EXPECT_GT(bbv.blockCount(0), 0u);
+}

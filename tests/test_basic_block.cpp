@@ -1,0 +1,143 @@
+/** @file Tests for static basic-block extraction. */
+
+#include <gtest/gtest.h>
+
+#include "isa/basic_block.hpp"
+#include "isa/builder.hpp"
+
+using namespace photon::isa;
+
+TEST(BasicBlock, StraightLineIsOneBlock)
+{
+    KernelBuilder b("k");
+    b.vMov(1, imm(0));
+    b.vMov(2, imm(1));
+    b.endProgram();
+    BasicBlockTable t(*b.finish());
+    ASSERT_EQ(t.numBlocks(), 1u);
+    EXPECT_EQ(t.block(0).startPc, 0u);
+    EXPECT_EQ(t.block(0).length, 3u);
+}
+
+TEST(BasicBlock, BranchSplitsBlocks)
+{
+    KernelBuilder b("k");
+    Label end = b.label();
+    b.vMov(1, imm(0));             // 0
+    b.branch(Opcode::S_BRANCH, end); // 1  (ends block 0)
+    b.vMov(2, imm(1));             // 2  (block 1)
+    b.bind(end);
+    b.endProgram();                // 3  (block 2: branch target)
+    BasicBlockTable t(*b.finish());
+    ASSERT_EQ(t.numBlocks(), 3u);
+    EXPECT_EQ(t.block(0).length, 2u);
+    EXPECT_EQ(t.block(1).startPc, 2u);
+    EXPECT_EQ(t.block(2).startPc, 3u);
+}
+
+TEST(BasicBlock, BarrierEndsBlock)
+{
+    // Photon's extended delimiter (paper Observation 3).
+    KernelBuilder b("k");
+    b.vMov(1, imm(0)); // 0
+    b.barrier();       // 1 ends block
+    b.vMov(2, imm(1)); // 2
+    b.endProgram();    // 3
+    BasicBlockTable t(*b.finish());
+    ASSERT_EQ(t.numBlocks(), 2u);
+    EXPECT_EQ(t.block(0).length, 2u);
+    EXPECT_EQ(t.block(1).startPc, 2u);
+    EXPECT_EQ(t.block(1).length, 2u);
+}
+
+TEST(BasicBlock, WaitcntDoesNotEndBlockByDefault)
+{
+    KernelBuilder b("k");
+    b.vMov(1, imm(0));
+    b.waitcnt();
+    b.vMov(2, imm(1));
+    b.endProgram();
+    BasicBlockTable t(*b.finish());
+    EXPECT_EQ(t.numBlocks(), 1u);
+}
+
+TEST(BasicBlock, WaitcntSplitsWhenEnabled)
+{
+    // The paper's future-work extension: isolate memory-access groups.
+    KernelBuilder b("k");
+    b.vMov(1, imm(0));
+    b.waitcnt();       // pc 1, ends block when enabled
+    b.vMov(2, imm(1));
+    b.endProgram();
+    ProgramPtr prog = b.finish();
+    BasicBlockTable t(*prog, /*split_at_waitcnt=*/true);
+    ASSERT_EQ(t.numBlocks(), 2u);
+    EXPECT_EQ(t.block(0).length, 2u);
+    EXPECT_EQ(t.block(1).startPc, 2u);
+}
+
+TEST(BasicBlock, LoopShape)
+{
+    KernelBuilder b("k");
+    b.sMov(3, imm(0)); // 0 block A
+    Label loop = b.label();
+    b.bind(loop);
+    b.sAdd(3, sreg(3), imm(1));                        // 1 block B
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(3), imm(4)); // 2
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);            // 3 ends B
+    b.endProgram();                                    // 4 block C
+    BasicBlockTable t(*b.finish());
+    ASSERT_EQ(t.numBlocks(), 3u);
+    EXPECT_EQ(t.block(1).startPc, 1u);
+    EXPECT_EQ(t.block(1).length, 3u);
+    EXPECT_TRUE(t.isLeader(1));
+    EXPECT_FALSE(t.isLeader(2));
+    EXPECT_EQ(t.blockAt(2), 1u);
+    EXPECT_EQ(t.blockAt(4), 2u);
+}
+
+TEST(BasicBlock, EveryPcMapped)
+{
+    KernelBuilder b("k");
+    Label l = b.label();
+    b.vMov(1, imm(0));
+    b.branch(Opcode::S_CBRANCH_SCC0, l);
+    b.vMov(2, imm(0));
+    b.bind(l);
+    b.vMov(3, imm(0));
+    b.barrier();
+    b.endProgram();
+    ProgramPtr p = b.finish();
+    BasicBlockTable t(*p);
+    for (std::uint32_t pc = 0; pc < p->size(); ++pc) {
+        BbId id = t.blockAt(pc);
+        ASSERT_NE(id, kNoBb);
+        const BasicBlock &blk = t.block(id);
+        EXPECT_GE(pc, blk.startPc);
+        EXPECT_LE(pc, blk.endPc());
+    }
+}
+
+TEST(BasicBlock, BlocksPartitionProgram)
+{
+    KernelBuilder b("k");
+    Label l1 = b.label(), l2 = b.label();
+    b.branch(Opcode::S_CBRANCH_SCC1, l1);
+    b.vMov(1, imm(0));
+    b.bind(l1);
+    b.branch(Opcode::S_CBRANCH_SCC0, l2);
+    b.vMov(2, imm(0));
+    b.bind(l2);
+    b.endProgram();
+    ProgramPtr p = b.finish();
+    BasicBlockTable t(*p);
+    std::uint32_t covered = 0;
+    std::uint32_t prev_end = 0;
+    for (BbId i = 0; i < t.numBlocks(); ++i) {
+        const BasicBlock &blk = t.block(i);
+        EXPECT_EQ(blk.startPc, prev_end);
+        prev_end = blk.startPc + blk.length;
+        covered += blk.length;
+    }
+    EXPECT_EQ(covered, p->size());
+}

@@ -1,0 +1,121 @@
+/** @file Tests for BBVs, lane buckets, projection and the BB tracker. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "sampling/bbv.hpp"
+
+using namespace photon;
+using namespace photon::sampling;
+
+TEST(LaneBucket, Boundaries)
+{
+    EXPECT_EQ(laneBucket(64), 3u);
+    EXPECT_EQ(laneBucket(63), 2u);
+    EXPECT_EQ(laneBucket(33), 2u);
+    EXPECT_EQ(laneBucket(32), 1u);
+    EXPECT_EQ(laneBucket(9), 1u);
+    EXPECT_EQ(laneBucket(8), 0u);
+    EXPECT_EQ(laneBucket(0), 0u);
+}
+
+TEST(Bbv, CountsPerSlotAndBlock)
+{
+    Bbv v(3);
+    v.add(0, 64);
+    v.add(0, 64);
+    v.add(0, 10);
+    v.add(2, 64, 5);
+    EXPECT_EQ(v.slotCount(bbSlot(0, 64)), 2u);
+    EXPECT_EQ(v.slotCount(bbSlot(0, 10)), 1u);
+    EXPECT_EQ(v.blockCount(0), 3u);
+    EXPECT_EQ(v.blockCount(1), 0u);
+    EXPECT_EQ(v.blockCount(2), 5u);
+    EXPECT_EQ(v.total(), 8u);
+}
+
+TEST(Bbv, HashDistinguishesVectors)
+{
+    Bbv a(4), b(4), c(4);
+    a.add(0, 64);
+    b.add(0, 64);
+    c.add(1, 64);
+    EXPECT_EQ(a.hash(), b.hash());
+    EXPECT_NE(a.hash(), c.hash());
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(Bbv, BlockHashIgnoresLaneBuckets)
+{
+    // The paper's warp-type identity: masked lanes don't change type.
+    Bbv a(4), b(4), c(4);
+    a.add(0, 64);
+    b.add(0, 40); // different bucket, same block
+    c.add(1, 64); // different block
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_EQ(a.blockHash(), b.blockHash());
+    EXPECT_NE(a.blockHash(), c.blockHash());
+}
+
+TEST(Bbv, ProjectionIsNormalised)
+{
+    Bbv v(8);
+    v.add(0, 64, 10);
+    v.add(3, 64, 30);
+    std::vector<double> p = v.project(16);
+    ASSERT_EQ(p.size(), 16u);
+    double sum = 0;
+    for (double d : p)
+        sum += d;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Bbv, ProjectionDeterministicAndScaleInvariant)
+{
+    Bbv a(8), b(8);
+    a.add(0, 64, 1);
+    a.add(5, 64, 3);
+    b.add(0, 64, 10);
+    b.add(5, 64, 30);
+    EXPECT_EQ(a.project(16), b.project(16));
+}
+
+TEST(Bbv, EmptyProjectionIsZero)
+{
+    Bbv v(8);
+    for (double d : v.project(16))
+        EXPECT_EQ(d, 0.0);
+}
+
+TEST(BbTracker, TracksBlockSequence)
+{
+    using namespace photon::isa;
+    KernelBuilder b("k");
+    Label loop = b.label();
+    b.sMov(3, imm(0));   // 0  bb0
+    b.bind(loop);
+    b.sAdd(3, sreg(3), imm(1));                        // 1  bb1
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(3), imm(3)); // 2
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);            // 3
+    b.endProgram();                                    // 4  bb2
+    ProgramPtr prog = b.finish();
+    BasicBlockTable table(*prog);
+
+    BbTracker tracker(table);
+    std::uint64_t full = ~std::uint64_t{0};
+    // Simulate the PC stream: 0, (1,2,3)x3, 4.
+    std::vector<std::uint32_t> pcs = {0, 1, 2, 3, 1, 2, 3, 1, 2, 3, 4};
+    Bbv bbv(table.numBlocks());
+    for (std::uint32_t pc : pcs) {
+        auto ev = tracker.onInstruction(pc, full);
+        if (ev.valid())
+            bbv.add(ev.bb, ev.activeLanes);
+    }
+    auto last = tracker.finish();
+    bbv.add(last.bb, last.activeLanes);
+
+    EXPECT_EQ(bbv.blockCount(0), 1u);
+    EXPECT_EQ(bbv.blockCount(1), 3u);
+    EXPECT_EQ(bbv.blockCount(2), 1u);
+}

@@ -1,0 +1,150 @@
+/** @file Tests for the kernel builder, program validation and disasm. */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.hpp"
+#include "isa/disasm.hpp"
+
+using namespace photon::isa;
+
+namespace {
+
+ProgramPtr
+tinyProgram()
+{
+    KernelBuilder b("tiny");
+    b.vMov(1, imm(42));
+    b.endProgram();
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Builder, EmitsInstructionsInOrder)
+{
+    KernelBuilder b("k");
+    b.sMov(3, imm(1));
+    b.vMov(1, sreg(3));
+    b.endProgram();
+    ProgramPtr p = b.finish();
+    ASSERT_EQ(p->size(), 3u);
+    EXPECT_EQ(p->at(0).op, Opcode::S_MOV_B32);
+    EXPECT_EQ(p->at(1).op, Opcode::V_MOV_B32);
+    EXPECT_EQ(p->at(2).op, Opcode::S_ENDPGM);
+}
+
+TEST(Builder, TracksRegisterCounts)
+{
+    KernelBuilder b("k");
+    b.sMov(9, imm(0));
+    b.vMov(5, imm(0));
+    b.endProgram();
+    ProgramPtr p = b.finish();
+    EXPECT_EQ(p->numSgprs(), 10u);
+    EXPECT_EQ(p->numVgprs(), 6u);
+}
+
+TEST(Builder, DispatcherRegistersAlwaysCounted)
+{
+    // s0..s2 and v0 are preloaded; a program that never names them must
+    // still reserve them.
+    ProgramPtr p = tinyProgram();
+    EXPECT_GE(p->numSgprs(), 3u);
+    EXPECT_GE(p->numVgprs(), 1u);
+}
+
+TEST(Builder, ForwardLabelResolves)
+{
+    KernelBuilder b("k");
+    Label skip = b.label();
+    b.branch(Opcode::S_BRANCH, skip);
+    b.vMov(1, imm(0));
+    b.bind(skip);
+    b.endProgram();
+    ProgramPtr p = b.finish();
+    EXPECT_EQ(p->at(0).target, 2);
+}
+
+TEST(Builder, BackwardLabelResolves)
+{
+    KernelBuilder b("k");
+    Label loop = b.label();
+    b.bind(loop);
+    b.sAdd(3, sreg(3), imm(1));
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(3), imm(10));
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);
+    b.endProgram();
+    ProgramPtr p = b.finish();
+    EXPECT_EQ(p->at(2).target, 0);
+}
+
+TEST(BuilderDeath, UnboundLabelPanics)
+{
+    EXPECT_DEATH(
+        {
+            KernelBuilder b("k");
+            Label l = b.label();
+            b.branch(Opcode::S_BRANCH, l);
+            b.endProgram();
+            b.finish();
+        },
+        "unbound label");
+}
+
+TEST(BuilderDeath, MissingEndpgmPanics)
+{
+    EXPECT_DEATH(
+        {
+            KernelBuilder b("k");
+            b.vMov(1, imm(0));
+            b.finish();
+        },
+        "does not end with s_endpgm");
+}
+
+TEST(BuilderDeath, DoubleBindPanics)
+{
+    EXPECT_DEATH(
+        {
+            KernelBuilder b("k");
+            Label l = b.label();
+            b.bind(l);
+            b.bind(l);
+        },
+        "label bound twice");
+}
+
+TEST(Builder, LdsBytesPropagate)
+{
+    KernelBuilder b("k");
+    b.setLdsBytes(1024);
+    b.endProgram();
+    EXPECT_EQ(b.finish()->ldsBytes(), 1024u);
+}
+
+TEST(Disasm, RendersOperandsAndTargets)
+{
+    KernelBuilder b("k");
+    Label end = b.label();
+    b.vMad(2, sreg(0), imm(256), vreg(0));
+    b.branch(Opcode::S_CBRANCH_EXECZ, end);
+    b.bind(end);
+    b.endProgram();
+    ProgramPtr p = b.finish();
+
+    EXPECT_EQ(disassemble(p->at(0)), "v_mad_u32 v2, s0, 256, v0");
+    EXPECT_EQ(disassemble(p->at(1)), "s_cbranch_execz @2");
+    std::string full = disassemble(*p);
+    EXPECT_NE(full.find("kernel k"), std::string::npos);
+    EXPECT_NE(full.find("s_endpgm"), std::string::npos);
+}
+
+TEST(Disasm, RendersMaskRegisters)
+{
+    Instruction inst;
+    inst.op = Opcode::S_AND_MASK;
+    inst.dst = mreg(kMaskExec);
+    inst.src0 = mreg(kMaskExec);
+    inst.src1 = mreg(kMaskVcc);
+    EXPECT_EQ(disassemble(inst), "s_and_mask exec, exec, vcc");
+}

@@ -1,0 +1,123 @@
+/** @file Tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "timing/cache.hpp"
+
+using namespace photon;
+using timing::SetAssocCache;
+
+namespace {
+
+CacheConfig
+smallCache()
+{
+    // 4 sets x 2 ways x 64B lines.
+    return CacheConfig{512, 2, 64, 10};
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_FALSE(c.probe(100));
+    EXPECT_TRUE(c.probe(100));
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, DistinctLinesDistinctEntries)
+{
+    SetAssocCache c(smallCache());
+    c.probe(1);
+    c.probe(2);
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_TRUE(c.contains(2));
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    SetAssocCache c(smallCache()); // 4 sets: lines 0,4,8 share set 0
+    c.probe(0);
+    c.probe(4);
+    c.probe(0);  // 0 is now MRU, 4 is LRU
+    c.probe(8);  // evicts 4
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(4));
+    EXPECT_TRUE(c.contains(8));
+}
+
+TEST(Cache, EvictionPrefersInvalidWays)
+{
+    SetAssocCache c(smallCache());
+    c.probe(0);
+    c.probe(4); // second way, no eviction of line 0
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(4));
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    SetAssocCache c(smallCache());
+    c.probe(0);
+    c.probe(1);
+    c.flush();
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Cache, ContainsDoesNotAllocate)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_FALSE(c.contains(5));
+    EXPECT_FALSE(c.contains(5)); // still a miss if probed
+    EXPECT_FALSE(c.probe(5));
+}
+
+TEST(Cache, PortSerialisesAccesses)
+{
+    SetAssocCache c(smallCache());
+    EXPECT_EQ(c.reservePort(100), 100u);
+    EXPECT_EQ(c.reservePort(100), 101u); // one access per cycle
+    EXPECT_EQ(c.reservePort(100), 102u);
+    EXPECT_EQ(c.reservePort(200), 200u); // idle gap resets
+}
+
+TEST(Cache, NoAliasingAcrossLinesSharingASet)
+{
+    SetAssocCache c(smallCache());
+    c.probe(1);
+    c.probe(1 + 4 * 1000);
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_TRUE(c.contains(1 + 4 * 1000));
+    EXPECT_FALSE(c.contains(1 + 4 * 2000));
+}
+
+/** Parameterised sweep: a cyclic working set that fits never misses
+ *  after the first pass; at 2x capacity LRU thrashes to zero hits. */
+class CacheSweep : public ::testing::TestWithParam<std::uint32_t>
+{};
+
+TEST_P(CacheSweep, CyclicWorkingSetBehaviour)
+{
+    CacheConfig cfg{GetParam(), 4, 64, 10};
+    SetAssocCache c(cfg);
+    std::uint32_t lines_capacity = cfg.sizeBytes / cfg.lineBytes;
+
+    for (std::uint32_t pass = 0; pass < 3; ++pass) {
+        for (std::uint32_t i = 0; i < lines_capacity; ++i)
+            c.probe(i);
+    }
+    EXPECT_EQ(c.misses(), lines_capacity);
+
+    SetAssocCache d(cfg);
+    for (std::uint32_t pass = 0; pass < 2; ++pass) {
+        for (std::uint32_t i = 0; i < 2 * lines_capacity; ++i)
+            d.probe(i);
+    }
+    EXPECT_EQ(d.hits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSweep,
+                         ::testing::Values(1024u, 4096u, 16384u, 65536u));

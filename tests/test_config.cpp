@@ -1,0 +1,59 @@
+/** @file Tests for the GPU configuration presets (paper Table 1). */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hpp"
+
+using namespace photon;
+
+TEST(Config, R9NanoMatchesTable1)
+{
+    GpuConfig c = GpuConfig::r9Nano();
+    EXPECT_EQ(c.numCus, 64u);
+    EXPECT_EQ(c.l1v.sizeBytes, 16u * 1024);
+    EXPECT_EQ(c.l1v.ways, 4u);
+    EXPECT_EQ(c.l1i.sizeBytes, 32u * 1024);
+    EXPECT_EQ(c.l1k.sizeBytes, 16u * 1024);
+    EXPECT_EQ(c.l2.sizeBytes, 256u * 1024);
+    EXPECT_EQ(c.l2.ways, 16u);
+    EXPECT_EQ(c.l2Banks, 8u);
+    EXPECT_EQ(c.dram.sizeBytes, 4ull << 30);
+}
+
+TEST(Config, Mi100MatchesTable1)
+{
+    GpuConfig c = GpuConfig::mi100();
+    EXPECT_EQ(c.numCus, 120u);
+    // 8MB L2 total across banks.
+    EXPECT_EQ(std::uint64_t{c.l2.sizeBytes} * c.l2Banks, 8ull << 20);
+    EXPECT_EQ(c.dram.sizeBytes, 32ull << 30);
+}
+
+TEST(Config, WaveSlotArithmetic)
+{
+    GpuConfig c = GpuConfig::r9Nano();
+    EXPECT_EQ(c.totalWaveSlots(), 64u * 4u * 10u);
+    GpuConfig t = GpuConfig::testTiny();
+    EXPECT_EQ(t.totalWaveSlots(), 4u * 4u * 10u);
+}
+
+TEST(Config, CacheSetCounts)
+{
+    CacheConfig c{16 * 1024, 4, 64, 16};
+    EXPECT_EQ(c.numSets(), 64u);
+    CacheConfig l2{256 * 1024, 16, 64, 110};
+    EXPECT_EQ(l2.numSets(), 256u);
+}
+
+TEST(Config, SamplingDefaultsMatchDesignDoc)
+{
+    SamplingConfig s;
+    EXPECT_DOUBLE_EQ(s.onlineSampleRate, 0.01); // paper: 1% of warps
+    EXPECT_DOUBLE_EQ(s.dominantWarpRate, 0.95); // paper Section 4.2
+    EXPECT_DOUBLE_EQ(s.stableBbRate, 0.95);     // paper Section 4.1
+    EXPECT_EQ(s.bbvDims, 16u);                  // paper Figure 5
+    EXPECT_TRUE(s.enableKernelSampling);
+    EXPECT_TRUE(s.enableWarpSampling);
+    EXPECT_TRUE(s.enableBbSampling);
+    EXPECT_FALSE(s.bbSplitAtWaitcnt); // future work: off by default
+}

@@ -1,0 +1,261 @@
+/** @file Tests for the DNN layer kernels and network builders. */
+
+#include <gtest/gtest.h>
+
+#include "driver/platform.hpp"
+#include "workloads/dnn/layers.hpp"
+#include "workloads/dnn/network.hpp"
+#include "sim/rng.hpp"
+
+using namespace photon;
+using namespace photon::workloads::dnn;
+
+namespace {
+
+/** Launch one layer kernel on the tiny GPU and return the output. */
+class LayerRunner
+{
+  public:
+    LayerRunner()
+        : platform_(GpuConfig::testTiny(),
+                    driver::SimMode::FullDetailed),
+          rng_(99)
+    {}
+
+    Addr
+    upload(const std::vector<float> &host)
+    {
+        Addr a = platform_.alloc(host.size() * 4);
+        platform_.memWrite(a, host.data(), host.size() * 4);
+        return a;
+    }
+
+    std::vector<float>
+    launch(const isa::ProgramPtr &prog, std::uint32_t threads,
+           std::vector<std::uint32_t> args, Addr out,
+           std::size_t out_count)
+    {
+        Addr ka = platform_.packArgs(args);
+        std::uint32_t wg = threads < 256 ? threads : 256;
+        platform_.launch(prog, threads / wg, wg / 64, ka);
+        std::vector<float> result(out_count);
+        platform_.memRead(out, result.data(), out_count * 4);
+        return result;
+    }
+
+    std::vector<float>
+    randomVec(std::size_t n, float lo = -1, float hi = 1)
+    {
+        std::vector<float> v(n);
+        for (float &x : v)
+            x = rng_.nextFloat(lo, hi);
+        return v;
+    }
+
+    driver::Platform platform_;
+    Rng rng_;
+};
+
+void
+expectNear(const std::vector<float> &got, const std::vector<float> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], want[i],
+                    1e-3f * std::max(1.0f, std::abs(want[i])))
+            << "index " << i;
+    }
+}
+
+} // namespace
+
+TEST(DnnLayers, Conv3x3MatchesReference)
+{
+    LayerRunner r;
+    ConvParams p;
+    p.inC = 4;
+    p.inH = p.inW = 8;
+    p.outC = 8;
+    p.kernel = 3;
+    p.stride = 1;
+    p.pad = 1;
+    auto in = r.randomVec(std::size_t{p.inC} * p.inH * p.inW);
+    auto w = r.randomVec(p.weightCount(), -0.3f, 0.3f);
+    Addr ind = r.upload(in), wd = r.upload(w);
+    Addr outd = r.platform_.alloc(std::size_t{p.outputCount()} * 4);
+    auto got = r.launch(buildConv(p), p.outputCount(),
+                        {static_cast<std::uint32_t>(ind),
+                         static_cast<std::uint32_t>(wd),
+                         static_cast<std::uint32_t>(outd)},
+                        outd, p.outputCount());
+    std::vector<float> want;
+    refConv(p, in, w, want);
+    expectNear(got, want);
+}
+
+TEST(DnnLayers, Conv1x1StridedMatchesReference)
+{
+    LayerRunner r;
+    ConvParams p;
+    p.inC = 8;
+    p.inH = p.inW = 8;
+    p.outC = 16;
+    p.kernel = 1;
+    p.stride = 2;
+    p.pad = 0;
+    auto in = r.randomVec(std::size_t{p.inC} * p.inH * p.inW);
+    auto w = r.randomVec(p.weightCount(), -0.3f, 0.3f);
+    Addr ind = r.upload(in), wd = r.upload(w);
+    Addr outd = r.platform_.alloc(std::size_t{p.outputCount()} * 4);
+    auto got = r.launch(buildConv(p), p.outputCount(),
+                        {static_cast<std::uint32_t>(ind),
+                         static_cast<std::uint32_t>(wd),
+                         static_cast<std::uint32_t>(outd)},
+                        outd, p.outputCount());
+    std::vector<float> want;
+    refConv(p, in, w, want);
+    expectNear(got, want);
+}
+
+TEST(DnnLayers, MaxPoolMatchesReference)
+{
+    LayerRunner r;
+    std::uint32_t c = 4, h = 16, w = 16;
+    auto in = r.randomVec(std::size_t{c} * h * w);
+    Addr ind = r.upload(in);
+    std::uint32_t out_n = c * (h / 2) * (w / 2);
+    Addr outd = r.platform_.alloc(std::size_t{out_n} * 4);
+    auto got = r.launch(buildMaxPool(c, h, w), out_n,
+                        {static_cast<std::uint32_t>(ind),
+                         static_cast<std::uint32_t>(outd)},
+                        outd, out_n);
+    std::vector<float> want;
+    refMaxPool(c, h, w, in, want);
+    expectNear(got, want);
+}
+
+TEST(DnnLayers, GlobalAvgPoolMatchesReference)
+{
+    LayerRunner r;
+    std::uint32_t c = 64, h = 4, w = 4;
+    auto in = r.randomVec(std::size_t{c} * h * w);
+    Addr ind = r.upload(in);
+    Addr outd = r.platform_.alloc(c * 4);
+    auto got = r.launch(buildGlobalAvgPool(c, h, w), c,
+                        {static_cast<std::uint32_t>(ind),
+                         static_cast<std::uint32_t>(outd)},
+                        outd, c);
+    std::vector<float> want;
+    refGlobalAvgPool(c, h, w, in, want);
+    expectNear(got, want);
+}
+
+TEST(DnnLayers, DenseMatchesReference)
+{
+    LayerRunner r;
+    std::uint32_t in_n = 128, out_n = 64;
+    auto in = r.randomVec(in_n);
+    auto w = r.randomVec(std::size_t{out_n} * in_n, -0.2f, 0.2f);
+    Addr ind = r.upload(in), wd = r.upload(w);
+    Addr outd = r.platform_.alloc(out_n * 4);
+    auto got = r.launch(buildDense(in_n, out_n), out_n,
+                        {static_cast<std::uint32_t>(ind),
+                         static_cast<std::uint32_t>(wd),
+                         static_cast<std::uint32_t>(outd)},
+                        outd, out_n);
+    std::vector<float> want;
+    refDense(in_n, out_n, in, w, want);
+    expectNear(got, want);
+}
+
+TEST(DnnLayers, BatchNormMatchesReference)
+{
+    LayerRunner r;
+    std::uint32_t c = 8, hw = 64;
+    auto in = r.randomVec(std::size_t{c} * hw);
+    auto gamma = r.randomVec(c, 0.8f, 1.2f);
+    auto beta = r.randomVec(c, -0.1f, 0.1f);
+    Addr ind = r.upload(in), gd = r.upload(gamma), bd = r.upload(beta);
+    Addr outd = r.platform_.alloc(std::size_t{c} * hw * 4);
+    auto got = r.launch(buildBatchNorm(c, hw), c * hw,
+                        {static_cast<std::uint32_t>(ind),
+                         static_cast<std::uint32_t>(gd),
+                         static_cast<std::uint32_t>(bd),
+                         static_cast<std::uint32_t>(outd)},
+                        outd, std::size_t{c} * hw);
+    std::vector<float> want;
+    refBatchNorm(c, hw, in, gamma, beta, want);
+    expectNear(got, want);
+}
+
+TEST(DnnLayers, AddAndReluMatchReference)
+{
+    LayerRunner r;
+    std::uint32_t n = 256;
+    auto a = r.randomVec(n);
+    auto b = r.randomVec(n);
+    Addr ad = r.upload(a), bd = r.upload(b);
+    Addr outd = r.platform_.alloc(n * 4);
+    auto got = r.launch(buildAddN(), n,
+                        {static_cast<std::uint32_t>(ad),
+                         static_cast<std::uint32_t>(bd),
+                         static_cast<std::uint32_t>(outd), n},
+                        outd, n);
+    std::vector<float> want;
+    refAdd(a, b, want);
+    expectNear(got, want);
+
+    Addr outd2 = r.platform_.alloc(n * 4);
+    auto got2 = r.launch(buildReluN(), n,
+                         {static_cast<std::uint32_t>(outd),
+                          static_cast<std::uint32_t>(outd2), n},
+                         outd2, n);
+    std::vector<float> want2;
+    refRelu(want, want2);
+    expectNear(got2, want2);
+}
+
+TEST(DnnNetworks, TinyVggEndToEnd)
+{
+    driver::Platform p(GpuConfig::testTiny(),
+                       driver::SimMode::FullDetailed);
+    auto net = makeVgg(16, 4, 32); // narrow width for test speed
+    net->setup(p);
+    workloads::runWorkload(*net, p);
+    EXPECT_TRUE(net->check(p));
+}
+
+TEST(DnnNetworks, TinyResnetEndToEnd)
+{
+    driver::Platform p(GpuConfig::testTiny(),
+                       driver::SimMode::FullDetailed);
+    auto net = makeResnet(18, 8, 32);
+    net->setup(p);
+    workloads::runWorkload(*net, p);
+    EXPECT_TRUE(net->check(p));
+}
+
+TEST(DnnNetworks, DepthScalesLaunchCounts)
+{
+    driver::Platform p(GpuConfig::testTiny(),
+                       driver::SimMode::FullDetailed);
+    auto r18 = makeResnet(18, 8, 32);
+    auto r34 = makeResnet(34, 8, 32);
+    auto r50 = makeResnet(50, 8, 32);
+    r18->setup(p);
+    r34->setup(p);
+    r50->setup(p);
+    EXPECT_LT(r18->launches().size(), r34->launches().size());
+    EXPECT_LT(r34->launches().size(), r50->launches().size());
+}
+
+TEST(DnnNetworks, Vgg19DeeperThanVgg16)
+{
+    driver::Platform p(GpuConfig::testTiny(),
+                       driver::SimMode::FullDetailed);
+    auto v16 = makeVgg(16, 4, 32);
+    auto v19 = makeVgg(19, 4, 32);
+    v16->setup(p);
+    v19->setup(p);
+    EXPECT_LT(v16->launches().size(), v19->launches().size());
+}

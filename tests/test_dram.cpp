@@ -1,0 +1,75 @@
+/** @file Tests for the banked DRAM model. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "timing/dram.hpp"
+
+using namespace photon;
+using timing::Dram;
+
+namespace {
+
+DramConfig
+cfg4()
+{
+    DramConfig c;
+    c.numBanks = 4;
+    c.accessLatency = 100;
+    c.cyclesPerLine = 10;
+    return c;
+}
+
+} // namespace
+
+TEST(Dram, IdleAccessPaysOnlyLatency)
+{
+    Dram d(cfg4());
+    EXPECT_EQ(d.access(0, 1000), 1000u + 100u);
+}
+
+TEST(Dram, SameBankBackToBackQueues)
+{
+    Dram d(cfg4());
+    Cycle t1 = d.access(0, 0);
+    Cycle t2 = d.access(4, 0); // line 4 maps to the same bank (4 % 4)
+    EXPECT_EQ(t1, 100u);
+    EXPECT_EQ(t2, 110u); // waits one service slot
+    EXPECT_EQ(d.queueingCycles(), 10u);
+}
+
+TEST(Dram, DifferentBanksDoNotQueue)
+{
+    Dram d(cfg4());
+    Cycle t1 = d.access(0, 0);
+    Cycle t2 = d.access(1, 0);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(d.queueingCycles(), 0u);
+}
+
+TEST(Dram, BandwidthBoundUnderLoad)
+{
+    Dram d(cfg4());
+    Cycle last = 0;
+    for (int i = 0; i < 40; ++i)
+        last = d.access(static_cast<std::uint64_t>(i) * 4, 0);
+    EXPECT_EQ(last, 39u * 10u + 100u);
+    EXPECT_EQ(d.accesses(), 40u);
+}
+
+TEST(Dram, BankRecoversAfterIdle)
+{
+    Dram d(cfg4());
+    d.access(0, 0);
+    EXPECT_EQ(d.access(0, 10000), 10100u);
+}
+
+TEST(Dram, AggregateBandwidthScalesWithBanks)
+{
+    Dram d(cfg4());
+    Cycle last = 0;
+    for (int i = 0; i < 40; ++i)
+        last = std::max(last, d.access(static_cast<std::uint64_t>(i), 0));
+    EXPECT_EQ(last, 9u * 10u + 100u); // 10 accesses per bank
+}

@@ -1,0 +1,111 @@
+/** @file Tests for the GPU BBV kernel signature (paper Figure 5). */
+
+#include <gtest/gtest.h>
+
+#include "sampling/gpu_bbv.hpp"
+
+using namespace photon::sampling;
+
+namespace {
+
+Bbv
+bbvOf(photon::isa::BbId bb, std::uint64_t n)
+{
+    Bbv v(8);
+    v.add(bb, 64, n);
+    return v;
+}
+
+WarpClassifier
+classifierA()
+{
+    WarpClassifier c;
+    for (int i = 0; i < 90; ++i)
+        c.classify(bbvOf(0, 10), 100);
+    for (int i = 0; i < 10; ++i)
+        c.classify(bbvOf(1, 10), 100);
+    return c;
+}
+
+} // namespace
+
+TEST(GpuBbv, IdenticalClassifiersZeroDistance)
+{
+    WarpClassifier a = classifierA();
+    WarpClassifier b = classifierA();
+    GpuBbv sa = GpuBbv::build(a, 16, 8);
+    GpuBbv sb = GpuBbv::build(b, 16, 8);
+    EXPECT_DOUBLE_EQ(sa.distance(sb), 0.0);
+}
+
+TEST(GpuBbv, DisjointBehaviourFarApart)
+{
+    WarpClassifier a, b;
+    for (int i = 0; i < 10; ++i)
+        a.classify(bbvOf(0, 10), 100);
+    for (int i = 0; i < 10; ++i)
+        b.classify(bbvOf(3, 10), 100);
+    GpuBbv sa = GpuBbv::build(a, 16, 8);
+    GpuBbv sb = GpuBbv::build(b, 16, 8);
+    EXPECT_GT(sa.distance(sb), 1.0);
+}
+
+TEST(GpuBbv, WeightShiftMovesDistanceSmoothly)
+{
+    // 90/10 vs 80/20 mix of the same two warp types: small distance,
+    // but nonzero.
+    WarpClassifier a = classifierA();
+    WarpClassifier b;
+    for (int i = 0; i < 80; ++i)
+        b.classify(bbvOf(0, 10), 100);
+    for (int i = 0; i < 20; ++i)
+        b.classify(bbvOf(1, 10), 100);
+    GpuBbv sa = GpuBbv::build(a, 16, 8);
+    GpuBbv sb = GpuBbv::build(b, 16, 8);
+    double d = sa.distance(sb);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LT(d, 0.5);
+}
+
+TEST(GpuBbv, ClustersOrderedByWeight)
+{
+    WarpClassifier c;
+    for (int i = 0; i < 10; ++i)
+        c.classify(bbvOf(1, 10), 100); // first seen, minority later
+    for (int i = 0; i < 90; ++i)
+        c.classify(bbvOf(0, 10), 100);
+    GpuBbv sig = GpuBbv::build(c, 16, 8);
+    // First cluster in the signature carries weight 0.9: the vector's
+    // total mass in its first 16 dims must be 0.9.
+    double first = 0;
+    for (std::uint32_t i = 0; i < 16; ++i)
+        first += sig.vec()[i];
+    EXPECT_NEAR(first, 0.9, 1e-9);
+}
+
+TEST(GpuBbv, MaxClustersTruncates)
+{
+    WarpClassifier c;
+    for (int t = 0; t < 6; ++t)
+        c.classify(bbvOf(static_cast<photon::isa::BbId>(t), 5), 50);
+    GpuBbv sig = GpuBbv::build(c, 16, 2);
+    EXPECT_EQ(sig.numClusters(), 2u);
+    EXPECT_EQ(sig.vec().size(), 32u);
+}
+
+TEST(GpuBbv, MismatchedDimsAreFar)
+{
+    WarpClassifier c = classifierA();
+    GpuBbv a = GpuBbv::build(c, 16, 8);
+    GpuBbv b = GpuBbv::build(c, 8, 8);
+    EXPECT_DOUBLE_EQ(a.distance(b), 2.0);
+}
+
+TEST(GpuBbv, EmptySignature)
+{
+    GpuBbv empty;
+    EXPECT_TRUE(empty.empty());
+    WarpClassifier c = classifierA();
+    GpuBbv sig = GpuBbv::build(c, 16, 8);
+    EXPECT_FALSE(sig.empty());
+}

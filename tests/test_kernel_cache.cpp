@@ -1,0 +1,107 @@
+/** @file Tests for the kernel-sampling signature cache. */
+
+#include <gtest/gtest.h>
+
+#include "sampling/kernel_cache.hpp"
+
+using namespace photon;
+using namespace photon::sampling;
+
+namespace {
+
+GpuBbv
+sigOf(photon::isa::BbId bb)
+{
+    WarpClassifier c;
+    Bbv v(8);
+    v.add(bb, 64, 10);
+    for (int i = 0; i < 10; ++i)
+        c.classify(v, 100);
+    return GpuBbv::build(c, 16, 8);
+}
+
+KernelRecord
+record(const char *name, photon::isa::BbId bb, std::uint32_t warps,
+       std::uint64_t insts, Cycle cycles)
+{
+    KernelRecord r;
+    r.name = name;
+    r.signature = sigOf(bb);
+    r.numWarps = warps;
+    r.totalInsts = insts;
+    r.sampledInsts = insts / 100;
+    r.cycles = cycles;
+    return r;
+}
+
+} // namespace
+
+TEST(KernelCache, MatchesIdenticalSignature)
+{
+    SamplingConfig cfg;
+    KernelCache cache(cfg, 2560);
+    cache.insert(record("a", 0, 10000, 1000000, 5000));
+    const KernelRecord *hit = cache.match(sigOf(0), 10000);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->name, "a");
+}
+
+TEST(KernelCache, RejectsDistantSignature)
+{
+    SamplingConfig cfg;
+    KernelCache cache(cfg, 2560);
+    cache.insert(record("a", 0, 10000, 1000000, 5000));
+    EXPECT_EQ(cache.match(sigOf(3), 10000), nullptr);
+}
+
+TEST(KernelCache, PrefersClosestWarpCount)
+{
+    SamplingConfig cfg;
+    KernelCache cache(cfg, 2560);
+    cache.insert(record("far", 0, 40000, 4000000, 20000));
+    cache.insert(record("near", 0, 11000, 1100000, 5500));
+    const KernelRecord *hit = cache.match(sigOf(0), 10000);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->name, "near");
+}
+
+TEST(KernelCache, SmallKernelsNeedExactWarpCount)
+{
+    // Below the GPU's slot count, IPC depends on occupancy: matching
+    // requires equality (paper Section 4.3).
+    SamplingConfig cfg;
+    KernelCache cache(cfg, 2560);
+    cache.insert(record("small", 0, 512, 51200, 400));
+    EXPECT_EQ(cache.match(sigOf(0), 768), nullptr);
+    EXPECT_NE(cache.match(sigOf(0), 512), nullptr);
+}
+
+TEST(KernelCache, LargeKernelsAllowWarpMismatch)
+{
+    SamplingConfig cfg;
+    KernelCache cache(cfg, 2560);
+    cache.insert(record("big", 0, 10000, 1000000, 5000));
+    EXPECT_NE(cache.match(sigOf(0), 12000), nullptr);
+}
+
+TEST(KernelCache, PredictionScalesInstructions)
+{
+    // Paper 4.3: #insts = #insts^K' * sample / sample^K'; time follows
+    // the prior kernel's IPC.
+    KernelRecord rec = record("a", 0, 10000, 1000000, 5000);
+    // rec: IPC = 200, sampledInsts = 10000.
+    KernelPrediction p = KernelCache::predict(rec, 20000);
+    EXPECT_EQ(p.insts, 2000000u); // twice the sampled work
+    EXPECT_EQ(p.cycles, 10000u);  // same IPC
+}
+
+TEST(KernelCache, ClearEmpties)
+{
+    SamplingConfig cfg;
+    KernelCache cache(cfg, 2560);
+    cache.insert(record("a", 0, 10000, 1000000, 5000));
+    EXPECT_EQ(cache.size(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.match(sigOf(0), 10000), nullptr);
+}

@@ -1,0 +1,76 @@
+/** @file Tests for the simulated global-memory arena. */
+
+#include <gtest/gtest.h>
+
+#include "func/memory.hpp"
+
+using photon::func::GlobalMemory;
+
+TEST(Memory, AllocationsAreDisjointAndAligned)
+{
+    GlobalMemory mem(1 << 20);
+    auto a = mem.allocate(100);
+    auto b = mem.allocate(100);
+    EXPECT_NE(a, 0u); // address 0 reserved as null
+    EXPECT_GE(b, a + 100);
+    EXPECT_EQ(a % 64, 0u);
+    EXPECT_EQ(b % 64, 0u);
+}
+
+TEST(Memory, CustomAlignmentHonoured)
+{
+    GlobalMemory mem(1 << 20);
+    mem.allocate(3);
+    auto a = mem.allocate(16, 4096);
+    EXPECT_EQ(a % 4096, 0u);
+}
+
+TEST(Memory, ReadBackWhatWasWritten)
+{
+    GlobalMemory mem(1 << 20);
+    auto a = mem.allocate(64);
+    mem.write32(a, 0xdeadbeef);
+    mem.write32(a + 4, 42);
+    EXPECT_EQ(mem.read32(a), 0xdeadbeefu);
+    EXPECT_EQ(mem.read32(a + 4), 42u);
+}
+
+TEST(Memory, BlockCopyRoundTrip)
+{
+    GlobalMemory mem(1 << 20);
+    auto a = mem.allocate(256);
+    std::vector<std::uint8_t> src(256);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i * 7);
+    mem.writeBlock(a, src.data(), src.size());
+    std::vector<std::uint8_t> dst(256);
+    mem.readBlock(a, dst.data(), dst.size());
+    EXPECT_EQ(src, dst);
+}
+
+TEST(Memory, AllocatedTracksBrk)
+{
+    GlobalMemory mem(1 << 20);
+    auto before = mem.allocated();
+    mem.allocate(1000);
+    EXPECT_GE(mem.allocated(), before + 1000);
+}
+
+TEST(MemoryDeath, ExhaustionIsFatal)
+{
+    GlobalMemory mem(4096);
+    EXPECT_EXIT(mem.allocate(1 << 20),
+                ::testing::ExitedWithCode(1), "exhausted");
+}
+
+TEST(MemoryDeath, NullAccessPanics)
+{
+    GlobalMemory mem(4096);
+    EXPECT_DEATH(mem.read32(0), "out of bounds");
+}
+
+TEST(MemoryDeath, OutOfRangePanics)
+{
+    GlobalMemory mem(4096);
+    EXPECT_DEATH(mem.write32(1 << 20, 1), "out of bounds");
+}

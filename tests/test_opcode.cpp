@@ -1,0 +1,92 @@
+/** @file Tests for static opcode metadata. */
+
+#include <gtest/gtest.h>
+
+#include "isa/opcode.hpp"
+
+using namespace photon::isa;
+
+TEST(Opcode, EveryOpcodeHasAName)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_FALSE(opcodeName(op).empty()) << "opcode " << i;
+    }
+}
+
+TEST(Opcode, NamesAreUnique)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        for (unsigned j = i + 1; j < kNumOpcodes; ++j) {
+            EXPECT_NE(opcodeName(static_cast<Opcode>(i)),
+                      opcodeName(static_cast<Opcode>(j)));
+        }
+    }
+}
+
+TEST(Opcode, NamePrefixesMatchUnits)
+{
+    // Scalar opcodes start with s_, vector with v_, memory with
+    // flat_/ds_: catches table rows that slipped out of order.
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        std::string_view name = opcodeName(op);
+        switch (opcodeInfo(op).unit) {
+          case FuncUnit::VALU:
+          case FuncUnit::VALU4:
+            EXPECT_EQ(name.substr(0, 2), "v_") << name;
+            break;
+          case FuncUnit::VMEM:
+            EXPECT_EQ(name.substr(0, 5), "flat_") << name;
+            break;
+          case FuncUnit::LDS:
+            EXPECT_EQ(name.substr(0, 3), "ds_") << name;
+            break;
+          case FuncUnit::SALU:
+          case FuncUnit::BRANCH:
+          case FuncUnit::SYNC:
+          case FuncUnit::SMEM:
+            EXPECT_EQ(name.substr(0, 2), "s_") << name;
+            break;
+        }
+    }
+}
+
+TEST(Opcode, BranchesEndBasicBlocks)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        if (isBranch(op))
+            EXPECT_TRUE(endsBasicBlock(op)) << opcodeName(op);
+    }
+}
+
+TEST(Opcode, BarrierAndEndpgmEndBasicBlocks)
+{
+    // Photon's extended definition (paper Observation 3).
+    EXPECT_TRUE(endsBasicBlock(Opcode::S_BARRIER));
+    EXPECT_TRUE(endsBasicBlock(Opcode::S_ENDPGM));
+    EXPECT_FALSE(isBranch(Opcode::S_BARRIER));
+}
+
+TEST(Opcode, WaitcntDoesNotEndBasicBlocks)
+{
+    // The paper leaves s_waitcnt-delimited blocks to future work.
+    EXPECT_FALSE(endsBasicBlock(Opcode::S_WAITCNT));
+}
+
+TEST(Opcode, MemoryClassification)
+{
+    EXPECT_TRUE(isMemory(Opcode::FLAT_LOAD_DWORD));
+    EXPECT_TRUE(isMemory(Opcode::FLAT_STORE_DWORD));
+    EXPECT_TRUE(isMemory(Opcode::S_LOAD_DWORD));
+    EXPECT_TRUE(isMemory(Opcode::DS_READ_B32));
+    EXPECT_FALSE(isMemory(Opcode::V_ADD_F32));
+    EXPECT_FALSE(isMemory(Opcode::S_BRANCH));
+}
+
+TEST(Opcode, QuarterRateOps)
+{
+    EXPECT_EQ(opcodeInfo(Opcode::V_RCP_F32).unit, FuncUnit::VALU4);
+    EXPECT_EQ(opcodeInfo(Opcode::V_SQRT_F32).unit, FuncUnit::VALU4);
+}

@@ -1,0 +1,104 @@
+/** @file Tests for the Platform public API. */
+
+#include <gtest/gtest.h>
+
+#include "driver/platform.hpp"
+#include "isa/builder.hpp"
+
+using namespace photon;
+using namespace photon::isa;
+
+namespace {
+
+ProgramPtr
+storeTid(std::uint32_t wg_size)
+{
+    KernelBuilder b("store_tid");
+    b.sLoad(3, kSgprKernargBase, 0);
+    b.vMad(1, sreg(kSgprWorkgroupId), imm(wg_size), vreg(kVgprLocalId));
+    b.vMad(2, vreg(1), imm(4), sreg(3));
+    b.flatStore(2, vreg(1));
+    b.endProgram();
+    return b.finish();
+}
+
+} // namespace
+
+TEST(Platform, MemoryRoundTrip)
+{
+    driver::Platform p(GpuConfig::testTiny(),
+                       driver::SimMode::FullDetailed);
+    Addr a = p.alloc(1024);
+    std::vector<std::uint32_t> data(256);
+    for (std::uint32_t i = 0; i < 256; ++i)
+        data[i] = i * i;
+    p.memWrite(a, data.data(), 1024);
+    std::vector<std::uint32_t> back(256);
+    p.memRead(a, back.data(), 1024);
+    EXPECT_EQ(data, back);
+}
+
+TEST(Platform, PackArgsLaysOutWords)
+{
+    driver::Platform p(GpuConfig::testTiny(),
+                       driver::SimMode::FullDetailed);
+    Addr a = p.packArgs({10, 20, 30});
+    EXPECT_EQ(p.mem().read32(a), 10u);
+    EXPECT_EQ(p.mem().read32(a + 4), 20u);
+    EXPECT_EQ(p.mem().read32(a + 8), 30u);
+}
+
+TEST(Platform, LaunchExecutesKernel)
+{
+    driver::Platform p(GpuConfig::testTiny(),
+                       driver::SimMode::FullDetailed);
+    const std::uint32_t n = 1024;
+    Addr out = p.alloc(n * 4);
+    Addr args = p.packArgs({static_cast<std::uint32_t>(out)});
+    auto r = p.launch(storeTid(256), n / 256, 4, args, "tid");
+    EXPECT_GT(r.sample.cycles, 0u);
+    EXPECT_EQ(r.label, "tid");
+    for (std::uint32_t i = 0; i < n; i += 97)
+        EXPECT_EQ(p.mem().read32(out + i * 4), i);
+}
+
+TEST(Platform, AccumulatesTotalsAndLog)
+{
+    driver::Platform p(GpuConfig::testTiny(),
+                       driver::SimMode::FullDetailed);
+    Addr out = p.alloc(1024 * 4);
+    Addr args = p.packArgs({static_cast<std::uint32_t>(out)});
+    ProgramPtr prog = storeTid(256);
+    auto r1 = p.launch(prog, 4, 4, args);
+    auto r2 = p.launch(prog, 4, 4, args);
+    EXPECT_EQ(p.launchLog().size(), 2u);
+    EXPECT_EQ(p.totalKernelCycles(),
+              r1.sample.cycles + r2.sample.cycles);
+    EXPECT_EQ(p.totalInsts(), r1.sample.insts + r2.sample.insts);
+}
+
+TEST(Platform, StatsExposeRunCounters)
+{
+    driver::Platform p(GpuConfig::testTiny(),
+                       driver::SimMode::FullDetailed);
+    Addr out = p.alloc(1024 * 4);
+    Addr args = p.packArgs({static_cast<std::uint32_t>(out)});
+    p.launch(storeTid(256), 4, 4, args);
+    StatRegistry stats = p.stats();
+    EXPECT_EQ(stats.get("platform.kernels"), 1.0);
+    EXPECT_GT(stats.get("platform.total_cycles"), 0.0);
+    EXPECT_GT(stats.get("mem.l1v.misses"), 0.0);
+}
+
+TEST(Platform, ModeAccessorsMatchConstruction)
+{
+    driver::Platform full(GpuConfig::testTiny(),
+                          driver::SimMode::FullDetailed);
+    EXPECT_EQ(full.photon(), nullptr);
+    EXPECT_EQ(full.pka(), nullptr);
+    driver::Platform ph(GpuConfig::testTiny(), driver::SimMode::Photon);
+    EXPECT_NE(ph.photon(), nullptr);
+    driver::Platform pk(GpuConfig::testTiny(), driver::SimMode::Pka);
+    EXPECT_NE(pk.pka(), nullptr);
+    EXPECT_STREQ(driver::simModeName(driver::SimMode::Photon), "photon");
+}

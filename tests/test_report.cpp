@@ -1,0 +1,62 @@
+/** @file Tests for the table/CSV report helpers. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "driver/report.hpp"
+
+using namespace photon::driver;
+
+TEST(Report, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Report, TableAlignsColumns)
+{
+    Table t({"a", "long_header"});
+    t.addRow({"xxxxx", "1"});
+    std::ostringstream os;
+    t.print(os);
+    std::string text = os.str();
+    EXPECT_NE(text.find("long_header"), std::string::npos);
+    EXPECT_NE(text.find("xxxxx"), std::string::npos);
+    EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Report, ShortRowsArePadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"1"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+TEST(Report, CsvRendersRows)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Report, PercentError)
+{
+    EXPECT_DOUBLE_EQ(percentError(110, 100), 10.0);
+    EXPECT_DOUBLE_EQ(percentError(90, 100), 10.0);
+    EXPECT_DOUBLE_EQ(percentError(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percentError(5, 0), 100.0);
+}
+
+TEST(Report, BannerContainsTitle)
+{
+    std::ostringstream os;
+    printBanner(os, "Hello");
+    EXPECT_NE(os.str().find("=== Hello ==="), std::string::npos);
+}

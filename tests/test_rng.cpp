@@ -1,0 +1,69 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+using photon::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u); // must not get stuck at zero state
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextFloatUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        float v = r.nextFloat();
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Rng, NextFloatRangeRespectsBounds)
+{
+    Rng r(11);
+    for (int i = 0; i < 10000; ++i) {
+        float v = r.nextFloat(-2.5f, 3.5f);
+        EXPECT_GE(v, -2.5f);
+        EXPECT_LT(v, 3.5f);
+    }
+}
+
+TEST(Rng, RoughlyUniform)
+{
+    Rng r(13);
+    int buckets[10] = {};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[r.nextBelow(10)];
+    for (int b = 0; b < 10; ++b) {
+        EXPECT_GT(buckets[b], n / 10 * 0.9);
+        EXPECT_LT(buckets[b], n / 10 * 1.1);
+    }
+}

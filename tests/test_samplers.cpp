@@ -1,0 +1,196 @@
+/** @file Behavioural tests for the warp and basic-block samplers. */
+
+#include <gtest/gtest.h>
+
+#include "driver/platform.hpp"
+#include "isa/basic_block.hpp"
+#include "sampling/analysis.hpp"
+#include "sampling/bb_sampler.hpp"
+#include "sampling/warp_sampler.hpp"
+#include "workloads/workload.hpp"
+
+using namespace photon;
+using namespace photon::sampling;
+
+namespace {
+
+/** Synthetic analysis with a dominant warp type. */
+OnlineAnalysis
+dominantAnalysis(double rate)
+{
+    OnlineAnalysis a;
+    a.totalWarps = 1000;
+    a.sampledWarps = 100;
+    a.sampledInsts = 10000;
+    int dominant = static_cast<int>(rate * 100);
+    for (int i = 0; i < dominant; ++i) {
+        Bbv v(4);
+        v.add(0, 64, 10);
+        a.classifier.classify(v, 100);
+    }
+    for (int i = dominant; i < 100; ++i) {
+        Bbv v(4);
+        v.add(1, 64, static_cast<std::uint64_t>(i));
+        a.classifier.classify(v, 100);
+    }
+    a.dominantType = a.classifier.dominantType();
+    a.dominantRate = a.classifier.dominantRate();
+    return a;
+}
+
+SamplingConfig
+fastConfig()
+{
+    SamplingConfig cfg;
+    cfg.warpWindow = 32;
+    cfg.bbWindow = 32;
+    cfg.confirmChecks = 2;
+    cfg.delta = 0.05;
+    return cfg;
+}
+
+} // namespace
+
+TEST(WarpSampler, ArmedOnlyWithDominantType)
+{
+    SamplingConfig cfg = fastConfig();
+    OnlineAnalysis dominant = dominantAnalysis(0.97);
+    OnlineAnalysis mixed = dominantAnalysis(0.50);
+    EXPECT_TRUE(WarpSampler(dominant, cfg).armed());
+    EXPECT_FALSE(WarpSampler(mixed, cfg).armed());
+}
+
+TEST(WarpSampler, SwitchesOnStableStream)
+{
+    SamplingConfig cfg = fastConfig();
+    OnlineAnalysis a = dominantAnalysis(0.97);
+    WarpSampler s(a, cfg);
+    bool switched = false;
+    for (WarpId w = 0; w < 500 && !switched; ++w) {
+        s.onWaveDispatched(w, w * 10);
+        s.onWaveRetired(w, w * 10 + 100);
+        switched = s.wantsSwitch();
+    }
+    EXPECT_TRUE(switched);
+    EXPECT_NEAR(s.meanWarpDuration(), 100.0, 1e-9);
+}
+
+TEST(WarpSampler, NeverSwitchesOnRampingStream)
+{
+    SamplingConfig cfg = fastConfig();
+    OnlineAnalysis a = dominantAnalysis(0.97);
+    WarpSampler s(a, cfg);
+    for (WarpId w = 0; w < 500; ++w) {
+        s.onWaveDispatched(w, w * 10);
+        // Duration grows 3% per warp: never stable.
+        s.onWaveRetired(w, w * 10 + 100 + w * 3);
+        EXPECT_FALSE(s.wantsSwitch());
+    }
+}
+
+TEST(WarpSampler, DisarmedSamplerNeverSwitches)
+{
+    SamplingConfig cfg = fastConfig();
+    OnlineAnalysis a = dominantAnalysis(0.5);
+    WarpSampler s(a, cfg);
+    for (WarpId w = 0; w < 500; ++w) {
+        s.onWaveDispatched(w, w * 10);
+        s.onWaveRetired(w, w * 10 + 100);
+        EXPECT_FALSE(s.wantsSwitch());
+    }
+}
+
+namespace {
+
+/** Builds a tiny two-block program + analysis for BbSampler tests. */
+struct BbFixture
+{
+    BbFixture()
+        : platform(GpuConfig::testTiny(), driver::SimMode::FullDetailed)
+    {
+        workload = workloads::makeRelu(256);
+        workload->setup(platform);
+        const auto &spec = workload->launches()[0];
+        program = spec.program;
+        dims = {spec.numWorkgroups, spec.wavesPerWorkgroup, spec.kernarg};
+        bbs = std::make_unique<isa::BasicBlockTable>(*program);
+        SamplingConfig acfg;
+        acfg.onlineSampleRate = 0.05;
+        analysis = analyzeKernel(*program, *bbs, dims, platform.mem(),
+                                 acfg);
+    }
+
+    driver::Platform platform;
+    workloads::WorkloadPtr workload;
+    isa::ProgramPtr program;
+    func::LaunchDims dims;
+    std::unique_ptr<isa::BasicBlockTable> bbs;
+    OnlineAnalysis analysis;
+};
+
+} // namespace
+
+TEST(BbSampler, SwitchesWhenWeightedBlocksStable)
+{
+    BbFixture f;
+    SamplingConfig cfg = fastConfig();
+    BbSampler s(*f.program, *f.bbs, f.analysis, cfg,
+                f.platform.gpuConfig());
+    // Feed a stationary stream into every slot that carries weight in
+    // the online analysis; the sampler must eventually want to switch.
+    const std::uint32_t bucket_lanes[kLaneBuckets] = {4, 16, 40, 64};
+    bool switched = false;
+    for (int i = 0; i < 2000 && !switched; ++i) {
+        for (std::uint32_t slot = 0;
+             slot < f.analysis.bbInstCounts.size(); ++slot) {
+            if (f.analysis.bbInstCounts[slot] == 0)
+                continue;
+            s.onBbExecuted(slot / kLaneBuckets, i * 10, i * 10 + 50,
+                           bucket_lanes[slot % kLaneBuckets]);
+        }
+        switched = s.wantsSwitch();
+    }
+    EXPECT_TRUE(switched);
+    EXPECT_GE(s.stableRate(), cfg.stableBbRate);
+}
+
+TEST(BbSampler, PredictsRareBlocksWithIntervalModel)
+{
+    BbFixture f;
+    SamplingConfig cfg = fastConfig();
+    BbSampler s(*f.program, *f.bbs, f.analysis, cfg,
+                f.platform.gpuConfig());
+    // No observations at all: every slot prediction falls back to the
+    // interval model and is positive.
+    for (isa::BbId bb = 0; bb < f.bbs->numBlocks(); ++bb) {
+        EXPECT_GT(s.predictSlotTime(bbSlot(bb, 64)), 0.0)
+            << "bb " << bb;
+    }
+}
+
+TEST(BbSampler, PredictWarpSumsBlockTimes)
+{
+    BbFixture f;
+    SamplingConfig cfg = fastConfig();
+    cfg.bbWindow = 8;
+    BbSampler s(*f.program, *f.bbs, f.analysis, cfg,
+                f.platform.gpuConfig());
+    // Feed block 0 (full lanes) with constant 100-cycle executions.
+    for (int i = 0; i < 64; ++i)
+        s.onBbExecuted(0, i * 10, i * 10 + 100, 64);
+    Bbv bbv(f.bbs->numBlocks());
+    bbv.add(0, 64, 3);
+    Cycle t = s.predictWarp(bbv);
+    EXPECT_EQ(t, 300u);
+}
+
+TEST(BbSampler, ObservedLatenciesFeedTheTable)
+{
+    BbFixture f;
+    SamplingConfig cfg = fastConfig();
+    BbSampler s(*f.program, *f.bbs, f.analysis, cfg,
+                f.platform.gpuConfig());
+    s.onInstruction(isa::Opcode::FLAT_LOAD_DWORD, 0, 400);
+    EXPECT_DOUBLE_EQ(
+        s.latencyTable().latency(isa::Opcode::FLAT_LOAD_DWORD), 400.0);
+}

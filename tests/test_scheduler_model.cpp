@@ -1,0 +1,74 @@
+/** @file Tests for the slot-occupancy scheduler model. */
+
+#include <gtest/gtest.h>
+
+#include "timing/scheduler_model.hpp"
+
+using namespace photon;
+using timing::SchedulerModel;
+
+TEST(SchedulerModel, SingleWarp)
+{
+    SchedulerModel s(4, 100);
+    Cycle t = s.scheduleWarp(50);
+    EXPECT_EQ(t, 100u + 4u + 50u); // dispatch latency 4
+    EXPECT_EQ(s.endCycle(), t);
+    EXPECT_EQ(s.warpsScheduled(), 1u);
+}
+
+TEST(SchedulerModel, ParallelSlotsOverlap)
+{
+    SchedulerModel s(4, 0);
+    for (int i = 0; i < 4; ++i)
+        s.scheduleWarp(100);
+    EXPECT_EQ(s.endCycle(), 104u); // all four in parallel
+}
+
+TEST(SchedulerModel, ExcessWarpsSerialise)
+{
+    SchedulerModel s(2, 0);
+    for (int i = 0; i < 6; ++i)
+        s.scheduleWarp(100);
+    // 3 rounds of 2: 3 * (100 + 4).
+    EXPECT_EQ(s.endCycle(), 312u);
+}
+
+TEST(SchedulerModel, ExplicitSlotTimesHonoured)
+{
+    SchedulerModel s(3, 50, {10, 200, 300});
+    // First warp lands on the earliest slot (10).
+    EXPECT_EQ(s.scheduleWarp(5), 10u + 4u + 5u);
+    // Next earliest slot is the first warp's finish (19) again.
+    EXPECT_EQ(s.scheduleWarp(5), 19u + 4u + 5u);
+}
+
+TEST(SchedulerModel, ShortSlotVectorPadded)
+{
+    SchedulerModel s(4, 1000, {10});
+    // One explicit slot at 10, three padded at 1000.
+    EXPECT_EQ(s.scheduleWarp(1), 15u);
+    EXPECT_EQ(s.scheduleWarp(1), 20u);   // reuses the early slot
+    EXPECT_EQ(s.scheduleWarp(1), 25u);
+}
+
+TEST(SchedulerModel, EffectiveSlotsWaveCap)
+{
+    GpuConfig cfg = GpuConfig::testTiny(); // 4 CUs x 4 SIMDs x 10 waves
+    // Large workgroups: wave capacity binds (4*10=40 per CU).
+    EXPECT_EQ(SchedulerModel::effectiveSlots(cfg, 40, 0), 4u * 40u);
+}
+
+TEST(SchedulerModel, EffectiveSlotsWorkgroupCap)
+{
+    GpuConfig cfg = GpuConfig::testTiny(); // workgroupsPerCu = 8
+    // 4-wave workgroups: 8 WGs x 4 waves = 32 < 40 wave slots.
+    EXPECT_EQ(SchedulerModel::effectiveSlots(cfg, 4, 0), 4u * 32u);
+}
+
+TEST(SchedulerModel, EffectiveSlotsLdsCap)
+{
+    GpuConfig cfg = GpuConfig::testTiny(); // 64KB LDS per CU
+    // 32KB LDS per workgroup: only 2 WGs fit -> 2 * 4 waves per CU.
+    EXPECT_EQ(SchedulerModel::effectiveSlots(cfg, 4, 32 * 1024),
+              4u * 8u);
+}

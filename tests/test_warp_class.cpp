@@ -1,0 +1,77 @@
+/** @file Tests for warp-type classification. */
+
+#include <gtest/gtest.h>
+
+#include "sampling/warp_class.hpp"
+
+using namespace photon::sampling;
+
+namespace {
+
+Bbv
+makeBbv(std::initializer_list<std::pair<photon::isa::BbId,
+                                        std::uint64_t>> entries)
+{
+    Bbv v(8);
+    for (auto [bb, n] : entries)
+        v.add(bb, 64, n);
+    return v;
+}
+
+} // namespace
+
+TEST(WarpClassifier, SameBbvSameType)
+{
+    WarpClassifier c;
+    auto t1 = c.classify(makeBbv({{0, 1}, {1, 5}}), 100);
+    auto t2 = c.classify(makeBbv({{0, 1}, {1, 5}}), 100);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(c.numTypes(), 1u);
+    EXPECT_EQ(c.totalWarps(), 2u);
+    EXPECT_EQ(c.types()[t1].numWarps, 2u);
+}
+
+TEST(WarpClassifier, DifferentBbvDifferentType)
+{
+    WarpClassifier c;
+    auto t1 = c.classify(makeBbv({{0, 1}, {1, 5}}), 100);
+    auto t2 = c.classify(makeBbv({{0, 1}, {1, 6}}), 110);
+    EXPECT_NE(t1, t2);
+    EXPECT_EQ(c.numTypes(), 2u);
+}
+
+TEST(WarpClassifier, MaskedWarpsShareAType)
+{
+    // Paper Observation 4: type is independent of lane masking.
+    WarpClassifier c;
+    Bbv a(8), b(8);
+    a.add(0, 64);
+    a.add(1, 64, 5);
+    b.add(0, 40);
+    b.add(1, 40, 5);
+    EXPECT_EQ(c.classify(a, 100), c.classify(b, 100));
+}
+
+TEST(WarpClassifier, DominantTypeAndRate)
+{
+    WarpClassifier c;
+    for (int i = 0; i < 9; ++i)
+        c.classify(makeBbv({{0, 1}}), 10);
+    auto minority = c.classify(makeBbv({{1, 1}}), 10);
+    EXPECT_NE(c.dominantType(), minority);
+    EXPECT_DOUBLE_EQ(c.dominantRate(), 0.9);
+}
+
+TEST(WarpClassifier, EmptyClassifier)
+{
+    WarpClassifier c;
+    EXPECT_EQ(c.dominantType(), WarpClassifier::kNoType);
+    EXPECT_DOUBLE_EQ(c.dominantRate(), 0.0);
+}
+
+TEST(WarpClassifier, InstCountRecordedPerType)
+{
+    WarpClassifier c;
+    auto t = c.classify(makeBbv({{0, 7}}), 777);
+    EXPECT_EQ(c.types()[t].instCount, 777u);
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * photon_sim — command-line front end of the simulator, mirroring how a
+ * user drives MGPUSim's standalone runner:
+ *
+ *   photon_sim --workload mm --size 512 --mode photon --compare
+ *   photon_sim --workload resnet18 --mode photon --stats
+ *   photon_sim --workload relu --size 16384 --disasm
+ *
+ * Workloads: relu fir sc mm aes spmv pagerank vgg16 vgg19
+ *            resnet18 resnet34 resnet50 resnet101 resnet152
+ * Modes:     full photon pka        GPUs: r9nano mi100
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "driver/platform.hpp"
+#include "driver/report.hpp"
+#include "isa/disasm.hpp"
+#include "workloads/dnn/network.hpp"
+#include "workloads/workload.hpp"
+
+using namespace photon;
+
+namespace {
+
+struct Options
+{
+    std::string workload = "mm";
+    std::uint32_t size = 0; // workload-specific default when 0
+    std::string mode = "photon";
+    std::string gpu = "r9nano";
+    bool compare = false;
+    bool stats = false;
+    bool disasm = false;
+    bool check = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "usage: photon_sim [--workload W] [--size N] [--mode M]\n"
+        "                  [--gpu G] [--compare] [--stats] [--disasm]\n"
+        "                  [--check]\n"
+        "  W: relu fir sc mm aes spmv pagerank vgg16 vgg19 resnet18\n"
+        "     mmtiled resnet34 resnet50 resnet101 resnet152 (default mm)\n"
+        "  N: warps for relu/fir/sc/aes/spmv; matrix dim for mm; nodes\n"
+        "     for pagerank (0 = workload default)\n"
+        "  M: full photon pka                         (default photon)\n"
+        "  G: r9nano mi100                            (default r9nano)\n"
+        "  --compare  also run full-detailed and report error/speedup\n"
+        "  --stats    dump the memory-system statistics\n"
+        "  --disasm   print the first kernel's disassembly\n"
+        "  --check    verify results against the host reference\n");
+}
+
+workloads::WorkloadPtr
+makeWorkload(const Options &o)
+{
+    std::uint32_t n = o.size;
+    auto d = [&](std::uint32_t def) { return n ? n : def; };
+    if (o.workload == "relu") return workloads::makeRelu(d(16384));
+    if (o.workload == "fir") return workloads::makeFir(d(16384));
+    if (o.workload == "sc") return workloads::makeSc(d(16384));
+    if (o.workload == "mm") return workloads::makeMm(d(512));
+    if (o.workload == "mmtiled") return workloads::makeMmTiled(d(512));
+    if (o.workload == "aes") return workloads::makeAes(d(8192));
+    if (o.workload == "spmv") return workloads::makeSpmv(d(2048) * 64);
+    if (o.workload == "pagerank")
+        return workloads::makePagerank(d(65536), 8, 12);
+    if (o.workload == "vgg16") return workloads::dnn::makeVgg(16);
+    if (o.workload == "vgg19") return workloads::dnn::makeVgg(19);
+    if (o.workload.rfind("resnet", 0) == 0)
+        return workloads::dnn::makeResnet(
+            std::stoi(o.workload.substr(6)));
+    fatal("unknown workload '", o.workload, "'");
+}
+
+driver::SimMode
+parseMode(const std::string &m)
+{
+    if (m == "full") return driver::SimMode::FullDetailed;
+    if (m == "photon") return driver::SimMode::Photon;
+    if (m == "pka") return driver::SimMode::Pka;
+    fatal("unknown mode '", m, "'");
+}
+
+GpuConfig
+parseGpu(const std::string &g)
+{
+    if (g == "r9nano") return GpuConfig::r9Nano();
+    if (g == "mi100") return GpuConfig::mi100();
+    fatal("unknown gpu '", g, "'");
+}
+
+struct RunResult
+{
+    Cycle cycles;
+    std::uint64_t insts;
+    double wall;
+};
+
+RunResult
+runOnce(const Options &o, driver::SimMode mode, bool verify)
+{
+    driver::Platform p(parseGpu(o.gpu), mode);
+    auto w = makeWorkload(o);
+    w->setup(p);
+    if (o.disasm && mode != driver::SimMode::FullDetailed) {
+        std::printf("%s\n",
+                    isa::disassemble(*w->launches()[0].program).c_str());
+    }
+    workloads::runWorkload(*w, p);
+    std::printf("[%s] %llu cycles, %llu instructions, %.3f s wall, "
+                "%zu kernels\n",
+                driver::simModeName(mode),
+                static_cast<unsigned long long>(p.totalKernelCycles()),
+                static_cast<unsigned long long>(p.totalInsts()),
+                p.totalWallSeconds(), p.launchLog().size());
+    if (verify) {
+        std::printf("reference check: %s\n",
+                    w->check(p) ? "OK" : "MISMATCH");
+    }
+    if (o.stats) {
+        std::ostringstream os;
+        p.stats().print(os, "  ");
+        std::printf("%s", os.str().c_str());
+    }
+    return {p.totalKernelCycles(), p.totalInsts(),
+            p.totalWallSeconds()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", a);
+            return argv[++i];
+        };
+        if (a == "--workload") o.workload = next();
+        else if (a == "--size") o.size = std::stoul(next());
+        else if (a == "--mode") o.mode = next();
+        else if (a == "--gpu") o.gpu = next();
+        else if (a == "--compare") o.compare = true;
+        else if (a == "--stats") o.stats = true;
+        else if (a == "--disasm") o.disasm = true;
+        else if (a == "--check") o.check = true;
+        else if (a == "--help" || a == "-h") { usage(); return 0; }
+        else { usage(); fatal("unknown flag ", a); }
+    }
+
+    driver::SimMode mode = parseMode(o.mode);
+    RunResult run = runOnce(o, mode, o.check);
+
+    if (o.compare && mode != driver::SimMode::FullDetailed) {
+        Options fo = o;
+        fo.disasm = false;
+        RunResult full = runOnce(fo, driver::SimMode::FullDetailed,
+                                 false);
+        std::printf("error %.2f%%, wall-time speedup %.2fx\n",
+                    driver::percentError(
+                        static_cast<double>(run.cycles),
+                        static_cast<double>(full.cycles)),
+                    full.wall / run.wall);
+    }
+    return 0;
+}
