@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Campaign throughput: wall time of one job batch run serially vs. on
+ * the campaign runner's thread pool, plus the effect of a warm
+ * kernel-signature store on a rerun (the cheapest honest speedups for a
+ * batch of cycle-level simulations: batch parallelism and cross-run
+ * signature reuse).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "driver/report.hpp"
+#include "service/campaign_runner.hpp"
+
+using namespace photon;
+using namespace photon::service;
+
+namespace {
+
+std::vector<JobSpec>
+makeJobs(bool quick)
+{
+    std::vector<std::string> workloads = {"relu", "fir", "sc", "aes"};
+    std::vector<std::uint32_t> sizes =
+        quick ? std::vector<std::uint32_t>{128}
+              : std::vector<std::uint32_t>{256, 1024};
+    return expandJobs(workloads, sizes, {"photon"}, {"r9nano"});
+}
+
+CampaignResult
+runWith(const std::vector<JobSpec> &jobs, std::uint32_t workers,
+        SharePolicy share, Artifact seed = {})
+{
+    CampaignOptions opts;
+    opts.workers = workers;
+    opts.share = share;
+    return runCampaign(jobs, opts, std::move(seed));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = bench::quickMode(argc, argv);
+    std::vector<JobSpec> jobs = makeJobs(quick);
+
+    driver::printBanner(std::cout, "Campaign throughput vs. serial");
+    std::printf("%zu jobs (photon mode, r9nano); share=none isolates\n"
+                "jobs so the pool scan scales freely\n\n",
+                jobs.size());
+
+    driver::Table scaling({"workers", "wall_s", "speedup", "jobs/s"});
+    double serial_wall = 0.0;
+    for (std::uint32_t workers : {1u, 2u, 4u}) {
+        CampaignResult r = runWith(jobs, workers, SharePolicy::None);
+        if (workers == 1)
+            serial_wall = r.wallSeconds;
+        scaling.addRow({std::to_string(workers),
+                        driver::Table::num(r.wallSeconds, 3),
+                        driver::Table::num(serial_wall / r.wallSeconds),
+                        driver::Table::num(r.jobs.size() /
+                                           r.wallSeconds)});
+    }
+    scaling.print(std::cout);
+
+    driver::printBanner(std::cout,
+                        "Warm kernel-signature store (rerun)");
+    CampaignResult cold = runWith(jobs, 1, SharePolicy::Ordered);
+    CampaignResult warm =
+        runWith(jobs, 1, SharePolicy::Ordered, cold.finalStore);
+    driver::Table store({"run", "wall_s", "kernel_hits", "speedup"});
+    store.addRow({"cold", driver::Table::num(cold.wallSeconds, 3),
+                  std::to_string(cold.totalKernelHits()),
+                  driver::Table::num(1.0)});
+    store.addRow({"warm", driver::Table::num(warm.wallSeconds, 3),
+                  std::to_string(warm.totalKernelHits()),
+                  driver::Table::num(cold.wallSeconds /
+                                     warm.wallSeconds)});
+    store.print(std::cout);
+    return 0;
+}

@@ -61,6 +61,17 @@ class Bbv
         counts_[bbSlot(bb, active_lanes)] += n;
     }
 
+    /** Rebuild a Bbv from a previously exported count vector (the
+     *  artifact-store deserialization hook). @p counts must be a
+     *  multiple of kLaneBuckets long, as produced by counts(). */
+    static Bbv
+    fromCounts(std::vector<std::uint64_t> counts)
+    {
+        Bbv b;
+        b.counts_ = std::move(counts);
+        return b;
+    }
+
     /** Extended (block x bucket) count vector. */
     const std::vector<std::uint64_t> &counts() const { return counts_; }
 

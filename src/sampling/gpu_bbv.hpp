@@ -33,6 +33,20 @@ class GpuBbv
     static GpuBbv build(const WarpClassifier &classifier,
                         std::uint32_t dims, std::uint32_t max_clusters);
 
+    /** Rebuild a signature from its exported representation (the
+     *  artifact-store deserialization hook). @p vec must be
+     *  clusters x dims long, as produced by vec(). */
+    static GpuBbv
+    fromRaw(std::vector<double> vec, std::uint32_t dims,
+            std::uint32_t clusters)
+    {
+        GpuBbv s;
+        s.vec_ = std::move(vec);
+        s.dims_ = dims;
+        s.clusters_ = clusters;
+        return s;
+    }
+
     /**
      * Distance between signatures: L1 over the weighted concatenation,
      * normalised so identical signatures give 0 and disjoint ones give

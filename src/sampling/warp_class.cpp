@@ -24,6 +24,19 @@ WarpClassifier::classify(const Bbv &bbv, std::uint64_t inst_count)
     return it->second;
 }
 
+WarpClassifier
+WarpClassifier::fromTypes(std::vector<WarpType> types)
+{
+    WarpClassifier c;
+    c.types_ = std::move(types);
+    for (std::size_t i = 0; i < c.types_.size(); ++i) {
+        c.byHash_.emplace(c.types_[i].bbv.blockHash(),
+                          static_cast<WarpTypeId>(i));
+        c.totalWarps_ += c.types_[i].numWarps;
+    }
+    return c;
+}
+
 WarpTypeId
 WarpClassifier::dominantType() const
 {

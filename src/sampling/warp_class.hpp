@@ -34,6 +34,13 @@ class WarpClassifier
     /** Classify one warp; creates the type on first sight. */
     WarpTypeId classify(const Bbv &bbv, std::uint64_t inst_count);
 
+    /** Rebuild a classifier from exported types (the artifact-store
+     *  deserialization hook): the hash index is reconstructed from each
+     *  type's representative BBV and the warp total from the
+     *  populations, so the result is equivalent to the classifier the
+     *  types were exported from. */
+    static WarpClassifier fromTypes(std::vector<WarpType> types);
+
     const std::vector<WarpType> &types() const { return types_; }
     std::uint64_t totalWarps() const { return totalWarps_; }
     std::uint32_t numTypes() const

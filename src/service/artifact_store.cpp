@@ -1,0 +1,361 @@
+#include "service/artifact_store.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace photon::service {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'H', 'A', 'S'};
+
+// ----- Little-endian primitive encoding -----
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<std::uint32_t>(s.size()));
+    out.append(s);
+}
+
+void
+putU64Vec(std::string &out, const std::vector<std::uint64_t> &v)
+{
+    putU32(out, static_cast<std::uint32_t>(v.size()));
+    for (std::uint64_t x : v)
+        putU64(out, x);
+}
+
+void
+putDoubleVec(std::string &out, const std::vector<double> &v)
+{
+    putU32(out, static_cast<std::uint32_t>(v.size()));
+    for (double x : v)
+        putDouble(out, x);
+}
+
+/** Parse error carrying the diagnostic for LoadStatus. */
+struct ParseError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** Bounds-checked cursor over the serialized bytes. */
+class Reader
+{
+  public:
+    explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(bytes_[pos_ + i]))
+                 << (8 * i);
+        pos_ += 8;
+        return v;
+    }
+
+    double
+    dbl()
+    {
+        return std::bit_cast<double>(u64());
+    }
+
+    std::string
+    str()
+    {
+        std::uint32_t len = u32();
+        need(len);
+        std::string s(bytes_.substr(pos_, len));
+        pos_ += len;
+        return s;
+    }
+
+    std::vector<std::uint64_t>
+    u64Vec()
+    {
+        std::uint32_t n = u32();
+        need(std::size_t{n} * 8);
+        std::vector<std::uint64_t> v(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            v[i] = u64();
+        return v;
+    }
+
+    std::vector<double>
+    dblVec()
+    {
+        std::uint32_t n = u32();
+        need(std::size_t{n} * 8);
+        std::vector<double> v(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            v[i] = dbl();
+        return v;
+    }
+
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (bytes_.size() - pos_ < n)
+            throw ParseError("truncated artifact (need " +
+                             std::to_string(n) + " bytes at offset " +
+                             std::to_string(pos_) + ")");
+    }
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+// ----- Composite encoders/decoders -----
+
+void
+putGpuBbv(std::string &out, const sampling::GpuBbv &sig)
+{
+    putDoubleVec(out, sig.vec());
+    putU32(out, sig.dims());
+    putU32(out, sig.numClusters());
+}
+
+sampling::GpuBbv
+getGpuBbv(Reader &r)
+{
+    std::vector<double> vec = r.dblVec();
+    std::uint32_t dims = r.u32();
+    std::uint32_t clusters = r.u32();
+    if (std::size_t{dims} * clusters != vec.size())
+        throw ParseError("corrupt GPU BBV: " + std::to_string(vec.size()) +
+                         " values for " + std::to_string(clusters) + "x" +
+                         std::to_string(dims));
+    return sampling::GpuBbv::fromRaw(std::move(vec), dims, clusters);
+}
+
+void
+putKernelRecord(std::string &out, const sampling::KernelRecord &rec)
+{
+    putString(out, rec.name);
+    putGpuBbv(out, rec.signature);
+    putU32(out, rec.numWarps);
+    putU64(out, rec.totalInsts);
+    putU64(out, rec.sampledInsts);
+    putU64(out, rec.cycles);
+}
+
+sampling::KernelRecord
+getKernelRecord(Reader &r)
+{
+    sampling::KernelRecord rec;
+    rec.name = r.str();
+    rec.signature = getGpuBbv(r);
+    rec.numWarps = r.u32();
+    rec.totalInsts = r.u64();
+    rec.sampledInsts = r.u64();
+    rec.cycles = r.u64();
+    return rec;
+}
+
+void
+putAnalysis(std::string &out, const sampling::OnlineAnalysis &a)
+{
+    putU32(out, a.totalWarps);
+    putU32(out, a.sampledWarps);
+    putU64(out, a.sampledInsts);
+    const auto &types = a.classifier.types();
+    putU32(out, static_cast<std::uint32_t>(types.size()));
+    for (const auto &t : types) {
+        putU64Vec(out, t.bbv.counts());
+        putU64(out, t.instCount);
+        putU64(out, t.numWarps);
+    }
+    putGpuBbv(out, a.signature);
+    putU64Vec(out, a.bbExecCounts);
+    putU64Vec(out, a.bbInstCounts);
+    putU32(out, a.dominantType);
+    putDouble(out, a.dominantRate);
+}
+
+sampling::OnlineAnalysis
+getAnalysis(Reader &r)
+{
+    sampling::OnlineAnalysis a;
+    a.totalWarps = r.u32();
+    a.sampledWarps = r.u32();
+    a.sampledInsts = r.u64();
+    std::uint32_t num_types = r.u32();
+    std::vector<sampling::WarpType> types(num_types);
+    for (auto &t : types) {
+        t.bbv = sampling::Bbv::fromCounts(r.u64Vec());
+        t.instCount = r.u64();
+        t.numWarps = r.u64();
+    }
+    a.classifier = sampling::WarpClassifier::fromTypes(std::move(types));
+    a.signature = getGpuBbv(r);
+    a.bbExecCounts = r.u64Vec();
+    a.bbInstCounts = r.u64Vec();
+    a.dominantType = r.u32();
+    a.dominantRate = r.dbl();
+    return a;
+}
+
+} // namespace
+
+std::size_t
+Artifact::numKernelRecords() const
+{
+    std::size_t n = 0;
+    for (const auto &[gpu, g] : groups)
+        n += g.kernels.size();
+    return n;
+}
+
+std::size_t
+Artifact::numAnalyses() const
+{
+    std::size_t n = 0;
+    for (const auto &[gpu, g] : groups)
+        n += g.analyses.size();
+    return n;
+}
+
+std::string
+serializeArtifact(const Artifact &artifact)
+{
+    std::string out;
+    out.append(kMagic, sizeof(kMagic));
+    putU32(out, kArtifactVersion);
+    putU32(out, static_cast<std::uint32_t>(artifact.groups.size()));
+    for (const auto &[gpu, g] : artifact.groups) {
+        putString(out, gpu);
+        putU32(out, static_cast<std::uint32_t>(g.kernels.size()));
+        for (const auto &rec : g.kernels)
+            putKernelRecord(out, rec);
+        // The analysis store is an unordered_map; sort the keys so
+        // serialization is byte-deterministic.
+        std::vector<const std::string *> keys;
+        keys.reserve(g.analyses.size());
+        for (const auto &[key, a] : g.analyses)
+            keys.push_back(&key);
+        std::sort(keys.begin(), keys.end(),
+                  [](const auto *a, const auto *b) { return *a < *b; });
+        putU32(out, static_cast<std::uint32_t>(keys.size()));
+        for (const std::string *key : keys) {
+            putString(out, *key);
+            putAnalysis(out, g.analyses.at(*key));
+        }
+    }
+    return out;
+}
+
+LoadStatus
+deserializeArtifact(std::string_view bytes, Artifact &out)
+{
+    out = Artifact{};
+    try {
+        if (bytes.size() < sizeof(kMagic))
+            return LoadStatus::fail("truncated artifact (no magic)");
+        if (!std::equal(kMagic, kMagic + sizeof(kMagic), bytes.begin()))
+            return LoadStatus::fail("not a Photon artifact (bad magic)");
+        Reader body(bytes.substr(sizeof(kMagic)));
+        std::uint32_t version = body.u32();
+        if (version != kArtifactVersion) {
+            std::ostringstream os;
+            os << "artifact version mismatch: file has v" << version
+               << ", this build reads v" << kArtifactVersion;
+            return LoadStatus::fail(os.str());
+        }
+        std::uint32_t num_groups = body.u32();
+        Artifact parsed;
+        for (std::uint32_t gi = 0; gi < num_groups; ++gi) {
+            std::string gpu = body.str();
+            StoreGroup &g = parsed.groups[gpu];
+            std::uint32_t num_kernels = body.u32();
+            g.kernels.reserve(num_kernels);
+            for (std::uint32_t i = 0; i < num_kernels; ++i)
+                g.kernels.push_back(getKernelRecord(body));
+            std::uint32_t num_analyses = body.u32();
+            for (std::uint32_t i = 0; i < num_analyses; ++i) {
+                std::string key = body.str();
+                g.analyses.emplace(std::move(key), getAnalysis(body));
+            }
+        }
+        if (!body.atEnd())
+            return LoadStatus::fail("trailing bytes after artifact body");
+        out = std::move(parsed);
+        return {};
+    } catch (const ParseError &e) {
+        out = Artifact{};
+        return LoadStatus::fail(e.what());
+    }
+}
+
+LoadStatus
+saveArtifact(const Artifact &artifact, const std::string &path)
+{
+    std::string bytes = serializeArtifact(artifact);
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (!f)
+        return LoadStatus::fail("cannot open '" + path + "' for writing");
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f)
+        return LoadStatus::fail("write to '" + path + "' failed");
+    return {};
+}
+
+LoadStatus
+loadArtifact(const std::string &path, Artifact &out)
+{
+    out = Artifact{};
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return LoadStatus::fail("cannot open '" + path + "' for reading");
+    std::ostringstream os;
+    os << f.rdbuf();
+    if (f.bad())
+        return LoadStatus::fail("read from '" + path + "' failed");
+    return deserializeArtifact(os.str(), out);
+}
+
+} // namespace photon::service

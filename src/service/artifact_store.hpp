@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Versioned binary serialization of Photon's reusable per-run state: the
+ * kernel-signature cache (KernelRecord + GpuBbv) and the online-analysis
+ * store (paper Section 6.3, offline mode). Kernel records are
+ * micro-architecture specific, so the artifact groups everything by GPU
+ * configuration name; a campaign or a later process seeds fresh
+ * PhotonSamplers from the matching group and gets kernel-sampling hits
+ * without re-simulating.
+ *
+ * The format is explicitly little-endian and carries a magic + version
+ * header; loaders reject unknown versions and truncated or corrupt input
+ * with a diagnostic instead of crashing.
+ */
+
+#ifndef PHOTON_SERVICE_ARTIFACT_STORE_HPP
+#define PHOTON_SERVICE_ARTIFACT_STORE_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sampling/kernel_cache.hpp"
+#include "sampling/photon.hpp"
+
+namespace photon::service {
+
+/** Current on-disk format version; bumped on any layout change. */
+inline constexpr std::uint32_t kArtifactVersion = 1;
+
+/** Reusable state produced by runs on one GPU configuration. */
+struct StoreGroup
+{
+    std::vector<sampling::KernelRecord> kernels;
+    sampling::PhotonSampler::AnalysisStore analyses;
+
+    bool
+    empty() const
+    {
+        return kernels.empty() && analyses.empty();
+    }
+};
+
+/** Everything a run (or campaign) can persist, keyed by GPU name. */
+struct Artifact
+{
+    std::map<std::string, StoreGroup> groups;
+
+    StoreGroup &group(const std::string &gpu) { return groups[gpu]; }
+
+    /** Total kernel records across all groups. */
+    std::size_t numKernelRecords() const;
+    /** Total analysis entries across all groups. */
+    std::size_t numAnalyses() const;
+};
+
+/** Outcome of a deserialization attempt. */
+struct LoadStatus
+{
+    bool ok = true;
+    std::string error;
+
+    static LoadStatus
+    fail(std::string why)
+    {
+        return {false, std::move(why)};
+    }
+};
+
+/** Serialize @p artifact to the binary format (deterministic: map
+ *  iteration order is sorted, analysis keys are sorted). */
+std::string serializeArtifact(const Artifact &artifact);
+
+/** Parse a serialized artifact; on failure @p out is left empty. */
+LoadStatus deserializeArtifact(std::string_view bytes, Artifact &out);
+
+/** Write @p artifact to @p path; returns ok=false on I/O failure. */
+LoadStatus saveArtifact(const Artifact &artifact, const std::string &path);
+
+/** Read an artifact from @p path (I/O, magic, version and structural
+ *  errors are all reported through the status). */
+LoadStatus loadArtifact(const std::string &path, Artifact &out);
+
+} // namespace photon::service
+
+#endif // PHOTON_SERVICE_ARTIFACT_STORE_HPP

@@ -1,0 +1,280 @@
+/** @file Tests for campaign parsing and the parallel campaign runner. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "service/artifact_store.hpp"
+#include "service/campaign.hpp"
+#include "service/campaign_runner.hpp"
+
+using namespace photon;
+using namespace photon::service;
+
+namespace {
+
+/** 8-job mixed campaign on the tiny test GPU: one Photon chain plus
+ *  independent full/pka jobs, so a 4-worker pool genuinely runs
+ *  concurrently under the ordered share policy. */
+std::vector<JobSpec>
+mixedCampaign()
+{
+    return {
+        {"relu", 64, "photon", "tiny"}, {"fir", 64, "photon", "tiny"},
+        {"relu", 64, "full", "tiny"},   {"sc", 64, "photon", "tiny"},
+        {"fir", 64, "full", "tiny"},    {"relu", 64, "pka", "tiny"},
+        {"aes", 64, "photon", "tiny"},  {"fir", 64, "pka", "tiny"},
+    };
+}
+
+CampaignResult
+run(const std::vector<JobSpec> &jobs, std::uint32_t workers,
+    SharePolicy share = SharePolicy::Ordered, Artifact seed = {})
+{
+    CampaignOptions opts;
+    opts.workers = workers;
+    opts.share = share;
+    return runCampaign(jobs, opts, std::move(seed));
+}
+
+} // namespace
+
+// ----- Spec parsing -----
+
+TEST(CampaignSpec, ParsesLinesCommentsAndDefaults)
+{
+    std::istringstream in("# header comment\n"
+                          "mm 256 photon r9nano\n"
+                          "\n"
+                          "relu 4096   # trailing comment\n"
+                          "resnet18 0 photon mi100\n"
+                          "fir\n");
+    std::vector<JobSpec> jobs;
+    ASSERT_EQ(parseCampaignText(in, jobs), "");
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0], (JobSpec{"mm", 256, "photon", "r9nano"}));
+    EXPECT_EQ(jobs[1], (JobSpec{"relu", 4096, "photon", "r9nano"}));
+    EXPECT_EQ(jobs[2], (JobSpec{"resnet18", 0, "photon", "mi100"}));
+    EXPECT_EQ(jobs[3], (JobSpec{"fir", 0, "photon", "r9nano"}));
+}
+
+TEST(CampaignSpec, ReportsErrorsWithLineNumbers)
+{
+    std::vector<JobSpec> jobs;
+    std::istringstream bad_size("mm abc\n");
+    std::string err = parseCampaignText(bad_size, jobs);
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("size"), std::string::npos) << err;
+
+    std::istringstream bad_workload("mm 64\nnope 64\n");
+    jobs.clear();
+    err = parseCampaignText(bad_workload, jobs);
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("unknown workload"), std::string::npos) << err;
+
+    std::istringstream extra("mm 64 photon r9nano surprise\n");
+    jobs.clear();
+    err = parseCampaignText(extra, jobs);
+    EXPECT_NE(err.find("unexpected field"), std::string::npos) << err;
+}
+
+TEST(CampaignSpec, ExpandJobsBuildsCrossProduct)
+{
+    std::vector<JobSpec> jobs = expandJobs(
+        {"mm", "relu"}, {128, 256}, {"photon"}, {"r9nano", "mi100"});
+    EXPECT_EQ(jobs.size(), 8u);
+    EXPECT_EQ(jobs.front(), (JobSpec{"mm", 128, "photon", "r9nano"}));
+    EXPECT_EQ(jobs.back(), (JobSpec{"relu", 256, "photon", "mi100"}));
+    // Empty size list means "workload default".
+    EXPECT_EQ(expandJobs({"mm"}, {}, {"photon"}, {"r9nano"}).size(), 1u);
+}
+
+TEST(CampaignSpec, SplitListAndParseUint)
+{
+    EXPECT_EQ(splitList("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(splitList("solo"), (std::vector<std::string>{"solo"}));
+    EXPECT_EQ(splitList(",a,,b,"), (std::vector<std::string>{"a", "b"}));
+
+    std::uint32_t v = 7;
+    EXPECT_TRUE(parseUint("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseUint("4294967295", v));
+    EXPECT_FALSE(parseUint("4294967296", v)); // overflow
+    EXPECT_FALSE(parseUint("abc", v));
+    EXPECT_FALSE(parseUint("12x", v));
+    EXPECT_FALSE(parseUint("-3", v));
+    EXPECT_FALSE(parseUint("", v));
+}
+
+TEST(CampaignSpec, ValidateJobCatchesEveryField)
+{
+    EXPECT_EQ(validateJob({"mm", 64, "photon", "r9nano"}), "");
+    EXPECT_NE(validateJob({"bogus", 64, "photon", "r9nano"}), "");
+    EXPECT_NE(validateJob({"mm", 64, "bogus", "r9nano"}), "");
+    EXPECT_NE(validateJob({"mm", 64, "photon", "bogus"}), "");
+}
+
+TEST(CampaignSpec, SharePolicyNames)
+{
+    SharePolicy p = SharePolicy::None;
+    EXPECT_TRUE(parseSharePolicy("ordered", p));
+    EXPECT_EQ(p, SharePolicy::Ordered);
+    EXPECT_STREQ(sharePolicyName(p), "ordered");
+    EXPECT_TRUE(parseSharePolicy("live", p));
+    EXPECT_TRUE(parseSharePolicy("none", p));
+    std::string err;
+    EXPECT_FALSE(parseSharePolicy("broadcast", p, &err));
+    EXPECT_NE(err.find("broadcast"), std::string::npos);
+}
+
+// ----- The shared store -----
+
+TEST(SharedSignatureStore, PublishSnapshotRoundTrip)
+{
+    SharedSignatureStore store;
+    EXPECT_TRUE(store.snapshot("tiny").empty());
+
+    sampling::KernelRecord rec;
+    rec.name = "k";
+    rec.numWarps = 64;
+    rec.totalInsts = 1000;
+    rec.cycles = 100;
+    store.publish("tiny", {rec}, {});
+    StoreGroup g = store.snapshot("tiny");
+    ASSERT_EQ(g.kernels.size(), 1u);
+    EXPECT_EQ(g.kernels[0].name, "k");
+    EXPECT_TRUE(store.snapshot("other").empty());
+    EXPECT_EQ(store.exportAll().numKernelRecords(), 1u);
+}
+
+TEST(SharedSignatureStore, ConcurrentPublishersAndReaders)
+{
+    // Exercised under -fsanitize=thread in CI: hammer the store from
+    // several threads and check nothing is lost.
+    SharedSignatureStore store;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&store, t]() {
+            for (int i = 0; i < kPerThread; ++i) {
+                sampling::KernelRecord rec;
+                rec.name =
+                    "k" + std::to_string(t) + "_" + std::to_string(i);
+                rec.numWarps = 64;
+                store.publish(t % 2 ? "a" : "b", {rec}, {});
+                StoreGroup snap = store.snapshot("a");
+                (void)snap;
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(store.exportAll().numKernelRecords(),
+              std::size_t{kThreads} * kPerThread);
+}
+
+// ----- The runner -----
+
+TEST(CampaignRunner, ParallelMatchesSerialBitExactly)
+{
+    std::vector<JobSpec> jobs = mixedCampaign();
+    CampaignResult serial = run(jobs, 1);
+    CampaignResult parallel = run(jobs, 4);
+
+    ASSERT_EQ(serial.jobs.size(), jobs.size());
+    ASSERT_EQ(parallel.jobs.size(), jobs.size());
+    EXPECT_EQ(parallel.workers, 4u);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(serial.jobs[i].cycles, parallel.jobs[i].cycles)
+            << "job " << i << " (" << jobs[i].label() << ")";
+        EXPECT_EQ(serial.jobs[i].insts, parallel.jobs[i].insts)
+            << "job " << i << " (" << jobs[i].label() << ")";
+        EXPECT_EQ(serial.jobs[i].kernels, parallel.jobs[i].kernels);
+        for (std::size_t l = 0; l < kNumSampleLevels; ++l)
+            EXPECT_EQ(serial.jobs[i].levelCounts[l],
+                      parallel.jobs[i].levelCounts[l])
+                << "job " << i << " level " << l;
+    }
+    // The shared store converges to the same contents either way.
+    EXPECT_EQ(serializeArtifact(serial.finalStore),
+              serializeArtifact(parallel.finalStore));
+}
+
+TEST(CampaignRunner, OrderedShareGivesCrossJobKernelHits)
+{
+    std::vector<JobSpec> jobs = {{"relu", 64, "photon", "tiny"},
+                                 {"relu", 64, "photon", "tiny"}};
+    CampaignResult result = run(jobs, 2);
+    // Job 0 simulates (deeper than kernel level); job 1 matches job 0's
+    // published signature and is skipped entirely.
+    EXPECT_EQ(result.jobs[0].kernelHits(), 0u);
+    EXPECT_EQ(result.jobs[0].seedRecords, 0u);
+    EXPECT_GE(result.jobs[0].newRecords, 1u);
+    EXPECT_GE(result.jobs[1].kernelHits(), 1u);
+    EXPECT_GE(result.jobs[1].seedRecords, 1u);
+    EXPECT_EQ(result.jobs[1].cycles, result.jobs[0].cycles);
+    EXPECT_EQ(result.totalKernelHits(), result.jobs[1].kernelHits());
+}
+
+TEST(CampaignRunner, NoneShareIsolatesJobs)
+{
+    std::vector<JobSpec> jobs = {{"relu", 64, "photon", "tiny"},
+                                 {"relu", 64, "photon", "tiny"}};
+    CampaignResult result = run(jobs, 2, SharePolicy::None);
+    EXPECT_EQ(result.jobs[0].kernelHits(), 0u);
+    EXPECT_EQ(result.jobs[1].kernelHits(), 0u);
+    EXPECT_EQ(result.jobs[0].seedRecords, 0u);
+    EXPECT_EQ(result.jobs[1].seedRecords, 0u);
+    // Both jobs still publish into the final store.
+    EXPECT_GE(result.finalStore.numKernelRecords(), 2u);
+}
+
+TEST(CampaignRunner, WarmCacheRerunHitsAtKernelLevel)
+{
+    // The acceptance scenario: a cold run resolves at a deeper level
+    // and writes the store; a warm rerun seeded from it (after a full
+    // serialization round trip) reports a SampleLevel::Kernel hit.
+    std::vector<JobSpec> jobs = {{"relu", 64, "photon", "tiny"},
+                                 {"fir", 64, "photon", "tiny"}};
+    CampaignResult cold = run(jobs, 1);
+    EXPECT_EQ(cold.totalKernelHits(), 0u);
+
+    std::string bytes = serializeArtifact(cold.finalStore);
+    Artifact seed;
+    ASSERT_TRUE(deserializeArtifact(bytes, seed).ok);
+
+    CampaignResult warm =
+        run(jobs, 1, SharePolicy::Ordered, std::move(seed));
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_GE(warm.jobs[i].kernelHits(), 1u)
+            << jobs[i].label() << " did not hit the warm cache";
+        EXPECT_EQ(warm.jobs[i].cycles, cold.jobs[i].cycles);
+        EXPECT_EQ(warm.jobs[i].insts, cold.jobs[i].insts);
+        // Offline mode: the warm run reuses the stored analyses too.
+        EXPECT_EQ(warm.jobs[i].analysisInsts, 0u);
+    }
+}
+
+TEST(CampaignRunner, ReportsRenderAllJobs)
+{
+    std::vector<JobSpec> jobs = {{"relu", 64, "photon", "tiny"},
+                                 {"fir", 64, "full", "tiny"}};
+    CampaignResult result = run(jobs, 2);
+
+    std::ostringstream json;
+    writeJsonReport(result, json);
+    EXPECT_NE(json.str().find("\"workload\": \"relu\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"mode\": \"full\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"totals\""), std::string::npos);
+
+    std::ostringstream table;
+    printCampaignTable(result, table);
+    EXPECT_NE(table.str().find("relu"), std::string::npos);
+    std::ostringstream csv;
+    printCampaignTable(result, csv, /*csv=*/true);
+    EXPECT_NE(csv.str().find("relu,"), std::string::npos);
+}

@@ -7,20 +7,32 @@
  *   photon_sim --workload resnet18 --mode photon --stats
  *   photon_sim --workload relu --size 16384 --disasm
  *
- * Workloads: relu fir sc mm aes spmv pagerank vgg16 vgg19
+ * Batch (campaign) mode runs many jobs across a thread pool and can
+ * persist the kernel-signature store between invocations:
+ *
+ *   photon_sim --campaign jobs.txt --jobs 4 --report out.json
+ *   photon_sim --workload mm,relu --size 128,256 --jobs 2
+ *   photon_sim --workload mm --cache-out store.bin     # cold run
+ *   photon_sim --workload mm --cache-in store.bin      # warm rerun
+ *
+ * Workloads: relu fir sc mm mmtiled aes spmv pagerank vgg16 vgg19
  *            resnet18 resnet34 resnet50 resnet101 resnet152
- * Modes:     full photon pka        GPUs: r9nano mi100
+ * Modes:     full photon pka        GPUs: r9nano mi100 (tiny for tests)
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "driver/platform.hpp"
 #include "driver/report.hpp"
 #include "isa/disasm.hpp"
-#include "workloads/dnn/network.hpp"
+#include "service/artifact_store.hpp"
+#include "service/campaign.hpp"
+#include "service/campaign_runner.hpp"
 #include "workloads/workload.hpp"
 
 using namespace photon;
@@ -30,71 +42,65 @@ namespace {
 struct Options
 {
     std::string workload = "mm";
-    std::uint32_t size = 0; // workload-specific default when 0
+    std::string size; ///< workload-specific default when empty
     std::string mode = "photon";
     std::string gpu = "r9nano";
     bool compare = false;
     bool stats = false;
     bool disasm = false;
     bool check = false;
+
+    // Campaign / persistence flags.
+    std::string campaign;
+    std::uint32_t jobs = 1;
+    std::string share = "ordered";
+    std::string cacheIn;
+    std::string cacheOut;
+    std::string report;
 };
 
 void
 usage()
 {
     std::printf(
-        "usage: photon_sim [--workload W] [--size N] [--mode M]\n"
-        "                  [--gpu G] [--compare] [--stats] [--disasm]\n"
-        "                  [--check]\n"
-        "  W: relu fir sc mm aes spmv pagerank vgg16 vgg19 resnet18\n"
-        "     mmtiled resnet34 resnet50 resnet101 resnet152 (default mm)\n"
-        "  N: warps for relu/fir/sc/aes/spmv; matrix dim for mm; nodes\n"
-        "     for pagerank (0 = workload default)\n"
+        "usage: photon_sim [--workload W[,W...]] [--size N[,N...]]\n"
+        "                  [--mode M[,M...]] [--gpu G[,G...]]\n"
+        "                  [--compare] [--stats] [--disasm] [--check]\n"
+        "                  [--campaign FILE] [--jobs N] [--share P]\n"
+        "                  [--cache-in PATH] [--cache-out PATH]\n"
+        "                  [--report PATH]\n"
+        "  W: relu fir sc mm mmtiled aes spmv pagerank vgg16 vgg19\n"
+        "     resnet18 resnet34 resnet50 resnet101 resnet152 (default mm)\n"
+        "  N: warps for relu/fir/sc/aes/spmv; matrix dim for mm/mmtiled;\n"
+        "     nodes for pagerank (0 = workload default)\n"
         "  M: full photon pka                         (default photon)\n"
-        "  G: r9nano mi100                            (default r9nano)\n"
+        "  G: r9nano mi100 tiny                       (default r9nano)\n"
         "  --compare  also run full-detailed and report error/speedup\n"
         "  --stats    dump the memory-system statistics\n"
         "  --disasm   print the first kernel's disassembly\n"
-        "  --check    verify results against the host reference\n");
+        "  --check    verify results against the host reference\n"
+        "batch mode (triggered by --campaign, comma lists, --jobs > 1,\n"
+        "or any cache/report flag):\n"
+        "  --campaign FILE  job list: '<workload> [size] [mode] [gpu]'\n"
+        "                   per line, '#' comments\n"
+        "  --jobs N         worker threads (default 1)\n"
+        "  --share P        cross-job signature sharing: none ordered\n"
+        "                   live (default ordered, deterministic)\n"
+        "  --cache-in PATH  seed the kernel-signature store from a file\n"
+        "  --cache-out PATH write the final store for later runs\n"
+        "  --report PATH    write the per-job JSON report\n");
 }
 
-workloads::WorkloadPtr
-makeWorkload(const Options &o)
+/** Parse a numeric flag value; exits with a usage error on junk. */
+std::uint32_t
+parseCount(const std::string &flag, const std::string &value)
 {
-    std::uint32_t n = o.size;
-    auto d = [&](std::uint32_t def) { return n ? n : def; };
-    if (o.workload == "relu") return workloads::makeRelu(d(16384));
-    if (o.workload == "fir") return workloads::makeFir(d(16384));
-    if (o.workload == "sc") return workloads::makeSc(d(16384));
-    if (o.workload == "mm") return workloads::makeMm(d(512));
-    if (o.workload == "mmtiled") return workloads::makeMmTiled(d(512));
-    if (o.workload == "aes") return workloads::makeAes(d(8192));
-    if (o.workload == "spmv") return workloads::makeSpmv(d(2048) * 64);
-    if (o.workload == "pagerank")
-        return workloads::makePagerank(d(65536), 8, 12);
-    if (o.workload == "vgg16") return workloads::dnn::makeVgg(16);
-    if (o.workload == "vgg19") return workloads::dnn::makeVgg(19);
-    if (o.workload.rfind("resnet", 0) == 0)
-        return workloads::dnn::makeResnet(
-            std::stoi(o.workload.substr(6)));
-    fatal("unknown workload '", o.workload, "'");
-}
-
-driver::SimMode
-parseMode(const std::string &m)
-{
-    if (m == "full") return driver::SimMode::FullDetailed;
-    if (m == "photon") return driver::SimMode::Photon;
-    if (m == "pka") return driver::SimMode::Pka;
-    fatal("unknown mode '", m, "'");
-}
-
-GpuConfig
-parseGpu(const std::string &g)
-{
-    if (g == "r9nano") return GpuConfig::r9Nano();
-    if (g == "mi100") return GpuConfig::mi100();
-    fatal("unknown gpu '", g, "'");
+    std::uint32_t out = 0;
+    if (!service::parseUint(value, out)) {
+        usage();
+        fatal(flag, " expects a non-negative integer, got '", value, "'");
+    }
+    return out;
 }
 
 struct RunResult
@@ -105,10 +111,17 @@ struct RunResult
 };
 
 RunResult
-runOnce(const Options &o, driver::SimMode mode, bool verify)
+runOnce(const Options &o, std::uint32_t size, driver::SimMode mode,
+        bool verify)
 {
-    driver::Platform p(parseGpu(o.gpu), mode);
-    auto w = makeWorkload(o);
+    GpuConfig gpu;
+    std::string err;
+    if (!service::parseGpuName(o.gpu, gpu, &err))
+        fatal(err);
+    driver::Platform p(gpu, mode);
+    auto w = service::makeWorkload(o.workload, size, &err);
+    if (!w)
+        fatal(err);
     w->setup(p);
     if (o.disasm && mode != driver::SimMode::FullDetailed) {
         std::printf("%s\n",
@@ -134,6 +147,99 @@ runOnce(const Options &o, driver::SimMode mode, bool verify)
             p.totalWallSeconds()};
 }
 
+/** Single-workload flow: one run, plus the --compare baseline. */
+int
+runSingle(const Options &o)
+{
+    driver::SimMode mode;
+    std::string err;
+    if (!service::parseMode(o.mode, mode, &err))
+        fatal(err);
+    std::uint32_t size =
+        o.size.empty() ? 0 : parseCount("--size", o.size);
+    RunResult run = runOnce(o, size, mode, o.check);
+
+    if (o.compare && mode != driver::SimMode::FullDetailed) {
+        Options fo = o;
+        fo.disasm = false;
+        RunResult full =
+            runOnce(fo, size, driver::SimMode::FullDetailed, false);
+        std::printf("error %.2f%%, wall-time speedup %.2fx\n",
+                    driver::percentError(
+                        static_cast<double>(run.cycles),
+                        static_cast<double>(full.cycles)),
+                    full.wall / run.wall);
+    }
+    return 0;
+}
+
+/** Campaign flow: job list -> thread pool -> table/report/cache-out. */
+int
+runCampaignMode(const Options &o)
+{
+    std::vector<service::JobSpec> jobs;
+    if (!o.campaign.empty()) {
+        if (std::string err = service::parseCampaignFile(o.campaign, jobs);
+            !err.empty())
+            fatal(err);
+    } else {
+        std::vector<std::uint32_t> sizes;
+        for (const std::string &s : service::splitList(o.size))
+            sizes.push_back(parseCount("--size", s));
+        jobs = service::expandJobs(service::splitList(o.workload), sizes,
+                                   service::splitList(o.mode),
+                                   service::splitList(o.gpu));
+        for (const service::JobSpec &j : jobs) {
+            if (std::string err = service::validateJob(j); !err.empty())
+                fatal(err);
+        }
+    }
+    if (jobs.empty())
+        fatal("campaign has no jobs");
+
+    service::CampaignOptions opts;
+    opts.workers = o.jobs ? o.jobs : 1;
+    std::string err;
+    if (!service::parseSharePolicy(o.share, opts.share, &err))
+        fatal(err);
+
+    service::Artifact seed;
+    if (!o.cacheIn.empty()) {
+        service::LoadStatus st = service::loadArtifact(o.cacheIn, seed);
+        if (!st.ok)
+            fatal("--cache-in: ", st.error);
+        std::printf("seeded %zu kernel records, %zu analyses from %s\n",
+                    seed.numKernelRecords(), seed.numAnalyses(),
+                    o.cacheIn.c_str());
+    }
+
+    service::CampaignResult result =
+        service::runCampaign(jobs, opts, std::move(seed));
+
+    service::printCampaignTable(result, std::cout);
+    std::printf("campaign: %zu jobs, %u workers, %.3f s wall, "
+                "%u kernel-sampling hits, %zu records in store\n",
+                result.jobs.size(), result.workers, result.wallSeconds,
+                result.totalKernelHits(),
+                result.finalStore.numKernelRecords());
+
+    if (!o.report.empty()) {
+        std::ofstream f(o.report);
+        if (!f)
+            fatal("cannot open --report file '", o.report, "'");
+        service::writeJsonReport(result, f);
+        std::printf("report written to %s\n", o.report.c_str());
+    }
+    if (!o.cacheOut.empty()) {
+        service::LoadStatus st =
+            service::saveArtifact(result.finalStore, o.cacheOut);
+        if (!st.ok)
+            fatal("--cache-out: ", st.error);
+        std::printf("store written to %s\n", o.cacheOut.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -148,30 +254,29 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (a == "--workload") o.workload = next();
-        else if (a == "--size") o.size = std::stoul(next());
+        else if (a == "--size") o.size = next();
         else if (a == "--mode") o.mode = next();
         else if (a == "--gpu") o.gpu = next();
         else if (a == "--compare") o.compare = true;
         else if (a == "--stats") o.stats = true;
         else if (a == "--disasm") o.disasm = true;
         else if (a == "--check") o.check = true;
+        else if (a == "--campaign") o.campaign = next();
+        else if (a == "--jobs") o.jobs = parseCount(a, next());
+        else if (a == "--share") o.share = next();
+        else if (a == "--cache-in") o.cacheIn = next();
+        else if (a == "--cache-out") o.cacheOut = next();
+        else if (a == "--report") o.report = next();
         else if (a == "--help" || a == "-h") { usage(); return 0; }
         else { usage(); fatal("unknown flag ", a); }
     }
 
-    driver::SimMode mode = parseMode(o.mode);
-    RunResult run = runOnce(o, mode, o.check);
-
-    if (o.compare && mode != driver::SimMode::FullDetailed) {
-        Options fo = o;
-        fo.disasm = false;
-        RunResult full = runOnce(fo, driver::SimMode::FullDetailed,
-                                 false);
-        std::printf("error %.2f%%, wall-time speedup %.2fx\n",
-                    driver::percentError(
-                        static_cast<double>(run.cycles),
-                        static_cast<double>(full.cycles)),
-                    full.wall / run.wall);
-    }
-    return 0;
+    bool has_list = o.workload.find(',') != std::string::npos ||
+                    o.size.find(',') != std::string::npos ||
+                    o.mode.find(',') != std::string::npos ||
+                    o.gpu.find(',') != std::string::npos;
+    bool batch = !o.campaign.empty() || has_list || o.jobs > 1 ||
+                 !o.cacheIn.empty() || !o.cacheOut.empty() ||
+                 !o.report.empty();
+    return batch ? runCampaignMode(o) : runSingle(o);
 }
