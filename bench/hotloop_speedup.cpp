@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Hot-loop speedup: wall time of detailed-mode simulation under the
+ * three run-loop variants — the reference per-cycle scanning loop
+ * (seed), the event-driven core (event), and the event core with
+ * parallel CU ticking (threads) — on a compute-bound workload (mm) and
+ * a memory-bound one (spmv). Every variant must report identical cycle
+ * and instruction counts (the loops are bit-identical by construction;
+ * this bench re-checks it); only wall time may differ.
+ *
+ * Writes BENCH_hotloop.json next to the working directory for the CI
+ * perf-smoke artifact. Threaded speedup requires as many hardware cores
+ * as worker threads; the JSON records hardware_concurrency so a
+ * single-core CI runner's numbers are interpretable.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/report.hpp"
+#include "timing/gpu.hpp"
+
+using namespace photon;
+
+namespace {
+
+struct VariantResult
+{
+    std::string workload;
+    std::string variant;
+    std::uint32_t threads = 1;
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    double wallSeconds = 0.0;
+    double speedupVsSeed = 0.0;
+};
+
+/**
+ * Run every launch of a fresh workload instance through Gpu::runKernel
+ * directly (bypassing the sampler layer) so the run-loop variant can be
+ * selected per run. Wall time covers only the detailed simulation, not
+ * setup.
+ */
+VariantResult
+runVariantOnce(const std::string &name,
+               const bench::WorkloadFactory &factory,
+               const std::string &variant, bool seed_loop,
+               std::uint32_t threads)
+{
+    driver::Platform platform(GpuConfig::r9Nano(),
+                              driver::SimMode::FullDetailed);
+    workloads::WorkloadPtr w = factory();
+    w->setup(platform);
+
+    timing::RunOptions opts;
+    opts.useSeedLoop = seed_loop;
+    opts.cuThreads = threads;
+
+    VariantResult r;
+    r.workload = name;
+    r.variant = variant;
+    r.threads = threads;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const workloads::LaunchSpec &l : w->launches()) {
+        func::LaunchDims dims{l.numWorkgroups, l.wavesPerWorkgroup,
+                              l.kernarg};
+        timing::RunOutcome out = platform.gpu().runKernel(
+            *l.program, dims, platform.mem(), nullptr, opts);
+        r.cycles += out.cycles();
+        r.insts += out.instsIssued;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+/** Fold one repetition into the best-of-N result. A wall-clock bench on
+ *  a shared machine measures min(noise + cost); the minimum over reps
+ *  is the closest estimate of cost. */
+void
+foldBest(VariantResult &best, const VariantResult &r, bool first)
+{
+    if (first || r.wallSeconds < best.wallSeconds)
+        best = r;
+}
+
+void
+writeJson(const std::vector<VariantResult> &rows, const char *path)
+{
+    std::ofstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return;
+    }
+    f << "{\n  \"bench\": \"hotloop_speedup\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const VariantResult &r = rows[i];
+        f << "    {\"workload\": \"" << r.workload << "\", \"variant\": \""
+          << r.variant << "\", \"threads\": " << r.threads
+          << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
+          << ", \"wall_s\": " << r.wallSeconds << ", \"cycles_per_sec\": "
+          << (r.wallSeconds > 0 ? static_cast<double>(r.cycles) /
+                                      r.wallSeconds
+                                : 0.0)
+          << ", \"speedup_vs_seed\": " << r.speedupVsSeed << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = bench::quickMode(argc, argv);
+    const std::uint32_t mm_n = quick ? 128 : 256;
+    const std::uint32_t spmv_rows = quick ? 1024 : 4096;
+    const std::uint32_t par_threads = 4;
+    const std::uint32_t reps = quick ? 2 : 3;
+
+    const struct
+    {
+        const char *name;
+        bench::WorkloadFactory factory;
+    } workloads_under_test[] = {
+        {"mm", [&] { return workloads::makeMm(mm_n); }},
+        {"spmv", [&] { return workloads::makeSpmv(spmv_rows); }},
+    };
+
+    driver::printBanner(std::cout,
+                        "Detailed-mode hot-loop speedup (r9nano)");
+    std::printf("mm n=%u, spmv rows=%u; %u hardware cores\n\n", mm_n,
+                spmv_rows, std::thread::hardware_concurrency());
+
+    std::vector<VariantResult> rows;
+    driver::Table table({"workload", "variant", "threads", "cycles",
+                         "wall_s", "Mcyc/s", "speedup"});
+    for (const auto &wt : workloads_under_test) {
+        VariantResult seed, event, par;
+        // Interleave the variants within each repetition so background
+        // load on the host biases none of them.
+        for (std::uint32_t i = 0; i < reps; ++i) {
+            foldBest(seed,
+                     runVariantOnce(wt.name, wt.factory, "seed", true, 1),
+                     i == 0);
+            foldBest(event,
+                     runVariantOnce(wt.name, wt.factory, "event", false,
+                                    1),
+                     i == 0);
+            foldBest(par,
+                     runVariantOnce(wt.name, wt.factory, "threads",
+                                    false, par_threads),
+                     i == 0);
+        }
+        seed.speedupVsSeed = 1.0;
+        event.speedupVsSeed = seed.wallSeconds / event.wallSeconds;
+        par.speedupVsSeed = seed.wallSeconds / par.wallSeconds;
+        for (const VariantResult *r : {&seed, &event, &par}) {
+            if (r->cycles != seed.cycles || r->insts != seed.insts) {
+                std::fprintf(stderr,
+                             "FAIL: %s/%s diverged from the seed loop "
+                             "(%llu vs %llu cycles)\n",
+                             r->workload.c_str(), r->variant.c_str(),
+                             static_cast<unsigned long long>(r->cycles),
+                             static_cast<unsigned long long>(
+                                 seed.cycles));
+                return 1;
+            }
+            table.addRow({r->workload, r->variant,
+                          std::to_string(r->threads),
+                          std::to_string(r->cycles),
+                          driver::Table::num(r->wallSeconds, 3),
+                          driver::Table::num(r->cycles / r->wallSeconds /
+                                             1e6),
+                          driver::Table::num(r->speedupVsSeed)});
+            rows.push_back(*r);
+        }
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nevent vs seed is the structural win (no per-cycle CU scan);\n"
+        "the threads variant needs >= %u real cores to pay off.\n",
+        par_threads);
+
+    writeJson(rows, "BENCH_hotloop.json");
+    return 0;
+}

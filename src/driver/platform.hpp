@@ -82,6 +82,10 @@ class Platform
 
     // ----- Introspection -----
 
+    /** Intra-kernel CU worker threads for every launch (any value is
+     *  bit-identical to 1; see timing::RunOptions::cuThreads). */
+    void setCuThreads(std::uint32_t n) { gpu_.setCuThreads(n); }
+
     SimMode mode() const { return mode_; }
     const GpuConfig &gpuConfig() const { return gpuCfg_; }
     func::GlobalMemory &mem() { return mem_; }

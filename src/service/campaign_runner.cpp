@@ -82,7 +82,7 @@ struct JobOutput
 };
 
 JobOutput
-runOneJob(const JobSpec &spec, const SamplingConfig &sampling,
+runOneJob(const JobSpec &spec, const CampaignOptions &options,
           StoreGroup seed)
 {
     JobOutput out;
@@ -94,7 +94,9 @@ runOneJob(const JobSpec &spec, const SamplingConfig &sampling,
     parseMode(spec.mode, mode);
 
     auto t0 = std::chrono::steady_clock::now();
-    driver::Platform platform(gpu, mode, sampling);
+    driver::Platform platform(gpu, mode, options.sampling);
+    if (options.cuThreads > 1)
+        platform.setCuThreads(options.cuThreads);
     if (sampling::PhotonSampler *ph = platform.photon()) {
         out.result.seedRecords = seed.kernels.size();
         for (auto &rec : seed.kernels)
@@ -197,7 +199,7 @@ runCampaign(const std::vector<JobSpec> &jobs,
             if (ci >= chains.size())
                 return;
             for (std::size_t ji : chains[ci]) {
-                JobOutput out = runOneJob(jobs[ji], options.sampling,
+                JobOutput out = runOneJob(jobs[ji], options,
                                           snapshot_for(jobs[ji]));
                 if (!out.freshKernels.empty() || !out.analyses.empty())
                     store.publish(jobs[ji].gpu, out.freshKernels,

@@ -81,6 +81,10 @@ struct CampaignOptions
     std::uint32_t workers = 1; ///< thread-pool size (0 behaves as 1)
     SharePolicy share = SharePolicy::Ordered;
     SamplingConfig sampling{};
+    /** Intra-kernel CU threads per job (timing::RunOptions::cuThreads);
+     *  0/1 = serial. Composes with @ref workers: job-level parallelism
+     *  first, CU-level threads for the stragglers. */
+    std::uint32_t cuThreads = 0;
 };
 
 /**

@@ -20,7 +20,7 @@ ComputeUnit::ComputeUnit(const GpuConfig &cfg, std::uint32_t cuId,
       waves_(cfg.simdsPerCu * cfg.wavesPerSimd),
       slotReady_(cfg.simdsPerCu * cfg.wavesPerSimd, kNoCycle),
       wgs_(cfg.workgroupsPerCu), simdFree_(cfg.simdsPerCu, 0),
-      rr_(cfg.simdsPerCu, 0)
+      simdMin_(cfg.simdsPerCu, kNoCycle), rr_(cfg.simdsPerCu, 0)
 {}
 
 void
@@ -36,12 +36,15 @@ ComputeUnit::startKernel(const KernelContext &ctx)
         wg.active = false;
     }
     std::fill(simdFree_.begin(), simdFree_.end(), 0);
+    std::fill(simdMin_.begin(), simdMin_.end(), kNoCycle);
     std::fill(rr_.begin(), rr_.end(), 0);
     nextHint_ = kNoCycle;
     residentWaves_ = 0;
     residentWgs_ = 0;
     instsIssued_ = 0;
     wavesRetired_ = 0;
+    pending_.clear();
+    pendingMisses_.clear();
 }
 
 bool
@@ -72,6 +75,7 @@ ComputeUnit::placeWorkgroup(WorkgroupId wg, Cycle now)
     group.wavesLeft = ctx_.dims->wavesPerWorkgroup;
     group.barrierWaiting = 0;
     group.lds.assign(ctx_.program->ldsBytes(), 0);
+    group.slots.clear();
     ++residentWgs_;
 
     std::uint32_t wave_slot = 0;
@@ -88,16 +92,29 @@ ComputeUnit::placeWorkgroup(WorkgroupId wg, Cycle now)
         w.wgSlot = wg_slot;
         w.lastFetchLine = ~std::uint64_t{0};
         w.bbValid = false;
-        slotReady_[readyIndex(wave_slot)] = w.readyAt;
-        nextHint_ = std::min(nextHint_, w.readyAt);
+        group.slots.push_back(wave_slot);
+        setSlotReady(wave_slot, w.readyAt);
         ++residentWaves_;
         if (ctx_.monitor)
             ctx_.monitor->onWaveDispatched(warp, now);
     }
+    recomputeHint();
 }
 
 std::uint32_t
 ComputeUnit::tick(Cycle now)
+{
+    return tickImpl(now, /*defer=*/false);
+}
+
+std::uint32_t
+ComputeUnit::tickDeferred(Cycle now)
+{
+    return tickImpl(now, /*defer=*/true);
+}
+
+std::uint32_t
+ComputeUnit::tickImpl(Cycle now, bool defer)
 {
     if (residentWaves_ == 0)
         return 0;
@@ -109,43 +126,85 @@ ComputeUnit::tick(Cycle now)
     for (std::uint32_t s = 0; s < simds; ++s) {
         if (simdFree_[s] > now)
             continue;
+        // simdMin_ is a lower bound on this SIMD's earliest ready slot:
+        // above now it proves the scan would come up empty (and refine
+        // nothing — the bound already exceeds now), so skip it.
+        if (simdMin_[s] > now)
+            continue;
         // Age-prioritised arbitration (GCN issues the oldest ready
         // wavefront): staggers wavefront completion instead of keeping
-        // all residents phase-locked.
+        // all residents phase-locked. The same pass computes the exact
+        // minimum of the non-selected slots' ready cycles, refreshing
+        // this SIMD's contribution to the incremental hint; the
+        // winner's new ready cycle is folded back in at commit.
         const Cycle *ready = &slotReady_[s * per_simd];
         std::uint32_t best = per_simd;
         WarpId best_warp = ~WarpId{0};
+        Cycle min_excl = kNoCycle;
         for (std::uint32_t k = 0; k < per_simd; ++k) {
-            if (ready[k] > now)
+            Cycle r = ready[k];
+            if (r > now) {
+                min_excl = std::min(min_excl, r);
                 continue;
+            }
             WarpId warp = waves_[s + k * simds].ws.warpId;
             if (warp < best_warp) {
+                if (best != per_simd)
+                    min_excl = std::min(min_excl, ready[best]);
                 best_warp = warp;
                 best = k;
+            } else {
+                min_excl = std::min(min_excl, r);
             }
         }
+        simdMin_[s] = min_excl;
         if (best != per_simd) {
-            issueWave(s + best * simds, now);
+            if (defer) {
+                PendingIssue &rec = pending_.emplace_back();
+                issueFront(s + best * simds, now, rec);
+            } else {
+                issueFront(s + best * simds, now, serialRec_);
+                commitIssue(serialRec_, now);
+                pendingMisses_.clear();
+            }
             ++issued;
         }
     }
+    if (!defer)
+        recomputeHint();
     return issued;
 }
 
 void
-ComputeUnit::issueWave(std::uint32_t slot, Cycle now)
+ComputeUnit::commitPending(Cycle now)
+{
+    for (PendingIssue &rec : pending_)
+        commitIssue(rec, now);
+    pending_.clear();
+    pendingMisses_.clear();
+    recomputeHint();
+}
+
+void
+ComputeUnit::issueFront(std::uint32_t slot, Cycle now, PendingIssue &rec)
 {
     Wave &w = waves_[slot];
     Workgroup &wg = wgs_[w.wgSlot];
     const std::uint32_t simd = slot % cfg_.simdsPerCu;
     const std::uint32_t pc_before = w.ws.pc;
 
+    rec.slot = slot;
+    rec.warp = w.ws.warpId;
+
     // Dynamic basic-block boundary: issuing the first instruction of a
     // block ends the previous one (paper Observation 3 definition).
+    rec.bbEnd = false;
     if (ctx_.bbTable->isLeader(pc_before)) {
-        if (w.bbValid && ctx_.monitor) {
-            ctx_.monitor->onBbExecuted(w.ws.warpId, w.curBb, w.curBbIssue,
-                                       now, w.curBbLanes);
+        if (w.bbValid) {
+            rec.bbEnd = true;
+            rec.bb = w.curBb;
+            rec.bbIssue = w.curBbIssue;
+            rec.bbLanes = w.curBbLanes;
         }
         w.curBb = ctx_.bbTable->blockAt(pc_before);
         w.curBbIssue = now;
@@ -154,22 +213,27 @@ ComputeUnit::issueWave(std::uint32_t slot, Cycle now)
         w.bbValid = true;
     }
 
-    // Instruction fetch through the L1I (one access per line crossed).
-    Cycle fetch_ready = now;
+    // Instruction fetch through the L1I (one access per line crossed);
+    // the access itself is shared-state and runs at commit.
+    rec.doFetch = false;
     std::uint64_t fetch_line =
         (ctx_.codeBase + Addr{pc_before} * kInstBytes) / kLineBytes;
     if (fetch_line != w.lastFetchLine) {
-        fetch_ready = memsys_.instAccess(cuId_, fetch_line, now);
+        rec.doFetch = true;
+        rec.fetchLine = fetch_line;
         w.lastFetchLine = fetch_line;
     }
 
-    emu_.step(*ctx_.program, w.ws, *ctx_.mem, wg.lds, step_);
+    emu_.step(*ctx_.program, w.ws, *ctx_.mem, wg.lds, rec.step);
     ++w.instCount;
     ++instsIssued_;
 
+    rec.missBegin = static_cast<std::uint32_t>(pendingMisses_.size());
+    rec.missCount = 0;
+
     Cycle complete = now + 1;
     Cycle ready = now + 1;
-    switch (step_.unit) {
+    switch (rec.step.unit) {
       case isa::FuncUnit::SALU:
         complete = now + cfg_.saluLatency;
         ready = complete;
@@ -193,27 +257,35 @@ ComputeUnit::issueWave(std::uint32_t slot, Cycle now)
       case isa::FuncUnit::LDS:
         // Charge one extra cycle per 16 lane-accesses (bank conflicts
         // beyond the 16-bank width are second order).
-        complete = now + cfg_.ldsLatency + step_.ldsAccesses / 16;
+        complete = now + cfg_.ldsLatency + rec.step.ldsAccesses / 16;
         ready = complete;
         simdFree_[simd] = now + cfg_.vectorIssueCycles;
         break;
-      case isa::FuncUnit::SMEM: {
-        complete = memsys_.scalarAccess(cuId_, step_.lines[0], now);
-        ready = complete;
+      case isa::FuncUnit::SMEM:
+        // L1K is shared by a CU group: the whole access runs at commit.
+        complete = 0;
+        ready = 0;
         simdFree_[simd] = now + cfg_.scalarIssueCycles;
         break;
-      }
       case isa::FuncUnit::VMEM: {
+        // L1V port/tags/MSHR allocation are CU-private: probe here.
+        // Misses queue for the shared L2/DRAM walk at commit.
         Cycle finish = now;
-        for (std::uint32_t i = 0; i < step_.numLines; ++i) {
-            Cycle t = memsys_.vectorAccess(cuId_, step_.lines[i],
-                                           step_.linesWrite, now);
-            finish = std::max(finish, t);
+        for (std::uint32_t i = 0; i < rec.step.numLines; ++i) {
+            MemorySystem::VmemProbe p =
+                memsys_.vectorProbe(cuId_, rec.step.lines[i], now);
+            if (p.hit) {
+                finish = std::max(finish, p.ready);
+            } else {
+                pendingMisses_.push_back(
+                    {rec.step.lines[i], p.missBase, p.mshrIdx});
+                ++rec.missCount;
+            }
         }
-        complete = finish;
+        complete = finish; // hit-path maximum; misses folded at commit
         // Loads block the wavefront until data returns; stores retire
         // from the wavefront's perspective once issued.
-        ready = step_.linesWrite ? now + cfg_.vectorIssueCycles : finish;
+        ready = rec.step.linesWrite ? now + cfg_.vectorIssueCycles : 0;
         simdFree_[simd] = now + cfg_.vectorIssueCycles;
         break;
       }
@@ -223,23 +295,58 @@ ComputeUnit::issueWave(std::uint32_t slot, Cycle now)
         simdFree_[simd] = now + 1;
         break;
     }
+    rec.complete0 = complete;
+    rec.ready0 = ready;
+}
+
+void
+ComputeUnit::commitIssue(PendingIssue &rec, Cycle now)
+{
+    Wave &w = waves_[rec.slot];
+    Workgroup &wg = wgs_[w.wgSlot];
+
+    if (rec.bbEnd && ctx_.monitor) {
+        ctx_.monitor->onBbExecuted(rec.warp, rec.bb, rec.bbIssue, now,
+                                   rec.bbLanes);
+    }
+
+    Cycle fetch_ready = now;
+    if (rec.doFetch)
+        fetch_ready = memsys_.instAccess(cuId_, rec.fetchLine, now);
+
+    Cycle complete = rec.complete0;
+    Cycle ready = rec.ready0;
+    if (rec.step.unit == isa::FuncUnit::SMEM) {
+        complete = memsys_.scalarAccess(cuId_, rec.step.lines[0], now);
+        ready = complete;
+    } else if (rec.step.unit == isa::FuncUnit::VMEM) {
+        Cycle finish = rec.complete0;
+        const std::uint32_t end = rec.missBegin + rec.missCount;
+        for (std::uint32_t i = rec.missBegin; i < end; ++i) {
+            Cycle fill =
+                memsys_.vectorCommitMiss(cuId_, pendingMisses_[i]);
+            finish = std::max(finish, fill);
+        }
+        complete = finish;
+        ready = rec.step.linesWrite ? rec.ready0 : finish;
+    }
 
     w.readyAt = std::max(ready, fetch_ready);
-    slotReady_[readyIndex(slot)] = w.readyAt;
+    setSlotReady(rec.slot, w.readyAt);
 
     if (ctx_.monitor)
-        ctx_.monitor->onInstruction(w.ws.warpId, step_, now, complete);
+        ctx_.monitor->onInstruction(rec.warp, rec.step, now, complete);
 
-    if (step_.barrier) {
+    if (rec.step.barrier) {
         w.atBarrier = true;
-        slotReady_[readyIndex(slot)] = kNoCycle;
+        setSlotReady(rec.slot, kNoCycle);
         ++wg.barrierWaiting;
         if (wg.barrierWaiting == wg.wavesLeft)
             releaseBarrier(w.wgSlot, now);
     }
 
-    if (step_.done)
-        retireWave(slot, now);
+    if (rec.step.done)
+        retireWave(rec.slot, now);
 }
 
 void
@@ -256,7 +363,7 @@ ComputeUnit::retireWave(std::uint32_t slot, Cycle now)
         ctx_.monitor->onWaveRetired(w.ws.warpId, now, w.instCount);
 
     w.active = false;
-    slotReady_[readyIndex(slot)] = kNoCycle;
+    setSlotReady(slot, kNoCycle);
     --residentWaves_;
     ++wavesRetired_;
     --wg.wavesLeft;
@@ -273,16 +380,30 @@ ComputeUnit::retireWave(std::uint32_t slot, Cycle now)
 void
 ComputeUnit::releaseBarrier(std::uint32_t wgSlot, Cycle now)
 {
-    for (std::uint32_t slot = 0; slot < waves_.size(); ++slot) {
+    // Walk only this workgroup's wave slots (recorded at placement).
+    // The wgSlot check guards slots retired here and reused by another
+    // workgroup placed while this one was still resident.
+    for (std::uint32_t slot : wgs_[wgSlot].slots) {
         Wave &w = waves_[slot];
         if (w.active && w.wgSlot == wgSlot && w.atBarrier) {
             w.atBarrier = false;
             w.readyAt = std::max(w.readyAt, now + 1);
-            slotReady_[readyIndex(slot)] = w.readyAt;
-            nextHint_ = std::min(nextHint_, w.readyAt);
+            setSlotReady(slot, w.readyAt);
         }
     }
     wgs_[wgSlot].barrierWaiting = 0;
+}
+
+void
+ComputeUnit::recomputeHint()
+{
+    // max distributes over min, so min over slots of
+    // max(slotReady, simdFree) equals min over SIMDs of
+    // max(min slotReady, simdFree).
+    Cycle next = kNoCycle;
+    for (std::uint32_t s = 0; s < cfg_.simdsPerCu; ++s)
+        next = std::min(next, std::max(simdMin_[s], simdFree_[s]));
+    nextHint_ = next;
 }
 
 Cycle

@@ -4,6 +4,18 @@
  * per-wavefront issue with round-robin arbitration, blocking vector memory
  * (latency hidden by switching among resident wavefronts), workgroup
  * barriers and an instruction-fetch path through the L1I.
+ *
+ * Issue is split into two halves so CUs can tick in parallel:
+ *  - the *front half* (issueFront) runs arbitration, the functional step
+ *    and every access to CU-private state (wave slots, LDS, L1V, MSHR
+ *    allocation), recording its effects in a PendingIssue;
+ *  - the *commit half* (commitIssue) replays the record against shared
+ *    state (L1I/L1K/L2/DRAM, monitor callbacks, barrier and retirement
+ *    bookkeeping).
+ * tick() commits inline (serial mode); tickDeferred()/commitPending()
+ * separate the halves so a run loop can execute front halves of many CUs
+ * concurrently and then commit them in deterministic CU order, producing
+ * bit-identical results to the serial schedule.
  */
 
 #ifndef PHOTON_TIMING_CU_HPP
@@ -51,18 +63,34 @@ class ComputeUnit
     void placeWorkgroup(WorkgroupId wg, Cycle now);
 
     /**
-     * Let every SIMD try to issue one instruction at cycle @p now.
+     * Let every SIMD try to issue one instruction at cycle @p now,
+     * committing each issue immediately (serial semantics).
      * @return number of instructions issued.
      */
     std::uint32_t tick(Cycle now);
 
+    /**
+     * Front halves only: arbitration + functional execution + CU-private
+     * timing, with all shared-state effects queued. Safe to call
+     * concurrently with other CUs' tickDeferred at the same cycle.
+     * @return number of instructions issued (records queued).
+     */
+    std::uint32_t tickDeferred(Cycle now);
+
+    /** Replay the queued records against shared state, in issue order.
+     *  Must be called from one thread, in ascending cuId order, after
+     *  all CUs' tickDeferred of this cycle have finished. */
+    void commitPending(Cycle now);
+
     /** Earliest cycle at which any resident wavefront can issue;
-     *  kNoCycle when the CU is empty or fully barrier-blocked. */
+     *  kNoCycle when the CU is empty or fully barrier-blocked. Exact,
+     *  but O(wave slots) — the seed loop's rescan path. */
     Cycle nextEventAt() const;
 
-    /** Cheap lower bound on nextEventAt(), maintained incrementally.
-     *  The run loop skips the CU while the hint is in the future and
-     *  refreshes it (refreshHint) after an idle tick. */
+    /** Cheap lower bound on nextEventAt(), maintained incrementally from
+     *  per-SIMD ready minima. Never later than the true next event, so
+     *  waking the CU at the hint can be spurious (a side-effect-free
+     *  zero-issue tick that refines the hint) but never misses work. */
     Cycle nextHint() const { return nextHint_; }
     void refreshHint() { nextHint_ = nextEventAt(); }
 
@@ -96,13 +124,57 @@ class ComputeUnit
         std::uint32_t wavesLeft = 0;
         std::uint32_t barrierWaiting = 0;
         std::vector<std::uint8_t> lds;
+        /** Wave slots assigned at placement, so a barrier release walks
+         *  only this workgroup's waves instead of the whole CU. */
+        std::vector<std::uint32_t> slots;
         bool active = false;
     };
 
-    /** Issue the next instruction of wavefront slot @p slot at @p now. */
-    void issueWave(std::uint32_t slot, Cycle now);
+    /** One issued instruction's deferred shared-state effects. */
+    struct PendingIssue
+    {
+        func::StepResult step; ///< filled in place by the emulator
+        std::uint32_t slot = 0;
+        WarpId warp = 0;
+        bool doFetch = false; ///< instruction fetch crossed a line
+        std::uint64_t fetchLine = 0;
+        bool bbEnd = false; ///< this issue ended the previous block
+        isa::BbId bb = isa::kNoBb;
+        Cycle bbIssue = 0;
+        std::uint32_t bbLanes = 0;
+        /** Completion/ready cycles for everything computable from
+         *  CU-private state (ALU latencies, L1V hit path). */
+        Cycle complete0 = 0;
+        Cycle ready0 = 0;
+        /** L1V misses awaiting their L2/DRAM path: a range in
+         *  pendingMisses_, in line order. */
+        std::uint32_t missBegin = 0;
+        std::uint32_t missCount = 0;
+    };
+
+    /** Front half: everything touching only CU-private state. */
+    void issueFront(std::uint32_t slot, Cycle now, PendingIssue &rec);
+    /** Commit half: shared memory paths, monitor callbacks, barrier and
+     *  retirement bookkeeping. */
+    void commitIssue(PendingIssue &rec, Cycle now);
+
+    std::uint32_t tickImpl(Cycle now, bool defer);
     void retireWave(std::uint32_t slot, Cycle now);
     void releaseBarrier(std::uint32_t wgSlot, Cycle now);
+
+    /** Update a slot's scheduling key, folding it into the owning
+     *  SIMD's ready minimum (lower bound maintenance). */
+    void
+    setSlotReady(std::uint32_t slot, Cycle t)
+    {
+        slotReady_[readyIndex(slot)] = t;
+        std::uint32_t s = slot % cfg_.simdsPerCu;
+        if (t < simdMin_[s])
+            simdMin_[s] = t;
+    }
+
+    /** Recompute nextHint_ from the per-SIMD minima (O(simds)). */
+    void recomputeHint();
 
     const GpuConfig &cfg_;
     std::uint32_t cuId_;
@@ -126,13 +198,20 @@ class ComputeUnit
     }
     std::vector<Workgroup> wgs_;     ///< workgroupsPerCu slots
     std::vector<Cycle> simdFree_;    ///< per-SIMD issue-port availability
+    /** Per-SIMD lower bound on the minimum active slotReady_. Made exact
+     *  whenever the SIMD arbitrates; only ever folded downward in
+     *  between, so the derived hint can be early but never late. */
+    std::vector<Cycle> simdMin_;
     std::vector<std::uint32_t> rr_;  ///< per-SIMD round-robin pointer
     Cycle nextHint_ = kNoCycle;
     std::uint32_t residentWaves_ = 0;
     std::uint32_t residentWgs_ = 0;
     std::uint64_t instsIssued_ = 0;
     std::uint32_t wavesRetired_ = 0;
-    func::StepResult step_;          ///< reused per issue
+
+    std::vector<PendingIssue> pending_;  ///< queued records (deferred)
+    std::vector<MemorySystem::VmemMiss> pendingMisses_;
+    PendingIssue serialRec_;             ///< reused record (serial tick)
 };
 
 } // namespace photon::timing

@@ -29,6 +29,7 @@ class Dispatcher
         numWgs_ = numWorkgroups;
         nextWg_ = 0;
         rr_ = 0;
+        retry_ = true;
     }
 
     /** Stop issuing new workgroups (sampling switch / drain). */
@@ -42,26 +43,57 @@ class Dispatcher
     resume()
     {
         halted_ = false;
+        retry_ = true;
     }
 
-    /** Place as many pending workgroups as capacity allows. */
+    /** CU capacity was freed (a wavefront retired): a previously failed
+     *  dispatch attempt may now succeed. */
     void
-    tryDispatch(Cycle now)
+    notifyCapacityFreed()
+    {
+        retry_ = true;
+    }
+
+    /** True when a tryDispatch call could place something: there is
+     *  pending work and capacity may have changed since the last
+     *  unsuccessful attempt. */
+    bool
+    wantsDispatch() const
+    {
+        return retry_ && !halted_ && nextWg_ < numWgs_;
+    }
+
+    /**
+     * Place as many pending workgroups as capacity allows. Clears the
+     * retry flag: with no capacity change a repeat call would be a pure
+     * no-op scan, so callers may gate on wantsDispatch(). @p force
+     * rescans regardless (the seed loop's per-cycle behaviour).
+     * Placed CU ids are appended to @p placed when given.
+     */
+    void
+    tryDispatch(Cycle now, std::vector<std::uint32_t> *placed = nullptr,
+                bool force = false)
     {
         if (halted_)
             return;
+        if (!retry_ && !force)
+            return;
+        retry_ = false;
         while (nextWg_ < numWgs_) {
-            bool placed = false;
+            bool any = false;
             for (std::size_t i = 0; i < cus_.size(); ++i) {
                 std::size_t cu = (rr_ + i) % cus_.size();
                 if (cus_[cu].canAcceptWorkgroup()) {
                     cus_[cu].placeWorkgroup(nextWg_++, now);
                     rr_ = (cu + 1) % cus_.size();
-                    placed = true;
+                    if (placed)
+                        placed->push_back(
+                            static_cast<std::uint32_t>(cu));
+                    any = true;
                     break;
                 }
             }
-            if (!placed)
+            if (!any)
                 return;
         }
     }
@@ -75,6 +107,7 @@ class Dispatcher
     std::uint32_t nextWg_ = 0;
     std::size_t rr_ = 0;
     bool halted_ = false;
+    bool retry_ = true;
 };
 
 } // namespace photon::timing

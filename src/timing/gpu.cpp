@@ -1,11 +1,145 @@
 #include "timing/gpu.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <thread>
 
 #include "isa/basic_block.hpp"
 #include "sim/log.hpp"
 
 namespace photon::timing {
+
+namespace {
+
+/**
+ * Sense-reversing spin barrier. The run loop crosses a barrier twice
+ * per simulated cycle, so the futex sleep/wake of std::barrier would
+ * dominate; workers here spin (with a yield fallback) because the next
+ * cycle's work arrives within microseconds.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(std::uint32_t parties)
+        : parties_(parties),
+          // Spinning only makes sense when every party has its own
+          // core; oversubscribed parties must yield the core the
+          // others need to make progress.
+          spinLimit_(parties <= std::thread::hardware_concurrency()
+                         ? 4096u
+                         : 0u)
+    {}
+
+    void
+    arriveAndWait()
+    {
+        std::uint32_t sense = sense_.load(std::memory_order_relaxed);
+        if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            count_.store(0, std::memory_order_relaxed);
+            sense_.store(sense ^ 1, std::memory_order_release);
+            return;
+        }
+        std::uint32_t spins = 0;
+        while (sense_.load(std::memory_order_acquire) == sense) {
+            if (++spins > spinLimit_) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+    }
+
+  private:
+    std::uint32_t parties_;
+    std::uint32_t spinLimit_;
+    std::atomic<std::uint32_t> count_{0};
+    std::atomic<std::uint32_t> sense_{0};
+};
+
+/**
+ * Worker pool ticking due CUs under a per-cycle barrier. Each run():
+ *  1. every thread (main included) executes the front halves of its
+ *     round-robin shard of the due list — CU-private state only;
+ *  2. after the barrier, the main thread commits all queued
+ *     shared-state effects in ascending cuId order.
+ * The commit order equals the serial visiting order, so the observable
+ * state evolution is bit-identical to a single-threaded run.
+ */
+class TickPool
+{
+  public:
+    TickPool(std::vector<ComputeUnit> &cus, std::uint32_t threads)
+        : cus_(cus), threads_(threads), start_(threads), finish_(threads)
+    {
+        for (std::uint32_t t = 0; t + 1 < threads_; ++t)
+            workers_.emplace_back([this, t] { workerMain(t); });
+    }
+
+    ~TickPool()
+    {
+        stop_.store(true, std::memory_order_relaxed);
+        start_.arriveAndWait();
+        for (std::thread &w : workers_)
+            w.join();
+    }
+
+    TickPool(const TickPool &) = delete;
+    TickPool &operator=(const TickPool &) = delete;
+
+    /** Tick every CU in @p due (ascending cuId) at @p now; returns the
+     *  number of instructions issued across all of them. */
+    std::uint32_t
+    run(const std::vector<std::uint32_t> &due, Cycle now)
+    {
+        due_ = &due;
+        now_ = now;
+        issued_.assign(due.size(), 0);
+        start_.arriveAndWait();
+        shard(threads_ - 1); // main thread participates
+        finish_.arriveAndWait();
+        for (std::uint32_t cu : due)
+            cus_[cu].commitPending(now);
+        std::uint32_t total = 0;
+        for (std::uint32_t v : issued_)
+            total += v;
+        return total;
+    }
+
+  private:
+    void
+    workerMain(std::uint32_t tid)
+    {
+        for (;;) {
+            start_.arriveAndWait();
+            if (stop_.load(std::memory_order_relaxed))
+                return;
+            shard(tid);
+            finish_.arriveAndWait();
+        }
+    }
+
+    void
+    shard(std::uint32_t tid)
+    {
+        const std::vector<std::uint32_t> &due = *due_;
+        for (std::size_t i = tid; i < due.size(); i += threads_)
+            issued_[i] = cus_[due[i]].tickDeferred(now_);
+    }
+
+    std::vector<ComputeUnit> &cus_;
+    std::uint32_t threads_;
+    SpinBarrier start_;
+    SpinBarrier finish_;
+    std::vector<std::thread> workers_;
+    const std::vector<std::uint32_t> *due_ = nullptr;
+    Cycle now_ = 0;
+    std::vector<std::uint32_t> issued_; ///< per due-list index
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace
 
 Gpu::Gpu(const GpuConfig &cfg)
     : cfg_(cfg), memsys_(cfg), dispatcher_(cus_)
@@ -13,6 +147,11 @@ Gpu::Gpu(const GpuConfig &cfg)
     cus_.reserve(cfg.numCus);
     for (std::uint32_t i = 0; i < cfg.numCus; ++i)
         cus_.emplace_back(cfg_, i, memsys_, emu_);
+    filedAt_.assign(cfg.numCus, kNoCycle);
+    cuBusy_.assign(cfg.numCus, 0);
+    prevRetired_.assign(cfg.numCus, 0);
+    wheelWords_ = (cfg.numCus + 63) / 64;
+    wheelBits_.assign(std::size_t{kWheelSize} * wheelWords_, 0);
 }
 
 RunOutcome
@@ -40,22 +179,187 @@ Gpu::runKernel(const isa::Program &program, const func::LaunchDims &dims,
     dispatcher_.resume();
     dispatcher_.startKernel(dims.numWorkgroups);
 
+    heap_ = EventHeap{};
+    std::fill(wheelBits_.begin(), wheelBits_.end(), 0);
+    std::fill(filedAt_.begin(), filedAt_.end(), kNoCycle);
+    std::fill(cuBusy_.begin(), cuBusy_.end(), 0);
+    std::fill(prevRetired_.begin(), prevRetired_.end(), 0);
+    activeCuCount_ = 0;
+    residentWaveCount_ = 0;
+    wavesPerWg_ = dims.wavesPerWorkgroup;
+
+    std::uint32_t threads =
+        opts.cuThreads ? opts.cuThreads : cuThreadsDefault_;
+    threads = std::max<std::uint32_t>(threads, 1);
+    threads = std::min(threads, cfg_.numCus);
+
+    RunOutcome out = opts.useSeedLoop
+                         ? runSeedLoop(monitor, opts)
+                         : runEventLoop(monitor, opts, threads);
+
+    out.endCycle = now_;
+    out.firstUndispatchedWg = dispatcher_.nextWorkgroup();
+    for (const ComputeUnit &cu : cus_) {
+        out.instsIssued += cu.instsIssued();
+        out.wavesCompleted += cu.wavesRetired();
+    }
+    if (opts.collectIpcTrace) {
+        for (double &v : out.ipcTrace)
+            v /= static_cast<double>(opts.ipcBucketCycles);
+    }
+    ++kernelsRun_;
+    activeCyclesTotal_ += out.activeCycles;
+    busyCuCyclesTotal_ += out.busyCuCycles;
+    waveCyclesTotal_ += out.waveCycles;
+    return out;
+}
+
+RunOutcome
+Gpu::runEventLoop(KernelMonitor *monitor, const RunOptions &opts,
+                  std::uint32_t threads)
+{
     RunOutcome out;
     out.startCycle = now_;
-
     bool stopping = false;
-    std::uint64_t insts_at_start = 0; // CU counters reset at startKernel
+
+    std::unique_ptr<TickPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<TickPool>(cus_, threads);
+
+    std::vector<std::uint32_t> placed;
+    std::vector<std::uint32_t> due;
+    placed.reserve(cfg_.numCus);
+    due.reserve(cfg_.numCus);
 
     while (true) {
         if (monitor && !stopping && monitor->wantsStop(now_)) {
             stopping = true;
             dispatcher_.halt();
         }
-        dispatcher_.tryDispatch(now_);
+        if (dispatcher_.wantsDispatch()) {
+            placed.clear();
+            dispatcher_.tryDispatch(now_, &placed);
+            for (std::uint32_t cu : placed) {
+                residentWaveCount_ += wavesPerWg_;
+                updateBusy(cu);
+                fileCu(cu, now_);
+            }
+        }
+
+        bool any_resident = activeCuCount_ > 0;
+
+        // Pull every CU due this cycle. Entries are lazily invalidated:
+        // only the one matching the CU's filing cycle is live. The
+        // wheel slot holds exactly this cycle's near events (non-empty
+        // slots are never advanced past, so no lap-old bits linger);
+        // far events that have come due are merged into the same
+        // bitmap, and the bit walk yields ascending cuId order — the
+        // serial visiting order — with no sort.
+        std::uint64_t *slot =
+            &wheelBits_[(now_ & (kWheelSize - 1)) * wheelWords_];
+        while (!heap_.empty() && heap_.top().first <= now_) {
+            HeapEntry e = heap_.top();
+            heap_.pop();
+            if (filedAt_[e.second] == e.first)
+                slot[e.second / 64] |= std::uint64_t{1}
+                                       << (e.second & 63);
+        }
+        due.clear();
+        for (std::uint32_t w = 0; w < wheelWords_; ++w) {
+            std::uint64_t m = slot[w];
+            slot[w] = 0;
+            while (m) {
+                std::uint32_t cu =
+                    w * 64 +
+                    static_cast<std::uint32_t>(std::countr_zero(m));
+                m &= m - 1;
+                if (filedAt_[cu] == now_) {
+                    filedAt_[cu] = kNoCycle;
+                    due.push_back(cu);
+                }
+            }
+        }
+
+        std::uint32_t issued = 0;
+        if (pool && due.size() >= threads) {
+            issued = pool->run(due, now_);
+        } else {
+            for (std::uint32_t cu : due)
+                issued += cus_[cu].tick(now_);
+        }
+        for (std::uint32_t cu : due) {
+            noteRetirements(cu);
+            updateBusy(cu);
+            fileCu(cu, now_ + 1);
+        }
+
+        if (issued > 0)
+            addIpcSample(out, opts, now_, issued);
+
+        bool done = !any_resident &&
+                    (dispatcher_.allDispatched() || stopping);
+        if (done)
+            break;
+
+        Cycle next;
+        if (issued == 0) {
+            // Earliest filed event: first occupied wheel slot ahead of
+            // now, or the heap top. Either may be stale, which only
+            // makes the jump shorter (a spurious, side-effect-free
+            // visit), never longer.
+            Cycle cand = kNoCycle;
+            for (Cycle d = 1; d < kWheelSize; ++d) {
+                const std::uint64_t *s =
+                    &wheelBits_[((now_ + d) & (kWheelSize - 1)) *
+                                wheelWords_];
+                std::uint64_t any = 0;
+                for (std::uint32_t w = 0; w < wheelWords_; ++w)
+                    any |= s[w];
+                if (any) {
+                    cand = now_ + d;
+                    break;
+                }
+            }
+            if (!heap_.empty())
+                cand = std::min(cand, heap_.top().first);
+            next = (cand == kNoCycle) ? now_ + 1
+                                      : std::max(now_ + 1, cand);
+        } else {
+            next = now_ + 1;
+        }
+        accountAdvance(out, next - now_);
+        now_ = next;
+    }
+
+    out.stoppedEarly = stopping;
+    return out;
+}
+
+RunOutcome
+Gpu::runSeedLoop(KernelMonitor *monitor, const RunOptions &opts)
+{
+    RunOutcome out;
+    out.startCycle = now_;
+    bool stopping = false;
+    std::vector<std::uint32_t> placed;
+
+    while (true) {
+        if (monitor && !stopping && monitor->wantsStop(now_)) {
+            stopping = true;
+            dispatcher_.halt();
+        }
+        placed.clear();
+        dispatcher_.tryDispatch(now_, &placed, /*force=*/true);
+        for (std::uint32_t cu : placed) {
+            residentWaveCount_ += wavesPerWg_;
+            updateBusy(cu);
+        }
 
         std::uint32_t issued = 0;
         bool any_resident = false;
-        for (ComputeUnit &cu : cus_) {
+        for (std::uint32_t c = 0;
+             c < static_cast<std::uint32_t>(cus_.size()); ++c) {
+            ComputeUnit &cu = cus_[c];
             if (cu.idle())
                 continue;
             any_resident = true;
@@ -63,50 +367,109 @@ Gpu::runKernel(const isa::Program &program, const func::LaunchDims &dims,
                 continue;
             std::uint32_t k = cu.tick(now_);
             issued += k;
-            if (k == 0)
+            if (k == 0) {
                 cu.refreshHint();
+            } else {
+                noteRetirements(c);
+                updateBusy(c);
+            }
         }
 
-        if (opts.collectIpcTrace && issued > 0) {
-            std::size_t bucket = (now_ - out.startCycle) /
-                                 opts.ipcBucketCycles;
-            if (out.ipcTrace.size() <= bucket)
-                out.ipcTrace.resize(bucket + 1, 0.0);
-            out.ipcTrace[bucket] += issued;
-        }
+        if (issued > 0)
+            addIpcSample(out, opts, now_, issued);
 
         bool done = !any_resident &&
                     (dispatcher_.allDispatched() || stopping);
         if (done)
             break;
 
+        Cycle next;
         if (issued == 0) {
-            Cycle next = kNoCycle;
+            Cycle ne = kNoCycle;
             for (ComputeUnit &cu : cus_) {
                 if (!cu.idle())
-                    next = std::min(next, cu.nextHint());
+                    ne = std::min(ne, cu.nextHint());
             }
-            now_ = (next == kNoCycle) ? now_ + 1
-                                      : std::max(now_ + 1, next);
+            next = (ne == kNoCycle) ? now_ + 1 : std::max(now_ + 1, ne);
         } else {
-            ++now_;
+            next = now_ + 1;
         }
+        accountAdvance(out, next - now_);
+        now_ = next;
     }
 
-    out.endCycle = now_;
     out.stoppedEarly = stopping;
-    out.firstUndispatchedWg = dispatcher_.nextWorkgroup();
-    for (const ComputeUnit &cu : cus_) {
-        out.instsIssued += cu.instsIssued();
-        out.wavesCompleted += cu.wavesRetired();
-    }
-    out.instsIssued -= insts_at_start;
-
-    if (opts.collectIpcTrace) {
-        for (double &v : out.ipcTrace)
-            v /= static_cast<double>(opts.ipcBucketCycles);
-    }
     return out;
+}
+
+void
+Gpu::fileCu(std::uint32_t cu, Cycle floor)
+{
+    Cycle h = cus_[cu].nextHint();
+    if (h == kNoCycle) {
+        filedAt_[cu] = kNoCycle;
+        return;
+    }
+    if (h < floor)
+        h = floor;
+    // An earlier live entry already wakes the CU no later than h; the
+    // wake refreshes the hint and refiles, so events are never missed.
+    if (filedAt_[cu] != kNoCycle && filedAt_[cu] <= h)
+        return;
+    filedAt_[cu] = h;
+    if (h - now_ < kWheelSize) {
+        wheelBits_[(h & (kWheelSize - 1)) * wheelWords_ + cu / 64] |=
+            std::uint64_t{1} << (cu & 63);
+    } else {
+        heap_.push({h, cu});
+    }
+}
+
+void
+Gpu::updateBusy(std::uint32_t cu)
+{
+    std::uint8_t b = cus_[cu].idle() ? 0 : 1;
+    if (b == cuBusy_[cu])
+        return;
+    cuBusy_[cu] = b;
+    if (b)
+        ++activeCuCount_;
+    else
+        --activeCuCount_;
+}
+
+void
+Gpu::noteRetirements(std::uint32_t cu)
+{
+    std::uint32_t r = cus_[cu].wavesRetired();
+    std::uint32_t delta = r - prevRetired_[cu];
+    if (delta == 0)
+        return;
+    prevRetired_[cu] = r;
+    residentWaveCount_ -= delta;
+    dispatcher_.notifyCapacityFreed();
+}
+
+void
+Gpu::addIpcSample(RunOutcome &out, const RunOptions &opts, Cycle now,
+                  std::uint32_t issued)
+{
+    if (!opts.collectIpcTrace)
+        return;
+    std::size_t bucket = (now - out.startCycle) / opts.ipcBucketCycles;
+    if (out.ipcTrace.size() <= bucket)
+        out.ipcTrace.resize(bucket + 1, 0.0);
+    out.ipcTrace[bucket] += issued;
+}
+
+void
+Gpu::accountAdvance(RunOutcome &out, Cycle dt) const
+{
+    if (activeCuCount_ == 0)
+        return;
+    out.activeCycles += dt;
+    out.busyCuCycles += dt * activeCuCount_;
+    out.waveCycles += dt * residentWaveCount_;
 }
 
 void
@@ -114,6 +477,20 @@ Gpu::exportStats(StatRegistry &stats) const
 {
     memsys_.exportStats(stats);
     stats.set("gpu.now_cycles", static_cast<double>(now_));
+    stats.set("gpu.kernels", static_cast<double>(kernelsRun_));
+    stats.set("gpu.active_cycles",
+              static_cast<double>(activeCyclesTotal_));
+    stats.set("gpu.busy_cu_cycles",
+              static_cast<double>(busyCuCyclesTotal_));
+    stats.set("gpu.wave_cycles", static_cast<double>(waveCyclesTotal_));
+    if (activeCyclesTotal_ > 0) {
+        stats.set("gpu.avg_busy_cus",
+                  static_cast<double>(busyCuCyclesTotal_) /
+                      static_cast<double>(activeCyclesTotal_));
+        stats.set("gpu.avg_resident_waves",
+                  static_cast<double>(waveCyclesTotal_) /
+                      static_cast<double>(activeCyclesTotal_));
+    }
 }
 
 } // namespace photon::timing

@@ -3,12 +3,24 @@
  * Top-level GPU timing model: owns the CUs and the memory hierarchy and
  * runs kernels in detailed (execution-driven) mode, with optional monitor
  * hooks and early-stop for sampled simulation.
+ *
+ * The run loop is event-driven: CUs are filed in a min-heap keyed by
+ * their next-event cycle and only ticked when due, instead of being
+ * scanned every cycle. An opt-in parallel mode (cuThreads > 1) shards
+ * due CUs across worker threads under a per-cycle barrier; CU front
+ * halves run concurrently against private state and their shared-memory
+ * effects commit serially in (cycle, cuId, issue index) order, so the
+ * results are bit-identical to the serial schedule. The original
+ * per-cycle scanning loop is kept (useSeedLoop) as the reference
+ * implementation for cross-checks and as the bench baseline.
  */
 
 #ifndef PHOTON_TIMING_GPU_HPP
 #define PHOTON_TIMING_GPU_HPP
 
 #include <cstdint>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "func/emulator.hpp"
@@ -32,6 +44,13 @@ struct RunOptions
     /** Delimit monitored basic blocks at s_waitcnt as well (must match
      *  the sampler's own block table). */
     bool splitBbAtWaitcnt = false;
+    /** Worker threads ticking CUs inside this kernel; 0 uses the Gpu
+     *  default (setCuThreads), 1 is fully serial. Any value produces
+     *  bit-identical results. */
+    std::uint32_t cuThreads = 0;
+    /** Run the reference per-cycle scanning loop instead of the
+     *  event-driven core (cross-checks, bench baseline). */
+    bool useSeedLoop = false;
 };
 
 /** Result of one detailed kernel run. */
@@ -44,6 +63,12 @@ struct RunOutcome
     bool stoppedEarly = false;   ///< monitor requested a sampling switch
     /** First workgroup never dispatched (== numWorkgroups when all ran). */
     std::uint32_t firstUndispatchedWg = 0;
+    /** Cycles with at least one resident wavefront on any CU. */
+    Cycle activeCycles = 0;
+    /** Integral of (CUs with resident work) over the run's cycles. */
+    std::uint64_t busyCuCycles = 0;
+    /** Integral of resident wavefronts over the run's cycles. */
+    std::uint64_t waveCycles = 0;
     /** Wavefront IPC per time bucket when collectIpcTrace is set. */
     std::vector<double> ipcTrace;
 
@@ -74,15 +99,61 @@ class Gpu
     /** Advance the clock without simulating (sampled/skipped periods). */
     void skipTime(Cycle cycles) { now_ += cycles; }
 
+    /** Default intra-kernel CU worker threads for runs whose RunOptions
+     *  leave cuThreads at 0 (so samplers' internal runs inherit it). */
+    void setCuThreads(std::uint32_t n) { cuThreadsDefault_ = n; }
+    std::uint32_t cuThreads() const { return cuThreadsDefault_; }
+
     Cycle now() const { return now_; }
     const GpuConfig &config() const { return cfg_; }
     MemorySystem &memsys() { return memsys_; }
     const func::Emulator &emulator() const { return emu_; }
 
-    /** Export memory-system statistics. */
+    /** Export memory-system and run statistics. */
     void exportStats(StatRegistry &stats) const;
 
   private:
+    /** Heap entry: (next-event cycle, cuId). std::greater pops the
+     *  smallest cycle first, ties in ascending cuId order — the serial
+     *  CU visiting order. */
+    using HeapEntry = std::pair<Cycle, std::uint32_t>;
+    using EventHeap =
+        std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                            std::greater<HeapEntry>>;
+
+    /** Calendar-wheel front end for the event heap: events within the
+     *  next kWheelSize cycles land in O(1) ring buckets (indexed by
+     *  cycle & mask), so the dense case — every busy CU due again next
+     *  cycle — never touches the heap. Only far events (memory misses)
+     *  pay the O(log n) heap cost. Buckets are CU bitmaps, so filing is
+     *  a bit-set and extraction walks set bits in ascending cuId order
+     *  (the serial visiting order) without sorting. Power of two. */
+    static constexpr std::uint32_t kWheelSize = 16;
+
+    RunOutcome runEventLoop(KernelMonitor *monitor,
+                            const RunOptions &opts,
+                            std::uint32_t threads);
+    RunOutcome runSeedLoop(KernelMonitor *monitor, const RunOptions &opts);
+
+    /** (Re)file @p cu in the event heap at its current hint; maintains
+     *  the one-valid-entry-per-CU invariant via filedAt_. */
+    void fileCu(std::uint32_t cu, Cycle floor);
+
+    /** Sync the CU's residency flag into activeCuCount_. */
+    void updateBusy(std::uint32_t cu);
+
+    /** Fold retirements of a just-ticked CU into the wave/dispatch
+     *  bookkeeping. */
+    void noteRetirements(std::uint32_t cu);
+
+    /** Add one instruction-issue sample to the IPC trace. */
+    static void addIpcSample(RunOutcome &out, const RunOptions &opts,
+                             Cycle now, std::uint32_t issued);
+
+    /** Accumulate occupancy integrals for an advance of @p dt cycles
+     *  using the current (post-tick) residency. */
+    void accountAdvance(RunOutcome &out, Cycle dt) const;
+
     GpuConfig cfg_;
     MemorySystem memsys_;
     func::Emulator emu_;
@@ -90,6 +161,25 @@ class Gpu
     Dispatcher dispatcher_;
     Cycle now_ = 0;
     std::uint64_t kernelSeq_ = 0;
+    std::uint32_t cuThreadsDefault_ = 1;
+
+    // Per-kernel event/bookkeeping state (reset in runKernel).
+    EventHeap heap_;
+    /** kWheelSize buckets of wheelWords_ 64-bit CU masks each. */
+    std::vector<std::uint64_t> wheelBits_;
+    std::uint32_t wheelWords_ = 1;
+    std::vector<Cycle> filedAt_;   ///< cycle of each CU's valid entry
+    std::vector<std::uint8_t> cuBusy_;
+    std::vector<std::uint32_t> prevRetired_;
+    std::uint32_t activeCuCount_ = 0;
+    std::uint32_t residentWaveCount_ = 0;
+    std::uint32_t wavesPerWg_ = 0;
+
+    // Cumulative occupancy counters across kernels (exportStats).
+    std::uint64_t kernelsRun_ = 0;
+    Cycle activeCyclesTotal_ = 0;
+    std::uint64_t busyCuCyclesTotal_ = 0;
+    std::uint64_t waveCyclesTotal_ = 0;
 };
 
 } // namespace photon::timing

@@ -44,16 +44,38 @@ MemorySystem::vectorAccess(std::uint32_t cuId, std::uint64_t lineAddr,
     // into the cache on the same path as a load; dirty write-back
     // bandwidth is second-order and not modelled.
     (void)write;
+    VmemProbe p = vectorProbe(cuId, lineAddr, now);
+    if (p.hit)
+        return p.ready;
+    return vectorCommitMiss(cuId, {lineAddr, p.missBase, p.mshrIdx});
+}
+
+MemorySystem::VmemProbe
+MemorySystem::vectorProbe(std::uint32_t cuId, std::uint64_t lineAddr,
+                          Cycle now)
+{
     SetAssocCache &l1 = l1v_[cuId];
     Cycle start = l1.reservePort(now);
-    if (l1.probe(lineAddr))
-        return start + l1.hitLatency();
+    VmemProbe p;
+    if (l1.probe(lineAddr)) {
+        p.hit = true;
+        p.ready = start + l1.hitLatency();
+        return p;
+    }
     // Miss: allocate an MSHR (ring order — fills return roughly in
     // request order). A full MSHR file delays the miss, which is the
     // backpressure that bounds the DRAM backlog.
-    Cycle &mshr = mshrFree_[cuId][mshrPtr_[cuId]++ % cfg_.mshrsPerCu];
-    Cycle miss_start = std::max(start + l1.hitLatency(), mshr);
-    Cycle fill = l2Access(lineAddr, miss_start);
+    p.missBase = start + l1.hitLatency();
+    p.mshrIdx = mshrPtr_[cuId]++ % cfg_.mshrsPerCu;
+    return p;
+}
+
+Cycle
+MemorySystem::vectorCommitMiss(std::uint32_t cuId, const VmemMiss &miss)
+{
+    Cycle &mshr = mshrFree_[cuId][miss.mshrIdx];
+    Cycle miss_start = std::max(miss.missBase, mshr);
+    Cycle fill = l2Access(miss.line, miss_start);
     mshr = fill;
     return fill;
 }
@@ -88,6 +110,16 @@ MemorySystem::exportStats(StatRegistry &stats) const
         l1v_hits += c.hits();
         l1v_misses += c.misses();
     }
+    std::uint64_t l1i_hits = 0, l1i_misses = 0;
+    for (const auto &c : l1i_) {
+        l1i_hits += c.hits();
+        l1i_misses += c.misses();
+    }
+    std::uint64_t l1k_hits = 0, l1k_misses = 0;
+    for (const auto &c : l1k_) {
+        l1k_hits += c.hits();
+        l1k_misses += c.misses();
+    }
     std::uint64_t l2_hits = 0, l2_misses = 0;
     for (const auto &c : l2_) {
         l2_hits += c.hits();
@@ -95,6 +127,10 @@ MemorySystem::exportStats(StatRegistry &stats) const
     }
     stats.add("mem.l1v.hits", static_cast<double>(l1v_hits));
     stats.add("mem.l1v.misses", static_cast<double>(l1v_misses));
+    stats.add("mem.l1i.hits", static_cast<double>(l1i_hits));
+    stats.add("mem.l1i.misses", static_cast<double>(l1i_misses));
+    stats.add("mem.l1k.hits", static_cast<double>(l1k_hits));
+    stats.add("mem.l1k.misses", static_cast<double>(l1k_misses));
     stats.add("mem.l2.hits", static_cast<double>(l2_hits));
     stats.add("mem.l2.misses", static_cast<double>(l2_misses));
     stats.add("mem.dram.accesses", static_cast<double>(dram_.accesses()));

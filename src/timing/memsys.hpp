@@ -35,6 +35,39 @@ class MemorySystem
     Cycle vectorAccess(std::uint32_t cuId, std::uint64_t lineAddr,
                        bool write, Cycle now);
 
+    /** Result of the CU-private half of a vector access. */
+    struct VmemProbe
+    {
+        bool hit = false;
+        Cycle ready = 0;    ///< data-ready cycle (hit path only)
+        Cycle missBase = 0; ///< L1 lookup done; L2 path starts here
+        std::uint32_t mshrIdx = 0; ///< MSHR reserved for the miss
+    };
+
+    /** An L1V miss whose L2/DRAM path has not been walked yet. */
+    struct VmemMiss
+    {
+        std::uint64_t line = 0;
+        Cycle missBase = 0;
+        std::uint32_t mshrIdx = 0;
+    };
+
+    /**
+     * CU-private half of a vector access: L1V port + tag lookup (with
+     * fill-on-miss) and MSHR ring allocation. Touches only per-CU state,
+     * so distinct CUs may probe concurrently. On a miss the returned
+     * missBase/mshrIdx must be passed to vectorCommitMiss later — in
+     * probe order — to walk the shared L2/DRAM path.
+     */
+    VmemProbe vectorProbe(std::uint32_t cuId, std::uint64_t lineAddr,
+                          Cycle now);
+
+    /** Shared half of a missing vector access; returns the fill cycle.
+     *  Reads the MSHR next-free time here (not at probe time) so a
+     *  same-cycle later miss observes earlier fills, exactly as in the
+     *  fused vectorAccess path. */
+    Cycle vectorCommitMiss(std::uint32_t cuId, const VmemMiss &miss);
+
     /** Scalar (s_load) access from CU @p cuId via the L1K path. */
     Cycle scalarAccess(std::uint32_t cuId, std::uint64_t lineAddr,
                        Cycle now);

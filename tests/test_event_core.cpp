@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Determinism tests for the event-driven run loop: the event core must
+ * match the reference per-cycle scanning loop (useSeedLoop) exactly, and
+ * parallel CU ticking (cuThreads > 1) must be bit-identical to serial —
+ * same cycles, instruction counts, IPC trace, monitor callback stream
+ * and exported statistics — across workloads and simulation modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/platform.hpp"
+#include "isa/builder.hpp"
+#include "service/campaign.hpp"
+#include "timing/dispatcher.hpp"
+#include "timing/gpu.hpp"
+#include "timing/monitor.hpp"
+#include "workloads/workload.hpp"
+
+using namespace photon;
+using namespace photon::isa;
+using timing::Gpu;
+using timing::KernelMonitor;
+using timing::RunOptions;
+using timing::RunOutcome;
+
+namespace {
+
+ProgramPtr
+aluKernel(std::uint32_t iters)
+{
+    KernelBuilder b("alu");
+    b.sMov(3, imm(0));
+    Label loop = b.label();
+    b.bind(loop);
+    b.vAddF32(1, vreg(1), immF(1.0f));
+    b.sAdd(3, sreg(3), imm(1));
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(3), imm(iters));
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);
+    b.endProgram();
+    return b.finish();
+}
+
+ProgramPtr
+barrierKernel()
+{
+    KernelBuilder b("barrier");
+    b.setLdsBytes(256);
+    b.emit(Opcode::V_LSHL_B32, vreg(1), sreg(kSgprWaveInGroup), imm(2));
+    b.dsWrite(1, sreg(kSgprWaveInGroup));
+    b.barrier();
+    b.emit(Opcode::S_XOR_B32, sreg(3), sreg(kSgprWaveInGroup), imm(1));
+    b.emit(Opcode::V_LSHL_B32, vreg(2), sreg(3), imm(2));
+    b.dsRead(3, 2);
+    b.endProgram();
+    return b.finish();
+}
+
+ProgramPtr
+memKernel(std::uint32_t iters)
+{
+    KernelBuilder b("mem");
+    b.sMov(3, imm(0));
+    b.vMad(1, vreg(0), imm(64), imm(64)); // scattered line per lane
+    Label loop = b.label();
+    b.bind(loop);
+    b.flatLoad(2, 1);
+    b.vAddU32(1, vreg(1), imm(64 * 64));
+    b.sAdd(3, sreg(3), imm(1));
+    b.emit(Opcode::S_CMP_LT_U32, {}, sreg(3), imm(iters));
+    b.branch(Opcode::S_CBRANCH_SCC1, loop);
+    b.endProgram();
+    return b.finish();
+}
+
+/** FNV-1a hash over the full monitor callback stream: any reordering,
+ *  dropped or extra callback between two runs changes the hash. */
+struct HashingMonitor : KernelMonitor
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        h ^= v;
+        h *= 1099511628211ull;
+    }
+    void
+    onWaveDispatched(WarpId w, Cycle c) override
+    {
+        mix(1), mix(w), mix(c);
+    }
+    void
+    onWaveRetired(WarpId w, Cycle c, std::uint64_t insts) override
+    {
+        mix(2), mix(w), mix(c), mix(insts);
+    }
+    void
+    onInstruction(WarpId w, const func::StepResult &, Cycle issue,
+                  Cycle complete) override
+    {
+        mix(3), mix(w), mix(issue), mix(complete);
+    }
+    void
+    onBbExecuted(WarpId w, isa::BbId bb, Cycle issue, Cycle retire,
+                 std::uint32_t lanes) override
+    {
+        mix(4), mix(w), mix(bb), mix(issue), mix(retire), mix(lanes);
+    }
+};
+
+/** Full-outcome equality, including the IPC trace and the occupancy
+ *  integrals. */
+void
+expectSameOutcome(const RunOutcome &a, const RunOutcome &b,
+                  const std::string &what)
+{
+    EXPECT_EQ(a.cycles(), b.cycles()) << what;
+    EXPECT_EQ(a.endCycle, b.endCycle) << what;
+    EXPECT_EQ(a.instsIssued, b.instsIssued) << what;
+    EXPECT_EQ(a.wavesCompleted, b.wavesCompleted) << what;
+    EXPECT_EQ(a.stoppedEarly, b.stoppedEarly) << what;
+    EXPECT_EQ(a.firstUndispatchedWg, b.firstUndispatchedWg) << what;
+    EXPECT_EQ(a.activeCycles, b.activeCycles) << what;
+    EXPECT_EQ(a.busyCuCycles, b.busyCuCycles) << what;
+    EXPECT_EQ(a.waveCycles, b.waveCycles) << what;
+    EXPECT_EQ(a.ipcTrace, b.ipcTrace) << what;
+}
+
+struct GpuRun
+{
+    RunOutcome out;
+    std::uint64_t monitorHash = 0;
+    std::map<std::string, double> stats;
+};
+
+GpuRun
+runOnGpu(const ProgramPtr &prog, func::LaunchDims dims,
+         std::uint64_t mem_bytes, const RunOptions &opts)
+{
+    Gpu gpu(GpuConfig::testTiny());
+    func::GlobalMemory mem(mem_bytes);
+    if (mem_bytes > (1 << 20))
+        mem.allocate(mem_bytes / 2); // back the loads
+    HashingMonitor mon;
+    GpuRun r;
+    r.out = gpu.runKernel(*prog, dims, mem, &mon, opts);
+    r.monitorHash = mon.h;
+    StatRegistry reg;
+    gpu.exportStats(reg);
+    r.stats = reg.values();
+    return r;
+}
+
+/** The three kernel shapes that exercise distinct run-loop paths:
+ *  ALU-bound (dense issue), barrier (wave-slot lists + releases), and
+ *  memory-bound (L1V probe/commit, MSHRs, long idle gaps). */
+const struct KernelCase
+{
+    const char *name;
+    ProgramPtr (*build)();
+    func::LaunchDims dims;
+    std::uint64_t memBytes;
+} kKernelCases[] = {
+    {"alu", [] { return aluKernel(20); }, {16, 4, 0}, 1 << 20},
+    {"barrier", [] { return barrierKernel(); }, {8, 2, 0}, 1 << 20},
+    {"mem", [] { return memKernel(12); }, {32, 4, 0}, 64ull << 20},
+};
+
+} // namespace
+
+TEST(EventCore, EventLoopMatchesSeedLoop)
+{
+    for (const auto &kc : kKernelCases) {
+        ProgramPtr prog = kc.build();
+        RunOptions opts;
+        opts.collectIpcTrace = true;
+        opts.ipcBucketCycles = 64;
+        GpuRun ev = runOnGpu(prog, kc.dims, kc.memBytes, opts);
+        opts.useSeedLoop = true;
+        GpuRun seed = runOnGpu(prog, kc.dims, kc.memBytes, opts);
+        expectSameOutcome(ev.out, seed.out, kc.name);
+        EXPECT_EQ(ev.monitorHash, seed.monitorHash) << kc.name;
+        EXPECT_EQ(ev.stats, seed.stats) << kc.name;
+    }
+}
+
+TEST(EventCore, ThreadedBitIdenticalToSerial)
+{
+    for (const auto &kc : kKernelCases) {
+        ProgramPtr prog = kc.build();
+        RunOptions opts;
+        opts.collectIpcTrace = true;
+        opts.ipcBucketCycles = 64;
+        opts.cuThreads = 1;
+        GpuRun serial = runOnGpu(prog, kc.dims, kc.memBytes, opts);
+        for (std::uint32_t threads : {2u, 4u}) {
+            opts.cuThreads = threads;
+            GpuRun par = runOnGpu(prog, kc.dims, kc.memBytes, opts);
+            std::string what = std::string(kc.name) + " threads=" +
+                               std::to_string(threads);
+            expectSameOutcome(serial.out, par.out, what);
+            EXPECT_EQ(serial.monitorHash, par.monitorHash) << what;
+            EXPECT_EQ(serial.stats, par.stats) << what;
+        }
+    }
+}
+
+TEST(EventCore, EarlyStopIdenticalAcrossLoops)
+{
+    struct StopAfter : KernelMonitor
+    {
+        std::uint64_t retired = 0;
+        bool wantsStop(Cycle) override { return retired >= 8; }
+        void
+        onWaveRetired(WarpId, Cycle, std::uint64_t) override
+        {
+            ++retired;
+        }
+    };
+    ProgramPtr prog = aluKernel(10);
+    func::LaunchDims dims{512, 4, 0}; // far more than residency
+    auto run = [&](const RunOptions &opts) {
+        Gpu gpu(GpuConfig::testTiny());
+        func::GlobalMemory mem(1 << 20);
+        StopAfter mon;
+        return gpu.runKernel(*prog, dims, mem, &mon, opts);
+    };
+    RunOptions opts;
+    RunOutcome ev = run(opts);
+    opts.useSeedLoop = true;
+    RunOutcome seed = run(opts);
+    opts.useSeedLoop = false;
+    opts.cuThreads = 4;
+    RunOutcome par = run(opts);
+    EXPECT_TRUE(ev.stoppedEarly);
+    expectSameOutcome(ev, seed, "early-stop seed");
+    expectSameOutcome(ev, par, "early-stop threaded");
+}
+
+TEST(EventCore, OccupancyIntegralsAreConsistent)
+{
+    ProgramPtr prog = aluKernel(20);
+    Gpu gpu(GpuConfig::testTiny());
+    func::GlobalMemory mem(1 << 20);
+    func::LaunchDims dims{8, 4, 0};
+    RunOutcome out = gpu.runKernel(*prog, dims, mem);
+    const std::uint32_t cus = GpuConfig::testTiny().numCus;
+    EXPECT_GT(out.activeCycles, 0u);
+    EXPECT_LE(out.activeCycles, out.cycles());
+    // Each active cycle has between 1 and numCus busy CUs...
+    EXPECT_GE(out.busyCuCycles, out.activeCycles);
+    EXPECT_LE(out.busyCuCycles, out.activeCycles * cus);
+    // ...and each busy CU holds at least one resident wavefront.
+    EXPECT_GE(out.waveCycles, out.busyCuCycles);
+}
+
+TEST(EventCore, GpuStatsExposeOccupancyCounters)
+{
+    ProgramPtr prog = aluKernel(10);
+    Gpu gpu(GpuConfig::testTiny());
+    func::GlobalMemory mem(1 << 20);
+    func::LaunchDims dims{8, 4, 0};
+    gpu.runKernel(*prog, dims, mem);
+    StatRegistry reg;
+    gpu.exportStats(reg);
+    EXPECT_EQ(reg.get("gpu.kernels"), 1.0);
+    EXPECT_GT(reg.get("gpu.active_cycles"), 0.0);
+    EXPECT_GT(reg.get("gpu.busy_cu_cycles"), 0.0);
+    EXPECT_GT(reg.get("gpu.wave_cycles"), 0.0);
+    EXPECT_TRUE(reg.has("gpu.avg_busy_cus"));
+    EXPECT_TRUE(reg.has("gpu.avg_resident_waves"));
+    // L1I sees instruction fetches even for a pure-ALU kernel; the new
+    // per-cache counters must be present (L1K may be all hits or all
+    // misses but the keys always export).
+    EXPECT_GT(reg.get("mem.l1i.hits") + reg.get("mem.l1i.misses"), 0.0);
+    EXPECT_TRUE(reg.has("mem.l1k.hits"));
+    EXPECT_TRUE(reg.has("mem.l1k.misses"));
+}
+
+TEST(EventCore, DispatcherRetryFlagGatesRescans)
+{
+    GpuConfig cfg = GpuConfig::testTiny();
+    timing::MemorySystem memsys(cfg);
+    func::Emulator emu;
+    std::vector<timing::ComputeUnit> cus;
+    cus.reserve(cfg.numCus);
+    for (std::uint32_t i = 0; i < cfg.numCus; ++i)
+        cus.emplace_back(cfg, i, memsys, emu);
+
+    ProgramPtr prog = aluKernel(4);
+    isa::BasicBlockTable bb_table(*prog, false);
+    func::GlobalMemory mem(1 << 20);
+    func::LaunchDims dims{1024, 4, 0}; // far exceeds total residency
+    timing::KernelContext ctx;
+    ctx.program = prog.get();
+    ctx.bbTable = &bb_table;
+    ctx.dims = &dims;
+    ctx.mem = &mem;
+    for (auto &cu : cus)
+        cu.startKernel(ctx);
+
+    timing::Dispatcher d(cus);
+    d.startKernel(dims.numWorkgroups);
+    EXPECT_TRUE(d.wantsDispatch());
+
+    // Fill every CU. The retry flag must clear: nothing changed, so a
+    // rescan could not place anything.
+    d.tryDispatch(0);
+    EXPECT_FALSE(d.allDispatched());
+    EXPECT_FALSE(d.wantsDispatch());
+
+    // Freed capacity re-arms the flag; halt()/resume() override it.
+    d.notifyCapacityFreed();
+    EXPECT_TRUE(d.wantsDispatch());
+    d.halt();
+    EXPECT_FALSE(d.wantsDispatch());
+    d.resume();
+    EXPECT_TRUE(d.wantsDispatch());
+}
+
+namespace {
+
+struct PlatformRun
+{
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    std::map<std::string, double> stats;
+};
+
+PlatformRun
+runWorkload(const std::string &name, std::uint32_t size,
+            driver::SimMode mode, std::uint32_t cu_threads)
+{
+    driver::Platform p(GpuConfig::testTiny(), mode);
+    if (cu_threads > 1)
+        p.setCuThreads(cu_threads);
+    std::string err;
+    workloads::WorkloadPtr w = service::makeWorkload(name, size, &err);
+    EXPECT_NE(w, nullptr) << err;
+    w->setup(p);
+    workloads::runWorkload(*w, p);
+    PlatformRun r;
+    r.cycles = p.totalKernelCycles();
+    r.insts = p.totalInsts();
+    r.stats = p.stats().values();
+    r.stats.erase("platform.total_wall_seconds"); // host-time dependent
+    return r;
+}
+
+} // namespace
+
+/**
+ * The determinism matrix from the issue: every workload, in both
+ * full-detailed and Photon modes, must produce bit-identical cycles,
+ * instruction counts and statistics for --cu-threads 1, 2 and 4. The
+ * Photon runs also cover cuThreads inheritance by the sampler's
+ * internal detailed runs (setCuThreads default plumbing).
+ */
+TEST(EventCore, WorkloadsBitIdenticalAcrossCuThreads)
+{
+    const struct
+    {
+        const char *name;
+        std::uint32_t size;
+    } cases[] = {
+        {"relu", 64}, {"fir", 64},     {"sc", 64},  {"mm", 64},
+        {"mmtiled", 64}, {"aes", 32},  {"spmv", 64}, {"pagerank", 64},
+    };
+    for (auto mode :
+         {driver::SimMode::FullDetailed, driver::SimMode::Photon}) {
+        for (const auto &c : cases) {
+            PlatformRun serial = runWorkload(c.name, c.size, mode, 1);
+            for (std::uint32_t threads : {2u, 4u}) {
+                PlatformRun par =
+                    runWorkload(c.name, c.size, mode, threads);
+                std::string what = std::string(c.name) + " " +
+                                   driver::simModeName(mode) +
+                                   " threads=" + std::to_string(threads);
+                EXPECT_EQ(serial.cycles, par.cycles) << what;
+                EXPECT_EQ(serial.insts, par.insts) << what;
+                EXPECT_EQ(serial.stats, par.stats) << what;
+            }
+        }
+    }
+}

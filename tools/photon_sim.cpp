@@ -49,6 +49,7 @@ struct Options
     bool stats = false;
     bool disasm = false;
     bool check = false;
+    std::uint32_t cuThreads = 1;
 
     // Campaign / persistence flags.
     std::string campaign;
@@ -66,6 +67,7 @@ usage()
         "usage: photon_sim [--workload W[,W...]] [--size N[,N...]]\n"
         "                  [--mode M[,M...]] [--gpu G[,G...]]\n"
         "                  [--compare] [--stats] [--disasm] [--check]\n"
+        "                  [--cu-threads N]\n"
         "                  [--campaign FILE] [--jobs N] [--share P]\n"
         "                  [--cache-in PATH] [--cache-out PATH]\n"
         "                  [--report PATH]\n"
@@ -79,6 +81,8 @@ usage()
         "  --stats    dump the memory-system statistics\n"
         "  --disasm   print the first kernel's disassembly\n"
         "  --check    verify results against the host reference\n"
+        "  --cu-threads N  worker threads ticking CUs inside each\n"
+        "                  kernel (bit-identical to 1; default 1)\n"
         "batch mode (triggered by --campaign, comma lists, --jobs > 1,\n"
         "or any cache/report flag):\n"
         "  --campaign FILE  job list: '<workload> [size] [mode] [gpu]'\n"
@@ -119,6 +123,8 @@ runOnce(const Options &o, std::uint32_t size, driver::SimMode mode,
     if (!service::parseGpuName(o.gpu, gpu, &err))
         fatal(err);
     driver::Platform p(gpu, mode);
+    if (o.cuThreads > 1)
+        p.setCuThreads(o.cuThreads);
     auto w = service::makeWorkload(o.workload, size, &err);
     if (!w)
         fatal(err);
@@ -199,6 +205,7 @@ runCampaignMode(const Options &o)
 
     service::CampaignOptions opts;
     opts.workers = o.jobs ? o.jobs : 1;
+    opts.cuThreads = o.cuThreads;
     std::string err;
     if (!service::parseSharePolicy(o.share, opts.share, &err))
         fatal(err);
@@ -261,6 +268,7 @@ main(int argc, char **argv)
         else if (a == "--stats") o.stats = true;
         else if (a == "--disasm") o.disasm = true;
         else if (a == "--check") o.check = true;
+        else if (a == "--cu-threads") o.cuThreads = parseCount(a, next());
         else if (a == "--campaign") o.campaign = next();
         else if (a == "--jobs") o.jobs = parseCount(a, next());
         else if (a == "--share") o.share = next();
