@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full local gate: configure + build (warnings are errors), tier-1
+# tests, and the photon_lint phase-safety/determinism pass — the same
+# three checks CI runs on every push. Usage: scripts/check.sh [builddir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+cmake -B "$BUILD" -S . -DCMAKE_CXX_FLAGS=-Werror
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j
+cmake --build "$BUILD" --target lint
+
+echo "check.sh: build, tests and lint all green"

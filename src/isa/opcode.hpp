@@ -124,8 +124,8 @@ struct OpcodeInfo
 {
     std::string_view name;
     FuncUnit unit;
-    bool isBranch;       ///< any opcode that may redirect the PC
-    bool endsBasicBlock; ///< branch, barrier or endpgm (paper Obs. 3)
+    bool isBranch = false;       ///< opcode that may redirect the PC
+    bool endsBasicBlock = false; ///< branch/barrier/endpgm (paper Obs. 3)
 };
 
 /** Look up static properties of an opcode. */

@@ -275,7 +275,7 @@ serializeArtifact(const Artifact &artifact)
         // serialization is byte-deterministic.
         std::vector<const std::string *> keys;
         keys.reserve(g.analyses.size());
-        for (const auto &[key, a] : g.analyses)
+        for (const auto &[key, a] : g.analyses) // photon-lint: order-insensitive
             keys.push_back(&key);
         std::sort(keys.begin(), keys.end(),
                   [](const auto *a, const auto *b) { return *a < *b; });

@@ -110,6 +110,9 @@ ComputeUnit::tick(Cycle now)
 std::uint32_t
 ComputeUnit::tickDeferred(Cycle now)
 {
+    // Debug builds mark this thread front-phase for the duration, so
+    // any shared-state entry point reached from here panics.
+    PHOTON_PHASE_FRONT_SCOPE();
     return tickImpl(now, /*defer=*/true);
 }
 
@@ -164,7 +167,8 @@ ComputeUnit::tickImpl(Cycle now, bool defer)
                 issueFront(s + best * simds, now, rec);
             } else {
                 issueFront(s + best * simds, now, serialRec_);
-                commitIssue(serialRec_, now);
+                // Serial mode: tick() commits inline on the one thread.
+                commitIssue(serialRec_, now); // photon-lint: serial-only
                 pendingMisses_.clear();
             }
             ++issued;
@@ -178,6 +182,7 @@ ComputeUnit::tickImpl(Cycle now, bool defer)
 void
 ComputeUnit::commitPending(Cycle now)
 {
+    PHOTON_ASSERT_PHASE("ComputeUnit::commitPending");
     for (PendingIssue &rec : pending_)
         commitIssue(rec, now);
     pending_.clear();
@@ -302,6 +307,7 @@ ComputeUnit::issueFront(std::uint32_t slot, Cycle now, PendingIssue &rec)
 void
 ComputeUnit::commitIssue(PendingIssue &rec, Cycle now)
 {
+    PHOTON_ASSERT_PHASE("ComputeUnit::commitIssue");
     Wave &w = waves_[rec.slot];
     Workgroup &wg = wgs_[w.wgSlot];
 

@@ -28,6 +28,7 @@
 #include "func/wave_state.hpp"
 #include "isa/basic_block.hpp"
 #include "sim/config.hpp"
+#include "sim/phase_annotations.hpp"
 #include "sim/types.hpp"
 #include "timing/memsys.hpp"
 #include "timing/monitor.hpp"
@@ -75,11 +76,13 @@ class ComputeUnit
      * concurrently with other CUs' tickDeferred at the same cycle.
      * @return number of instructions issued (records queued).
      */
+    PHOTON_PHASE_FRONT
     std::uint32_t tickDeferred(Cycle now);
 
     /** Replay the queued records against shared state, in issue order.
      *  Must be called from one thread, in ascending cuId order, after
      *  all CUs' tickDeferred of this cycle have finished. */
+    PHOTON_PHASE_COMMIT
     void commitPending(Cycle now);
 
     /** Earliest cycle at which any resident wavefront can issue;
@@ -153,13 +156,17 @@ class ComputeUnit
     };
 
     /** Front half: everything touching only CU-private state. */
+    PHOTON_PHASE_FRONT
     void issueFront(std::uint32_t slot, Cycle now, PendingIssue &rec);
     /** Commit half: shared memory paths, monitor callbacks, barrier and
      *  retirement bookkeeping. */
+    PHOTON_PHASE_COMMIT
     void commitIssue(PendingIssue &rec, Cycle now);
 
     std::uint32_t tickImpl(Cycle now, bool defer);
+    PHOTON_PHASE_COMMIT
     void retireWave(std::uint32_t slot, Cycle now);
+    PHOTON_PHASE_COMMIT
     void releaseBarrier(std::uint32_t wgSlot, Cycle now);
 
     /** Update a slot's scheduling key, folding it into the owning

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/phase_annotations.hpp"
 #include "sim/types.hpp"
 #include "timing/cu.hpp"
 
@@ -23,6 +24,7 @@ class Dispatcher
     explicit Dispatcher(std::vector<ComputeUnit> &cus) : cus_(cus) {}
 
     /** Reset for a kernel with @p numWorkgroups workgroups. */
+    PHOTON_PHASE_COMMIT
     void
     startKernel(std::uint32_t numWorkgroups)
     {
@@ -33,12 +35,14 @@ class Dispatcher
     }
 
     /** Stop issuing new workgroups (sampling switch / drain). */
+    PHOTON_PHASE_COMMIT
     void
     halt()
     {
         halted_ = true;
     }
 
+    PHOTON_PHASE_COMMIT
     void
     resume()
     {
@@ -48,6 +52,7 @@ class Dispatcher
 
     /** CU capacity was freed (a wavefront retired): a previously failed
      *  dispatch attempt may now succeed. */
+    PHOTON_PHASE_COMMIT
     void
     notifyCapacityFreed()
     {
@@ -70,10 +75,12 @@ class Dispatcher
      * rescans regardless (the seed loop's per-cycle behaviour).
      * Placed CU ids are appended to @p placed when given.
      */
+    PHOTON_PHASE_COMMIT
     void
     tryDispatch(Cycle now, std::vector<std::uint32_t> *placed = nullptr,
                 bool force = false)
     {
+        PHOTON_ASSERT_PHASE("Dispatcher::tryDispatch");
         if (halted_)
             return;
         if (!retry_ && !force)

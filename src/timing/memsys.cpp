@@ -29,6 +29,7 @@ MemorySystem::MemorySystem(const GpuConfig &cfg)
 Cycle
 MemorySystem::l2Access(std::uint64_t lineAddr, Cycle now)
 {
+    PHOTON_ASSERT_PHASE("MemorySystem::l2Access");
     SetAssocCache &bank = l2_[lineAddr % cfg_.l2Banks];
     Cycle start = bank.reservePort(now);
     if (bank.probe(lineAddr))
@@ -73,6 +74,7 @@ MemorySystem::vectorProbe(std::uint32_t cuId, std::uint64_t lineAddr,
 Cycle
 MemorySystem::vectorCommitMiss(std::uint32_t cuId, const VmemMiss &miss)
 {
+    PHOTON_ASSERT_PHASE("MemorySystem::vectorCommitMiss");
     Cycle &mshr = mshrFree_[cuId][miss.mshrIdx];
     Cycle miss_start = std::max(miss.missBase, mshr);
     Cycle fill = l2Access(miss.line, miss_start);
@@ -84,6 +86,7 @@ Cycle
 MemorySystem::scalarAccess(std::uint32_t cuId, std::uint64_t lineAddr,
                            Cycle now)
 {
+    PHOTON_ASSERT_PHASE("MemorySystem::scalarAccess");
     SetAssocCache &l1 = l1k_[cuId / kCusPerL1Group];
     Cycle start = l1.reservePort(now);
     if (l1.probe(lineAddr))
@@ -95,6 +98,7 @@ Cycle
 MemorySystem::instAccess(std::uint32_t cuId, std::uint64_t lineAddr,
                          Cycle now)
 {
+    PHOTON_ASSERT_PHASE("MemorySystem::instAccess");
     SetAssocCache &l1 = l1i_[cuId / kCusPerL1Group];
     Cycle start = l1.reservePort(now);
     if (l1.probe(lineAddr))

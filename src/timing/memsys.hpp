@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/phase_annotations.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
 #include "timing/cache.hpp"
@@ -32,6 +33,7 @@ class MemorySystem
     explicit MemorySystem(const GpuConfig &cfg);
 
     /** Vector (FLAT) access from CU @p cuId. Returns data-ready cycle. */
+    PHOTON_SHARED_STATE
     Cycle vectorAccess(std::uint32_t cuId, std::uint64_t lineAddr,
                        bool write, Cycle now);
 
@@ -59,6 +61,7 @@ class MemorySystem
      * missBase/mshrIdx must be passed to vectorCommitMiss later — in
      * probe order — to walk the shared L2/DRAM path.
      */
+    PHOTON_PHASE_FRONT
     VmemProbe vectorProbe(std::uint32_t cuId, std::uint64_t lineAddr,
                           Cycle now);
 
@@ -66,13 +69,16 @@ class MemorySystem
      *  Reads the MSHR next-free time here (not at probe time) so a
      *  same-cycle later miss observes earlier fills, exactly as in the
      *  fused vectorAccess path. */
+    PHOTON_SHARED_STATE
     Cycle vectorCommitMiss(std::uint32_t cuId, const VmemMiss &miss);
 
     /** Scalar (s_load) access from CU @p cuId via the L1K path. */
+    PHOTON_SHARED_STATE
     Cycle scalarAccess(std::uint32_t cuId, std::uint64_t lineAddr,
                        Cycle now);
 
     /** Instruction-fetch access via the L1I path. */
+    PHOTON_SHARED_STATE
     Cycle instAccess(std::uint32_t cuId, std::uint64_t lineAddr, Cycle now);
 
     /** Export hit/miss/queueing counters into @p stats. */
@@ -86,16 +92,21 @@ class MemorySystem
 
   private:
     /** Shared L2 + DRAM path used by all three L1 kinds on a miss. */
+    PHOTON_SHARED_STATE
     Cycle l2Access(std::uint64_t lineAddr, Cycle now);
 
     GpuConfig cfg_;
     /** Per-CU MSHR next-free times (ring-allocated). */
     std::vector<std::vector<Cycle>> mshrFree_;
     std::vector<std::uint32_t> mshrPtr_;
-    std::vector<SetAssocCache> l1v_;  ///< one per CU
-    std::vector<SetAssocCache> l1i_;  ///< one per CU group
-    std::vector<SetAssocCache> l1k_;  ///< one per CU group
-    std::vector<SetAssocCache> l2_;   ///< one per bank
+    std::vector<SetAssocCache> l1v_; ///< one per CU
+    PHOTON_SHARED_STATE
+    std::vector<SetAssocCache> l1i_; ///< one per CU group
+    PHOTON_SHARED_STATE
+    std::vector<SetAssocCache> l1k_; ///< one per CU group
+    PHOTON_SHARED_STATE
+    std::vector<SetAssocCache> l2_; ///< one per bank
+    PHOTON_SHARED_STATE
     Dram dram_;
 };
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "func/emulator.hpp"
+#include "sim/phase_annotations.hpp"
 #include "isa/basic_block.hpp"
 #include "sim/types.hpp"
 
@@ -27,6 +28,7 @@ class KernelMonitor
     virtual ~KernelMonitor() = default;
 
     /** A wavefront was scheduled onto a compute unit. */
+    PHOTON_SHARED_STATE
     virtual void
     onWaveDispatched(WarpId warp, Cycle now)
     {
@@ -35,6 +37,7 @@ class KernelMonitor
     }
 
     /** A wavefront executed s_endpgm. */
+    PHOTON_SHARED_STATE
     virtual void
     onWaveRetired(WarpId warp, Cycle now, std::uint64_t inst_count)
     {
@@ -45,6 +48,7 @@ class KernelMonitor
 
     /** One instruction issued; @p complete is the cycle its result is
      *  ready (memory included). */
+    PHOTON_SHARED_STATE
     virtual void
     onInstruction(WarpId warp, const func::StepResult &result, Cycle issue,
                   Cycle complete)
@@ -61,6 +65,7 @@ class KernelMonitor
      *  instruction. @p active_lanes is the EXEC population at the
      *  block's first instruction — divergence changes a block's memory
      *  footprint, so the samplers track it. */
+    PHOTON_SHARED_STATE
     virtual void
     onBbExecuted(WarpId warp, isa::BbId bb, Cycle issue, Cycle retire,
                  std::uint32_t active_lanes)
@@ -74,6 +79,7 @@ class KernelMonitor
 
     /** Polled by the run loop; return true to stop dispatching new
      *  workgroups (resident ones drain). */
+    PHOTON_SHARED_STATE
     virtual bool
     wantsStop(Cycle now)
     {

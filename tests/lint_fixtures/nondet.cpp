@@ -1,0 +1,58 @@
+// photon_lint fixture: determinism violations (wall clock, libc
+// randomness, hash-order iteration, pointer-keyed ordering, and an
+// uninitialized scalar member), plus waived non-violations.
+
+struct NondetStats
+{
+    int hits_ = 0; // default initializer: fine
+    int misses_;   // line 8: no initializer, no ctor coverage
+    double ratio_; // covered by the constructor init list
+    NondetStats() : ratio_(0.0) {}
+};
+
+int
+pickVictim(int ways)
+{
+    return rand() % ways; // line 16
+}
+
+long
+stamp()
+{
+    return time(nullptr); // line 22
+}
+
+unsigned
+seedFrom()
+{
+    std::random_device rd; // line 28
+    return rd();
+}
+
+int
+sumValues(const std::unordered_map<int, int> &m)
+{
+    int sum = 0;
+    for (const auto &kv : m) // line 36: hash-order iteration
+        sum += kv.second;
+    return sum;
+}
+
+std::map<const void *, int> ptrRank; // line 41: pointer-keyed order
+
+int
+pickWaived(int ways)
+{
+    return rand() % ways; // photon-lint: nondeterminism-ok
+}
+
+int
+sumWaived(const std::unordered_map<int, int> &m)
+{
+    int sum = 0;
+    for (const auto &kv : m) // photon-lint: order-insensitive
+        sum += kv.second;
+    return sum;
+}
+
+std::map<const void *, int> okRank; // photon-lint: pointer-key-ok

@@ -1,0 +1,61 @@
+// photon_lint fixture: front-phase closure reaching shared state three
+// ways (transitive field write, shared-method call, commit call), plus
+// one correctly waived serial call site.
+
+struct BadShared
+{
+    PHOTON_SHARED_STATE
+    int counter_ = 0;
+
+    PHOTON_SHARED_STATE
+    void accumulate(int v);
+
+    PHOTON_PHASE_COMMIT
+    void commitTick(int v);
+};
+
+struct BadEngine
+{
+    int local_ = 0;
+
+    void helper(int v);
+
+    PHOTON_PHASE_FRONT
+    void frontTick(int v);
+
+    PHOTON_PHASE_FRONT
+    void frontSerial(int v);
+};
+
+void
+BadShared::accumulate(int v)
+{
+    counter_ += v;
+}
+
+void
+BadShared::commitTick(int v)
+{
+    counter_ += v;
+}
+
+void
+BadEngine::helper(int v)
+{
+    counter_ += v; // line 45: shared write two hops from the front root
+}
+
+void
+BadEngine::frontTick(int v)
+{
+    local_ += v;    // private: fine
+    helper(v);      // line 52: pulls the shared write into the closure
+    accumulate(v);  // line 53: direct call to a shared-state method
+    commitTick(v);  // line 54: unwaived call to a commit-phase function
+}
+
+void
+BadEngine::frontSerial(int v)
+{
+    commitTick(v); // photon-lint: serial-only
+}

@@ -56,8 +56,9 @@ TEST(Opcode, BranchesEndBasicBlocks)
 {
     for (unsigned i = 0; i < kNumOpcodes; ++i) {
         auto op = static_cast<Opcode>(i);
-        if (isBranch(op))
+        if (isBranch(op)) {
             EXPECT_TRUE(endsBasicBlock(op)) << opcodeName(op);
+        }
     }
 }
 

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Runtime half of the phase contract: PHOTON_ASSERT_PHASE panics when
+ * a shared-state path is entered from a thread inside a
+ * PHOTON_PHASE_FRONT_SCOPE, and is silent otherwise. Also covers that
+ * the parallel two-phase protocol itself never trips the guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/phase_annotations.hpp"
+#include "timing/memsys.hpp"
+
+using namespace photon;
+using timing::MemorySystem;
+
+#if PHOTON_PHASE_CHECKS
+
+TEST(PhaseGuardDeathTest, SharedAccessFromFrontThreadPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    GpuConfig cfg = GpuConfig::testTiny();
+    MemorySystem m(cfg);
+    EXPECT_DEATH(
+        {
+            PHOTON_PHASE_FRONT_SCOPE();
+            m.instAccess(0, 1, 0);
+        },
+        "phase violation: MemorySystem::instAccess");
+}
+
+TEST(PhaseGuardDeathTest, CommitEntryFromFrontThreadPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    GpuConfig cfg = GpuConfig::testTiny();
+    MemorySystem m(cfg);
+    EXPECT_DEATH(
+        {
+            PHOTON_PHASE_FRONT_SCOPE();
+            m.scalarAccess(0, 1, 0);
+        },
+        "phase violation: MemorySystem::scalarAccess");
+}
+
+TEST(PhaseGuard, SharedAccessOutsideFrontScopeIsSilent)
+{
+    GpuConfig cfg = GpuConfig::testTiny();
+    MemorySystem m(cfg);
+    EXPECT_GT(m.instAccess(0, 1, 0), 0u);
+    EXPECT_GT(m.scalarAccess(0, 2, 0), 0u);
+}
+
+TEST(PhaseGuard, ScopeNestsAndUnwinds)
+{
+    EXPECT_FALSE(phase::inFrontPhase());
+    {
+        PHOTON_PHASE_FRONT_SCOPE();
+        EXPECT_TRUE(phase::inFrontPhase());
+        {
+            PHOTON_PHASE_FRONT_SCOPE();
+            EXPECT_TRUE(phase::inFrontPhase());
+        }
+        EXPECT_TRUE(phase::inFrontPhase());
+    }
+    EXPECT_FALSE(phase::inFrontPhase());
+}
+
+TEST(PhaseGuard, FrontProbeIsAllowedInFrontScope)
+{
+    // The CU-private half of a vector access is exactly what front
+    // halves are allowed to do; it must not trip the guard.
+    GpuConfig cfg = GpuConfig::testTiny();
+    MemorySystem m(cfg);
+    PHOTON_PHASE_FRONT_SCOPE();
+    MemorySystem::VmemProbe p = m.vectorProbe(0, 99, 0);
+    EXPECT_FALSE(p.hit); // cold cache: a miss record, no L2 walk
+}
+
+#else
+
+TEST(PhaseGuard, DisabledBuildHasNoGuard)
+{
+    GpuConfig cfg = GpuConfig::testTiny();
+    MemorySystem m(cfg);
+    PHOTON_PHASE_FRONT_SCOPE();
+    EXPECT_GT(m.instAccess(0, 1, 0), 0u);
+}
+
+#endif // PHOTON_PHASE_CHECKS

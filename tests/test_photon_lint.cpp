@@ -1,0 +1,151 @@
+/**
+ * @file
+ * photon_lint against the checked-in fixtures: the good fixture is
+ * clean, seeded violations are detected at exact locations with the
+ * expected call chains, and the waivers suppress exactly their sites.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.hpp"
+
+using photon::lint::Diagnostic;
+using photon::lint::Kind;
+
+namespace {
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::vector<Diagnostic>
+ofKind(const std::vector<Diagnostic> &diags, Kind kind)
+{
+    std::vector<Diagnostic> out;
+    for (const Diagnostic &d : diags) {
+        if (d.kind == kind)
+            out.push_back(d);
+    }
+    return out;
+}
+
+bool
+contains(const std::string &haystack, const std::string &needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+} // namespace
+
+TEST(PhotonLint, GoodFixtureIsClean)
+{
+    auto diags = photon::lint::analyzeFiles({fixture("good.cpp")});
+    for (const Diagnostic &d : diags)
+        ADD_FAILURE() << photon::lint::formatDiagnostic(d);
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(PhotonLint, PhaseViolationsDetectedWithCallChains)
+{
+    auto diags =
+        photon::lint::analyzeFiles({fixture("phase_violation.cpp")});
+    ASSERT_EQ(diags.size(), 3u);
+
+    auto writes = ofKind(diags, Kind::FrontSharedWrite);
+    ASSERT_EQ(writes.size(), 1u);
+    EXPECT_EQ(writes[0].line, 45);
+    EXPECT_TRUE(contains(writes[0].message, "counter_"));
+    // Root-first chain: front root -> untagged helper -> the write.
+    ASSERT_EQ(writes[0].chain.size(), 3u);
+    EXPECT_TRUE(contains(writes[0].chain[0], "BadEngine::frontTick"));
+    EXPECT_TRUE(contains(writes[0].chain[1], "BadEngine::helper"));
+    EXPECT_TRUE(contains(writes[0].chain[1], ":52"));
+    EXPECT_TRUE(contains(writes[0].chain[2], "counter_"));
+
+    auto shared_calls = ofKind(diags, Kind::FrontSharedCall);
+    ASSERT_EQ(shared_calls.size(), 1u);
+    EXPECT_EQ(shared_calls[0].line, 53);
+    EXPECT_TRUE(
+        contains(shared_calls[0].message, "BadShared::accumulate"));
+
+    auto commit_calls = ofKind(diags, Kind::FrontCommitCall);
+    ASSERT_EQ(commit_calls.size(), 1u);
+    EXPECT_EQ(commit_calls[0].line, 54);
+    EXPECT_TRUE(
+        contains(commit_calls[0].message, "BadShared::commitTick"));
+    // frontSerial's call at line 60 is waived serial-only: no fourth
+    // diagnostic exists (checked by the ASSERT_EQ(3) above).
+}
+
+TEST(PhotonLint, DeterminismViolationsDetected)
+{
+    auto diags = photon::lint::analyzeFiles({fixture("nondet.cpp")});
+    ASSERT_EQ(diags.size(), 6u);
+
+    auto nondet = ofKind(diags, Kind::NondeterministicCall);
+    ASSERT_EQ(nondet.size(), 3u);
+    EXPECT_EQ(nondet[0].line, 16); // rand
+    EXPECT_TRUE(contains(nondet[0].message, "'rand'"));
+    EXPECT_EQ(nondet[1].line, 22); // time
+    EXPECT_TRUE(contains(nondet[1].message, "'time'"));
+    EXPECT_EQ(nondet[2].line, 28); // std::random_device
+    EXPECT_TRUE(contains(nondet[2].message, "random_device"));
+
+    auto unordered = ofKind(diags, Kind::UnorderedIteration);
+    ASSERT_EQ(unordered.size(), 1u);
+    EXPECT_EQ(unordered[0].line, 36);
+    EXPECT_TRUE(contains(unordered[0].message, "sumValues"));
+
+    auto ptr = ofKind(diags, Kind::PointerKeyedOrder);
+    ASSERT_EQ(ptr.size(), 1u);
+    EXPECT_EQ(ptr[0].line, 41);
+
+    auto uninit = ofKind(diags, Kind::UninitializedMember);
+    ASSERT_EQ(uninit.size(), 1u);
+    EXPECT_EQ(uninit[0].line, 8);
+    EXPECT_TRUE(contains(uninit[0].message, "NondetStats::misses_"));
+}
+
+TEST(PhotonLint, WholeProgramMergeAcrossFiles)
+{
+    // Declarations and definitions merge by (class, name); analyzing
+    // the clean fixture alongside the violating one must not change
+    // the findings.
+    auto diags = photon::lint::analyzeFiles(
+        {fixture("good.cpp"), fixture("phase_violation.cpp")});
+    EXPECT_EQ(diags.size(), 3u);
+}
+
+TEST(PhotonLint, ChecksCanBeDisabledIndependently)
+{
+    photon::lint::Options no_phase;
+    no_phase.phaseCheck = false;
+    EXPECT_TRUE(photon::lint::analyzeFiles(
+                    {fixture("phase_violation.cpp")}, no_phase)
+                    .empty());
+
+    photon::lint::Options no_det;
+    no_det.determinismCheck = false;
+    EXPECT_TRUE(
+        photon::lint::analyzeFiles({fixture("nondet.cpp")}, no_det)
+            .empty());
+}
+
+TEST(PhotonLint, FormatIncludesKindSlugAndChain)
+{
+    auto diags =
+        photon::lint::analyzeFiles({fixture("phase_violation.cpp")});
+    auto writes = ofKind(diags, Kind::FrontSharedWrite);
+    ASSERT_EQ(writes.size(), 1u);
+    std::string text = photon::lint::formatDiagnostic(writes[0]);
+    EXPECT_TRUE(contains(text, "[front-shared-write]"));
+    EXPECT_TRUE(contains(text, "phase_violation.cpp:45"));
+    EXPECT_TRUE(contains(text, "call chain:"));
+    EXPECT_TRUE(contains(text, "BadEngine::frontTick"));
+}

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * The two analysis passes over the merged program model: phase-safety
+ * reachability from PHOTON_PHASE_FRONT roots, and the model-level
+ * determinism checks (unordered iteration, uninitialized members).
+ */
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "model.hpp"
+
+namespace photon::lint {
+
+namespace {
+
+/** name -> indices of all functions with that bare name. */
+std::multimap<std::string, std::size_t>
+buildNameIndex(const Model &model)
+{
+    std::multimap<std::string, std::size_t> index;
+    for (std::size_t k = 0; k < model.functions.size(); ++k)
+        index.emplace(model.functions[k].name, k);
+    return index;
+}
+
+struct Edge
+{
+    std::size_t parent = 0;
+    CallSite site;
+};
+
+/** Root-first chain of "Class::name (file:line)" entries. */
+std::vector<std::string>
+chainTo(const Model &model, std::size_t node,
+        const std::map<std::size_t, Edge> &parents, std::size_t root)
+{
+    std::vector<std::string> rev;
+    std::size_t cur = node;
+    while (cur != root) {
+        const Edge &e = parents.at(cur);
+        rev.push_back(model.functions[cur].display() + " (" +
+                      e.site.file + ":" + std::to_string(e.site.line) +
+                      ")");
+        cur = e.parent;
+    }
+    const Function &r = model.functions[root];
+    rev.push_back(r.display() + " (" + r.file + ":" +
+                  std::to_string(r.line) + ")");
+    std::reverse(rev.begin(), rev.end());
+    return rev;
+}
+
+} // namespace
+
+void
+checkPhases(const Model &model, std::vector<Diagnostic> &out)
+{
+    const auto name_index = buildNameIndex(model);
+
+    std::set<std::string> shared_fields;
+    for (const Field &f : model.fields) {
+        if (f.tagShared)
+            shared_fields.insert(f.name);
+    }
+
+    for (std::size_t root = 0; root < model.functions.size(); ++root) {
+        if (!model.functions[root].tagFront)
+            continue;
+
+        std::deque<std::size_t> queue{root};
+        std::set<std::size_t> visited{root};
+        std::map<std::size_t, Edge> parents;
+
+        while (!queue.empty()) {
+            std::size_t cur = queue.front();
+            queue.pop_front();
+            const Function &fn = model.functions[cur];
+
+            for (const MutationSite &mut : fn.mutations) {
+                if (!shared_fields.count(mut.target))
+                    continue;
+                Diagnostic d;
+                d.kind = Kind::FrontSharedWrite;
+                d.file = mut.file;
+                d.line = mut.line;
+                d.message = "write ('" + mut.how +
+                            "') to shared-state field '" + mut.target +
+                            "' is reachable from a front-phase function";
+                d.chain = chainTo(model, cur, parents, root);
+                d.chain.push_back("write to '" + mut.target + "' (" +
+                                  mut.file + ":" +
+                                  std::to_string(mut.line) + ")");
+                out.push_back(std::move(d));
+            }
+
+            for (const CallSite &site : fn.calls) {
+                auto range = name_index.equal_range(site.callee);
+                for (auto it = range.first; it != range.second; ++it) {
+                    std::size_t cand = it->second;
+                    const Function &callee = model.functions[cand];
+                    if (callee.tagExempt)
+                        continue;
+                    if (callee.tagShared || callee.tagCommit) {
+                        bool commit_waived =
+                            callee.tagCommit && !callee.tagShared &&
+                            site.waivedSerial;
+                        if (!commit_waived) {
+                            Diagnostic d;
+                            d.kind = callee.tagShared
+                                         ? Kind::FrontSharedCall
+                                         : Kind::FrontCommitCall;
+                            d.file = site.file;
+                            d.line = site.line;
+                            d.message =
+                                (callee.tagShared
+                                     ? "call to shared-state method '"
+                                     : "call to commit-phase function '") +
+                                callee.display() +
+                                "' from a front-phase closure" +
+                                (callee.tagCommit && !callee.tagShared
+                                     ? " (waive an intentionally serial"
+                                       " call site with"
+                                       " `// photon-lint: serial-only`)"
+                                     : "");
+                            d.chain =
+                                chainTo(model, cur, parents, root);
+                            d.chain.push_back(
+                                callee.display() + " (" + site.file +
+                                ":" + std::to_string(site.line) + ")");
+                            out.push_back(std::move(d));
+                        }
+                        continue; // never traverse into commit/shared
+                    }
+                    if (visited.insert(cand).second) {
+                        parents[cand] = {cur, site};
+                        queue.push_back(cand);
+                    }
+                }
+            }
+        }
+    }
+}
+
+namespace {
+
+bool
+typeIsUnordered(const Model &model, const std::string &type,
+                std::set<std::string> &seen);
+
+bool
+wordIsUnordered(const Model &model, const std::string &word,
+                std::set<std::string> &seen)
+{
+    if (word == "unordered_map" || word == "unordered_set")
+        return true;
+    auto it = model.aliases.find(word);
+    if (it == model.aliases.end() || !seen.insert(word).second)
+        return false;
+    return typeIsUnordered(model, it->second, seen);
+}
+
+bool
+typeIsUnordered(const Model &model, const std::string &type,
+                std::set<std::string> &seen)
+{
+    std::string word;
+    for (std::size_t k = 0; k <= type.size(); ++k) {
+        char c = k < type.size() ? type[k] : ' ';
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+            word += c;
+            continue;
+        }
+        if (!word.empty() && wordIsUnordered(model, word, seen))
+            return true;
+        word.clear();
+    }
+    return false;
+}
+
+bool
+varIsUnordered(const Model &model, const std::string &name)
+{
+    auto it = model.varTypes.find(name);
+    if (it == model.varTypes.end())
+        return false;
+    for (const std::string &type : it->second) {
+        std::set<std::string> seen;
+        if (typeIsUnordered(model, type, seen))
+            return true;
+    }
+    return false;
+}
+
+const std::set<std::string> kScalarWords = {
+    "bool",     "int",      "char",     "float",    "double",
+    "size_t",   "ptrdiff_t", "int8_t",  "int16_t",  "int32_t",
+    "int64_t",  "uint8_t",  "uint16_t", "uint32_t", "uint64_t",
+    "uintptr_t", "intptr_t", "wchar_t",
+};
+
+const std::set<std::string> kTypeQualifiers = {
+    "const", "volatile", "mutable",  "typename", "struct", "class",
+    "enum",  "std",      "unsigned", "signed",   "long",   "short",
+    "inline",
+};
+
+/** True when @p type names a scalar (integer/float/pointer) type,
+ *  resolving one level of `using` aliases. */
+bool
+typeIsScalar(const Model &model, const std::string &type, int depth)
+{
+    if (depth > 4)
+        return false;
+    if (type.find('<') != std::string::npos ||
+        type.find('&') != std::string::npos)
+        return false;
+    if (type.find('*') != std::string::npos)
+        return true;
+    std::string last;
+    std::string word;
+    bool saw_builtin_qualifier = false;
+    for (std::size_t k = 0; k <= type.size(); ++k) {
+        char c = k < type.size() ? type[k] : ' ';
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+            word += c;
+            continue;
+        }
+        if (!word.empty()) {
+            if (word == "unsigned" || word == "signed" ||
+                word == "long" || word == "short")
+                saw_builtin_qualifier = true;
+            if (!kTypeQualifiers.count(word))
+                last = word;
+            word.clear();
+        }
+    }
+    if (last.empty())
+        return saw_builtin_qualifier; // plain `unsigned x;` etc.
+    if (kScalarWords.count(last))
+        return true;
+    auto it = model.aliases.find(last);
+    return it != model.aliases.end() &&
+           typeIsScalar(model, it->second, depth + 1);
+}
+
+} // namespace
+
+void
+checkDeterminism(const Model &model, std::vector<Diagnostic> &out)
+{
+    // Range-for over unordered containers in any analyzed function.
+    for (const Function &fn : model.functions) {
+        for (const RangeForSite &site : fn.rangeFors) {
+            if (site.waived || !varIsUnordered(model, site.base))
+                continue;
+            Diagnostic d;
+            d.kind = Kind::UnorderedIteration;
+            d.file = site.file;
+            d.line = site.line;
+            d.message =
+                "range-for over unordered container '" + site.base +
+                "' in '" + fn.display() +
+                "' iterates in hash order; sort keys first or waive "
+                "with `// photon-lint: order-insensitive`";
+            out.push_back(std::move(d));
+        }
+    }
+
+    // Scalar members no constructor initializes.
+    std::map<std::string, std::set<std::string>> covered =
+        model.ctorInits;
+    for (const Function &fn : model.functions) {
+        if (fn.cls.empty() || fn.name != fn.cls)
+            continue; // not a constructor
+        for (const MutationSite &mut : fn.mutations)
+            covered[fn.cls].insert(mut.target);
+    }
+    for (const Field &f : model.fields) {
+        if (f.hasInit || f.isStatic || f.isRef || f.waivedUninit)
+            continue;
+        if (!typeIsScalar(model, f.type, 0))
+            continue;
+        auto it = covered.find(f.cls);
+        if (it != covered.end() && it->second.count(f.name))
+            continue;
+        Diagnostic d;
+        d.kind = Kind::UninitializedMember;
+        d.file = f.file;
+        d.line = f.line;
+        d.message = "scalar member '" +
+                    (f.cls.empty() ? f.name : f.cls + "::" + f.name) +
+                    "' has no default initializer and no constructor "
+                    "initializes it";
+        out.push_back(std::move(d));
+    }
+}
+
+} // namespace photon::lint

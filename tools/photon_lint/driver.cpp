@@ -1,0 +1,85 @@
+/**
+ * @file
+ * analyzeFiles(): lex + parse every file into one model, run both
+ * passes, and return sorted, deduplicated diagnostics.
+ */
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "model.hpp"
+
+namespace photon::lint {
+
+const char *
+kindName(Kind kind)
+{
+    switch (kind) {
+    case Kind::FrontSharedWrite:
+        return "front-shared-write";
+    case Kind::FrontSharedCall:
+        return "front-shared-call";
+    case Kind::FrontCommitCall:
+        return "front-commit-call";
+    case Kind::NondeterministicCall:
+        return "nondeterministic-call";
+    case Kind::UnorderedIteration:
+        return "unordered-iteration";
+    case Kind::PointerKeyedOrder:
+        return "pointer-keyed-order";
+    case Kind::UninitializedMember:
+        return "uninitialized-member";
+    }
+    return "unknown";
+}
+
+std::vector<Diagnostic>
+analyzeFiles(const std::vector<std::string> &files, const Options &options)
+{
+    Model model;
+    for (const std::string &path : files)
+        parseFile(lexFile(path), model, options);
+
+    std::vector<Diagnostic> diags;
+    if (options.phaseCheck)
+        checkPhases(model, diags);
+    if (options.determinismCheck) {
+        checkDeterminism(model, diags);
+        diags.insert(diags.end(), model.tokenDiags.begin(),
+                     model.tokenDiags.end());
+    }
+
+    auto key = [](const Diagnostic &d) {
+        return std::tie(d.file, d.line, d.message);
+    };
+    std::stable_sort(diags.begin(), diags.end(),
+                     [&](const Diagnostic &a, const Diagnostic &b) {
+                         return key(a) < key(b);
+                     });
+    diags.erase(std::unique(diags.begin(), diags.end(),
+                            [&](const Diagnostic &a, const Diagnostic &b) {
+                                return key(a) == key(b);
+                            }),
+                diags.end());
+    return diags;
+}
+
+std::string
+formatDiagnostic(const Diagnostic &diag)
+{
+    std::ostringstream os;
+    os << diag.file << ':' << diag.line << ": [" << kindName(diag.kind)
+       << "] " << diag.message;
+    if (!diag.chain.empty()) {
+        os << "\n  call chain:";
+        std::string indent = "\n    ";
+        for (const std::string &hop : diag.chain) {
+            os << indent << hop;
+            indent += "  ";
+        }
+    }
+    return os.str();
+}
+
+} // namespace photon::lint

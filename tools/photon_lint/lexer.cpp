@@ -1,0 +1,180 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace photon::lint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Multi-character punctuators, longest first within a leading char. */
+const char *const kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",
+};
+
+} // namespace
+
+LexedFile
+lexSource(const std::string &path, const std::string &source)
+{
+    LexedFile out;
+    out.path = path;
+
+    const std::size_t n = source.size();
+    std::size_t i = 0;
+    int line = 1;
+
+    auto peek = [&](std::size_t k) -> char {
+        return i + k < n ? source[i + k] : '\0';
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: skip the logical line (continuations).
+        if (c == '#') {
+            while (i < n) {
+                if (source[i] == '\\' && peek(1) == '\n') {
+                    i += 2;
+                    ++line;
+                    continue;
+                }
+                if (source[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        // Line comment; capture photon-lint waivers.
+        if (c == '/' && peek(1) == '/') {
+            std::size_t end = i;
+            while (end < n && source[end] != '\n')
+                ++end;
+            std::string text = source.substr(i, end - i);
+            static const std::string kTag = "photon-lint:";
+            std::size_t p = text.find(kTag);
+            if (p != std::string::npos)
+                out.waivers[line] = text.substr(p + kTag.size());
+            i = end;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = i < n ? i + 2 : n;
+            continue;
+        }
+        // Raw string literal R"delim( ... )delim".
+        if (c == 'R' && peek(1) == '"') {
+            std::size_t d0 = i + 2;
+            std::size_t dp = d0;
+            while (dp < n && source[dp] != '(')
+                ++dp;
+            std::string close = ")" + source.substr(d0, dp - d0) + "\"";
+            std::size_t end = source.find(close, dp);
+            end = end == std::string::npos ? n : end + close.size();
+            for (std::size_t k = i; k < end; ++k) {
+                if (source[k] == '\n')
+                    ++line;
+            }
+            out.tokens.push_back({Token::Kind::String, "\"\"", line});
+            i = end;
+            continue;
+        }
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            int start_line = line;
+            ++i;
+            while (i < n && source[i] != quote) {
+                if (source[i] == '\\') {
+                    ++i;
+                } else if (source[i] == '\n') {
+                    ++line;
+                }
+                ++i;
+            }
+            if (i < n)
+                ++i;
+            out.tokens.push_back(
+                {Token::Kind::String, std::string(1, quote), start_line});
+            continue;
+        }
+        if (identStart(c)) {
+            std::size_t start = i;
+            while (i < n && identCont(source[i]))
+                ++i;
+            out.tokens.push_back({Token::Kind::Ident,
+                                  source.substr(start, i - start), line});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::size_t start = i;
+            ++i;
+            while (i < n && (identCont(source[i]) || source[i] == '.' ||
+                             source[i] == '\'' ||
+                             ((source[i] == '+' || source[i] == '-') &&
+                              (source[i - 1] == 'e' || source[i - 1] == 'E'))))
+                ++i;
+            out.tokens.push_back({Token::Kind::Number,
+                                  source.substr(start, i - start), line});
+            continue;
+        }
+        // Punctuation: longest match first.
+        std::string best(1, c);
+        for (const char *p : kPuncts) {
+            std::size_t len = std::string(p).size();
+            if (source.compare(i, len, p) == 0) {
+                best = p;
+                break;
+            }
+        }
+        out.tokens.push_back({Token::Kind::Punct, best, line});
+        i += best.size();
+    }
+    out.tokens.push_back({Token::Kind::End, "", line});
+    return out;
+}
+
+LexedFile
+lexFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("photon_lint: cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return lexSource(path, ss.str());
+}
+
+} // namespace photon::lint

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Public API of photon_lint, the in-tree phase-safety and determinism
+ * static-analysis pass (DESIGN.md §9).
+ *
+ * Two checks run over the given sources:
+ *
+ *  1. Phase safety: functions tagged PHOTON_PHASE_FRONT must not reach
+ *     (through the name-level call graph) any write to a field tagged
+ *     PHOTON_SHARED_STATE, any method tagged PHOTON_SHARED_STATE, or
+ *     any function tagged PHOTON_PHASE_COMMIT — unless the call site
+ *     carries a `// photon-lint: serial-only` waiver or the callee is
+ *     tagged PHOTON_PHASE_EXEMPT (internally synchronized). Violations
+ *     report the full call chain from the front-phase root.
+ *
+ *  2. Determinism: flags wall-clock / libc randomness in simulation
+ *     code (rand, srand, drand48, time, clock, gettimeofday,
+ *     std::random_device), range-for iteration over unordered
+ *     containers (result-affecting order), pointer-keyed ordered
+ *     containers, and uninitialized scalar members that no constructor
+ *     initializes. Waivers: `// photon-lint: nondeterminism-ok`,
+ *     `order-insensitive`, `pointer-key-ok`, `uninit-ok`.
+ */
+
+#ifndef PHOTON_LINT_LINT_HPP
+#define PHOTON_LINT_LINT_HPP
+
+#include <string>
+#include <vector>
+
+namespace photon::lint {
+
+enum class Kind
+{
+    FrontSharedWrite,    ///< shared-state field written in front closure
+    FrontSharedCall,     ///< shared-state method called from front closure
+    FrontCommitCall,     ///< commit-phase function called from front closure
+    NondeterministicCall,///< rand/time/random_device in simulation code
+    UnorderedIteration,  ///< range-for over unordered_map/unordered_set
+    PointerKeyedOrder,   ///< std::map/set keyed by pointer value
+    UninitializedMember, ///< scalar member no constructor initializes
+};
+
+const char *kindName(Kind kind);
+
+struct Diagnostic
+{
+    Kind kind = Kind::NondeterministicCall;
+    std::string file;
+    int line = 0;
+    std::string message;
+    /** Call chain root-first, entries "Class::name (file:line)"; only
+     *  set for phase-safety findings. */
+    std::vector<std::string> chain;
+};
+
+struct Options
+{
+    bool phaseCheck = true;
+    bool determinismCheck = true;
+};
+
+/** Analyze the given source files as one program. Results are sorted
+ *  by (file, line, message) and deduplicated. */
+std::vector<Diagnostic> analyzeFiles(const std::vector<std::string> &files,
+                                     const Options &options = {});
+
+/** Render one diagnostic as "file:line: [kind] message" plus an
+ *  indented call-chain trace when present. */
+std::string formatDiagnostic(const Diagnostic &diag);
+
+} // namespace photon::lint
+
+#endif // PHOTON_LINT_LINT_HPP

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * photon_lint CLI.
+ *
+ * Usage: photon_lint [--no-phase] [--no-determinism] <file-or-dir>...
+ *
+ * Directories are scanned recursively for .cpp/.cc/.hpp/.h sources.
+ * All named sources are analyzed as one program (the call graph and
+ * the annotation tags span translation units). Exit status is 1 when
+ * any violation is reported, 0 otherwise.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+isSource(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+void
+gather(const fs::path &p, std::vector<std::string> &out)
+{
+    if (fs::is_directory(p)) {
+        for (const auto &e : fs::recursive_directory_iterator(p)) {
+            if (e.is_regular_file() && isSource(e.path()))
+                out.push_back(e.path().string());
+        }
+    } else {
+        out.push_back(p.string());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    photon::lint::Options options;
+    std::vector<std::string> files;
+    for (int k = 1; k < argc; ++k) {
+        std::string arg = argv[k];
+        if (arg == "--no-phase") {
+            options.phaseCheck = false;
+        } else if (arg == "--no-determinism") {
+            options.determinismCheck = false;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: photon_lint [--no-phase] "
+                        "[--no-determinism] <file-or-dir>...\n");
+            return 0;
+        } else {
+            gather(arg, files);
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "photon_lint: no input files\n");
+        return 2;
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<photon::lint::Diagnostic> diags;
+    try {
+        diags = photon::lint::analyzeFiles(files, options);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "photon_lint: %s\n", e.what());
+        return 2;
+    }
+
+    for (const auto &d : diags)
+        std::printf("%s\n", photon::lint::formatDiagnostic(d).c_str());
+    if (!diags.empty()) {
+        std::fprintf(stderr,
+                     "photon_lint: %zu violation%s in %zu file%s\n",
+                     diags.size(), diags.size() == 1 ? "" : "s",
+                     files.size(), files.size() == 1 ? "" : "s");
+        return 1;
+    }
+    std::printf("photon_lint: OK (%zu files analyzed)\n", files.size());
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Internal program model photon_lint builds from the token streams:
+ * functions with their annotation tags, name-level call sites and
+ * mutation sites; fields with type and initialization info; type
+ * aliases; and constructor-initializer coverage per class.
+ */
+
+#ifndef PHOTON_LINT_MODEL_HPP
+#define PHOTON_LINT_MODEL_HPP
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace photon::lint {
+
+struct CallSite
+{
+    std::string callee; ///< bare name
+    std::string file;
+    int line = 0;
+    bool waivedSerial = false; ///< "// photon-lint: serial-only"
+};
+
+struct MutationSite
+{
+    std::string target; ///< bare name of the written variable/field
+    std::string file;
+    int line = 0;
+    std::string how; ///< "=", "++", ".push_back", ...
+};
+
+struct RangeForSite
+{
+    std::string base; ///< last identifier of the range expression
+    std::string file;
+    int line = 0;
+    bool waived = false; ///< "// photon-lint: order-insensitive"
+};
+
+struct Function
+{
+    std::string cls;  ///< enclosing/explicit class, "" for free functions
+    std::string name;
+    std::string file;
+    int line = 0;
+    bool tagFront = false;
+    bool tagCommit = false;
+    bool tagShared = false;
+    bool tagExempt = false;
+    bool hasBody = false;
+    std::vector<CallSite> calls;
+    std::vector<MutationSite> mutations;
+    std::vector<RangeForSite> rangeFors;
+
+    std::string display() const
+    {
+        return cls.empty() ? name : cls + "::" + name;
+    }
+};
+
+struct Field
+{
+    std::string cls;
+    std::string name;
+    std::string type; ///< space-joined declaration type tokens
+    std::string file;
+    int line = 0;
+    bool tagShared = false;
+    bool hasInit = false;  ///< default member initializer present
+    bool isStatic = false; ///< static / constexpr
+    bool isRef = false;    ///< reference type (ctor-init enforced by C++)
+    bool waivedUninit = false; ///< "// photon-lint: uninit-ok"
+};
+
+/** Whole-program model, merged across translation units. */
+struct Model
+{
+    std::vector<Function> functions;
+    /** (cls, name) -> index into functions; declarations and
+     *  definitions merge tags into one record. */
+    std::map<std::string, std::size_t> functionIndex;
+    std::vector<Field> fields;
+    /** Alias bare name -> space-joined right-hand-side tokens. */
+    std::map<std::string, std::string> aliases;
+    /** Variable/field/parameter name -> declared type strings. */
+    std::map<std::string, std::vector<std::string>> varTypes;
+    /** Class -> member names covered by some constructor init list or
+     *  assigned in a constructor body. */
+    std::map<std::string, std::set<std::string>> ctorInits;
+    /** Token-level findings gathered during parsing (determinism). */
+    std::vector<Diagnostic> tokenDiags;
+
+    Function &functionFor(const std::string &cls, const std::string &name,
+                          const std::string &file, int line);
+};
+
+/** Parse one lexed file into the model. */
+void parseFile(const LexedFile &file, Model &model, const Options &options);
+
+/** Phase-safety pass over the merged model. */
+void checkPhases(const Model &model, std::vector<Diagnostic> &out);
+
+/** Whole-model determinism checks (unordered iteration, uninitialized
+ *  members); token-level findings are already in tokenDiags. */
+void checkDeterminism(const Model &model, std::vector<Diagnostic> &out);
+
+} // namespace photon::lint
+
+#endif // PHOTON_LINT_MODEL_HPP
