@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_throughput.dir/campaign_throughput.cpp.o"
+  "CMakeFiles/campaign_throughput.dir/campaign_throughput.cpp.o.d"
+  "campaign_throughput"
+  "campaign_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_ipc_traces.dir/fig01_ipc_traces.cpp.o"
+  "CMakeFiles/fig01_ipc_traces.dir/fig01_ipc_traces.cpp.o.d"
+  "fig01_ipc_traces"
+  "fig01_ipc_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_ipc_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_bb_issue_retire.dir/fig03_bb_issue_retire.cpp.o"
+  "CMakeFiles/fig03_bb_issue_retire.dir/fig03_bb_issue_retire.cpp.o.d"
+  "fig03_bb_issue_retire"
+  "fig03_bb_issue_retire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_bb_issue_retire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_gpubbv_clusters.dir/fig06_gpubbv_clusters.cpp.o"
+  "CMakeFiles/fig06_gpubbv_clusters.dir/fig06_gpubbv_clusters.cpp.o.d"
+  "fig06_gpubbv_clusters"
+  "fig06_gpubbv_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gpubbv_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

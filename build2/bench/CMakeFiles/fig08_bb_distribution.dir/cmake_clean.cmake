@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_bb_distribution.dir/fig08_bb_distribution.cpp.o"
+  "CMakeFiles/fig08_bb_distribution.dir/fig08_bb_distribution.cpp.o.d"
+  "fig08_bb_distribution"
+  "fig08_bb_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_bb_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_overall_r9nano.dir/fig13_overall_r9nano.cpp.o"
+  "CMakeFiles/fig13_overall_r9nano.dir/fig13_overall_r9nano.cpp.o.d"
+  "fig13_overall_r9nano"
+  "fig13_overall_r9nano.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overall_r9nano.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

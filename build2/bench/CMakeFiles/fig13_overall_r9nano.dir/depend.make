@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_overall_r9nano.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_overall_mi100.dir/fig14_overall_mi100.cpp.o"
+  "CMakeFiles/fig14_overall_mi100.dir/fig14_overall_mi100.cpp.o.d"
+  "fig14_overall_mi100"
+  "fig14_overall_mi100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_overall_mi100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

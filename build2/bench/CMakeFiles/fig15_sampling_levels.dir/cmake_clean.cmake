@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sampling_levels.dir/fig15_sampling_levels.cpp.o"
+  "CMakeFiles/fig15_sampling_levels.dir/fig15_sampling_levels.cpp.o.d"
+  "fig15_sampling_levels"
+  "fig15_sampling_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sampling_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_real_world.dir/fig16_real_world.cpp.o"
+  "CMakeFiles/fig16_real_world.dir/fig16_real_world.cpp.o.d"
+  "fig16_real_world"
+  "fig16_real_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_real_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_vgg_layers.dir/fig17_vgg_layers.cpp.o"
+  "CMakeFiles/fig17_vgg_layers.dir/fig17_vgg_layers.cpp.o.d"
+  "fig17_vgg_layers"
+  "fig17_vgg_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_vgg_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotloop_speedup.dir/hotloop_speedup.cpp.o"
+  "CMakeFiles/hotloop_speedup.dir/hotloop_speedup.cpp.o.d"
+  "hotloop_speedup"
+  "hotloop_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotloop_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

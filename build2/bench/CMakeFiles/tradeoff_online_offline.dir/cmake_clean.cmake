@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tradeoff_online_offline.dir/tradeoff_online_offline.cpp.o"
+  "CMakeFiles/tradeoff_online_offline.dir/tradeoff_online_offline.cpp.o.d"
+  "tradeoff_online_offline"
+  "tradeoff_online_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tradeoff_online_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tradeoff_online_offline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_analysis.dir/pagerank_analysis.cpp.o"
+  "CMakeFiles/pagerank_analysis.dir/pagerank_analysis.cpp.o.d"
+  "pagerank_analysis"
+  "pagerank_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/platform.cpp" "src/CMakeFiles/photon.dir/driver/platform.cpp.o" "gcc" "src/CMakeFiles/photon.dir/driver/platform.cpp.o.d"
+  "/root/repo/src/driver/report.cpp" "src/CMakeFiles/photon.dir/driver/report.cpp.o" "gcc" "src/CMakeFiles/photon.dir/driver/report.cpp.o.d"
+  "/root/repo/src/func/emulator.cpp" "src/CMakeFiles/photon.dir/func/emulator.cpp.o" "gcc" "src/CMakeFiles/photon.dir/func/emulator.cpp.o.d"
+  "/root/repo/src/isa/basic_block.cpp" "src/CMakeFiles/photon.dir/isa/basic_block.cpp.o" "gcc" "src/CMakeFiles/photon.dir/isa/basic_block.cpp.o.d"
+  "/root/repo/src/isa/builder.cpp" "src/CMakeFiles/photon.dir/isa/builder.cpp.o" "gcc" "src/CMakeFiles/photon.dir/isa/builder.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/photon.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/photon.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/CMakeFiles/photon.dir/isa/opcode.cpp.o" "gcc" "src/CMakeFiles/photon.dir/isa/opcode.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/CMakeFiles/photon.dir/isa/program.cpp.o" "gcc" "src/CMakeFiles/photon.dir/isa/program.cpp.o.d"
+  "/root/repo/src/sampling/analysis.cpp" "src/CMakeFiles/photon.dir/sampling/analysis.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/analysis.cpp.o.d"
+  "/root/repo/src/sampling/bb_sampler.cpp" "src/CMakeFiles/photon.dir/sampling/bb_sampler.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/bb_sampler.cpp.o.d"
+  "/root/repo/src/sampling/bbv.cpp" "src/CMakeFiles/photon.dir/sampling/bbv.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/bbv.cpp.o.d"
+  "/root/repo/src/sampling/gpu_bbv.cpp" "src/CMakeFiles/photon.dir/sampling/gpu_bbv.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/gpu_bbv.cpp.o.d"
+  "/root/repo/src/sampling/interval_model.cpp" "src/CMakeFiles/photon.dir/sampling/interval_model.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/interval_model.cpp.o.d"
+  "/root/repo/src/sampling/kernel_cache.cpp" "src/CMakeFiles/photon.dir/sampling/kernel_cache.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/kernel_cache.cpp.o.d"
+  "/root/repo/src/sampling/least_squares.cpp" "src/CMakeFiles/photon.dir/sampling/least_squares.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/least_squares.cpp.o.d"
+  "/root/repo/src/sampling/photon.cpp" "src/CMakeFiles/photon.dir/sampling/photon.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/photon.cpp.o.d"
+  "/root/repo/src/sampling/pka.cpp" "src/CMakeFiles/photon.dir/sampling/pka.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/pka.cpp.o.d"
+  "/root/repo/src/sampling/warp_class.cpp" "src/CMakeFiles/photon.dir/sampling/warp_class.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/warp_class.cpp.o.d"
+  "/root/repo/src/sampling/warp_sampler.cpp" "src/CMakeFiles/photon.dir/sampling/warp_sampler.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sampling/warp_sampler.cpp.o.d"
+  "/root/repo/src/service/artifact_store.cpp" "src/CMakeFiles/photon.dir/service/artifact_store.cpp.o" "gcc" "src/CMakeFiles/photon.dir/service/artifact_store.cpp.o.d"
+  "/root/repo/src/service/campaign.cpp" "src/CMakeFiles/photon.dir/service/campaign.cpp.o" "gcc" "src/CMakeFiles/photon.dir/service/campaign.cpp.o.d"
+  "/root/repo/src/service/campaign_runner.cpp" "src/CMakeFiles/photon.dir/service/campaign_runner.cpp.o" "gcc" "src/CMakeFiles/photon.dir/service/campaign_runner.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/photon.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/photon.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/photon.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/timing/cache.cpp" "src/CMakeFiles/photon.dir/timing/cache.cpp.o" "gcc" "src/CMakeFiles/photon.dir/timing/cache.cpp.o.d"
+  "/root/repo/src/timing/cu.cpp" "src/CMakeFiles/photon.dir/timing/cu.cpp.o" "gcc" "src/CMakeFiles/photon.dir/timing/cu.cpp.o.d"
+  "/root/repo/src/timing/dram.cpp" "src/CMakeFiles/photon.dir/timing/dram.cpp.o" "gcc" "src/CMakeFiles/photon.dir/timing/dram.cpp.o.d"
+  "/root/repo/src/timing/gpu.cpp" "src/CMakeFiles/photon.dir/timing/gpu.cpp.o" "gcc" "src/CMakeFiles/photon.dir/timing/gpu.cpp.o.d"
+  "/root/repo/src/timing/memsys.cpp" "src/CMakeFiles/photon.dir/timing/memsys.cpp.o" "gcc" "src/CMakeFiles/photon.dir/timing/memsys.cpp.o.d"
+  "/root/repo/src/timing/scheduler_model.cpp" "src/CMakeFiles/photon.dir/timing/scheduler_model.cpp.o" "gcc" "src/CMakeFiles/photon.dir/timing/scheduler_model.cpp.o.d"
+  "/root/repo/src/workloads/aes.cpp" "src/CMakeFiles/photon.dir/workloads/aes.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/aes.cpp.o.d"
+  "/root/repo/src/workloads/dnn/layers.cpp" "src/CMakeFiles/photon.dir/workloads/dnn/layers.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/dnn/layers.cpp.o.d"
+  "/root/repo/src/workloads/dnn/network.cpp" "src/CMakeFiles/photon.dir/workloads/dnn/network.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/dnn/network.cpp.o.d"
+  "/root/repo/src/workloads/fir.cpp" "src/CMakeFiles/photon.dir/workloads/fir.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/fir.cpp.o.d"
+  "/root/repo/src/workloads/mm.cpp" "src/CMakeFiles/photon.dir/workloads/mm.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/mm.cpp.o.d"
+  "/root/repo/src/workloads/pagerank.cpp" "src/CMakeFiles/photon.dir/workloads/pagerank.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/pagerank.cpp.o.d"
+  "/root/repo/src/workloads/relu.cpp" "src/CMakeFiles/photon.dir/workloads/relu.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/relu.cpp.o.d"
+  "/root/repo/src/workloads/sc.cpp" "src/CMakeFiles/photon.dir/workloads/sc.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/sc.cpp.o.d"
+  "/root/repo/src/workloads/spmv.cpp" "src/CMakeFiles/photon.dir/workloads/spmv.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/spmv.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/photon.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/photon.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

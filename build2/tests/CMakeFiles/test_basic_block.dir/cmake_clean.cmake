@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_basic_block.dir/test_basic_block.cpp.o"
+  "CMakeFiles/test_basic_block.dir/test_basic_block.cpp.o.d"
+  "test_basic_block"
+  "test_basic_block.pdb"
+  "test_basic_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_basic_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_basic_block.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cu_gpu.dir/test_cu_gpu.cpp.o"
+  "CMakeFiles/test_cu_gpu.dir/test_cu_gpu.cpp.o.d"
+  "test_cu_gpu"
+  "test_cu_gpu.pdb"
+  "test_cu_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cu_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

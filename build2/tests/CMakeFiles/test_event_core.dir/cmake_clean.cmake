@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_core.dir/test_event_core.cpp.o"
+  "CMakeFiles/test_event_core.dir/test_event_core.cpp.o.d"
+  "test_event_core"
+  "test_event_core.pdb"
+  "test_event_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

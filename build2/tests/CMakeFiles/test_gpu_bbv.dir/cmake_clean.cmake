@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_bbv.dir/test_gpu_bbv.cpp.o"
+  "CMakeFiles/test_gpu_bbv.dir/test_gpu_bbv.cpp.o.d"
+  "test_gpu_bbv"
+  "test_gpu_bbv.pdb"
+  "test_gpu_bbv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_bbv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

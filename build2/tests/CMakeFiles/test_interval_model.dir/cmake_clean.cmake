@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval_model.dir/test_interval_model.cpp.o"
+  "CMakeFiles/test_interval_model.dir/test_interval_model.cpp.o.d"
+  "test_interval_model"
+  "test_interval_model.pdb"
+  "test_interval_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_cache.dir/test_kernel_cache.cpp.o"
+  "CMakeFiles/test_kernel_cache.dir/test_kernel_cache.cpp.o.d"
+  "test_kernel_cache"
+  "test_kernel_cache.pdb"
+  "test_kernel_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_guard.dir/test_phase_guard.cpp.o"
+  "CMakeFiles/test_phase_guard.dir/test_phase_guard.cpp.o.d"
+  "test_phase_guard"
+  "test_phase_guard.pdb"
+  "test_phase_guard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_photon.dir/test_photon.cpp.o"
+  "CMakeFiles/test_photon.dir/test_photon.cpp.o.d"
+  "test_photon"
+  "test_photon.pdb"
+  "test_photon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_photon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_photon_lint.dir/test_photon_lint.cpp.o"
+  "CMakeFiles/test_photon_lint.dir/test_photon_lint.cpp.o.d"
+  "test_photon_lint"
+  "test_photon_lint.pdb"
+  "test_photon_lint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_photon_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_model.dir/test_scheduler_model.cpp.o"
+  "CMakeFiles/test_scheduler_model.dir/test_scheduler_model.cpp.o.d"
+  "test_scheduler_model"
+  "test_scheduler_model.pdb"
+  "test_scheduler_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

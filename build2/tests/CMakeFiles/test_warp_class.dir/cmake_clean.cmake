@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warp_class.dir/test_warp_class.cpp.o"
+  "CMakeFiles/test_warp_class.dir/test_warp_class.cpp.o.d"
+  "test_warp_class"
+  "test_warp_class.pdb"
+  "test_warp_class[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warp_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

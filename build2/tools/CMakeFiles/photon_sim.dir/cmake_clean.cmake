@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_sim.dir/photon_sim.cpp.o"
+  "CMakeFiles/photon_sim.dir/photon_sim.cpp.o.d"
+  "photon_sim"
+  "photon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_lint.dir/main.cpp.o"
+  "CMakeFiles/photon_lint.dir/main.cpp.o.d"
+  "photon_lint"
+  "photon_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

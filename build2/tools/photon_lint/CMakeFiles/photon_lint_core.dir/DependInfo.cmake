@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/photon_lint/checks.cpp" "tools/photon_lint/CMakeFiles/photon_lint_core.dir/checks.cpp.o" "gcc" "tools/photon_lint/CMakeFiles/photon_lint_core.dir/checks.cpp.o.d"
+  "/root/repo/tools/photon_lint/driver.cpp" "tools/photon_lint/CMakeFiles/photon_lint_core.dir/driver.cpp.o" "gcc" "tools/photon_lint/CMakeFiles/photon_lint_core.dir/driver.cpp.o.d"
+  "/root/repo/tools/photon_lint/lexer.cpp" "tools/photon_lint/CMakeFiles/photon_lint_core.dir/lexer.cpp.o" "gcc" "tools/photon_lint/CMakeFiles/photon_lint_core.dir/lexer.cpp.o.d"
+  "/root/repo/tools/photon_lint/parser.cpp" "tools/photon_lint/CMakeFiles/photon_lint_core.dir/parser.cpp.o" "gcc" "tools/photon_lint/CMakeFiles/photon_lint_core.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

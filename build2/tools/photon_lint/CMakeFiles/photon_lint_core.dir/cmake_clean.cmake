@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photon_lint_core.dir/checks.cpp.o"
+  "CMakeFiles/photon_lint_core.dir/checks.cpp.o.d"
+  "CMakeFiles/photon_lint_core.dir/driver.cpp.o"
+  "CMakeFiles/photon_lint_core.dir/driver.cpp.o.d"
+  "CMakeFiles/photon_lint_core.dir/lexer.cpp.o"
+  "CMakeFiles/photon_lint_core.dir/lexer.cpp.o.d"
+  "CMakeFiles/photon_lint_core.dir/parser.cpp.o"
+  "CMakeFiles/photon_lint_core.dir/parser.cpp.o.d"
+  "libphoton_lint_core.a"
+  "libphoton_lint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photon_lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphoton_lint_core.a"
+)
