@@ -23,6 +23,7 @@
 
 #include "bench_util.hpp"
 #include "driver/report.hpp"
+#include "sampling/telemetry.hpp"
 #include "timing/gpu.hpp"
 
 using namespace photon;
@@ -98,6 +99,8 @@ writeJson(const std::vector<VariantResult> &rows, const char *path)
         return;
     }
     f << "{\n  \"bench\": \"hotloop_speedup\",\n"
+      << "  \"telemetry_schema_version\": "
+      << sampling::kTelemetrySchemaVersion << ",\n"
       << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n  \"runs\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {

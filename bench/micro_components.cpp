@@ -14,7 +14,7 @@
 #include "isa/builder.hpp"
 #include "sampling/bbv.hpp"
 #include "sampling/gpu_bbv.hpp"
-#include "sampling/least_squares.hpp"
+#include "sampling/stability.hpp"
 #include "sim/rng.hpp"
 #include "timing/cache.hpp"
 #include "timing/dram.hpp"

@@ -15,3 +15,12 @@ for b in table1_configs table2_benchmarks fig01_ipc_traces \
 done
 echo "##### micro_components #####"
 "$BUILD/bench/micro_components" --benchmark_min_time=0.2
+
+# hotloop_speedup writes BENCH_hotloop.json; surface the telemetry
+# schema version it was produced against so downstream tooling can
+# reject stale artifacts.
+if [ -f BENCH_hotloop.json ]; then
+    grep '"telemetry_schema_version"' BENCH_hotloop.json ||
+        { echo "BENCH_hotloop.json missing telemetry_schema_version" >&2
+          exit 1; }
+fi

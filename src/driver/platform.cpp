@@ -81,10 +81,17 @@ Platform::launch(const isa::ProgramPtr &program,
         result.sample.cycles = out.cycles();
         result.sample.insts = out.instsIssued;
         result.sample.level = sampling::SampleLevel::Full;
-        result.sample.detailedCycles = out.cycles();
-        result.sample.detailedInsts = out.instsIssued;
-        result.sample.detailedWarps = out.wavesCompleted;
-        result.sample.totalWarps = dims.totalWaves();
+        sampling::KernelTelemetry &tele = result.sample.telemetry;
+        tele.kernel = program->name();
+        tele.numWorkgroups = dims.numWorkgroups;
+        tele.wavesPerWorkgroup = dims.wavesPerWorkgroup;
+        tele.level = sampling::SampleLevel::Full;
+        tele.predictedCycles = out.cycles();
+        tele.predictedInsts = out.instsIssued;
+        tele.detailedCycles = out.cycles();
+        tele.detailedInsts = out.instsIssued;
+        tele.detailedWarps = out.wavesCompleted;
+        tele.totalWarps = dims.totalWaves();
         break;
       }
       case SimMode::Photon:
@@ -97,12 +104,23 @@ Platform::launch(const isa::ProgramPtr &program,
     auto t1 = std::chrono::steady_clock::now();
     result.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
+    result.sample.telemetry.job = result.label;
 
     totalCycles_ += result.sample.cycles;
     totalInsts_ += result.sample.insts;
     totalWall_ += result.wallSeconds;
     log_.push_back(result);
     return result;
+}
+
+std::vector<sampling::KernelTelemetry>
+Platform::telemetry() const
+{
+    std::vector<sampling::KernelTelemetry> records;
+    records.reserve(log_.size());
+    for (const LaunchResult &l : log_)
+        records.push_back(l.sample.telemetry);
+    return records;
 }
 
 StatRegistry

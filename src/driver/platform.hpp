@@ -104,6 +104,10 @@ class Platform
     /** All launches so far. */
     const std::vector<LaunchResult> &launchLog() const { return log_; }
 
+    /** Per-launch telemetry records, in launch order (the telemetry
+     *  spine: flows on to the campaign runner and --telemetry). */
+    std::vector<sampling::KernelTelemetry> telemetry() const;
+
     /** Memory-system and run statistics. */
     StatRegistry stats() const;
 

@@ -9,7 +9,7 @@ BbSampler::BbSampler(const isa::Program &program,
                      const OnlineAnalysis &analysis,
                      const SamplingConfig &cfg, const GpuConfig &gpu_cfg)
     : program_(program), bbTable_(bb_table), cfg_(cfg),
-      latencies_(gpu_cfg), checkInterval_(cfg.bbWindow / 4)
+      latencies_(gpu_cfg), governor_(cfg.bbWindow / 4, cfg.confirmChecks)
 {
     std::size_t slots = std::size_t{bb_table.numBlocks()} * kLaneBuckets;
     detectors_.reserve(slots);
@@ -38,7 +38,7 @@ BbSampler::onBbExecuted(isa::BbId bb, Cycle issue, Cycle retire,
 {
     detectors_[bbSlot(bb, active_lanes)]->addPoint(
         static_cast<double>(issue), static_cast<double>(retire));
-    ++eventsSinceCheck_;
+    governor_.recordEvent();
 }
 
 double
@@ -55,20 +55,7 @@ BbSampler::stableRate() const
 bool
 BbSampler::wantsSwitch()
 {
-    if (switched_)
-        return true;
-    if (eventsSinceCheck_ < checkInterval_)
-        return false;
-    eventsSinceCheck_ = 0;
-    // Demand persistence across several checks: a single window can look
-    // stable transiently while the memory system is still ramping.
-    if (stableRate() >= cfg_.stableBbRate) {
-        if (++confirmations_ >= cfg_.confirmChecks)
-            switched_ = true;
-    } else {
-        confirmations_ = 0;
-    }
-    return switched_;
+    return governor_.poll([this] { return stableRate() >= cfg_.stableBbRate; });
 }
 
 double

@@ -19,7 +19,7 @@
 #include "sampling/analysis.hpp"
 #include "sampling/bbv.hpp"
 #include "sampling/interval_model.hpp"
-#include "sampling/least_squares.hpp"
+#include "sampling/stability.hpp"
 #include "sim/config.hpp"
 
 namespace photon::sampling {
@@ -64,6 +64,7 @@ class BbSampler
     {
         return *detectors_[slot];
     }
+    const SwitchGovernor &governor() const { return governor_; }
 
   private:
     const isa::Program &program_;
@@ -73,11 +74,7 @@ class BbSampler
     std::vector<std::unique_ptr<StabilityDetector>> detectors_;
     std::vector<double> weight_; ///< instruction-count share per block
     InstLatencyTable latencies_;
-
-    std::uint64_t eventsSinceCheck_ = 0;
-    std::uint64_t checkInterval_;
-    std::uint32_t confirmations_ = 0;
-    bool switched_ = false;
+    SwitchGovernor governor_;
 };
 
 } // namespace photon::sampling

@@ -1,9 +1,7 @@
 #include "sampling/least_squares.hpp"
 
 #include <algorithm>
-#include <cmath>
-
-#include "sim/log.hpp"
+#include <cstddef>
 
 namespace photon::sampling {
 
@@ -35,131 +33,6 @@ leastSquares(const std::vector<double> &x, const std::vector<double> &y)
     fit.b = (sy / nd - fit.a * sx / nd) + y0 - fit.a * x0;
     fit.valid = true;
     return fit;
-}
-
-StabilityDetector::StabilityDetector(std::uint32_t window, double delta)
-    : window_(window), delta_(delta)
-{
-    PHOTON_ASSERT(window_ >= 2, "window too small");
-    issue_.reserve(2 * window_);
-    retire_.reserve(2 * window_);
-}
-
-void
-StabilityDetector::addPoint(double issue_time, double retired_time)
-{
-    std::size_t cap = std::size_t{2} * window_;
-    if (issue_.size() < cap) {
-        issue_.push_back(issue_time);
-        retire_.push_back(retired_time);
-    } else {
-        std::size_t pos = total_ % cap;
-        issue_[pos] = issue_time;
-        retire_[pos] = retired_time;
-    }
-    ++total_;
-    dirty_ = true;
-}
-
-void
-StabilityDetector::computeIfDirty() const
-{
-    if (!dirty_)
-        return;
-    dirty_ = false;
-    stable_ = false;
-    fit_ = LineFit{};
-    meanRecent_ = 0.0;
-    meanPrev_ = 0.0;
-    drift_ = 0.0;
-
-    std::size_t cap = std::size_t{2} * window_;
-    if (total_ < cap)
-        return; // need the full 2n history for the local-optimum guard
-
-    // Gather the last 2n points in chronological order.
-    std::vector<double> xs(cap), ys(cap);
-    for (std::size_t i = 0; i < cap; ++i) {
-        std::size_t pos = (total_ + i) % cap; // oldest first
-        xs[i] = issue_[pos];
-        ys[i] = retire_[pos];
-    }
-
-    // The paper fits retired time against issue time and tests
-    // |a - 1| < delta; it interprets a ~ 1 as "the execution time of
-    // basic blocks is not related to its issue time". The fit is kept
-    // for reporting (Figures 3/4); see below for why the stability
-    // decision itself uses window means at this event density.
-    std::vector<double> x_recent(xs.begin() + window_, xs.end());
-    std::vector<double> y_recent(ys.begin() + window_, ys.end());
-    fit_ = leastSquares(x_recent, y_recent);
-
-    double sum_recent = 0.0, sum_prev = 0.0;
-    for (std::size_t i = 0; i < window_; ++i) {
-        sum_prev += ys[i] - xs[i];
-        sum_recent += y_recent[i] - x_recent[i];
-    }
-    meanRecent_ = sum_recent / window_;
-    meanPrev_ = sum_prev / window_;
-
-    // Stability: the mean execution time of the last n points must
-    // agree with the n before them (the paper's local-optimum guard,
-    // promoted to the primary criterion). Within-window regression of
-    // execution time against issue time is length-biased at this event
-    // density — points enter the window at retire time, so long
-    // executions are systematically paired with early issues — which is
-    // why the across-window comparison carries the decision. The caller
-    // adds persistence across several checks (SamplingConfig::
-    // confirmChecks).
-    double denom = std::max(std::abs(meanPrev_), 1e-9);
-    drift_ = (meanRecent_ - meanPrev_) / denom;
-    if (std::abs(drift_) >= delta_)
-        return;
-    stable_ = true;
-}
-
-bool
-StabilityDetector::stable() const
-{
-    computeIfDirty();
-    return stable_;
-}
-
-LineFit
-StabilityDetector::recentFit() const
-{
-    computeIfDirty();
-    return fit_;
-}
-
-double
-StabilityDetector::meanExecTime() const
-{
-    computeIfDirty();
-    if (total_ >= std::size_t{2} * window_)
-        return meanRecent_;
-    // Not enough history for the windowed mean: fall back to all points.
-    double sum = 0.0;
-    std::size_t n = issue_.size();
-    if (n == 0)
-        return 0.0;
-    for (std::size_t i = 0; i < n; ++i)
-        sum += retire_[i] - issue_[i];
-    return sum / static_cast<double>(n);
-}
-
-double
-StabilityDetector::relativeDrift() const
-{
-    computeIfDirty();
-    return drift_;
-}
-
-double
-StabilityDetector::previousMeanExecTime() const
-{
-    computeIfDirty();
-    return meanPrev_;
 }
 
 } // namespace photon::sampling

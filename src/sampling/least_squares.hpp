@@ -1,18 +1,13 @@
 /**
  * @file
- * Least-squares fitting (paper Equation 1) and the rolling stability
- * detector built on it (paper Sections 4.1/4.2): a unit of work (warp or
- * basic block) is stable when the slope of retired-time vs issue-time
- * over the last n observations satisfies |a - 1| < delta, and — to avoid
- * locking onto a local optimum — the mean execution time over the most
- * recent n observations differs from the mean over the n before them by
- * less than delta as well.
+ * Least-squares line fitting (paper Equation 1). The rolling stability
+ * detector built on it lives in sampling/stability.hpp together with the
+ * rest of the unified stability framework.
  */
 
 #ifndef PHOTON_SAMPLING_LEAST_SQUARES_HPP
 #define PHOTON_SAMPLING_LEAST_SQUARES_HPP
 
-#include <cstdint>
 #include <vector>
 
 namespace photon::sampling {
@@ -28,61 +23,6 @@ struct LineFit
 /** Fit a line through (x[i], y[i]) per paper Equation 1. */
 LineFit leastSquares(const std::vector<double> &x,
                      const std::vector<double> &y);
-
-/**
- * Rolling (issue, retire) window with the paper's stability criterion.
- * Holds the last 2n points in a ring buffer; stability checks are O(n)
- * and cached until the next insertion.
- */
-class StabilityDetector
-{
-  public:
-    /**
-     * @param window the paper's n (1024 for warps, 2048 for blocks)
-     * @param delta the stability threshold (paper: 0.03)
-     */
-    StabilityDetector(std::uint32_t window, double delta);
-
-    /** Record one completed execution. */
-    void addPoint(double issue_time, double retired_time);
-
-    /** Observations recorded so far (saturating at 2n retained). */
-    std::uint64_t totalPoints() const { return total_; }
-
-    /** True when the slope and local-optimum criteria both hold. */
-    bool stable() const;
-
-    /** Slope over the most recent n points (NaN-free; valid flag). */
-    LineFit recentFit() const;
-
-    /** Mean execution time (retire - issue) over the last n points. */
-    double meanExecTime() const;
-
-    /** Relative drift of execution time across the last n points (the
-     *  quantity tested against delta). */
-    double relativeDrift() const;
-
-    /** Mean execution time over the n points preceding the last n. */
-    double previousMeanExecTime() const;
-
-    std::uint32_t window() const { return window_; }
-
-  private:
-    void computeIfDirty() const;
-
-    std::uint32_t window_;
-    double delta_;
-    std::vector<double> issue_;  ///< ring of 2n
-    std::vector<double> retire_; ///< ring of 2n
-    std::uint64_t total_ = 0;
-
-    mutable bool dirty_ = true;
-    mutable bool stable_ = false;
-    mutable LineFit fit_;
-    mutable double meanRecent_ = 0.0;
-    mutable double meanPrev_ = 0.0;
-    mutable double drift_ = 0.0;
-};
 
 } // namespace photon::sampling
 

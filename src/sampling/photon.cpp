@@ -7,121 +7,12 @@
 #include "isa/basic_block.hpp"
 #include "sampling/bb_sampler.hpp"
 #include "sampling/bbv.hpp"
+#include "sampling/controller.hpp"
 #include "sampling/warp_sampler.hpp"
 #include "sim/log.hpp"
 #include "timing/scheduler_model.hpp"
 
 namespace photon::sampling {
-
-const char *
-sampleLevelName(SampleLevel level)
-{
-    switch (level) {
-      case SampleLevel::Full: return "full";
-      case SampleLevel::Kernel: return "kernel";
-      case SampleLevel::Warp: return "warp";
-      case SampleLevel::BasicBlock: return "bb";
-    }
-    return "?";
-}
-
-namespace {
-
-/** Monitor wiring the warp and basic-block detectors into the detailed
- *  run, and recording drain information for the scheduler model. */
-class CombinedMonitor : public timing::KernelMonitor
-{
-  public:
-    /** @param min_retired_warps warm-up gate: no switch before the
-     *  first full occupancy generation has retired (cold caches and
-     *  queue build-up make the first generation unrepresentative). */
-    CombinedMonitor(WarpSampler *warp, BbSampler *bb,
-                    std::uint64_t min_retired_warps)
-        : warp_(warp), bb_(bb), minRetired_(min_retired_warps)
-    {}
-
-    void
-    onWaveDispatched(WarpId w, Cycle now) override
-    {
-        ++dispatched_;
-        if (warp_)
-            warp_->onWaveDispatched(w, now);
-    }
-
-    void
-    onWaveRetired(WarpId w, Cycle now, std::uint64_t) override
-    {
-        ++retired_;
-        // After the switch the machine drains and contention decays, so
-        // drain events would bias the predictors optimistically: the
-        // detectors are frozen at the stop decision (their state is
-        // exactly "the last n" of the paper's Step 3).
-        if (stopped_) {
-            drainRetires_.push_back(now);
-            return;
-        }
-        if (warp_)
-            warp_->onWaveRetired(w, now);
-    }
-
-    void
-    onInstruction(WarpId, const func::StepResult &res, Cycle issue,
-                  Cycle complete) override
-    {
-        if (bb_ && !stopped_)
-            bb_->onInstruction(res.op, issue, complete);
-    }
-
-    void
-    onBbExecuted(WarpId, isa::BbId bb, Cycle issue, Cycle retire,
-                 std::uint32_t active_lanes) override
-    {
-        if (bb_ && !stopped_)
-            bb_->onBbExecuted(bb, issue, retire, active_lanes);
-    }
-
-    bool
-    wantsStop(Cycle now) override
-    {
-        if (stopped_)
-            return true;
-        if (retired_ < minRetired_)
-            return false;
-        SampleLevel winner = SampleLevel::Full;
-        // Warp-sampling is preferred: it skips functional emulation too.
-        if (warp_ && warp_->wantsSwitch())
-            winner = SampleLevel::Warp;
-        else if (bb_ && bb_->wantsSwitch())
-            winner = SampleLevel::BasicBlock;
-        if (winner == SampleLevel::Full)
-            return false;
-        stopped_ = true;
-        winner_ = winner;
-        stopCycle_ = now;
-        residentAtStop_ = dispatched_ - retired_;
-        return true;
-    }
-
-    bool stopped() const { return stopped_; }
-    SampleLevel winner() const { return winner_; }
-    Cycle stopCycle() const { return stopCycle_; }
-    std::uint32_t residentAtStop() const { return residentAtStop_; }
-    std::vector<Cycle> takeDrainRetires() { return std::move(drainRetires_); }
-
-  private:
-    WarpSampler *warp_;
-    BbSampler *bb_;
-    std::uint64_t minRetired_;
-    std::uint64_t dispatched_ = 0;
-    std::uint64_t retired_ = 0;
-    bool stopped_ = false;
-    SampleLevel winner_ = SampleLevel::Full;
-    Cycle stopCycle_ = 0;
-    std::uint32_t residentAtStop_ = 0;
-    std::vector<Cycle> drainRetires_;
-};
-
-} // namespace
 
 PhotonSampler::PhotonSampler(timing::Gpu &gpu, const SamplingConfig &cfg)
     : gpu_(gpu), cfg_(cfg), cache_(cfg, gpu.config().totalWaveSlots())
@@ -143,7 +34,11 @@ PhotonSampler::runKernel(const isa::Program &program,
                          func::GlobalMemory &mem)
 {
     KernelRunResult res;
-    res.totalWarps = dims.totalWaves();
+    KernelTelemetry &tele = res.telemetry;
+    tele.kernel = program.name();
+    tele.numWorkgroups = dims.numWorkgroups;
+    tele.wavesPerWorkgroup = dims.wavesPerWorkgroup;
+    tele.totalWarps = dims.totalWaves();
 
     isa::BasicBlockTable bb_table(program, cfg_.bbSplitAtWaitcnt);
 
@@ -158,39 +53,49 @@ PhotonSampler::runKernel(const isa::Program &program,
                  .first;
     }
     const OnlineAnalysis &analysis = it->second;
-    res.analysisInsts = reused ? 0 : analysis.sampledInsts;
+    tele.analysisInsts = reused ? 0 : analysis.sampledInsts;
+    tele.analysisReused = reused;
 
     // Step 2: kernel-sampling.
     if (cfg_.enableKernelSampling) {
         if (const KernelRecord *rec =
-                cache_.match(analysis.signature, res.totalWarps)) {
+                cache_.match(analysis.signature, tele.totalWarps)) {
             KernelPrediction pred =
                 KernelCache::predict(*rec, analysis.sampledInsts);
             gpu_.skipTime(pred.cycles);
             res.cycles = pred.cycles;
             res.insts = pred.insts;
             res.level = SampleLevel::Kernel;
+            tele.level = res.level;
+            tele.predictedCycles = res.cycles;
+            tele.predictedInsts = res.insts;
             return res;
         }
     }
 
-    // Step 3: detailed simulation with detectors attached.
+    // Step 3: detailed simulation with the control plane attached.
     WarpSampler warp_sampler(analysis, cfg_);
     BbSampler bb_sampler(program, bb_table, analysis, cfg_,
                          gpu_.config());
     std::uint32_t slots = timing::SchedulerModel::effectiveSlots(
         gpu_.config(), dims.wavesPerWorkgroup, program.ldsBytes());
-    CombinedMonitor mon(cfg_.enableWarpSampling ? &warp_sampler : nullptr,
-                        cfg_.enableBbSampling ? &bb_sampler : nullptr,
-                        slots);
+    PhotonController mon(cfg_.enableWarpSampling ? &warp_sampler : nullptr,
+                         cfg_.enableBbSampling ? &bb_sampler : nullptr,
+                         slots);
 
     timing::RunOptions run_opts;
     run_opts.splitBbAtWaitcnt = cfg_.bbSplitAtWaitcnt;
     timing::RunOutcome outcome =
         gpu_.runKernel(program, dims, mem, &mon, run_opts);
-    res.detailedCycles = outcome.cycles();
-    res.detailedInsts = outcome.instsIssued;
-    res.detailedWarps = outcome.wavesCompleted;
+    tele.detailedCycles = outcome.cycles();
+    tele.detailedInsts = outcome.instsIssued;
+    tele.detailedWarps = outcome.wavesCompleted;
+
+    const SwitchDecision &decision = mon.decision();
+    tele.switchCycle = decision.cycle;
+    tele.residentAtSwitch = decision.residentAtStop;
+    tele.warpDetector = decision.warpDetector;
+    tele.bbStableRate = decision.bbStableRate;
 
     if (!outcome.stoppedEarly) {
         res.cycles = outcome.cycles();
@@ -201,14 +106,14 @@ PhotonSampler::runKernel(const isa::Program &program,
         // slot-occupancy scheduler. Slots free up at the retire times
         // observed during the drain.
         std::vector<Cycle> slot_times = mon.takeDrainRetires();
-        timing::SchedulerModel sched(slots, mon.stopCycle(),
+        timing::SchedulerModel sched(slots, decision.cycle,
                                      std::move(slot_times));
 
         std::uint32_t dispatched_warps =
             outcome.firstUndispatchedWg * dims.wavesPerWorkgroup;
         std::uint64_t rem_insts = 0;
 
-        if (mon.winner() == SampleLevel::Warp) {
+        if (decision.level == SampleLevel::Warp) {
             Cycle dur = static_cast<Cycle>(std::max<long long>(
                 1, std::llround(warp_sampler.meanWarpDuration())));
             double per_warp = analysis.avgInstsPerWarp();
@@ -217,15 +122,15 @@ PhotonSampler::runKernel(const isa::Program &program,
                     analysis.classifier.types()[analysis.dominantType]
                         .instCount);
             }
-            for (WarpId w = dispatched_warps; w < res.totalWarps; ++w)
+            for (WarpId w = dispatched_warps; w < tele.totalWarps; ++w)
                 sched.scheduleWarp(dur);
             rem_insts = static_cast<std::uint64_t>(
-                per_warp * (res.totalWarps - dispatched_warps));
+                per_warp * (tele.totalWarps - dispatched_warps));
             res.level = SampleLevel::Warp;
         } else {
             // Basic-block-sampling: functional simulation provides each
             // remaining warp's dynamic BBV (and applies its stores).
-            for (WarpId w = dispatched_warps; w < res.totalWarps; ++w) {
+            for (WarpId w = dispatched_warps; w < tele.totalWarps; ++w) {
                 Bbv bbv(bb_table.numBlocks());
                 std::uint64_t insts = traceWarpBbv(program, bb_table,
                                                    dims, mem, w, bbv);
@@ -242,12 +147,15 @@ PhotonSampler::runKernel(const isa::Program &program,
         res.cycles = kernel_end - outcome.startCycle;
         res.insts = outcome.instsIssued + rem_insts;
     }
+    tele.level = res.level;
+    tele.predictedCycles = res.cycles;
+    tele.predictedInsts = res.insts;
 
     // Record for future kernel-sampling.
     KernelRecord rec;
     rec.name = program.name();
     rec.signature = analysis.signature;
-    rec.numWarps = res.totalWarps;
+    rec.numWarps = tele.totalWarps;
     rec.totalInsts = res.insts;
     rec.sampledInsts = analysis.sampledInsts;
     rec.cycles = res.cycles;

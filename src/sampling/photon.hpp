@@ -7,13 +7,17 @@
  *   1. Online analysis functionally simulates ~1% of warps.
  *   2. Kernel-sampling: if a prior kernel's GPU BBV matches, skip
  *      simulation entirely and predict from its IPC.
- *   3. Otherwise run detailed simulation with the warp- and basic-block
- *      detectors attached; warp-sampling wins when both trigger (it is
- *      faster). On a switch, dispatching halts, residents drain, and the
- *      remaining warps are predicted (warp level: mean duration,
- *      scheduler-only; block level: functional simulation plus per-block
- *      time prediction) through the slot-occupancy scheduler model.
+ *   3. Otherwise run detailed simulation with the control plane
+ *      (PhotonController) attached through the KernelMonitor hooks;
+ *      warp-sampling wins when both levels trigger (it is faster). On a
+ *      switch, dispatching halts, residents drain, and the remaining
+ *      warps are predicted (warp level: mean duration, scheduler-only;
+ *      block level: functional simulation plus per-block time
+ *      prediction) through the slot-occupancy scheduler model.
  *   4. If no level triggers, the kernel falls back to full detail.
+ *
+ * Every launch yields a KernelTelemetry record (see telemetry.hpp)
+ * capturing the decision and the predicted-vs-detailed split.
  */
 
 #ifndef PHOTON_SAMPLING_PHOTON_HPP
@@ -28,44 +32,21 @@
 #include "func/wave_state.hpp"
 #include "isa/program.hpp"
 #include "sampling/kernel_cache.hpp"
+#include "sampling/telemetry.hpp"
 #include "sim/config.hpp"
 #include "timing/gpu.hpp"
 
 namespace photon::sampling {
 
-/** Which mechanism produced a kernel's predicted time. */
-enum class SampleLevel
-{
-    Full,       ///< complete detailed simulation (fallback)
-    Kernel,     ///< skipped via kernel-sampling
-    Warp,       ///< switched to warp-sampling
-    BasicBlock, ///< switched to basic-block-sampling
-};
-
-/** Human-readable level name. */
-const char *sampleLevelName(SampleLevel level);
-
 /** Result of one (possibly sampled) kernel run. */
 struct KernelRunResult
 {
-    Cycle cycles = 0;             ///< predicted kernel execution time
-    std::uint64_t insts = 0;      ///< predicted instruction count
+    Cycle cycles = 0;        ///< predicted kernel execution time
+    std::uint64_t insts = 0; ///< predicted instruction count
     SampleLevel level = SampleLevel::Full;
 
-    // Diagnostics.
-    Cycle detailedCycles = 0;     ///< cycles spent in detailed mode
-    std::uint64_t detailedInsts = 0;
-    std::uint32_t detailedWarps = 0;
-    std::uint32_t totalWarps = 0;
-    std::uint64_t analysisInsts = 0; ///< online-analysis instructions
-
-    double
-    detailedFraction() const
-    {
-        return totalWarps ? static_cast<double>(detailedWarps) /
-                                totalWarps
-                          : 1.0;
-    }
+    /** Full per-launch diagnostics (decision + measurement split). */
+    KernelTelemetry telemetry;
 };
 
 /** The Photon sampled simulator, wrapping a detailed Gpu. */

@@ -124,7 +124,11 @@ PkaSampler::runKernel(const isa::Program &program,
                       func::GlobalMemory &mem)
 {
     KernelRunResult res;
-    res.totalWarps = dims.totalWaves();
+    KernelTelemetry &tele = res.telemetry;
+    tele.kernel = program.name();
+    tele.numWorkgroups = dims.numWorkgroups;
+    tele.wavesPerWorkgroup = dims.wavesPerWorkgroup;
+    tele.totalWarps = dims.totalWaves();
 
     // Inter-kernel: principal kernel selection.
     std::string key = pkaKey(program, dims);
@@ -132,15 +136,18 @@ PkaSampler::runKernel(const isa::Program &program,
         res.cycles = it->second.cycles;
         res.insts = it->second.insts;
         res.level = SampleLevel::Kernel;
+        tele.level = res.level;
+        tele.predictedCycles = res.cycles;
+        tele.predictedInsts = res.insts;
         gpu_.skipTime(res.cycles);
         return res;
     }
 
     PkaMonitor mon(cfg_, gpu_.config().numCus);
     timing::RunOutcome outcome = gpu_.runKernel(program, dims, mem, &mon);
-    res.detailedCycles = outcome.cycles();
-    res.detailedInsts = outcome.instsIssued;
-    res.detailedWarps = outcome.wavesCompleted;
+    tele.detailedCycles = outcome.cycles();
+    tele.detailedInsts = outcome.instsIssued;
+    tele.detailedWarps = outcome.wavesCompleted;
 
     if (!outcome.stoppedEarly) {
         res.cycles = outcome.cycles();
@@ -153,7 +160,7 @@ PkaSampler::runKernel(const isa::Program &program,
         std::uint32_t dispatched_warps =
             outcome.firstUndispatchedWg * dims.wavesPerWorkgroup;
         std::uint64_t rem_insts = 0;
-        for (WarpId w = dispatched_warps; w < res.totalWarps; ++w) {
+        for (WarpId w = dispatched_warps; w < tele.totalWarps; ++w) {
             Bbv bbv(bb_table.numBlocks());
             rem_insts +=
                 traceWarpBbv(program, bb_table, dims, mem, w, bbv);
@@ -166,7 +173,11 @@ PkaSampler::runKernel(const isa::Program &program,
         res.cycles = outcome.cycles() + rem_cycles;
         res.insts = outcome.instsIssued + rem_insts;
         res.level = SampleLevel::Warp; // intra-kernel truncation
+        tele.switchCycle = mon.stopCycle();
     }
+    tele.level = res.level;
+    tele.predictedCycles = res.cycles;
+    tele.predictedInsts = res.insts;
 
     principals_[key] = PkRecord{res.cycles, res.insts};
     return res;

@@ -4,9 +4,9 @@ namespace photon::sampling {
 
 WarpSampler::WarpSampler(const OnlineAnalysis &analysis,
                          const SamplingConfig &cfg)
-    : cfg_(cfg), armed_(analysis.dominantRate >= cfg.dominantWarpRate),
+    : armed_(analysis.dominantRate >= cfg.dominantWarpRate),
       detector_(cfg.warpWindow, cfg.delta),
-      checkInterval_(cfg.warpWindow / 8)
+      governor_(cfg.warpWindow / 8, cfg.confirmChecks)
 {}
 
 void
@@ -28,25 +28,15 @@ WarpSampler::onWaveRetired(WarpId warp, Cycle now)
     detector_.addPoint(static_cast<double>(it->second),
                        static_cast<double>(now));
     dispatchTime_.erase(it);
-    ++eventsSinceCheck_;
+    governor_.recordEvent();
 }
 
 bool
 WarpSampler::wantsSwitch()
 {
-    if (switched_)
-        return true;
-    if (!armed_ || eventsSinceCheck_ < checkInterval_)
+    if (!armed_)
         return false;
-    eventsSinceCheck_ = 0;
-    // Same persistence guard as basic-block-sampling.
-    if (detector_.stable()) {
-        if (++confirmations_ >= cfg_.confirmChecks)
-            switched_ = true;
-    } else {
-        confirmations_ = 0;
-    }
-    return switched_;
+    return governor_.poll([this] { return detector_.stable(); });
 }
 
 } // namespace photon::sampling

@@ -1,9 +1,11 @@
 /**
  * @file
- * Warp-sampling (paper Section 4.2, Figure 10). Armed only when one warp
- * type dominates the online-analysis sample (>= 95%). During detailed
- * simulation, (dispatch, retire) pairs of completed warps feed a rolling
- * stability detector (n = 1024). Once stable, the remaining warps are
+ * Warp-sampling (paper Section 4.2, Figure 10) as a thin policy over the
+ * unified stability framework. Armed only when one warp type dominates
+ * the online-analysis sample (>= 95%). During detailed simulation,
+ * (dispatch, retire) pairs of completed warps feed the shared
+ * StabilityDetector (n = 1024); the shared SwitchGovernor throttles the
+ * checks and demands persistence. Once stable, the remaining warps are
  * not executed at all: only the scheduler is simulated and each warp's
  * duration is the mean of the last n observed warps.
  */
@@ -15,12 +17,12 @@
 #include <unordered_map>
 
 #include "sampling/analysis.hpp"
-#include "sampling/least_squares.hpp"
+#include "sampling/stability.hpp"
 #include "sim/config.hpp"
 
 namespace photon::sampling {
 
-/** Per-kernel warp-sampling state machine. */
+/** Per-kernel warp-sampling policy. */
 class WarpSampler
 {
   public:
@@ -40,16 +42,13 @@ class WarpSampler
     double meanWarpDuration() const { return detector_.meanExecTime(); }
 
     const StabilityDetector &detector() const { return detector_; }
+    const SwitchGovernor &governor() const { return governor_; }
 
   private:
-    const SamplingConfig &cfg_;
     bool armed_;
     StabilityDetector detector_;
+    SwitchGovernor governor_;
     std::unordered_map<WarpId, Cycle> dispatchTime_;
-    std::uint64_t eventsSinceCheck_ = 0;
-    std::uint64_t checkInterval_;
-    std::uint32_t confirmations_ = 0;
-    bool switched_ = false;
 };
 
 } // namespace photon::sampling

@@ -239,6 +239,69 @@ getAnalysis(Reader &r)
     return a;
 }
 
+void
+putTelemetry(std::string &out, const sampling::KernelTelemetry &t)
+{
+    putString(out, t.kernel);
+    putString(out, t.job);
+    putU32(out, t.numWorkgroups);
+    putU32(out, t.wavesPerWorkgroup);
+    putU32(out, static_cast<std::uint32_t>(t.level));
+    putU64(out, t.switchCycle);
+    putU32(out, t.residentAtSwitch);
+    putU64(out, t.warpDetector.points);
+    putDouble(out, t.warpDetector.slope);
+    putU32(out, t.warpDetector.slopeValid ? 1 : 0);
+    putDouble(out, t.warpDetector.drift);
+    putDouble(out, t.warpDetector.meanRecent);
+    putDouble(out, t.warpDetector.meanPrev);
+    putU32(out, t.warpDetector.stable ? 1 : 0);
+    putDouble(out, t.bbStableRate);
+    putU64(out, t.predictedCycles);
+    putU64(out, t.predictedInsts);
+    putU64(out, t.detailedCycles);
+    putU64(out, t.detailedInsts);
+    putU32(out, t.detailedWarps);
+    putU32(out, t.totalWarps);
+    putU64(out, t.analysisInsts);
+    putU32(out, t.analysisReused ? 1 : 0);
+}
+
+sampling::KernelTelemetry
+getTelemetry(Reader &r)
+{
+    sampling::KernelTelemetry t;
+    t.kernel = r.str();
+    t.job = r.str();
+    t.numWorkgroups = r.u32();
+    t.wavesPerWorkgroup = r.u32();
+    std::uint32_t level = r.u32();
+    if (level > static_cast<std::uint32_t>(
+                    sampling::SampleLevel::BasicBlock))
+        throw ParseError("corrupt telemetry record: sample level " +
+                         std::to_string(level));
+    t.level = static_cast<sampling::SampleLevel>(level);
+    t.switchCycle = r.u64();
+    t.residentAtSwitch = r.u32();
+    t.warpDetector.points = r.u64();
+    t.warpDetector.slope = r.dbl();
+    t.warpDetector.slopeValid = r.u32() != 0;
+    t.warpDetector.drift = r.dbl();
+    t.warpDetector.meanRecent = r.dbl();
+    t.warpDetector.meanPrev = r.dbl();
+    t.warpDetector.stable = r.u32() != 0;
+    t.bbStableRate = r.dbl();
+    t.predictedCycles = r.u64();
+    t.predictedInsts = r.u64();
+    t.detailedCycles = r.u64();
+    t.detailedInsts = r.u64();
+    t.detailedWarps = r.u32();
+    t.totalWarps = r.u32();
+    t.analysisInsts = r.u64();
+    t.analysisReused = r.u32() != 0;
+    return t;
+}
+
 } // namespace
 
 std::size_t
@@ -256,6 +319,15 @@ Artifact::numAnalyses() const
     std::size_t n = 0;
     for (const auto &[gpu, g] : groups)
         n += g.analyses.size();
+    return n;
+}
+
+std::size_t
+Artifact::numTelemetryRecords() const
+{
+    std::size_t n = 0;
+    for (const auto &[gpu, g] : groups)
+        n += g.telemetry.size();
     return n;
 }
 
@@ -284,6 +356,9 @@ serializeArtifact(const Artifact &artifact)
             putString(out, *key);
             putAnalysis(out, g.analyses.at(*key));
         }
+        putU32(out, static_cast<std::uint32_t>(g.telemetry.size()));
+        for (const auto &t : g.telemetry)
+            putTelemetry(out, t);
     }
     return out;
 }
@@ -299,10 +374,10 @@ deserializeArtifact(std::string_view bytes, Artifact &out)
             return LoadStatus::fail("not a Photon artifact (bad magic)");
         Reader body(bytes.substr(sizeof(kMagic)));
         std::uint32_t version = body.u32();
-        if (version != kArtifactVersion) {
+        if (version < 1 || version > kArtifactVersion) {
             std::ostringstream os;
             os << "artifact version mismatch: file has v" << version
-               << ", this build reads v" << kArtifactVersion;
+               << ", this build reads v1..v" << kArtifactVersion;
             return LoadStatus::fail(os.str());
         }
         std::uint32_t num_groups = body.u32();
@@ -318,6 +393,12 @@ deserializeArtifact(std::string_view bytes, Artifact &out)
             for (std::uint32_t i = 0; i < num_analyses; ++i) {
                 std::string key = body.str();
                 g.analyses.emplace(std::move(key), getAnalysis(body));
+            }
+            if (version >= 2) {
+                std::uint32_t num_tele = body.u32();
+                g.telemetry.reserve(num_tele);
+                for (std::uint32_t i = 0; i < num_tele; ++i)
+                    g.telemetry.push_back(getTelemetry(body));
             }
         }
         if (!body.atEnd())

@@ -27,19 +27,23 @@
 
 namespace photon::service {
 
-/** Current on-disk format version; bumped on any layout change. */
-inline constexpr std::uint32_t kArtifactVersion = 1;
+/** Current on-disk format version; bumped on any layout change.
+ *  v1: kernels + analyses per group. v2: adds the per-launch telemetry
+ *  section (loaders still accept v1 — the section is simply absent). */
+inline constexpr std::uint32_t kArtifactVersion = 2;
 
 /** Reusable state produced by runs on one GPU configuration. */
 struct StoreGroup
 {
     std::vector<sampling::KernelRecord> kernels;
     sampling::PhotonSampler::AnalysisStore analyses;
+    /** Per-launch telemetry published by runs on this GPU (v2+). */
+    std::vector<sampling::KernelTelemetry> telemetry;
 
     bool
     empty() const
     {
-        return kernels.empty() && analyses.empty();
+        return kernels.empty() && analyses.empty() && telemetry.empty();
     }
 };
 
@@ -54,6 +58,8 @@ struct Artifact
     std::size_t numKernelRecords() const;
     /** Total analysis entries across all groups. */
     std::size_t numAnalyses() const;
+    /** Total telemetry records across all groups. */
+    std::size_t numTelemetryRecords() const;
 };
 
 /** Outcome of a deserialization attempt. */

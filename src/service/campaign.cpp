@@ -242,6 +242,16 @@ CampaignResult::totalKernelHits() const
     return total;
 }
 
+std::vector<sampling::KernelTelemetry>
+CampaignResult::allTelemetry() const
+{
+    std::vector<sampling::KernelTelemetry> records;
+    for (const auto &j : jobs)
+        records.insert(records.end(), j.telemetry.begin(),
+                       j.telemetry.end());
+    return records;
+}
+
 namespace {
 
 /** Minimal JSON string escape (the names we emit are plain ASCII). */
@@ -272,6 +282,8 @@ void
 writeJsonReport(const CampaignResult &result, std::ostream &os)
 {
     os << "{\n";
+    os << "  \"telemetry_schema_version\": "
+       << sampling::kTelemetrySchemaVersion << ",\n";
     os << "  \"workers\": " << result.workers << ",\n";
     os << "  \"share\": \"" << jsonEscape(result.share) << "\",\n";
     os << "  \"wall_seconds\": " << result.wallSeconds << ",\n";
@@ -292,9 +304,16 @@ writeJsonReport(const CampaignResult &result, std::ostream &os)
                << "\": " << j.levelCounts[l];
         }
         os << "},\n";
+        double detailed = 0.0;
+        for (const auto &t : j.telemetry)
+            detailed += t.detailedFraction();
+        if (!j.telemetry.empty())
+            detailed /= static_cast<double>(j.telemetry.size());
         os << "     \"analysis_insts\": " << j.analysisInsts
            << ", \"seed_records\": " << j.seedRecords
-           << ", \"new_records\": " << j.newRecords << "}"
+           << ", \"new_records\": " << j.newRecords
+           << ", \"telemetry_records\": " << j.telemetry.size()
+           << ", \"mean_detailed_fraction\": " << detailed << "}"
            << (i + 1 < result.jobs.size() ? "," : "") << "\n";
     }
     os << "  ],\n";

@@ -107,6 +107,9 @@ struct JobResult
     std::uint64_t analysisInsts = 0; ///< online-analysis work performed
     std::size_t seedRecords = 0; ///< kernel records imported at start
     std::size_t newRecords = 0;  ///< kernel records this job published
+    /** Per-launch telemetry records (the telemetry spine), in launch
+     *  order, with .job set to the campaign job label. */
+    std::vector<sampling::KernelTelemetry> telemetry;
 
     /** Launches short-circuited by kernel-sampling. */
     std::uint32_t
@@ -129,6 +132,9 @@ struct CampaignResult
     Cycle totalCycles() const;
     std::uint64_t totalInsts() const;
     std::uint32_t totalKernelHits() const;
+
+    /** All jobs' telemetry records concatenated, in job order. */
+    std::vector<sampling::KernelTelemetry> allTelemetry() const;
 };
 
 /** Write the aggregate report as JSON. */

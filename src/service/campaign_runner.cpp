@@ -119,8 +119,11 @@ runOneJob(const JobSpec &spec, const CampaignOptions &options,
     r.kernels = static_cast<std::uint32_t>(platform.launchLog().size());
     for (const auto &launch : platform.launchLog()) {
         ++r.levelCounts[static_cast<int>(launch.sample.level)];
-        r.analysisInsts += launch.sample.analysisInsts;
+        r.analysisInsts += launch.sample.telemetry.analysisInsts;
     }
+    r.telemetry = platform.telemetry();
+    for (auto &t : r.telemetry)
+        t.job = spec.label();
 
     if (sampling::PhotonSampler *ph = platform.photon()) {
         const auto &records = ph->cache().records();
@@ -226,6 +229,13 @@ runCampaign(const std::vector<JobSpec> &jobs,
 
     result.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
     result.finalStore = store.exportAll();
+    // Telemetry goes into the final store in job order (not publish
+    // order) so the exported artifact is identical for any worker count.
+    for (const JobResult &j : result.jobs) {
+        StoreGroup &g = result.finalStore.groups[j.spec.gpu];
+        g.telemetry.insert(g.telemetry.end(), j.telemetry.begin(),
+                           j.telemetry.end());
+    }
     return result;
 }
 

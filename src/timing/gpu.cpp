@@ -141,6 +141,18 @@ class TickPool
 
 } // namespace
 
+const char *
+kernelPhaseName(KernelPhase phase)
+{
+    switch (phase) {
+      case KernelPhase::Launch: return "launch";
+      case KernelPhase::Detailed: return "detailed";
+      case KernelPhase::Draining: return "draining";
+      case KernelPhase::Complete: return "complete";
+    }
+    return "?";
+}
+
 Gpu::Gpu(const GpuConfig &cfg)
     : cfg_(cfg), memsys_(cfg), dispatcher_(cus_)
 {
@@ -193,9 +205,17 @@ Gpu::runKernel(const isa::Program &program, const func::LaunchDims &dims,
     threads = std::max<std::uint32_t>(threads, 1);
     threads = std::min(threads, cfg_.numCus);
 
+    if (monitor) {
+        monitor->onKernelPhase(KernelPhase::Launch, now_);
+        monitor->onKernelPhase(KernelPhase::Detailed, now_);
+    }
+
     RunOutcome out = opts.useSeedLoop
                          ? runSeedLoop(monitor, opts)
                          : runEventLoop(monitor, opts, threads);
+
+    if (monitor)
+        monitor->onKernelPhase(KernelPhase::Complete, now_);
 
     out.endCycle = now_;
     out.firstUndispatchedWg = dispatcher_.nextWorkgroup();
@@ -235,6 +255,7 @@ Gpu::runEventLoop(KernelMonitor *monitor, const RunOptions &opts,
         if (monitor && !stopping && monitor->wantsStop(now_)) {
             stopping = true;
             dispatcher_.halt();
+            monitor->onKernelPhase(KernelPhase::Draining, now_);
         }
         if (dispatcher_.wantsDispatch()) {
             placed.clear();
@@ -347,6 +368,7 @@ Gpu::runSeedLoop(KernelMonitor *monitor, const RunOptions &opts)
         if (monitor && !stopping && monitor->wantsStop(now_)) {
             stopping = true;
             dispatcher_.halt();
+            monitor->onKernelPhase(KernelPhase::Draining, now_);
         }
         placed.clear();
         dispatcher_.tryDispatch(now_, &placed, /*force=*/true);

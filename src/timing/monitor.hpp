@@ -19,13 +19,48 @@
 namespace photon::timing {
 
 /**
- * Base class for kernel-execution observers. All callbacks default to
- * no-ops so monitors only override what they need.
+ * Coarse phases of one detailed kernel run, pushed through the hook
+ * interface so an observer can scope its bookkeeping to a kernel
+ * without knowing anything about the run loop:
+ *
+ *   Launch ─► Detailed ─► (Draining) ─► Complete
+ *
+ * Draining is only entered when the observer's wantsStop() fired: new
+ * workgroup dispatch halts and resident wavefronts run to completion.
+ */
+enum class KernelPhase
+{
+    Launch,   ///< kernel accepted; nothing dispatched yet
+    Detailed, ///< the run loop is executing instructions
+    Draining, ///< dispatch halted after a stop request; residents drain
+    Complete, ///< the run loop exited (normally or after a drain)
+};
+
+/** Human-readable phase name. */
+const char *kernelPhaseName(KernelPhase phase);
+
+/**
+ * Base class for kernel-execution observers — the narrow hook interface
+ * between the timing data plane and any control plane above it. All
+ * callbacks default to no-ops so monitors only override what they need.
+ * This header is the only coupling point: the timing layer knows no
+ * concrete observer type, and observers see the data plane exclusively
+ * through these events.
  */
 class KernelMonitor
 {
   public:
     virtual ~KernelMonitor() = default;
+
+    /** The run entered a new phase (see KernelPhase). Emitted from the
+     *  run loop thread, in phase order, once per transition. */
+    PHOTON_SHARED_STATE
+    virtual void
+    onKernelPhase(KernelPhase phase, Cycle now)
+    {
+        (void)phase;
+        (void)now;
+    }
 
     /** A wavefront was scheduled onto a compute unit. */
     PHOTON_SHARED_STATE

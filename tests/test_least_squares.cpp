@@ -1,9 +1,9 @@
-/** @file Tests for least-squares fitting and the stability detector. */
+/** @file Tests for the least-squares line fit (the stability detector
+ *  built on top of it is covered in test_stability.cpp). */
 
 #include <gtest/gtest.h>
 
 #include "sampling/least_squares.hpp"
-#include "sim/rng.hpp"
 
 using namespace photon;
 using namespace photon::sampling;
@@ -50,113 +50,3 @@ TEST(LeastSquares, DegenerateInputs)
     // No x variance.
     EXPECT_FALSE(leastSquares({5, 5, 5}, {1, 2, 3}).valid);
 }
-
-namespace {
-
-/** Feed `count` points with execution time from `dur(i)`. */
-void
-feed(StabilityDetector &det, int count, double (*dur)(int), int offset = 0)
-{
-    for (int i = 0; i < count; ++i) {
-        double issue = (offset + i) * 10.0;
-        det.addPoint(issue, issue + dur(offset + i));
-    }
-}
-
-} // namespace
-
-TEST(StabilityDetector, NotStableBeforeFullHistory)
-{
-    StabilityDetector det(64, 0.05);
-    feed(det, 127, [](int) { return 100.0; });
-    EXPECT_FALSE(det.stable()); // needs 2n = 128 points
-    det.addPoint(1280.0, 1380.0);
-    EXPECT_TRUE(det.stable());
-}
-
-TEST(StabilityDetector, StationaryStreamIsStable)
-{
-    StabilityDetector det(64, 0.05);
-    feed(det, 256, [](int) { return 100.0; });
-    EXPECT_TRUE(det.stable());
-    EXPECT_NEAR(det.meanExecTime(), 100.0, 1e-9);
-}
-
-TEST(StabilityDetector, NoisyStationaryStreamIsStable)
-{
-    StabilityDetector det(256, 0.05);
-    Rng rng(5);
-    for (int i = 0; i < 1024; ++i) {
-        double issue = i * 10.0;
-        double d = 100.0 + static_cast<double>(rng.nextBelow(9)) - 4.0;
-        det.addPoint(issue, issue + d);
-    }
-    EXPECT_TRUE(det.stable());
-}
-
-TEST(StabilityDetector, RampIsNotStable)
-{
-    // Execution time doubles across the window: the mean guard fires.
-    StabilityDetector det(64, 0.05);
-    feed(det, 128, [](int i) { return 100.0 + i; });
-    EXPECT_FALSE(det.stable());
-}
-
-TEST(StabilityDetector, StepChangeDetectedThenReconverges)
-{
-    StabilityDetector det(64, 0.05);
-    feed(det, 128, [](int) { return 100.0; });
-    EXPECT_TRUE(det.stable());
-    // Level shift: previous-window mean disagrees.
-    feed(det, 64, [](int) { return 200.0; }, 128);
-    EXPECT_FALSE(det.stable());
-    // After 2n points at the new level, stable again.
-    feed(det, 128, [](int) { return 200.0; }, 192);
-    EXPECT_TRUE(det.stable());
-    EXPECT_NEAR(det.meanExecTime(), 200.0, 1e-9);
-}
-
-TEST(StabilityDetector, MeanWindowsTrackHistory)
-{
-    StabilityDetector det(4, 0.05);
-    for (int i = 0; i < 4; ++i)
-        det.addPoint(i, i + 10.0);
-    for (int i = 4; i < 8; ++i)
-        det.addPoint(i, i + 30.0);
-    EXPECT_NEAR(det.meanExecTime(), 30.0, 1e-9);
-    EXPECT_NEAR(det.previousMeanExecTime(), 10.0, 1e-9);
-}
-
-TEST(StabilityDetector, MeanFallsBackBeforeFullWindow)
-{
-    StabilityDetector det(64, 0.05);
-    det.addPoint(0, 40);
-    det.addPoint(10, 70); // durations 40 and 60
-    EXPECT_NEAR(det.meanExecTime(), 50.0, 1e-9);
-}
-
-/** Parameterised: the delta threshold cleanly separates drift rates. */
-class DeltaSweep : public ::testing::TestWithParam<double>
-{};
-
-TEST_P(DeltaSweep, DriftJustAboveDeltaRejected)
-{
-    double delta = GetParam();
-    StabilityDetector det(128, delta);
-    // Per-window relative drift slightly above/below delta.
-    double grow_hi = (1.0 + 1.5 * delta);
-    StabilityDetector det_lo(128, delta);
-    double grow_lo = (1.0 + 0.3 * delta);
-    for (int i = 0; i < 256; ++i) {
-        double issue = i * 10.0;
-        double scale_hi = i < 128 ? 1.0 : grow_hi;
-        double scale_lo = i < 128 ? 1.0 : grow_lo;
-        det.addPoint(issue, issue + 100.0 * scale_hi);
-        det_lo.addPoint(issue, issue + 100.0 * scale_lo);
-    }
-    EXPECT_FALSE(det.stable());
-    EXPECT_TRUE(det_lo.stable());
-}
-
-INSTANTIATE_TEST_SUITE_P(Deltas, DeltaSweep,
-                         ::testing::Values(0.02, 0.05, 0.10, 0.20));

@@ -41,7 +41,11 @@ TEST(Photon, WarpSamplingEngagesAndStaysAccurate)
     w->setup(p);
     auto rs = workloads::runWorkload(*w, p);
     EXPECT_EQ(rs[0].sample.level, sampling::SampleLevel::Warp);
-    EXPECT_LT(rs[0].sample.detailedFraction(), 0.8);
+    EXPECT_LT(rs[0].sample.telemetry.detailedFraction(), 0.8);
+    // The control plane filled the decision half of the record.
+    EXPECT_EQ(rs[0].sample.telemetry.level, sampling::SampleLevel::Warp);
+    EXPECT_GT(rs[0].sample.telemetry.switchCycle, 0u);
+    EXPECT_TRUE(rs[0].sample.telemetry.warpDetector.stable);
     double err = std::abs(static_cast<double>(p.totalKernelCycles()) -
                           static_cast<double>(full)) /
                  static_cast<double>(full);
@@ -91,7 +95,8 @@ TEST(Photon, OfflineAnalysisReuseKeepsPredictions)
     auto w2 = factory();
     w2->setup(offline);
     auto rs = workloads::runWorkload(*w2, offline);
-    EXPECT_EQ(rs[0].sample.analysisInsts, 0u); // analysis reused
+    EXPECT_EQ(rs[0].sample.telemetry.analysisInsts, 0u); // reused
+    EXPECT_TRUE(rs[0].sample.telemetry.analysisReused);
     double rel = std::abs(static_cast<double>(
                               offline.totalKernelCycles()) -
                           static_cast<double>(online.totalKernelCycles())) /

@@ -1,0 +1,203 @@
+/** @file Tests for the per-kernel telemetry spine: deterministic JSON /
+ *  CSV serialization, the schema-versioned round trip, and telemetry
+ *  persistence through the binary artifact store (v2). */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sampling/telemetry.hpp"
+#include "service/artifact_store.hpp"
+
+using namespace photon;
+using namespace photon::sampling;
+
+namespace {
+
+KernelTelemetry
+sampleRecord()
+{
+    KernelTelemetry t;
+    t.kernel = "mm_tiled";
+    t.job = "mm/256/photon/r9nano";
+    t.numWorkgroups = 64;
+    t.wavesPerWorkgroup = 4;
+    t.level = SampleLevel::Warp;
+    t.switchCycle = 31408;
+    t.residentAtSwitch = 40;
+    t.warpDetector.points = 2048;
+    t.warpDetector.slope = 0.98765432109876543;
+    t.warpDetector.slopeValid = true;
+    t.warpDetector.drift = -0.0123456789;
+    t.warpDetector.meanRecent = 512.25;
+    t.warpDetector.meanPrev = 518.5;
+    t.warpDetector.stable = true;
+    t.bbStableRate = 0.875;
+    t.predictedCycles = 112303;
+    t.predictedInsts = 1195852;
+    t.detailedCycles = 31408;
+    t.detailedInsts = 245760;
+    t.detailedWarps = 96;
+    t.totalWarps = 256;
+    t.analysisInsts = 4096;
+    t.analysisReused = false;
+    return t;
+}
+
+void
+expectEqual(const KernelTelemetry &a, const KernelTelemetry &b)
+{
+    EXPECT_EQ(a.kernel, b.kernel);
+    EXPECT_EQ(a.job, b.job);
+    EXPECT_EQ(a.numWorkgroups, b.numWorkgroups);
+    EXPECT_EQ(a.wavesPerWorkgroup, b.wavesPerWorkgroup);
+    EXPECT_EQ(a.level, b.level);
+    EXPECT_EQ(a.switchCycle, b.switchCycle);
+    EXPECT_EQ(a.residentAtSwitch, b.residentAtSwitch);
+    EXPECT_EQ(a.warpDetector.points, b.warpDetector.points);
+    EXPECT_EQ(a.warpDetector.slope, b.warpDetector.slope);
+    EXPECT_EQ(a.warpDetector.slopeValid, b.warpDetector.slopeValid);
+    EXPECT_EQ(a.warpDetector.drift, b.warpDetector.drift);
+    EXPECT_EQ(a.warpDetector.meanRecent, b.warpDetector.meanRecent);
+    EXPECT_EQ(a.warpDetector.meanPrev, b.warpDetector.meanPrev);
+    EXPECT_EQ(a.warpDetector.stable, b.warpDetector.stable);
+    EXPECT_EQ(a.bbStableRate, b.bbStableRate);
+    EXPECT_EQ(a.predictedCycles, b.predictedCycles);
+    EXPECT_EQ(a.predictedInsts, b.predictedInsts);
+    EXPECT_EQ(a.detailedCycles, b.detailedCycles);
+    EXPECT_EQ(a.detailedInsts, b.detailedInsts);
+    EXPECT_EQ(a.detailedWarps, b.detailedWarps);
+    EXPECT_EQ(a.totalWarps, b.totalWarps);
+    EXPECT_EQ(a.analysisInsts, b.analysisInsts);
+    EXPECT_EQ(a.analysisReused, b.analysisReused);
+}
+
+} // namespace
+
+TEST(Telemetry, LevelNamesRoundTrip)
+{
+    EXPECT_STREQ(sampleLevelName(SampleLevel::Full), "full");
+    EXPECT_STREQ(sampleLevelName(SampleLevel::Kernel), "kernel");
+    EXPECT_STREQ(sampleLevelName(SampleLevel::Warp), "warp");
+    EXPECT_STREQ(sampleLevelName(SampleLevel::BasicBlock), "bb");
+}
+
+TEST(Telemetry, JsonRoundTripIsBitExact)
+{
+    std::vector<KernelTelemetry> records = {sampleRecord()};
+    KernelTelemetry full;
+    full.kernel = "relu";
+    full.level = SampleLevel::Full;
+    full.totalWarps = 16;
+    full.detailedWarps = 16;
+    records.push_back(full);
+
+    std::ostringstream os;
+    writeTelemetryJson(records, os);
+    std::string doc = os.str();
+    EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+
+    std::vector<KernelTelemetry> parsed;
+    std::string err;
+    ASSERT_TRUE(readTelemetryJson(doc, parsed, &err)) << err;
+    ASSERT_EQ(parsed.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i)
+        expectEqual(records[i], parsed[i]);
+
+    // Writers are deterministic: re-serializing the parsed records
+    // reproduces the document byte for byte.
+    std::ostringstream os2;
+    writeTelemetryJson(parsed, os2);
+    EXPECT_EQ(doc, os2.str());
+}
+
+TEST(Telemetry, EmptyDocumentRoundTrips)
+{
+    std::ostringstream os;
+    writeTelemetryJson({}, os);
+    std::vector<KernelTelemetry> parsed;
+    ASSERT_TRUE(readTelemetryJson(os.str(), parsed));
+    EXPECT_TRUE(parsed.empty());
+}
+
+TEST(Telemetry, ReaderRejectsSchemaMismatchAndJunk)
+{
+    std::vector<KernelTelemetry> out;
+    std::string err;
+    EXPECT_FALSE(readTelemetryJson(
+        "{\"schema_version\": 999, \"kernels\": []}", out, &err));
+    EXPECT_NE(err.find("schema version"), std::string::npos);
+
+    EXPECT_FALSE(readTelemetryJson("{\"kernels\": []}", out, &err));
+    EXPECT_FALSE(readTelemetryJson("not json", out, &err));
+    EXPECT_FALSE(readTelemetryJson(
+        "{\"schema_version\": 1, \"kernels\": [{\"level\": \"bogus\"}]}",
+        out, &err));
+}
+
+TEST(Telemetry, ReaderSkipsUnknownKeysForForwardCompat)
+{
+    std::string doc =
+        "{\"schema_version\": 1, \"future_field\": {\"x\": [1, 2]},\n"
+        " \"kernels\": [{\"kernel\": \"k\", \"extra\": \"ignored\","
+        " \"total_warps\": 8}]}";
+    std::vector<KernelTelemetry> parsed;
+    std::string err;
+    ASSERT_TRUE(readTelemetryJson(doc, parsed, &err)) << err;
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].kernel, "k");
+    EXPECT_EQ(parsed[0].totalWarps, 8u);
+}
+
+TEST(Telemetry, CsvCarriesSchemaVersionHeader)
+{
+    std::ostringstream os;
+    writeTelemetryCsv({sampleRecord()}, os);
+    std::string csv = os.str();
+    EXPECT_EQ(csv.rfind("# telemetry_schema_version=1", 0), 0u);
+    EXPECT_NE(csv.find("kernel,job,workgroups"), std::string::npos);
+    EXPECT_NE(csv.find("mm_tiled,"), std::string::npos);
+    EXPECT_NE(csv.find(",warp,"), std::string::npos);
+}
+
+TEST(Telemetry, DetailedFractionDefinition)
+{
+    KernelTelemetry t;
+    EXPECT_EQ(t.detailedFraction(), 1.0); // no warps: conservatively full
+    t.totalWarps = 200;
+    t.detailedWarps = 50;
+    EXPECT_NEAR(t.detailedFraction(), 0.25, 1e-12);
+}
+
+TEST(Telemetry, ArtifactStorePersistsTelemetry)
+{
+    service::Artifact art;
+    service::StoreGroup &g = art.group("r9nano");
+    g.telemetry.push_back(sampleRecord());
+    ASSERT_EQ(art.numTelemetryRecords(), 1u);
+
+    std::string bytes = service::serializeArtifact(art);
+    service::Artifact back;
+    service::LoadStatus st = service::deserializeArtifact(bytes, back);
+    ASSERT_TRUE(st.ok) << st.error;
+    ASSERT_EQ(back.numTelemetryRecords(), 1u);
+    expectEqual(g.telemetry[0], back.groups.at("r9nano").telemetry[0]);
+}
+
+TEST(Telemetry, ArtifactLoaderStillAcceptsV1)
+{
+    // A v1 artifact is a v2 artifact minus the per-group telemetry
+    // section; synthesize one by patching the version field of an
+    // empty-group artifact and dropping the trailing telemetry count.
+    service::Artifact art;
+    art.group("tiny"); // one empty group
+    std::string bytes = service::serializeArtifact(art);
+    ASSERT_GE(bytes.size(), 8u + 4u);
+    bytes[4] = 1;                              // version: 2 -> 1
+    bytes.resize(bytes.size() - 4);            // drop telemetry count
+    service::Artifact back;
+    service::LoadStatus st = service::deserializeArtifact(bytes, back);
+    ASSERT_TRUE(st.ok) << st.error;
+    EXPECT_EQ(back.groups.size(), 1u);
+    EXPECT_EQ(back.numTelemetryRecords(), 0u);
+}

@@ -51,6 +51,12 @@ struct Options
     bool check = false;
     std::uint32_t cuThreads = 1;
 
+    // Telemetry / ablation flags.
+    std::string telemetryPath;
+    bool noKernelSampling = false;
+    bool noWarpSampling = false;
+    bool noBbSampling = false;
+
     // Campaign / persistence flags.
     std::string campaign;
     std::uint32_t jobs = 1;
@@ -67,7 +73,9 @@ usage()
         "usage: photon_sim [--workload W[,W...]] [--size N[,N...]]\n"
         "                  [--mode M[,M...]] [--gpu G[,G...]]\n"
         "                  [--compare] [--stats] [--disasm] [--check]\n"
-        "                  [--cu-threads N]\n"
+        "                  [--cu-threads N] [--telemetry PATH]\n"
+        "                  [--no-kernel-sampling] [--no-warp-sampling]\n"
+        "                  [--no-bb-sampling]\n"
         "                  [--campaign FILE] [--jobs N] [--share P]\n"
         "                  [--cache-in PATH] [--cache-out PATH]\n"
         "                  [--report PATH]\n"
@@ -83,6 +91,11 @@ usage()
         "  --check    verify results against the host reference\n"
         "  --cu-threads N  worker threads ticking CUs inside each\n"
         "                  kernel (bit-identical to 1; default 1)\n"
+        "  --telemetry PATH  write per-kernel telemetry (schema-versioned\n"
+        "                    JSON; '.csv' extension selects CSV)\n"
+        "  --no-kernel-sampling / --no-warp-sampling / --no-bb-sampling\n"
+        "                  ablate one Photon level (config-only switch;\n"
+        "                  the timing model is untouched)\n"
         "batch mode (triggered by --campaign, comma lists, --jobs > 1,\n"
         "or any cache/report flag):\n"
         "  --campaign FILE  job list: '<workload> [size] [mode] [gpu]'\n"
@@ -107,6 +120,30 @@ parseCount(const std::string &flag, const std::string &value)
     return out;
 }
 
+/** SamplingConfig with the CLI's ablation flags applied. */
+SamplingConfig
+samplingFromOptions(const Options &o)
+{
+    SamplingConfig cfg;
+    cfg.enableKernelSampling = !o.noKernelSampling;
+    cfg.enableWarpSampling = !o.noWarpSampling;
+    cfg.enableBbSampling = !o.noBbSampling;
+    return cfg;
+}
+
+/** Write telemetry records to @p path (fatal on I/O failure). */
+void
+writeTelemetry(const std::vector<sampling::KernelTelemetry> &records,
+               const std::string &path)
+{
+    std::string err;
+    if (!sampling::saveTelemetry(records, path, &err))
+        fatal("--telemetry: ", err);
+    std::printf("telemetry (%zu records, schema v%u) written to %s\n",
+                records.size(), sampling::kTelemetrySchemaVersion,
+                path.c_str());
+}
+
 struct RunResult
 {
     Cycle cycles;
@@ -116,13 +153,13 @@ struct RunResult
 
 RunResult
 runOnce(const Options &o, std::uint32_t size, driver::SimMode mode,
-        bool verify)
+        bool verify, const std::string &telemetry_path)
 {
     GpuConfig gpu;
     std::string err;
     if (!service::parseGpuName(o.gpu, gpu, &err))
         fatal(err);
-    driver::Platform p(gpu, mode);
+    driver::Platform p(gpu, mode, samplingFromOptions(o));
     if (o.cuThreads > 1)
         p.setCuThreads(o.cuThreads);
     auto w = service::makeWorkload(o.workload, size, &err);
@@ -149,6 +186,8 @@ runOnce(const Options &o, std::uint32_t size, driver::SimMode mode,
         p.stats().print(os, "  ");
         std::printf("%s", os.str().c_str());
     }
+    if (!telemetry_path.empty())
+        writeTelemetry(p.telemetry(), telemetry_path);
     return {p.totalKernelCycles(), p.totalInsts(),
             p.totalWallSeconds()};
 }
@@ -163,13 +202,13 @@ runSingle(const Options &o)
         fatal(err);
     std::uint32_t size =
         o.size.empty() ? 0 : parseCount("--size", o.size);
-    RunResult run = runOnce(o, size, mode, o.check);
+    RunResult run = runOnce(o, size, mode, o.check, o.telemetryPath);
 
     if (o.compare && mode != driver::SimMode::FullDetailed) {
         Options fo = o;
         fo.disasm = false;
         RunResult full =
-            runOnce(fo, size, driver::SimMode::FullDetailed, false);
+            runOnce(fo, size, driver::SimMode::FullDetailed, false, "");
         std::printf("error %.2f%%, wall-time speedup %.2fx\n",
                     driver::percentError(
                         static_cast<double>(run.cycles),
@@ -206,6 +245,7 @@ runCampaignMode(const Options &o)
     service::CampaignOptions opts;
     opts.workers = o.jobs ? o.jobs : 1;
     opts.cuThreads = o.cuThreads;
+    opts.sampling = samplingFromOptions(o);
     std::string err;
     if (!service::parseSharePolicy(o.share, opts.share, &err))
         fatal(err);
@@ -230,6 +270,8 @@ runCampaignMode(const Options &o)
                 result.totalKernelHits(),
                 result.finalStore.numKernelRecords());
 
+    if (!o.telemetryPath.empty())
+        writeTelemetry(result.allTelemetry(), o.telemetryPath);
     if (!o.report.empty()) {
         std::ofstream f(o.report);
         if (!f)
@@ -269,6 +311,10 @@ main(int argc, char **argv)
         else if (a == "--disasm") o.disasm = true;
         else if (a == "--check") o.check = true;
         else if (a == "--cu-threads") o.cuThreads = parseCount(a, next());
+        else if (a == "--telemetry") o.telemetryPath = next();
+        else if (a == "--no-kernel-sampling") o.noKernelSampling = true;
+        else if (a == "--no-warp-sampling") o.noWarpSampling = true;
+        else if (a == "--no-bb-sampling") o.noBbSampling = true;
         else if (a == "--campaign") o.campaign = next();
         else if (a == "--jobs") o.jobs = parseCount(a, next());
         else if (a == "--share") o.share = next();
