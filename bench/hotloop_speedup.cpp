@@ -3,17 +3,23 @@
  * Hot-loop speedup: wall time of detailed-mode simulation under the
  * three run-loop variants — the reference per-cycle scanning loop
  * (seed), the event-driven core (event), and the event core with
- * parallel CU ticking (threads) — on a compute-bound workload (mm) and
- * a memory-bound one (spmv). Every variant must report identical cycle
- * and instruction counts (the loops are bit-identical by construction;
- * this bench re-checks it); only wall time may differ.
+ * epoch-parallel CU ticking (threads) — on a compute-bound workload
+ * (mm) and a memory-bound one (spmv). Every variant must report
+ * identical cycle and instruction counts (the loops are bit-identical
+ * by construction; this bench re-checks it); only wall time may differ.
  *
- * Writes BENCH_hotloop.json next to the working directory for the CI
- * perf-smoke artifact. Threaded speedup requires as many hardware cores
- * as worker threads; the JSON records hardware_concurrency so a
- * single-core CI runner's numbers are interpretable.
+ * Measurement protocol: one untimed warm-up run per variant (page-in,
+ * allocator and cache warm-up), then an odd number of timed
+ * repetitions interleaved across variants, reporting the median wall
+ * time. The JSON records hardware_concurrency and flags the threaded
+ * variant `oversubscribed` when it asks for more workers than the host
+ * has cores, so a single-core CI runner's numbers are interpretable.
+ *
+ * Writes BENCH_hotloop.json in the working directory for the CI
+ * perf-smoke artifact.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -35,10 +41,16 @@ struct VariantResult
     std::string workload;
     std::string variant;
     std::uint32_t threads = 1;
+    bool oversubscribed = false;
     Cycle cycles = 0;
     std::uint64_t insts = 0;
-    double wallSeconds = 0.0;
+    double wallSeconds = 0.0; ///< median over the timed repetitions
     double speedupVsSeed = 0.0;
+    std::uint32_t reps = 0;
+    // Epoch-loop statistics (zero for the serial variants).
+    std::uint64_t epochs = 0;
+    std::uint64_t epochCycles = 0;
+    std::uint64_t barrierCrossings = 0;
 };
 
 /**
@@ -66,6 +78,7 @@ runVariantOnce(const std::string &name,
     r.workload = name;
     r.variant = variant;
     r.threads = threads;
+    r.oversubscribed = threads > std::thread::hardware_concurrency();
     auto t0 = std::chrono::steady_clock::now();
     for (const workloads::LaunchSpec &l : w->launches()) {
         func::LaunchDims dims{l.numWorkgroups, l.wavesPerWorkgroup,
@@ -74,20 +87,27 @@ runVariantOnce(const std::string &name,
             *l.program, dims, platform.mem(), nullptr, opts);
         r.cycles += out.cycles();
         r.insts += out.instsIssued;
+        r.epochs += out.epochs;
+        r.epochCycles += out.epochCycleSum;
+        r.barrierCrossings += out.barrierCrossings;
     }
     auto t1 = std::chrono::steady_clock::now();
     r.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
     return r;
 }
 
-/** Fold one repetition into the best-of-N result. A wall-clock bench on
- *  a shared machine measures min(noise + cost); the minimum over reps
- *  is the closest estimate of cost. */
-void
-foldBest(VariantResult &best, const VariantResult &r, bool first)
+/** Reduce timed repetitions to one row: the median wall time (odd rep
+ *  counts have a true middle element) over deterministic cycle counts. */
+VariantResult
+medianOf(std::vector<VariantResult> samples)
 {
-    if (first || r.wallSeconds < best.wallSeconds)
-        best = r;
+    std::sort(samples.begin(), samples.end(),
+              [](const VariantResult &a, const VariantResult &b) {
+                  return a.wallSeconds < b.wallSeconds;
+              });
+    VariantResult r = samples[samples.size() / 2];
+    r.reps = static_cast<std::uint32_t>(samples.size());
+    return r;
 }
 
 void
@@ -102,17 +122,28 @@ writeJson(const std::vector<VariantResult> &rows, const char *path)
       << "  \"telemetry_schema_version\": "
       << sampling::kTelemetrySchemaVersion << ",\n"
       << "  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n  \"runs\": [\n";
+      << std::thread::hardware_concurrency()
+      << ",\n  \"timing\": \"median\",\n  \"runs\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const VariantResult &r = rows[i];
+        double mean_epoch =
+            r.epochs ? static_cast<double>(r.epochCycles) /
+                           static_cast<double>(r.epochs)
+                     : 0.0;
         f << "    {\"workload\": \"" << r.workload << "\", \"variant\": \""
           << r.variant << "\", \"threads\": " << r.threads
-          << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
-          << ", \"wall_s\": " << r.wallSeconds << ", \"cycles_per_sec\": "
+          << ", \"oversubscribed\": "
+          << (r.oversubscribed ? "true" : "false")
+          << ", \"reps\": " << r.reps << ", \"cycles\": " << r.cycles
+          << ", \"insts\": " << r.insts << ", \"wall_s\": " << r.wallSeconds
+          << ", \"cycles_per_sec\": "
           << (r.wallSeconds > 0 ? static_cast<double>(r.cycles) /
                                       r.wallSeconds
                                 : 0.0)
-          << ", \"speedup_vs_seed\": " << r.speedupVsSeed << "}"
+          << ", \"speedup_vs_seed\": " << r.speedupVsSeed
+          << ", \"epochs\": " << r.epochs
+          << ", \"mean_epoch_cycles\": " << mean_epoch
+          << ", \"barrier_crossings\": " << r.barrierCrossings << "}"
           << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     f << "  ]\n}\n";
@@ -128,7 +159,9 @@ main(int argc, char **argv)
     const std::uint32_t mm_n = quick ? 128 : 256;
     const std::uint32_t spmv_rows = quick ? 1024 : 4096;
     const std::uint32_t par_threads = 4;
-    const std::uint32_t reps = quick ? 2 : 3;
+    // Odd so the median is a real sample, not an interpolation.
+    const std::uint32_t reps = quick ? 3 : 5;
+    const std::uint32_t cores = std::thread::hardware_concurrency();
 
     const struct
     {
@@ -141,29 +174,43 @@ main(int argc, char **argv)
 
     driver::printBanner(std::cout,
                         "Detailed-mode hot-loop speedup (r9nano)");
-    std::printf("mm n=%u, spmv rows=%u; %u hardware cores\n\n", mm_n,
-                spmv_rows, std::thread::hardware_concurrency());
+    std::printf("mm n=%u, spmv rows=%u; %u hardware cores, "
+                "%u reps (median) after 1 warm-up%s\n\n",
+                mm_n, spmv_rows, cores, reps,
+                par_threads > cores
+                    ? " [threads variant OVERSUBSCRIBED]"
+                    : "");
 
     std::vector<VariantResult> rows;
     driver::Table table({"workload", "variant", "threads", "cycles",
-                         "wall_s", "Mcyc/s", "speedup"});
+                         "wall_s", "Mcyc/s", "speedup", "epochs"});
     for (const auto &wt : workloads_under_test) {
-        VariantResult seed, event, par;
-        // Interleave the variants within each repetition so background
-        // load on the host biases none of them.
-        for (std::uint32_t i = 0; i < reps; ++i) {
-            foldBest(seed,
-                     runVariantOnce(wt.name, wt.factory, "seed", true, 1),
-                     i == 0);
-            foldBest(event,
-                     runVariantOnce(wt.name, wt.factory, "event", false,
-                                    1),
-                     i == 0);
-            foldBest(par,
-                     runVariantOnce(wt.name, wt.factory, "threads",
-                                    false, par_threads),
-                     i == 0);
-        }
+        struct
+        {
+            const char *variant;
+            bool seedLoop;
+            std::uint32_t threads;
+            std::vector<VariantResult> samples;
+        } variants[] = {
+            {"seed", true, 1, {}},
+            {"event", false, 1, {}},
+            {"threads", false, par_threads, {}},
+        };
+        // One untimed warm-up per variant, then interleave the timed
+        // repetitions so background load on the host biases none of
+        // them.
+        for (auto &v : variants)
+            (void)runVariantOnce(wt.name, wt.factory, v.variant,
+                                 v.seedLoop, v.threads);
+        for (std::uint32_t i = 0; i < reps; ++i)
+            for (auto &v : variants)
+                v.samples.push_back(runVariantOnce(
+                    wt.name, wt.factory, v.variant, v.seedLoop,
+                    v.threads));
+
+        VariantResult seed = medianOf(std::move(variants[0].samples));
+        VariantResult event = medianOf(std::move(variants[1].samples));
+        VariantResult par = medianOf(std::move(variants[2].samples));
         seed.speedupVsSeed = 1.0;
         event.speedupVsSeed = seed.wallSeconds / event.wallSeconds;
         par.speedupVsSeed = seed.wallSeconds / par.wallSeconds;
@@ -184,14 +231,16 @@ main(int argc, char **argv)
                           driver::Table::num(r->wallSeconds, 3),
                           driver::Table::num(r->cycles / r->wallSeconds /
                                              1e6),
-                          driver::Table::num(r->speedupVsSeed)});
+                          driver::Table::num(r->speedupVsSeed),
+                          std::to_string(r->epochs)});
             rows.push_back(*r);
         }
     }
     table.print(std::cout);
     std::printf(
         "\nevent vs seed is the structural win (no per-cycle CU scan);\n"
-        "the threads variant needs >= %u real cores to pay off.\n",
+        "the threads variant syncs once per epoch and needs >= %u real\n"
+        "cores to pay off (oversubscribed runs are flagged in the JSON).\n",
         par_threads);
 
     writeJson(rows, "BENCH_hotloop.json");

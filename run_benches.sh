@@ -18,9 +18,13 @@ echo "##### micro_components #####"
 
 # hotloop_speedup writes BENCH_hotloop.json; surface the telemetry
 # schema version it was produced against so downstream tooling can
-# reject stale artifacts.
+# reject stale artifacts. Schema v2 added wall_seconds + epoch
+# statistics, so an older version here means a stale binary ran.
 if [ -f BENCH_hotloop.json ]; then
-    grep '"telemetry_schema_version"' BENCH_hotloop.json ||
-        { echo "BENCH_hotloop.json missing telemetry_schema_version" >&2
+    grep '"telemetry_schema_version": 2,' BENCH_hotloop.json ||
+        { echo "BENCH_hotloop.json telemetry_schema_version is not 2" >&2
+          exit 1; }
+    grep -q '"oversubscribed"' BENCH_hotloop.json ||
+        { echo "BENCH_hotloop.json missing oversubscribed flags" >&2
           exit 1; }
 fi

@@ -92,6 +92,9 @@ Platform::launch(const isa::ProgramPtr &program,
         tele.detailedInsts = out.instsIssued;
         tele.detailedWarps = out.wavesCompleted;
         tele.totalWarps = dims.totalWaves();
+        tele.epochs = out.epochs;
+        tele.epochCycles = out.epochCycleSum;
+        tele.barrierCrossings = out.barrierCrossings;
         break;
       }
       case SimMode::Photon:
@@ -105,6 +108,7 @@ Platform::launch(const isa::ProgramPtr &program,
     result.wallSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     result.sample.telemetry.job = result.label;
+    result.sample.telemetry.wallSeconds = result.wallSeconds;
 
     totalCycles_ += result.sample.cycles;
     totalInsts_ += result.sample.insts;

@@ -120,11 +120,11 @@ Emulator::step(const isa::Program &program, WaveState &ws,
                StepResult &out) const
 {
     PHOTON_ASSERT(!ws.done, "stepping a finished wavefront");
-    const isa::Instruction &inst = program.at(ws.pc);
-    const isa::OpcodeInfo &info = isa::opcodeInfo(inst.op);
+    const isa::DecodedInst &dec = program.decodedAt(ws.pc);
+    const isa::Instruction &inst = dec.inst;
 
     out.op = inst.op;
-    out.unit = info.unit;
+    out.unit = dec.unit;
     out.done = false;
     out.barrier = false;
     out.branchTaken = false;

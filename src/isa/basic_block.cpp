@@ -30,6 +30,15 @@ BasicBlockTable::BasicBlockTable(const Program &program,
         }
     }
 
+    // Pack the leader flags for the hot-path isLeader bit test. The
+    // carving below starts a block exactly at entry, at branch targets
+    // and after block enders — the same set marked above.
+    leaderBits_.assign((n + 63) / 64, 0);
+    for (std::uint32_t pc = 0; pc < n; ++pc) {
+        if (leader[pc])
+            leaderBits_[pc >> 6] |= std::uint64_t{1} << (pc & 63);
+    }
+
     // Carve blocks between leaders / enders.
     pcToBlock_.assign(n, kNoBb);
     std::uint32_t start = 0;

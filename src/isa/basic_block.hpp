@@ -62,12 +62,15 @@ class BasicBlockTable
     /** True when @p pc is the first instruction of a block. */
     bool isLeader(std::uint32_t pc) const
     {
-        return blocks_[pcToBlock_[pc]].startPc == pc;
+        return (leaderBits_[pc >> 6] >> (pc & 63)) & 1u;
     }
 
   private:
     std::vector<BasicBlock> blocks_;
     std::vector<BbId> pcToBlock_;
+    /** Packed leader flags — isLeader is on the per-issue hot path, and
+     *  a bit test avoids the blocks_/pcToBlock_ double indirection. */
+    std::vector<std::uint64_t> leaderBits_;
 };
 
 } // namespace photon::isa

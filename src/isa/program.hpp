@@ -1,6 +1,10 @@
 /**
  * @file
- * A kernel program: an immutable instruction list plus resource metadata.
+ * A kernel program: an immutable instruction list plus resource metadata
+ * and a pre-decoded execution stream. Decoding — the functional-unit
+ * lookup, and the minimum-issues-to-retirement metric the epoch
+ * scheduler needs — happens once at construction, so the per-issue hot
+ * path indexes one flat array instead of chasing the opcode table.
  */
 
 #ifndef PHOTON_ISA_PROGRAM_HPP
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "isa/instruction.hpp"
+#include "isa/opcode.hpp"
 
 namespace photon::isa {
 
@@ -19,6 +24,25 @@ namespace photon::isa {
 inline constexpr unsigned kMaxSgprs = 32;
 inline constexpr unsigned kMaxVgprs = 32;
 inline constexpr unsigned kMaxMaskRegs = 4;
+
+/** minStepsToEnd value for PCs that cannot reach s_endpgm (an infinite
+ *  loop by construction); large but safe to add to a cycle number. */
+inline constexpr std::uint32_t kUnreachableEnd = 1u << 30;
+
+/**
+ * One pre-decoded instruction: the operands (copied for locality) plus
+ * everything the timing model would otherwise re-derive per issue.
+ */
+struct DecodedInst
+{
+    Instruction inst;
+    FuncUnit unit = FuncUnit::SALU;
+    /** Minimum number of issues (this instruction included) until the
+     *  wavefront retires, over the shortest control-flow path to any
+     *  s_endpgm; kUnreachableEnd when no path exists. Lower-bounds how
+     *  soon a wavefront at this PC can free dispatch capacity. */
+    std::uint32_t minStepsToEnd = kUnreachableEnd;
+};
 
 /**
  * An executable GPU kernel. Produced by KernelBuilder; shared (immutable)
@@ -39,6 +63,13 @@ class Program
         return static_cast<std::uint32_t>(code_.size());
     }
 
+    /** The pre-decoded execution stream, one entry per PC. */
+    const std::vector<DecodedInst> &decoded() const { return decoded_; }
+    const DecodedInst &decodedAt(std::uint32_t pc) const
+    {
+        return decoded_[pc];
+    }
+
     /** Highest scalar register index used, plus one. */
     std::uint32_t numSgprs() const { return numSgprs_; }
     /** Highest vector register index used, plus one. */
@@ -50,8 +81,12 @@ class Program
     void validate() const;
 
   private:
+    /** Build decoded_ (unit lookup + reverse-BFS minStepsToEnd). */
+    void decode();
+
     std::string name_;
     std::vector<Instruction> code_;
+    std::vector<DecodedInst> decoded_;
     std::uint32_t numSgprs_;
     std::uint32_t numVgprs_;
     std::uint32_t ldsBytes_;

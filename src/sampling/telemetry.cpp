@@ -91,7 +91,11 @@ writeRecord(const KernelTelemetry &t, std::ostream &os)
        << ", \"analysis_insts\": " << t.analysisInsts
        << ", \"analysis_reused\": "
        << (t.analysisReused ? "true" : "false")
-       << ", \"detailed_fraction\": " << num(t.detailedFraction()) << "}";
+       << ", \"detailed_fraction\": " << num(t.detailedFraction()) << ",\n"
+       << "     \"wall_seconds\": " << num(t.wallSeconds)
+       << ", \"epochs\": " << t.epochs
+       << ", \"epoch_cycles\": " << t.epochCycles
+       << ", \"barrier_crossings\": " << t.barrierCrossings << "}";
 }
 
 /**
@@ -330,6 +334,21 @@ readRecord(Reader &r, KernelTelemetry &t)
         } else if (key == "analysis_reused") {
             if (!r.readBool(t.analysisReused))
                 return false;
+        } else if (key == "wall_seconds") {
+            if (!r.readNumber(t.wallSeconds))
+                return false;
+        } else if (key == "epochs") {
+            if (!r.readNumber(d))
+                return false;
+            t.epochs = static_cast<std::uint64_t>(d);
+        } else if (key == "epoch_cycles") {
+            if (!r.readNumber(d))
+                return false;
+            t.epochCycles = static_cast<std::uint64_t>(d);
+        } else if (key == "barrier_crossings") {
+            if (!r.readNumber(d))
+                return false;
+            t.barrierCrossings = static_cast<std::uint64_t>(d);
         } else {
             if (!r.skipValue())
                 return false;
@@ -364,7 +383,8 @@ writeTelemetryCsv(const std::vector<KernelTelemetry> &records,
           "det_drift,det_mean_recent,det_mean_prev,det_stable,"
           "bb_stable_rate,predicted_cycles,predicted_insts,"
           "detailed_cycles,detailed_insts,detailed_warps,total_warps,"
-          "analysis_insts,analysis_reused,detailed_fraction\n";
+          "analysis_insts,analysis_reused,detailed_fraction,"
+          "wall_seconds,epochs,epoch_cycles,barrier_crossings\n";
     for (const KernelTelemetry &t : records) {
         os << t.kernel << ',' << t.job << ',' << t.numWorkgroups << ','
            << t.wavesPerWorkgroup << ',' << t.levelName() << ','
@@ -380,7 +400,9 @@ writeTelemetryCsv(const std::vector<KernelTelemetry> &records,
            << t.detailedInsts << ',' << t.detailedWarps << ','
            << t.totalWarps << ',' << t.analysisInsts << ','
            << (t.analysisReused ? 1 : 0) << ','
-           << num(t.detailedFraction()) << "\n";
+           << num(t.detailedFraction()) << ',' << num(t.wallSeconds)
+           << ',' << t.epochs << ',' << t.epochCycles << ','
+           << t.barrierCrossings << "\n";
     }
 }
 
@@ -408,10 +430,13 @@ readTelemetryJson(std::string_view text, std::vector<KernelTelemetry> &out,
             double v = 0.0;
             if (!r.readNumber(v))
                 return fail("");
-            if (static_cast<std::uint32_t>(v) != kTelemetrySchemaVersion)
+            // Additive schema evolution: any version from 1 up to the
+            // writer's loads — missing fields keep their defaults.
+            std::uint32_t ver = static_cast<std::uint32_t>(v);
+            if (ver < 1 || ver > kTelemetrySchemaVersion)
                 return fail("telemetry schema version mismatch: file has " +
-                            std::to_string(static_cast<std::uint32_t>(v)) +
-                            ", reader expects " +
+                            std::to_string(ver) +
+                            ", reader supports 1.." +
                             std::to_string(kTelemetrySchemaVersion));
             saw_version = true;
         } else if (key == "kernels") {

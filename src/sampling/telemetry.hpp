@@ -44,8 +44,13 @@ const char *sampleLevelName(SampleLevel level);
 
 /** Version of the emitted telemetry document layout; bumped whenever a
  *  field is added, removed or re-interpreted. Consumers (dashboards,
- *  bench trajectories) key on this to stay comparable across refactors. */
-inline constexpr std::uint32_t kTelemetrySchemaVersion = 1;
+ *  bench trajectories) key on this to stay comparable across refactors.
+ *  The reader accepts any version from 1 up to this: additions are
+ *  strictly additive, so older documents load with the new fields at
+ *  their defaults.
+ *  v2: per-kernel wall_seconds + epoch-synchronization statistics
+ *  (epochs, epoch_cycles, barrier_crossings). */
+inline constexpr std::uint32_t kTelemetrySchemaVersion = 2;
 
 /** Everything Photon can report about one kernel launch. */
 struct KernelTelemetry
@@ -74,6 +79,23 @@ struct KernelTelemetry
     std::uint32_t totalWarps = 0;
     std::uint64_t analysisInsts = 0; ///< online-analysis instructions
     bool analysisReused = false;     ///< offline mode hit (Section 6.3)
+
+    // Where simulation time went (schema v2): host wall time for this
+    // launch and the run loop's synchronization behaviour. Epoch stats
+    // are zero for serial or per-cycle-synchronized runs.
+    double wallSeconds = 0.0;        ///< host wall time of the launch
+    std::uint64_t epochs = 0;        ///< epoch-loop rounds executed
+    std::uint64_t epochCycles = 0;   ///< cycles covered by those epochs
+    std::uint64_t barrierCrossings = 0; ///< thread-barrier crossings
+
+    /** Mean epoch horizon length in cycles (0 when no epochs ran). */
+    double
+    meanEpochCycles() const
+    {
+        return epochs ? static_cast<double>(epochCycles) /
+                            static_cast<double>(epochs)
+                      : 0.0;
+    }
 
     /** Share of warps that ran through the detailed model. */
     double

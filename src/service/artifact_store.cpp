@@ -265,10 +265,14 @@ putTelemetry(std::string &out, const sampling::KernelTelemetry &t)
     putU32(out, t.totalWarps);
     putU64(out, t.analysisInsts);
     putU32(out, t.analysisReused ? 1 : 0);
+    putDouble(out, t.wallSeconds);
+    putU64(out, t.epochs);
+    putU64(out, t.epochCycles);
+    putU64(out, t.barrierCrossings);
 }
 
 sampling::KernelTelemetry
-getTelemetry(Reader &r)
+getTelemetry(Reader &r, std::uint32_t version)
 {
     sampling::KernelTelemetry t;
     t.kernel = r.str();
@@ -299,6 +303,12 @@ getTelemetry(Reader &r)
     t.totalWarps = r.u32();
     t.analysisInsts = r.u64();
     t.analysisReused = r.u32() != 0;
+    if (version >= 3) {
+        t.wallSeconds = r.dbl();
+        t.epochs = r.u64();
+        t.epochCycles = r.u64();
+        t.barrierCrossings = r.u64();
+    }
     return t;
 }
 
@@ -398,7 +408,7 @@ deserializeArtifact(std::string_view bytes, Artifact &out)
                 std::uint32_t num_tele = body.u32();
                 g.telemetry.reserve(num_tele);
                 for (std::uint32_t i = 0; i < num_tele; ++i)
-                    g.telemetry.push_back(getTelemetry(body));
+                    g.telemetry.push_back(getTelemetry(body, version));
             }
         }
         if (!body.atEnd())

@@ -29,8 +29,11 @@ namespace photon::service {
 
 /** Current on-disk format version; bumped on any layout change.
  *  v1: kernels + analyses per group. v2: adds the per-launch telemetry
- *  section (loaders still accept v1 — the section is simply absent). */
-inline constexpr std::uint32_t kArtifactVersion = 2;
+ *  section (loaders still accept v1 — the section is simply absent).
+ *  v3: telemetry records gain wall_seconds + epoch-synchronization
+ *  statistics (telemetry schema v2); v2 records load with those fields
+ *  at their zero defaults. */
+inline constexpr std::uint32_t kArtifactVersion = 3;
 
 /** Reusable state produced by runs on one GPU configuration. */
 struct StoreGroup

@@ -12,6 +12,10 @@ namespace {
 /** Bytes per encoded instruction for L1I address purposes. */
 constexpr Addr kInstBytes = 8;
 
+/** Instructions per L1I line, for the pc -> fetch-line shift. */
+constexpr std::uint32_t kPcsPerLine =
+    static_cast<std::uint32_t>(kLineBytes / kInstBytes);
+
 } // namespace
 
 ComputeUnit::ComputeUnit(const GpuConfig &cfg, std::uint32_t cuId,
@@ -28,6 +32,10 @@ ComputeUnit::startKernel(const KernelContext &ctx)
 {
     PHOTON_ASSERT(residentWaves_ == 0, "CU busy at kernel start");
     ctx_ = ctx;
+    decoded_ = ctx.program->decoded().data();
+    PHOTON_ASSERT(ctx.codeBase % kLineBytes == 0,
+                  "code base not line-aligned");
+    codeLineBase_ = ctx.codeBase / kLineBytes;
     for (Wave &w : waves_) {
         w.active = false;
     }
@@ -45,6 +53,12 @@ ComputeUnit::startKernel(const KernelContext &ctx)
     wavesRetired_ = 0;
     pending_.clear();
     pendingMisses_.clear();
+    pendingWaveCount_ = 0;
+    // Arena-style reuse: size the queues once for the worst realistic
+    // epoch (every slot issuing a multi-line access) so the steady
+    // state never reallocates mid-run.
+    pending_.reserve(waves_.size() * 4);
+    pendingMisses_.reserve(waves_.size() * 8);
 }
 
 bool
@@ -87,6 +101,8 @@ ComputeUnit::placeWorkgroup(WorkgroupId wg, Cycle now)
         w.ws.init(*ctx_.program, *ctx_.dims, warp);
         w.active = true;
         w.atBarrier = false;
+        w.readyPending = false;
+        w.releaseFloor = 0;
         w.readyAt = now + 4; // dispatch latency
         w.instCount = 0;
         w.wgSlot = wg_slot;
@@ -104,7 +120,7 @@ ComputeUnit::placeWorkgroup(WorkgroupId wg, Cycle now)
 std::uint32_t
 ComputeUnit::tick(Cycle now)
 {
-    return tickImpl(now, /*defer=*/false);
+    return tickImpl(now, TickMode::Serial);
 }
 
 std::uint32_t
@@ -113,11 +129,29 @@ ComputeUnit::tickDeferred(Cycle now)
     // Debug builds mark this thread front-phase for the duration, so
     // any shared-state entry point reached from here panics.
     PHOTON_PHASE_FRONT_SCOPE();
-    return tickImpl(now, /*defer=*/true);
+    return tickImpl(now, TickMode::Deferred);
+}
+
+void
+ComputeUnit::runEpoch(Cycle from, Cycle to)
+{
+    // The whole epoch runs front-phase: every inline commit below
+    // touches only CU-private state, so debug builds verify no shared
+    // entry point is reached until the boundary replay.
+    PHOTON_PHASE_FRONT_SCOPE();
+    if (residentWaves_ == 0)
+        return;
+    Cycle t = std::max(from, nextHint_);
+    while (t < to) {
+        tickImpl(t, TickMode::Epoch);
+        // The refreshed hint jumps idle stretches; a stale-early hint
+        // only costs a spurious zero-issue tick, never misses work.
+        t = std::max(t + 1, nextHint_);
+    }
 }
 
 std::uint32_t
-ComputeUnit::tickImpl(Cycle now, bool defer)
+ComputeUnit::tickImpl(Cycle now, TickMode mode)
 {
     if (residentWaves_ == 0)
         return 0;
@@ -162,9 +196,14 @@ ComputeUnit::tickImpl(Cycle now, bool defer)
         }
         simdMin_[s] = min_excl;
         if (best != per_simd) {
-            if (defer) {
+            if (mode == TickMode::Deferred) {
                 PendingIssue &rec = pending_.emplace_back();
                 issueFront(s + best * simds, now, rec);
+            } else if (mode == TickMode::Epoch) {
+                PendingIssue &rec = pending_.emplace_back();
+                issueFront(s + best * simds, now, rec);
+                if (!applyEpochIssue(rec, now))
+                    pending_.pop_back(); // no shared effects to replay
             } else {
                 issueFront(s + best * simds, now, serialRec_);
                 // Serial mode: tick() commits inline on the one thread.
@@ -174,7 +213,7 @@ ComputeUnit::tickImpl(Cycle now, bool defer)
             ++issued;
         }
     }
-    if (!defer)
+    if (mode != TickMode::Deferred)
         recomputeHint();
     return issued;
 }
@@ -200,6 +239,7 @@ ComputeUnit::issueFront(std::uint32_t slot, Cycle now, PendingIssue &rec)
 
     rec.slot = slot;
     rec.warp = w.ws.warpId;
+    rec.cycle = now;
 
     // Dynamic basic-block boundary: issuing the first instruction of a
     // block ends the previous one (paper Observation 3 definition).
@@ -221,8 +261,7 @@ ComputeUnit::issueFront(std::uint32_t slot, Cycle now, PendingIssue &rec)
     // Instruction fetch through the L1I (one access per line crossed);
     // the access itself is shared-state and runs at commit.
     rec.doFetch = false;
-    std::uint64_t fetch_line =
-        (ctx_.codeBase + Addr{pc_before} * kInstBytes) / kLineBytes;
+    std::uint64_t fetch_line = codeLineBase_ + pc_before / kPcsPerLine;
     if (fetch_line != w.lastFetchLine) {
         rec.doFetch = true;
         rec.fetchLine = fetch_line;
@@ -355,6 +394,147 @@ ComputeUnit::commitIssue(PendingIssue &rec, Cycle now)
         retireWave(rec.slot, now);
 }
 
+bool
+ComputeUnit::applyEpochIssue(PendingIssue &rec, Cycle now)
+{
+    Wave &w = waves_[rec.slot];
+    Workgroup &wg = wgs_[w.wgSlot];
+
+    // An issue's readyAt is computable from CU-private state unless it
+    // fetched a new instruction line (L1I), was a scalar load (L1K) or
+    // was a vector load with L1V misses (L2/DRAM fill time unknown).
+    // Stores with misses still walk the L2 path at the boundary but
+    // retire from the wavefront's perspective at issue, so their
+    // readyAt is private.
+    const bool has_shared = rec.doFetch ||
+                            rec.step.unit == isa::FuncUnit::SMEM ||
+                            rec.missCount > 0;
+    const bool ready_known =
+        !rec.doFetch && rec.step.unit != isa::FuncUnit::SMEM &&
+        (rec.step.unit != isa::FuncUnit::VMEM || rec.step.linesWrite ||
+         rec.missCount == 0);
+
+    if (ready_known) {
+        Cycle ready = rec.ready0;
+        if (rec.step.unit == isa::FuncUnit::VMEM && !rec.step.linesWrite)
+            ready = rec.complete0; // all-hit load: data at hit maximum
+        w.readyAt = std::max(ready, now);
+        setSlotReady(rec.slot, w.readyAt);
+    } else if (!rec.step.done) {
+        // Park the wavefront: its next issue is at least the minimum
+        // shared latency away, which the epoch horizon never exceeds,
+        // so resolving readyAt at the boundary loses no issue slot.
+        w.readyPending = true;
+        w.releaseFloor = 0;
+        ++pendingWaveCount_;
+        setSlotReady(rec.slot, kNoCycle);
+    }
+
+    // Barrier and retirement bookkeeping is CU-private; epoch contexts
+    // are monitor-free so no shared callback fires from here.
+    if (rec.step.barrier) {
+        w.atBarrier = true;
+        setSlotReady(rec.slot, kNoCycle);
+        ++wg.barrierWaiting;
+        if (wg.barrierWaiting == wg.wavesLeft)
+            releaseBarrier(w.wgSlot, now); // photon-lint: serial-only
+    }
+
+    if (rec.step.done)
+        retireWave(rec.slot, now); // photon-lint: serial-only
+
+    return has_shared;
+}
+
+void
+ComputeUnit::commitEpochRecord(std::uint32_t i)
+{
+    PHOTON_ASSERT_PHASE("ComputeUnit::commitEpochRecord");
+    PendingIssue &rec = pending_[i];
+    const Cycle now = rec.cycle;
+
+    // Shared-state replay, exactly as commitIssue would have run at the
+    // issue cycle — the caller's (cycle, cuId, issue-order) walk makes
+    // the access order identical to the serial schedule.
+    Cycle fetch_ready = now;
+    if (rec.doFetch)
+        fetch_ready = memsys_.instAccess(cuId_, rec.fetchLine, now);
+
+    Cycle ready = rec.ready0;
+    if (rec.step.unit == isa::FuncUnit::SMEM) {
+        ready = memsys_.scalarAccess(cuId_, rec.step.lines[0], now);
+    } else if (rec.step.unit == isa::FuncUnit::VMEM) {
+        Cycle finish = rec.complete0;
+        const std::uint32_t end = rec.missBegin + rec.missCount;
+        for (std::uint32_t j = rec.missBegin; j < end; ++j) {
+            Cycle fill =
+                memsys_.vectorCommitMiss(cuId_, pendingMisses_[j]);
+            finish = std::max(finish, fill);
+        }
+        ready = rec.step.linesWrite ? rec.ready0 : finish;
+    }
+
+    // Re-derive the applyEpochIssue classification: records whose wave
+    // state was fully committed at issue (private readyAt, or retired)
+    // only needed the shared replay above.
+    const bool ready_known =
+        !rec.doFetch && rec.step.unit != isa::FuncUnit::SMEM &&
+        (rec.step.unit != isa::FuncUnit::VMEM || rec.step.linesWrite ||
+         rec.missCount == 0);
+    if (ready_known || rec.step.done)
+        return;
+
+    Wave &w = waves_[rec.slot];
+    PHOTON_ASSERT(w.readyPending, "epoch record wave not parked");
+    w.readyPending = false;
+    --pendingWaveCount_;
+    Cycle r = std::max(ready, fetch_ready);
+    if (w.atBarrier) {
+        // Still waiting: store the resolved value; the scheduling key
+        // stays kNoCycle until the barrier releases.
+        w.readyAt = r;
+    } else {
+        // releaseFloor carries a barrier release that happened while
+        // the wavefront was parked (zero when there was none).
+        w.readyAt = std::max(r, w.releaseFloor);
+        setSlotReady(rec.slot, w.readyAt);
+    }
+}
+
+void
+ComputeUnit::finishEpochCommit()
+{
+    PHOTON_ASSERT_PHASE("ComputeUnit::finishEpochCommit");
+    PHOTON_ASSERT(pendingWaveCount_ == 0,
+                  "parked wavefront left unresolved at epoch boundary");
+    pending_.clear();
+    pendingMisses_.clear();
+    recomputeHint();
+}
+
+Cycle
+ComputeUnit::epochRetireBound(Cycle base) const
+{
+    Cycle bound = kNoCycle;
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(waves_.size()); ++slot) {
+        const Wave &w = waves_[slot];
+        if (!w.active)
+            continue;
+        std::uint32_t k = decoded_[w.ws.pc].minStepsToEnd;
+        if (k == isa::kUnreachableEnd)
+            continue; // cannot reach s_endpgm: never retires
+        Cycle r = slotReady_[readyIndex(slot)];
+        // Barrier-blocked wavefronts (key kNoCycle) can be released and
+        // issue as early as the epoch base; others not before their
+        // ready cycle. Each of the k remaining issues (s_endpgm
+        // included) takes at least one cycle.
+        Cycle start = (r == kNoCycle) ? base : std::max(r, base);
+        bound = std::min(bound, start + k);
+    }
+    return bound;
+}
+
 void
 ComputeUnit::retireWave(std::uint32_t slot, Cycle now)
 {
@@ -393,8 +573,15 @@ ComputeUnit::releaseBarrier(std::uint32_t wgSlot, Cycle now)
         Wave &w = waves_[slot];
         if (w.active && w.wgSlot == wgSlot && w.atBarrier) {
             w.atBarrier = false;
-            w.readyAt = std::max(w.readyAt, now + 1);
-            setSlotReady(slot, w.readyAt);
+            if (w.readyPending) {
+                // Epoch mode: this wavefront's readyAt is still waiting
+                // on shared state; record the release as a floor the
+                // boundary resolution applies over the resolved value.
+                w.releaseFloor = now + 1;
+            } else {
+                w.readyAt = std::max(w.readyAt, now + 1);
+                setSlotReady(slot, w.readyAt);
+            }
         }
     }
     wgs_[wgSlot].barrierWaiting = 0;

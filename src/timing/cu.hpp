@@ -16,6 +16,17 @@
  * separate the halves so a run loop can execute front halves of many CUs
  * concurrently and then commit them in deterministic CU order, producing
  * bit-identical results to the serial schedule.
+ *
+ * Epoch mode (runEpoch) extends the split across multiple cycles: a CU
+ * ticks independently over a whole [from, to) window, committing issues
+ * whose timing depends only on CU-private state immediately and parking
+ * waves whose ready cycle needs shared state (instruction fetch, L1K,
+ * L1V misses) until the epoch boundary, where the run loop replays all
+ * CUs' queued records in (cycle, cuId, issue-order) — the serial order —
+ * via commitEpochRecord. The boundary chosen by the run loop (see
+ * Gpu::runEpochLoop) guarantees a parked wave could not have issued
+ * again within the window anyway, so results stay bit-identical while
+ * the barrier cost drops from two crossings per cycle to two per epoch.
  */
 
 #ifndef PHOTON_TIMING_CU_HPP
@@ -85,6 +96,51 @@ class ComputeUnit
     PHOTON_PHASE_COMMIT
     void commitPending(Cycle now);
 
+    /**
+     * Epoch front half: tick this CU independently over every cycle in
+     * [from, to), jumping via the incremental hint. CU-private issues
+     * commit inline; issues touching shared state queue a record (in
+     * ascending cycle order) and park their wavefront until the epoch
+     * boundary. Safe to run concurrently with other CUs' runEpoch as
+     * long as no other thread touches shared memory state meanwhile.
+     * Requires a monitor-free kernel context.
+     */
+    PHOTON_PHASE_FRONT
+    void runEpoch(Cycle from, Cycle to);
+
+    /** Queued epoch records awaiting their boundary commit. */
+    std::uint32_t epochRecordCount() const
+    {
+        return static_cast<std::uint32_t>(pending_.size());
+    }
+    /** Issue cycle of queued record @p i (ascending in i). */
+    Cycle epochRecordCycle(std::uint32_t i) const
+    {
+        return pending_[i].cycle;
+    }
+
+    /** Replay queued record @p i against shared state and resolve its
+     *  parked wavefront. Must be called from one thread, over all CUs'
+     *  records in ascending (cycle, cuId, i) order. */
+    PHOTON_PHASE_COMMIT
+    void commitEpochRecord(std::uint32_t i);
+
+    /** End-of-epoch cleanup: drop replayed records, check every parked
+     *  wavefront was resolved and refresh the hint. */
+    PHOTON_PHASE_COMMIT
+    void finishEpochCommit();
+
+    /**
+     * Upper bound the epoch horizon must respect: one past the earliest
+     * cycle at which any resident wavefront could retire, assuming the
+     * epoch starts at @p base. Derived from the pre-decoded
+     * minStepsToEnd of each wavefront's next PC (one cycle minimum per
+     * remaining issue), so the run loop can guarantee retirements — and
+     * the dispatch capacity they free — land only on an epoch's final
+     * cycle. kNoCycle when no resident wavefront can ever retire.
+     */
+    Cycle epochRetireBound(Cycle base) const;
+
     /** Earliest cycle at which any resident wavefront can issue;
      *  kNoCycle when the CU is empty or fully barrier-blocked. Exact,
      *  but O(wave slots) — the seed loop's rescan path. */
@@ -111,6 +167,12 @@ class ComputeUnit
         Cycle readyAt = 0;
         bool active = false;
         bool atBarrier = false;
+        /** Epoch mode: readyAt awaits shared state at the boundary. */
+        bool readyPending = false;
+        /** Barrier-release cycle + 1 recorded while readyPending, so
+         *  the boundary resolution can apply the release's floor on a
+         *  readyAt it could not know at release time. */
+        Cycle releaseFloor = 0;
         std::uint64_t instCount = 0;
         std::uint32_t wgSlot = 0;
         std::uint64_t lastFetchLine = ~std::uint64_t{0};
@@ -139,6 +201,7 @@ class ComputeUnit
         func::StepResult step; ///< filled in place by the emulator
         std::uint32_t slot = 0;
         WarpId warp = 0;
+        Cycle cycle = 0; ///< issue cycle (epoch boundary replay key)
         bool doFetch = false; ///< instruction fetch crossed a line
         std::uint64_t fetchLine = 0;
         bool bbEnd = false; ///< this issue ended the previous block
@@ -163,7 +226,17 @@ class ComputeUnit
     PHOTON_PHASE_COMMIT
     void commitIssue(PendingIssue &rec, Cycle now);
 
-    std::uint32_t tickImpl(Cycle now, bool defer);
+    /** Epoch-mode commit of a just-issued record using CU-private state
+     *  only: sets readyAt when it does not depend on shared memory,
+     *  parks the wavefront otherwise; barrier and retirement
+     *  bookkeeping (CU-private) applies inline either way. Returns
+     *  true when the record has shared effects and must stay queued
+     *  for the boundary replay. */
+    PHOTON_PHASE_FRONT
+    bool applyEpochIssue(PendingIssue &rec, Cycle now);
+
+    enum class TickMode { Serial, Deferred, Epoch };
+    std::uint32_t tickImpl(Cycle now, TickMode mode);
     PHOTON_PHASE_COMMIT
     void retireWave(std::uint32_t slot, Cycle now);
     PHOTON_PHASE_COMMIT
@@ -188,6 +261,12 @@ class ComputeUnit
     MemorySystem &memsys_;
     const func::Emulator &emu_;
     KernelContext ctx_;
+    /** Pre-decoded stream of the bound program (hot-path base pointer;
+     *  avoids the program indirection per retire-bound scan). */
+    const isa::DecodedInst *decoded_ = nullptr;
+    /** ctx_.codeBase / kLineBytes, so the per-issue fetch-line check is
+     *  one add and shift instead of a 64-bit multiply and divide. */
+    std::uint64_t codeLineBase_ = 0;
 
     std::vector<Wave> waves_;        ///< simdsPerCu * wavesPerSimd slots
     /** Compact per-slot scheduling key: the cycle the slot's wavefront
@@ -219,6 +298,9 @@ class ComputeUnit
     std::vector<PendingIssue> pending_;  ///< queued records (deferred)
     std::vector<MemorySystem::VmemMiss> pendingMisses_;
     PendingIssue serialRec_;             ///< reused record (serial tick)
+    /** Wavefronts parked with an unresolved readyAt (epoch mode); must
+     *  be zero at every epoch boundary after the replay. */
+    std::uint32_t pendingWaveCount_ = 0;
 };
 
 } // namespace photon::timing

@@ -13,6 +13,16 @@
  * results are bit-identical to the serial schedule. The original
  * per-cycle scanning loop is kept (useSeedLoop) as the reference
  * implementation for cross-checks and as the bench baseline.
+ *
+ * Monitor-free parallel runs use epoch synchronization instead
+ * (runEpochLoop, DESIGN.md §11): the loop computes a conservative safe
+ * horizon — bounded by the minimum shared-memory visibility latency and
+ * by the earliest possible wavefront retirement — lets every worker
+ * tick its CUs independently across the whole [base, horizon) window,
+ * then replays the queued shared-state effects serially in (cycle,
+ * cuId, issue-order) at the boundary. Results stay bit-identical to
+ * serial while barrier crossings drop from two per cycle to two per
+ * epoch.
  */
 
 #ifndef PHOTON_TIMING_GPU_HPP
@@ -51,6 +61,10 @@ struct RunOptions
     /** Run the reference per-cycle scanning loop instead of the
      *  event-driven core (cross-checks, bench baseline). */
     bool useSeedLoop = false;
+    /** Clamp epoch length to this many cycles; 0 uses the Gpu default
+     *  (setEpochCap). 1 degenerates epochs to per-cycle stepping — the
+     *  stress mode the golden-parity tests pin. */
+    Cycle maxEpochCycles = 0;
 };
 
 /** Result of one detailed kernel run. */
@@ -71,6 +85,16 @@ struct RunOutcome
     std::uint64_t waveCycles = 0;
     /** Wavefront IPC per time bucket when collectIpcTrace is set. */
     std::vector<double> ipcTrace;
+
+    // Parallel-synchronization statistics (zero for serial runs).
+    /** Epochs executed by the epoch run loop. */
+    std::uint64_t epochs = 0;
+    /** Simulated cycles covered by those epochs (mean horizon length =
+     *  epochCycleSum / epochs). */
+    std::uint64_t epochCycleSum = 0;
+    /** Thread-barrier crossings paid by the parallel run loops (two
+     *  per epoch, or two per ticked cycle in per-cycle mode). */
+    std::uint64_t barrierCrossings = 0;
 
     Cycle cycles() const { return endCycle - startCycle; }
 };
@@ -104,6 +128,12 @@ class Gpu
     void setCuThreads(std::uint32_t n) { cuThreadsDefault_ = n; }
     std::uint32_t cuThreads() const { return cuThreadsDefault_; }
 
+    /** Default epoch-length clamp for runs whose RunOptions leave
+     *  maxEpochCycles at 0; 0 means unclamped (the safe horizon
+     *  alone). Mainly for tests forcing degenerate tiny epochs. */
+    void setEpochCap(Cycle cap) { epochCapDefault_ = cap; }
+    Cycle epochCap() const { return epochCapDefault_; }
+
     Cycle now() const { return now_; }
     const GpuConfig &config() const { return cfg_; }
     MemorySystem &memsys() { return memsys_; }
@@ -134,6 +164,9 @@ class Gpu
                             const RunOptions &opts,
                             std::uint32_t threads);
     RunOutcome runSeedLoop(KernelMonitor *monitor, const RunOptions &opts);
+    /** Epoch-synchronized parallel loop (monitor-free runs only). */
+    RunOutcome runEpochLoop(const RunOptions &opts,
+                            std::uint32_t threads);
 
     /** (Re)file @p cu in the event heap at its current hint; maintains
      *  the one-valid-entry-per-CU invariant via filedAt_. */
@@ -162,6 +195,7 @@ class Gpu
     Cycle now_ = 0;
     std::uint64_t kernelSeq_ = 0;
     std::uint32_t cuThreadsDefault_ = 1;
+    Cycle epochCapDefault_ = 0;
 
     // Per-kernel event/bookkeeping state (reset in runKernel).
     EventHeap heap_;
@@ -175,11 +209,17 @@ class Gpu
     std::uint32_t residentWaveCount_ = 0;
     std::uint32_t wavesPerWg_ = 0;
 
+    /** Per-CU cursor into the epoch record queues (boundary merge). */
+    std::vector<std::uint32_t> epochCursor_;
+
     // Cumulative occupancy counters across kernels (exportStats).
     std::uint64_t kernelsRun_ = 0;
     Cycle activeCyclesTotal_ = 0;
     std::uint64_t busyCuCyclesTotal_ = 0;
     std::uint64_t waveCyclesTotal_ = 0;
+    std::uint64_t epochsTotal_ = 0;
+    std::uint64_t epochCyclesTotal_ = 0;
+    std::uint64_t barrierCrossingsTotal_ = 0;
 };
 
 } // namespace photon::timing

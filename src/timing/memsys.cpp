@@ -106,6 +106,22 @@ MemorySystem::instAccess(std::uint32_t cuId, std::uint64_t lineAddr,
     return l2Access(lineAddr, start + l1.hitLatency());
 }
 
+Cycle
+MemorySystem::minSharedLatency() const
+{
+    // Every shared-touching path starts with an L1 lookup whose port
+    // reservation returns >= now (cache.hpp), so data-ready is at least
+    // now + the L1 hit latency on that path; an L1V access only becomes
+    // shared on a miss, which pays l1v.hit before entering L2 and l2.hit
+    // at minimum inside it. The floor of 1 keeps the epoch loop moving
+    // even under degenerate zero-latency configs.
+    Cycle inst_path = cfg_.l1i.hitLatency;
+    Cycle scalar_path = cfg_.l1k.hitLatency;
+    Cycle vector_path = cfg_.l1v.hitLatency + cfg_.l2.hitLatency;
+    return std::max<Cycle>(
+        1, std::min({inst_path, scalar_path, vector_path}));
+}
+
 void
 MemorySystem::exportStats(StatRegistry &stats) const
 {

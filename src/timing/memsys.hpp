@@ -84,6 +84,16 @@ class MemorySystem
     /** Export hit/miss/queueing counters into @p stats. */
     void exportStats(StatRegistry &stats) const;
 
+    /**
+     * Lower bound, in cycles, between a CU *starting* any access that
+     * can reach shared state (L1I fetch, L1K scalar, or an L1V miss
+     * entering L2) and the earliest cycle the shared effect can become
+     * visible to another CU. The epoch scheduler uses this as the safe
+     * parallel horizon: within fewer cycles than this, concurrently
+     * ticking CUs cannot observe each other's shared-memory effects.
+     */
+    Cycle minSharedLatency() const;
+
     const SetAssocCache &l1v(std::uint32_t cuId) const
     {
         return l1v_[cuId];

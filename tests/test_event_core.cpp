@@ -138,6 +138,18 @@ struct GpuRun
     std::map<std::string, double> stats;
 };
 
+/** Drop the statistics that describe the synchronization protocol
+ *  itself (epoch counts, barrier crossings): they legitimately differ
+ *  between serial and parallel runs of the same simulation. */
+void
+eraseSyncStats(std::map<std::string, double> &stats)
+{
+    stats.erase("gpu.epochs");
+    stats.erase("gpu.epoch_cycles");
+    stats.erase("gpu.mean_epoch_cycles");
+    stats.erase("gpu.barrier_crossings");
+}
+
 GpuRun
 runOnGpu(const ProgramPtr &prog, func::LaunchDims dims,
          std::uint64_t mem_bytes, const RunOptions &opts)
@@ -153,6 +165,26 @@ runOnGpu(const ProgramPtr &prog, func::LaunchDims dims,
     StatRegistry reg;
     gpu.exportStats(reg);
     r.stats = reg.values();
+    eraseSyncStats(r.stats);
+    return r;
+}
+
+/** Like runOnGpu but with no monitor attached, which is the condition
+ *  for the epoch-synchronized parallel loop to engage. */
+GpuRun
+runOnGpuNoMonitor(const ProgramPtr &prog, func::LaunchDims dims,
+                  std::uint64_t mem_bytes, const RunOptions &opts)
+{
+    Gpu gpu(GpuConfig::testTiny());
+    func::GlobalMemory mem(mem_bytes);
+    if (mem_bytes > (1 << 20))
+        mem.allocate(mem_bytes / 2); // back the loads
+    GpuRun r;
+    r.out = gpu.runKernel(*prog, dims, mem, nullptr, opts);
+    StatRegistry reg;
+    gpu.exportStats(reg);
+    r.stats = reg.values();
+    eraseSyncStats(r.stats);
     return r;
 }
 
@@ -207,6 +239,76 @@ TEST(EventCore, ThreadedBitIdenticalToSerial)
             EXPECT_EQ(serial.monitorHash, par.monitorHash) << what;
             EXPECT_EQ(serial.stats, par.stats) << what;
         }
+    }
+}
+
+/** Monitor-free parallel runs take the epoch-synchronized loop; the
+ *  outcome (including occupancy integrals) must be bit-identical to the
+ *  serial event core, and the epoch statistics must be populated. */
+TEST(EventCore, EpochLoopBitIdenticalToSerial)
+{
+    for (const auto &kc : kKernelCases) {
+        ProgramPtr prog = kc.build();
+        RunOptions opts;
+        opts.cuThreads = 1;
+        GpuRun serial = runOnGpuNoMonitor(prog, kc.dims, kc.memBytes,
+                                          opts);
+        EXPECT_EQ(serial.out.epochs, 0u) << kc.name;
+        for (std::uint32_t threads : {2u, 4u}) {
+            opts.cuThreads = threads;
+            GpuRun par = runOnGpuNoMonitor(prog, kc.dims, kc.memBytes,
+                                           opts);
+            std::string what = std::string(kc.name) + " threads=" +
+                               std::to_string(threads);
+            expectSameOutcome(serial.out, par.out, what);
+            EXPECT_EQ(serial.stats, par.stats) << what;
+            // The epoch loop ran: every epoch covers >= 1 cycle and
+            // costs exactly two barrier crossings.
+            EXPECT_GT(par.out.epochs, 0u) << what;
+            EXPECT_GE(par.out.epochCycleSum, par.out.epochs) << what;
+            EXPECT_LE(par.out.epochCycleSum, par.out.cycles()) << what;
+            EXPECT_EQ(par.out.barrierCrossings, 2 * par.out.epochs)
+                << what;
+        }
+    }
+}
+
+/** Multi-cycle epochs actually happen: on the ALU kernel the safe
+ *  horizon is bounded below by the L1I hit latency, so the mean epoch
+ *  must span more than one cycle (the whole point of the protocol). */
+TEST(EventCore, EpochsSpanMultipleCycles)
+{
+    ProgramPtr prog = aluKernel(20);
+    RunOptions opts;
+    opts.cuThreads = 4;
+    GpuRun par = runOnGpuNoMonitor(prog, {16, 4, 0}, 1 << 20, opts);
+    ASSERT_GT(par.out.epochs, 0u);
+    EXPECT_GT(par.out.epochCycleSum, par.out.epochs);
+    // Far fewer barrier crossings than the per-cycle protocol's two per
+    // simulated cycle.
+    EXPECT_LT(par.out.barrierCrossings, par.out.cycles());
+}
+
+/** maxEpochCycles=1 degenerates every epoch to a single cycle, forcing
+ *  every issue through the park/replay boundary machinery; the results
+ *  must not move. */
+TEST(EventCore, EpochCap1MatchesUncapped)
+{
+    for (const auto &kc : kKernelCases) {
+        ProgramPtr prog = kc.build();
+        RunOptions opts;
+        opts.cuThreads = 4;
+        GpuRun free_run = runOnGpuNoMonitor(prog, kc.dims, kc.memBytes,
+                                            opts);
+        opts.maxEpochCycles = 1;
+        GpuRun capped = runOnGpuNoMonitor(prog, kc.dims, kc.memBytes,
+                                          opts);
+        std::string what = std::string(kc.name) + " epoch-cap=1";
+        expectSameOutcome(free_run.out, capped.out, what);
+        EXPECT_EQ(free_run.stats, capped.stats) << what;
+        // Each capped epoch covers exactly one cycle.
+        EXPECT_EQ(capped.out.epochCycleSum, capped.out.epochs) << what;
+        EXPECT_GE(capped.out.epochs, free_run.out.epochs) << what;
     }
 }
 
@@ -349,6 +451,7 @@ runWorkload(const std::string &name, std::uint32_t size,
     r.insts = p.totalInsts();
     r.stats = p.stats().values();
     r.stats.erase("platform.total_wall_seconds"); // host-time dependent
+    eraseSyncStats(r.stats);
     return r;
 }
 

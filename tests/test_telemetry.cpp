@@ -1,6 +1,7 @@
 /** @file Tests for the per-kernel telemetry spine: deterministic JSON /
- *  CSV serialization, the schema-versioned round trip, and telemetry
- *  persistence through the binary artifact store (v2). */
+ *  CSV serialization, the schema-versioned round trip (current schema
+ *  plus v1-document compatibility), and telemetry persistence through
+ *  the binary artifact store (v3, with v1/v2 load compatibility). */
 
 #include <gtest/gtest.h>
 
@@ -41,6 +42,10 @@ sampleRecord()
     t.totalWarps = 256;
     t.analysisInsts = 4096;
     t.analysisReused = false;
+    t.wallSeconds = 1.2345678901234567;
+    t.epochs = 321;
+    t.epochCycles = 2568;
+    t.barrierCrossings = 642;
     return t;
 }
 
@@ -70,6 +75,10 @@ expectEqual(const KernelTelemetry &a, const KernelTelemetry &b)
     EXPECT_EQ(a.totalWarps, b.totalWarps);
     EXPECT_EQ(a.analysisInsts, b.analysisInsts);
     EXPECT_EQ(a.analysisReused, b.analysisReused);
+    EXPECT_EQ(a.wallSeconds, b.wallSeconds);
+    EXPECT_EQ(a.epochs, b.epochs);
+    EXPECT_EQ(a.epochCycles, b.epochCycles);
+    EXPECT_EQ(a.barrierCrossings, b.barrierCrossings);
 }
 
 } // namespace
@@ -95,7 +104,11 @@ TEST(Telemetry, JsonRoundTripIsBitExact)
     std::ostringstream os;
     writeTelemetryJson(records, os);
     std::string doc = os.str();
-    EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(doc.find("\"schema_version\": " +
+                       std::to_string(kTelemetrySchemaVersion)),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"wall_seconds\""), std::string::npos);
+    EXPECT_NE(doc.find("\"epochs\""), std::string::npos);
 
     std::vector<KernelTelemetry> parsed;
     std::string err;
@@ -149,12 +162,33 @@ TEST(Telemetry, ReaderSkipsUnknownKeysForForwardCompat)
     EXPECT_EQ(parsed[0].totalWarps, 8u);
 }
 
+/** Schema v1 documents (no wall_seconds / epoch statistics) still load;
+ *  the absent fields stay at their zero defaults. */
+TEST(Telemetry, V1DocumentLoadsWithZeroEpochStats)
+{
+    std::string doc =
+        "{\"schema_version\": 1, \"kernels\": [{\"kernel\": \"k\","
+        " \"total_warps\": 8, \"predicted_cycles\": 100}]}";
+    std::vector<KernelTelemetry> parsed;
+    std::string err;
+    ASSERT_TRUE(readTelemetryJson(doc, parsed, &err)) << err;
+    ASSERT_EQ(parsed.size(), 1u);
+    EXPECT_EQ(parsed[0].predictedCycles, 100u);
+    EXPECT_EQ(parsed[0].wallSeconds, 0.0);
+    EXPECT_EQ(parsed[0].epochs, 0u);
+    EXPECT_EQ(parsed[0].epochCycles, 0u);
+    EXPECT_EQ(parsed[0].barrierCrossings, 0u);
+}
+
 TEST(Telemetry, CsvCarriesSchemaVersionHeader)
 {
     std::ostringstream os;
     writeTelemetryCsv({sampleRecord()}, os);
     std::string csv = os.str();
-    EXPECT_EQ(csv.rfind("# telemetry_schema_version=1", 0), 0u);
+    EXPECT_EQ(csv.rfind("# telemetry_schema_version=" +
+                            std::to_string(kTelemetrySchemaVersion),
+                        0),
+              0u);
     EXPECT_NE(csv.find("kernel,job,workgroups"), std::string::npos);
     EXPECT_NE(csv.find("mm_tiled,"), std::string::npos);
     EXPECT_NE(csv.find(",warp,"), std::string::npos);
@@ -186,18 +220,42 @@ TEST(Telemetry, ArtifactStorePersistsTelemetry)
 
 TEST(Telemetry, ArtifactLoaderStillAcceptsV1)
 {
-    // A v1 artifact is a v2 artifact minus the per-group telemetry
+    // A v1 artifact is the current layout minus the per-group telemetry
     // section; synthesize one by patching the version field of an
     // empty-group artifact and dropping the trailing telemetry count.
     service::Artifact art;
     art.group("tiny"); // one empty group
     std::string bytes = service::serializeArtifact(art);
     ASSERT_GE(bytes.size(), 8u + 4u);
-    bytes[4] = 1;                              // version: 2 -> 1
+    bytes[4] = 1;                              // version -> 1
     bytes.resize(bytes.size() - 4);            // drop telemetry count
     service::Artifact back;
     service::LoadStatus st = service::deserializeArtifact(bytes, back);
     ASSERT_TRUE(st.ok) << st.error;
     EXPECT_EQ(back.groups.size(), 1u);
     EXPECT_EQ(back.numTelemetryRecords(), 0u);
+}
+
+TEST(Telemetry, ArtifactLoaderStillAcceptsV2)
+{
+    // v2 telemetry records end after the analysis_reused flag; the v3
+    // additions (wall_seconds + three epoch counters = 32 bytes) sit at
+    // the very end of the record. Synthesize a v2 artifact by patching
+    // the version and truncating those 32 bytes off the last record.
+    service::Artifact art;
+    art.group("tiny").telemetry.push_back(sampleRecord());
+    std::string bytes = service::serializeArtifact(art);
+    ASSERT_GE(bytes.size(), 8u + 32u);
+    bytes[4] = 2;                              // version -> 2
+    bytes.resize(bytes.size() - 32);           // drop v3 field tail
+    service::Artifact back;
+    service::LoadStatus st = service::deserializeArtifact(bytes, back);
+    ASSERT_TRUE(st.ok) << st.error;
+    ASSERT_EQ(back.numTelemetryRecords(), 1u);
+    const KernelTelemetry &t = back.groups.at("tiny").telemetry[0];
+    EXPECT_EQ(t.kernel, "mm_tiled");
+    EXPECT_EQ(t.predictedCycles, 112303u);
+    EXPECT_EQ(t.wallSeconds, 0.0);   // v3 fields default to zero
+    EXPECT_EQ(t.epochs, 0u);
+    EXPECT_EQ(t.barrierCrossings, 0u);
 }
