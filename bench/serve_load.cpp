@@ -1,0 +1,237 @@
+/**
+ * @file
+ * photond load harness: many synthetic clients hammer one in-process
+ * SimServer with a request mix that repeats a small set of distinct
+ * specs, the way a real simulation service sees the same kernels from
+ * many users. Reports the shared-cache economics (hit rate, dedup
+ * collapses, jobs actually executed) and client-visible request
+ * latency (p50/p99 nearest-rank) for a cold and a warm pass.
+ *
+ * The assignment of specs to requests is deterministic (client index
+ * and request index only), so two runs issue the identical load.
+ *
+ * Writes BENCH_serve.json in the working directory for the CI
+ * perf-smoke artifact. `--quick` shrinks the client count for CI.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "driver/report.hpp"
+#include "serve/server.hpp"
+
+using namespace photon;
+using namespace photon::serve;
+
+namespace {
+
+/** One measured pass over the request schedule. */
+struct PassResult
+{
+    std::string pass;
+    std::size_t clients = 0;
+    std::size_t requests = 0;
+    std::uint64_t jobsExecuted = 0;
+    std::uint64_t dedupCollapsed = 0;
+    std::uint64_t cacheHits = 0;   ///< kernel-cache lookup hits
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t requestCacheHits = 0; ///< requests fully cache-served
+    double hitRate = 0.0;          ///< kernel-cache lookup hit rate
+    double wallSeconds = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double throughput = 0.0; ///< requests per second
+};
+
+/** The distinct specs the load repeats (tiny GPU: CI-sized). */
+std::vector<service::JobSpec>
+distinctSpecs()
+{
+    return {
+        {"relu", 256, "photon", "tiny"},
+        {"fir", 256, "photon", "tiny"},
+        {"sc", 256, "photon", "tiny"},
+        {"aes", 64, "photon", "tiny"},
+    };
+}
+
+/** Deterministic request schedule: client c's i-th request. */
+const service::JobSpec &
+specFor(const std::vector<service::JobSpec> &specs, std::size_t client,
+        std::size_t i)
+{
+    return specs[(client + i) % specs.size()];
+}
+
+/** Nearest-rank percentile of an unsorted latency sample, in ms. */
+double
+percentileMs(std::vector<double> sorted, double pct)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t rank = static_cast<std::size_t>(
+        pct / 100.0 * static_cast<double>(sorted.size()));
+    if (rank >= sorted.size())
+        rank = sorted.size() - 1;
+    return sorted[rank] * 1e3;
+}
+
+/** Run @p clients x @p perClient requests against @p server. */
+PassResult
+runPass(SimServer &server, const char *pass, std::size_t clients,
+        std::size_t per_client)
+{
+    const std::vector<service::JobSpec> specs = distinctSpecs();
+    StoreStats before = server.store().stats();
+
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::uint64_t> hits(clients, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            latencies[c].reserve(per_client);
+            for (std::size_t i = 0; i < per_client; ++i) {
+                auto r0 = std::chrono::steady_clock::now();
+                ServeResult r = server.runSync(specFor(specs, c, i));
+                auto r1 = std::chrono::steady_clock::now();
+                if (!r.ok) {
+                    std::fprintf(stderr, "FAIL: %s: %s\n",
+                                 r.spec.label().c_str(),
+                                 r.error.c_str());
+                    std::exit(1);
+                }
+                latencies[c].push_back(
+                    std::chrono::duration<double>(r1 - r0).count());
+                if (r.cacheHit)
+                    ++hits[c];
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    auto t1 = std::chrono::steady_clock::now();
+
+    StoreStats after = server.store().stats();
+    PassResult out;
+    out.pass = pass;
+    out.clients = clients;
+    out.requests = clients * per_client;
+    out.jobsExecuted = after.jobsExecuted - before.jobsExecuted;
+    out.dedupCollapsed = after.dedupCollapsed - before.dedupCollapsed;
+    out.cacheHits = after.cacheHits - before.cacheHits;
+    out.cacheMisses = after.cacheMisses - before.cacheMisses;
+    std::uint64_t lookups = out.cacheHits + out.cacheMisses;
+    out.hitRate = lookups ? static_cast<double>(out.cacheHits) /
+                                static_cast<double>(lookups)
+                          : 0.0;
+    for (std::size_t c = 0; c < clients; ++c)
+        out.requestCacheHits += hits[c];
+    std::vector<double> all;
+    all.reserve(out.requests);
+    for (const auto &v : latencies)
+        all.insert(all.end(), v.begin(), v.end());
+    out.p50Ms = percentileMs(all, 50.0);
+    out.p99Ms = percentileMs(all, 99.0);
+    out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.throughput = out.wallSeconds > 0.0
+                         ? static_cast<double>(out.requests) /
+                               out.wallSeconds
+                         : 0.0;
+    return out;
+}
+
+void
+writeJson(const std::vector<PassResult> &rows, std::uint32_t workers,
+          const char *path)
+{
+    std::ofstream f(path);
+    f << "{\n  \"bench\": \"serve_load\",\n";
+    f << "  \"workers\": " << workers << ",\n";
+    f << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+    f << "  \"passes\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const PassResult &r = rows[i];
+        f << "    {\"pass\": \"" << r.pass << "\", \"clients\": "
+          << r.clients << ", \"requests\": " << r.requests
+          << ", \"jobs_executed\": " << r.jobsExecuted
+          << ", \"dedup_collapsed\": " << r.dedupCollapsed << ",\n"
+          << "     \"cache_hits\": " << r.cacheHits
+          << ", \"cache_misses\": " << r.cacheMisses
+          << ", \"cache_hit_rate\": " << r.hitRate
+          << ", \"request_cache_hits\": " << r.requestCacheHits << ",\n"
+          << "     \"p50_ms\": " << r.p50Ms << ", \"p99_ms\": " << r.p99Ms
+          << ", \"wall_seconds\": " << r.wallSeconds
+          << ", \"throughput_rps\": " << r.throughput << "}"
+          << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    f << "  ]\n}\n";
+    std::printf("wrote %s\n", path);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = bench::quickMode(argc, argv);
+    const std::size_t clients = quick ? 4 : 8;
+    const std::size_t per_client = quick ? 4 : 8;
+    const std::uint32_t workers = 4;
+
+    driver::printBanner(std::cout, "photond shared-cache load");
+    std::printf("%zu clients x %zu requests over %zu distinct specs, "
+                "%u resident workers\n\n",
+                clients, per_client, distinctSpecs().size(), workers);
+
+    ServerOptions o;
+    o.workers = workers;
+    SimServer server(o);
+
+    // Cold pass: first touch of every distinct spec executes detailed;
+    // overlapping identical requests collapse; the rest hit the cache.
+    // Warm pass: the store already knows every kernel, so the whole
+    // schedule should be answered from the shared cache.
+    std::vector<PassResult> rows;
+    rows.push_back(runPass(server, "cold", clients, per_client));
+    rows.push_back(runPass(server, "warm", clients, per_client));
+
+    driver::Table table({"pass", "requests", "executed", "collapsed",
+                         "hit_rate", "p50_ms", "p99_ms", "req/s"});
+    for (const PassResult &r : rows) {
+        table.addRow({r.pass, std::to_string(r.requests),
+                      std::to_string(r.jobsExecuted),
+                      std::to_string(r.dedupCollapsed),
+                      driver::Table::num(r.hitRate, 3),
+                      driver::Table::num(r.p50Ms, 2),
+                      driver::Table::num(r.p99Ms, 2),
+                      driver::Table::num(r.throughput)});
+    }
+    table.print(std::cout);
+
+    const PassResult &warm = rows.back();
+    if (warm.requestCacheHits != warm.requests) {
+        std::fprintf(stderr,
+                     "FAIL: warm pass had %llu/%zu cache-served "
+                     "requests (expected all)\n",
+                     static_cast<unsigned long long>(
+                         warm.requestCacheHits),
+                     warm.requests);
+        return 1;
+    }
+    std::printf("\nwarm pass fully cache-served: every request "
+                "answered without a detailed run\n");
+
+    writeJson(rows, workers, "BENCH_serve.json");
+    return 0;
+}

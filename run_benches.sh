@@ -9,7 +9,7 @@ for b in table1_configs table2_benchmarks fig01_ipc_traces \
          fig11_warp_distribution fig13_overall_r9nano fig14_overall_mi100 \
          fig15_sampling_levels fig16_real_world fig17_vgg_layers \
          tradeoff_online_offline ablation_thresholds \
-         campaign_throughput hotloop_speedup; do
+         campaign_throughput hotloop_speedup serve_load; do
     echo "##### $b #####"
     "$BUILD/bench/$b" "$@"
 done

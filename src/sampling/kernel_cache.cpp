@@ -30,6 +30,10 @@ KernelCache::match(const GpuBbv &signature, std::uint32_t num_warps) const
             best = &rec;
         }
     }
+    if (best)
+        ++counters_.hits;
+    else
+        ++counters_.misses;
     return best;
 }
 
@@ -56,6 +60,7 @@ void
 KernelCache::insert(KernelRecord record)
 {
     records_.push_back(std::move(record));
+    ++counters_.inserts;
 }
 
 } // namespace photon::sampling

@@ -38,6 +38,14 @@ struct KernelRecord
     }
 };
 
+/** Lifetime lookup/insert counters of one KernelCache. */
+struct CacheCounters
+{
+    std::uint64_t hits = 0;    ///< match() calls that found a record
+    std::uint64_t misses = 0;  ///< match() calls that found nothing
+    std::uint64_t inserts = 0; ///< records added (seeding included)
+};
+
 /** Prediction derived from a cache hit. */
 struct KernelPrediction
 {
@@ -81,10 +89,18 @@ class KernelCache
     const std::vector<KernelRecord> &records() const { return records_; }
     void clear() { records_.clear(); }
 
+    /** Hit/miss/insert counters since construction. A caller that
+     *  seeds the cache (campaign runner, daemon workers) snapshots
+     *  these after seeding and reports the delta, so seeding inserts
+     *  do not masquerade as run activity. */
+    const CacheCounters &counters() const { return counters_; }
+
   private:
     SamplingConfig cfg_;
     std::uint32_t smallKernelWarps_;
     std::vector<KernelRecord> records_;
+    /** Counting is observation, not behaviour: match() stays const. */
+    mutable CacheCounters counters_;
 };
 
 } // namespace photon::sampling

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Client helpers for `photon_sim submit` / `status` / `cache` /
+ * `shutdown`: send one request to a running photond over the socket or
+ * file-drop transport and decode the response.
+ */
+
+#ifndef PHOTON_SERVE_CLIENT_HPP
+#define PHOTON_SERVE_CLIENT_HPP
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace photon::serve {
+
+/** One request/response exchange outcome. */
+struct ClientResult
+{
+    bool ok = false;       ///< transport + protocol decode succeeded
+    std::string error;     ///< transport/decode failure description
+    std::string rawLine;   ///< raw response line (for --json passthrough)
+    Response response{};   ///< decoded response (valid when ok)
+};
+
+/**
+ * Send @p request over the Unix-domain socket at @p socket_path and
+ * wait up to @p timeout_seconds for the response line.
+ */
+ClientResult requestOverSocket(const std::string &socket_path,
+                               const Request &request,
+                               double timeout_seconds = 300.0);
+
+/**
+ * Send @p request through the file-drop transport rooted at
+ * @p drop_dir: write `<drop>/inbox/<id>.json` atomically, then poll
+ * `<drop>/outbox/<id>.json` until the daemon answers or the timeout
+ * elapses.
+ */
+ClientResult requestOverDrop(const std::string &drop_dir,
+                             const Request &request,
+                             double timeout_seconds = 300.0);
+
+} // namespace photon::serve
+
+#endif // PHOTON_SERVE_CLIENT_HPP

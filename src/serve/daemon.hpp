@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The `photon_sim serve` front end: binds the SimServer to its
+ * transports (Unix-domain socket, file-drop directory, or both), speaks
+ * the newline-delimited JSON protocol, and implements graceful drain —
+ * on SIGINT/SIGTERM (or a `shutdown` request) the daemon stops
+ * admitting, finishes every in-flight and queued job, flushes the store
+ * checkpoint, and exits 0.
+ *
+ * File-drop fallback layout (for hosts/containers without socket
+ * access): clients atomically rename a request file into
+ * `<drop>/inbox/<id>.json`; the daemon consumes it and atomically
+ * renames the response into `<drop>/outbox/<id>.json`.
+ */
+
+#ifndef PHOTON_SERVE_DAEMON_HPP
+#define PHOTON_SERVE_DAEMON_HPP
+
+#include <atomic>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace photon::serve {
+
+/** Daemon configuration (one of socketPath / dropDir must be set). */
+struct DaemonOptions
+{
+    std::string socketPath; ///< "" = no socket listener
+    std::string dropDir;    ///< "" = no file-drop watcher
+    ServerOptions server{};
+    /** Install SIGINT/SIGTERM handlers that trigger graceful drain.
+     *  Off for in-process tests, which stop via @ref externalStop. */
+    bool installSignalHandlers = true;
+    /** Optional external stop flag polled by the accept loop. */
+    std::atomic<bool> *externalStop = nullptr;
+    /** Accept-loop poll granularity in milliseconds. */
+    int pollMs = 100;
+    bool verbose = true;
+};
+
+/**
+ * Run the daemon until a stop condition, then drain. Returns the
+ * process exit code (0 on clean drain, 1 on a startup failure such as
+ * an unbindable socket path).
+ */
+int runDaemon(const DaemonOptions &options);
+
+} // namespace photon::serve
+
+#endif // PHOTON_SERVE_DAEMON_HPP

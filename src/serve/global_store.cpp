@@ -1,0 +1,159 @@
+#include "serve/global_store.hpp"
+
+#include <fstream>
+
+#include "serve/fingerprint.hpp"
+#include "sim/log.hpp"
+
+namespace photon::serve {
+
+GlobalStore::GlobalStore() : GlobalStore(Options{}) {}
+
+GlobalStore::GlobalStore(Options options) : opts_(std::move(options))
+{
+    if (opts_.path.empty())
+        return;
+    std::ifstream probe(opts_.path, std::ios::binary);
+    if (!probe)
+        return; // cold start
+    probe.close();
+    service::LoadStatus st = service::loadArtifact(opts_.path, store_);
+    if (!st.ok) {
+        fatal("serve store '", opts_.path,
+              "': refusing to start over a corrupt checkpoint: ",
+              st.error);
+    }
+}
+
+service::StoreGroup
+GlobalStore::snapshot(const std::string &gpu) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = store_.groups.find(gpu);
+    return it == store_.groups.end() ? service::StoreGroup{} : it->second;
+}
+
+void
+GlobalStore::publish(
+    const std::string &gpu,
+    const std::vector<sampling::KernelRecord> &kernels,
+    const sampling::PhotonSampler::AnalysisStore &analyses,
+    const std::vector<sampling::KernelTelemetry> &telemetry)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    service::StoreGroup &g = store_.groups[gpu];
+    g.kernels.insert(g.kernels.end(), kernels.begin(), kernels.end());
+    // First entry wins: an analysis is a pure function of the launch,
+    // so re-published duplicates are identical and can be dropped.
+    bool fresh_analysis = false;
+    for (const auto &[key, analysis] : analyses) // photon-lint: order-insensitive
+        fresh_analysis |= g.analyses.emplace(key, analysis).second;
+    g.telemetry.insert(g.telemetry.end(), telemetry.begin(),
+                       telemetry.end());
+    if (!kernels.empty() || fresh_analysis || !telemetry.empty())
+        dirty_ = true;
+}
+
+void
+GlobalStore::recordJobStats(std::uint64_t hits, std::uint64_t misses,
+                            std::uint64_t inserts,
+                            std::uint64_t analyses_reused)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.cacheHits += hits;
+    stats_.cacheMisses += misses;
+    stats_.cacheInserts += inserts;
+    stats_.analysesReused += analyses_reused;
+    ++stats_.jobsExecuted;
+    ++sinceCheckpoint_;
+}
+
+void
+GlobalStore::recordDedupCollapse()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.dedupCollapsed;
+}
+
+std::uint64_t
+GlobalStore::admissionKey(const service::JobSpec &spec) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = fingerprints_.find(spec.label());
+    if (it != fingerprints_.end())
+        return it->second;
+    return fingerprintSpec(spec);
+}
+
+void
+GlobalStore::learnFingerprint(const service::JobSpec &spec,
+                              std::uint64_t fingerprint)
+{
+    if (!fingerprint)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    fingerprints_.emplace(spec.label(), fingerprint);
+}
+
+StoreStats
+GlobalStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::size_t
+GlobalStore::numKernelRecords() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.numKernelRecords();
+}
+
+std::size_t
+GlobalStore::numAnalyses() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.numAnalyses();
+}
+
+service::Artifact
+GlobalStore::exportAll() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_;
+}
+
+bool
+GlobalStore::writeCheckpointLocked(std::string *error)
+{
+    if (opts_.path.empty() || !dirty_)
+        return true;
+    service::LoadStatus st = service::saveArtifact(store_, opts_.path);
+    if (!st.ok) {
+        if (error)
+            *error = st.error;
+        return false;
+    }
+    dirty_ = false;
+    sinceCheckpoint_ = 0;
+    ++stats_.checkpoints;
+    return true;
+}
+
+bool
+GlobalStore::maybeCheckpoint(std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!opts_.checkpointEvery || sinceCheckpoint_ < opts_.checkpointEvery)
+        return true;
+    return writeCheckpointLocked(error);
+}
+
+bool
+GlobalStore::checkpointNow(std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return writeCheckpointLocked(error);
+}
+
+} // namespace photon::serve

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The daemon's shared, cross-campaign kernel store: one mutex-guarded
+ * Artifact (KernelCache records + online analyses + telemetry, grouped
+ * by GPU) that every resident worker seeds from and publishes back to,
+ * so a kernel any client ever simulated in detail is a cache hit for
+ * every later client (paper Section 6.3 economics, made resident).
+ *
+ * On top of the campaign runner's SharedSignatureStore semantics this
+ * adds:
+ *  - aggregate counters (kernel-cache hits/misses/inserts, analysis
+ *    reuse, dedup collapses, jobs executed) surfaced through
+ *    `photon_sim status` / `photon_sim cache`;
+ *  - the admission-fingerprint registry: spec -> learned GPU-BBV
+ *    fingerprint (see serve/fingerprint.hpp);
+ *  - periodic checkpointing through artifact store v3 plus reload on
+ *    construction, so a daemon restart keeps the warm cache.
+ *
+ * Every public method locks internally (PHOTON_PHASE_EXEMPT): callers
+ * are the resident workers and the transport threads.
+ */
+
+#ifndef PHOTON_SERVE_GLOBAL_STORE_HPP
+#define PHOTON_SERVE_GLOBAL_STORE_HPP
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/phase_annotations.hpp"
+#include "service/artifact_store.hpp"
+#include "service/campaign.hpp"
+
+namespace photon::serve {
+
+/** Aggregate counters across everything the store has served. */
+struct StoreStats
+{
+    std::uint64_t cacheHits = 0;    ///< kernel-cache matches during runs
+    std::uint64_t cacheMisses = 0;  ///< kernel-cache lookups that missed
+    std::uint64_t cacheInserts = 0; ///< fresh records published
+    std::uint64_t analysesReused = 0; ///< offline-mode analysis reuses
+    std::uint64_t jobsExecuted = 0;   ///< jobs that ran on a worker
+    std::uint64_t dedupCollapsed = 0; ///< requests folded onto a leader
+    std::uint64_t checkpoints = 0;    ///< checkpoint files written
+};
+
+/** The resident cross-campaign store. */
+class GlobalStore
+{
+  public:
+    struct Options
+    {
+        /** Checkpoint file (artifact store v3 format); "" disables
+         *  persistence entirely. */
+        std::string path;
+        /** Write a checkpoint every N executed jobs (0 = only on
+         *  drain). */
+        std::uint32_t checkpointEvery = 8;
+    };
+
+    /** Loads the checkpoint at @p options.path when one exists; a
+     *  missing file is a cold start, a corrupt one is fatal (refusing
+     *  to silently discard a warm store). */
+    explicit GlobalStore(Options options);
+    GlobalStore();
+
+    /** Copy of one GPU's group (empty when absent). */
+    PHOTON_PHASE_EXEMPT
+    service::StoreGroup snapshot(const std::string &gpu) const;
+
+    /** Append fresh kernel records / analyses / telemetry from one
+     *  finished job and fold its counter deltas into the stats. */
+    PHOTON_PHASE_EXEMPT
+    void publish(const std::string &gpu,
+                 const std::vector<sampling::KernelRecord> &kernels,
+                 const sampling::PhotonSampler::AnalysisStore &analyses,
+                 const std::vector<sampling::KernelTelemetry> &telemetry);
+
+    /** Fold one executed job's cache-counter deltas into the stats. */
+    PHOTON_PHASE_EXEMPT
+    void recordJobStats(std::uint64_t hits, std::uint64_t misses,
+                        std::uint64_t inserts,
+                        std::uint64_t analyses_reused);
+
+    /** Count one admission-dedup collapse. */
+    PHOTON_PHASE_EXEMPT
+    void recordDedupCollapse();
+
+    /**
+     * Admission key for @p spec: the learned GPU-BBV fingerprint when
+     * this spec has executed before (here or before a restart via the
+     * registry rebuilt from re-execution), else the spec fingerprint.
+     */
+    PHOTON_PHASE_EXEMPT
+    std::uint64_t admissionKey(const service::JobSpec &spec) const;
+
+    /** Register the GPU-BBV fingerprint @p spec's kernels produced
+     *  (0 is ignored: nothing was learned). */
+    PHOTON_PHASE_EXEMPT
+    void learnFingerprint(const service::JobSpec &spec,
+                          std::uint64_t fingerprint);
+
+    PHOTON_PHASE_EXEMPT StoreStats stats() const;
+    PHOTON_PHASE_EXEMPT std::size_t numKernelRecords() const;
+    PHOTON_PHASE_EXEMPT std::size_t numAnalyses() const;
+
+    /** Copy of the whole artifact (drain export, tests). */
+    PHOTON_PHASE_EXEMPT service::Artifact exportAll() const;
+
+    /**
+     * Called after every executed job: writes a checkpoint when the
+     * configured interval elapsed and the store is dirty. Returns false
+     * + @p error on I/O failure (the daemon logs and keeps running).
+     */
+    PHOTON_PHASE_EXEMPT bool maybeCheckpoint(std::string *error = nullptr);
+
+    /** Unconditional flush (drain path); no-op without a path. */
+    PHOTON_PHASE_EXEMPT bool checkpointNow(std::string *error = nullptr);
+
+    const Options &options() const { return opts_; }
+
+  private:
+    bool writeCheckpointLocked(std::string *error);
+
+    mutable std::mutex mu_;
+    Options opts_;
+    PHOTON_SHARED_STATE
+    service::Artifact store_;
+    PHOTON_SHARED_STATE
+    StoreStats stats_;
+    /** spec label -> learned GPU-BBV fingerprint (in-memory only; the
+     *  artifact format is unchanged, the registry re-learns after a
+     *  restart from the first execution — or never needs to, when the
+     *  warm cache answers the request without a detailed run). */
+    std::map<std::string, std::uint64_t> fingerprints_;
+    std::uint32_t sinceCheckpoint_ = 0;
+    bool dirty_ = false;
+};
+
+} // namespace photon::serve
+
+#endif // PHOTON_SERVE_GLOBAL_STORE_HPP

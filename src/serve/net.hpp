@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal line-oriented Unix-domain-socket helpers shared by the
+ * daemon front end (serve/daemon.cpp) and the client (serve/client.cpp).
+ * Everything returns -1 / false + an error string instead of throwing;
+ * callers decide whether a failure is fatal.
+ */
+
+#ifndef PHOTON_SERVE_NET_HPP
+#define PHOTON_SERVE_NET_HPP
+
+#include <string>
+
+namespace photon::serve::net {
+
+/** True when this build has Unix-domain-socket support. */
+bool available();
+
+/** Create + bind + listen on @p path (an existing socket file is
+ *  replaced). Returns the listener fd or -1 + @p error. */
+int listenUnix(const std::string &path, std::string *error);
+
+/** Accept with a poll timeout; returns the connection fd, -1 on
+ *  timeout, -2 on a real error. Accepted sockets get a short receive
+ *  timeout so reader loops can observe shutdown flags. */
+int acceptClient(int listener_fd, int timeout_ms);
+
+/** Connect to @p path; fd or -1 + @p error. */
+int connectUnix(const std::string &path, std::string *error);
+
+/** Send all of @p data (+ '\n'); false on error. */
+bool sendLine(int fd, const std::string &data);
+
+/**
+ * Read one '\n'-terminated line (the terminator is stripped). Returns
+ * 1 on a line, 0 on orderly EOF before any byte, -1 on error/timeout.
+ * @p deadline_seconds bounds the total wait.
+ */
+int recvLine(int fd, std::string &line, double deadline_seconds);
+
+/** Close an fd (no-op for negatives). */
+void closeFd(int fd);
+
+/** Remove a socket file (best effort). */
+void unlinkPath(const std::string &path);
+
+} // namespace photon::serve::net
+
+#endif // PHOTON_SERVE_NET_HPP

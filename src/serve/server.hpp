@@ -1,0 +1,189 @@
+/**
+ * @file
+ * The in-process service core of `photon_sim serve`: a job queue in
+ * front of N resident workers, one shared GlobalStore, and admission
+ * dedup keyed by GPU-BBV fingerprint. Transport-free by design — the
+ * socket / file-drop front end (serve/daemon.hpp) and the tests drive
+ * the same object.
+ *
+ * Request lifecycle:
+ *
+ *   submit(spec) ── admission ──┬─ new key ──► queue ──► worker runs it
+ *                               └─ key in flight ──► attach as waiter
+ *
+ * A worker executing a job owns a private Platform (bit-identical to a
+ * serial run), seeds its KernelCache/analysis store from the shared
+ * store's matching GPU group, and publishes fresh records back after
+ * the run. Concurrent identical requests (same learned GPU-BBV
+ * fingerprint, or same spec before one is learned) collapse onto the
+ * one in-flight run: when the leader finishes, its result fans out to
+ * every waiter, flagged dedup_collapsed.
+ *
+ * Workers auto-degrade intra-job --cu-threads to 1 when the resident
+ * worker count reaches the core count: job-level parallelism is the
+ * winning axis on an oversubscribed box (BENCH_hotloop.json).
+ */
+
+#ifndef PHOTON_SERVE_SERVER_HPP
+#define PHOTON_SERVE_SERVER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/global_store.hpp"
+#include "sim/config.hpp"
+
+namespace photon::serve {
+
+/** Server construction options. */
+struct ServerOptions
+{
+    std::uint32_t workers = 2; ///< resident worker threads (0 acts as 1)
+    /** Requested intra-job CU threads; degraded to 1 when workers >=
+     *  the core count (the degradation is reported in ServerStatus and
+     *  logged once at startup). */
+    std::uint32_t cuThreads = 1;
+    SamplingConfig sampling{};
+    GlobalStore::Options store{};
+    /** Start with the queue held: nothing executes until resume().
+     *  Deterministic-admission mode for tests and benches. */
+    bool startPaused = false;
+    /** Core count used for the cu-thread degradation decision; 0 =
+     *  std::thread::hardware_concurrency(). */
+    std::uint32_t assumeCores = 0;
+};
+
+/** Outcome of one request (leader result, fanned out to waiters). */
+struct ServeResult
+{
+    service::JobSpec spec;
+    bool ok = false;
+    std::string error;
+
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    std::uint32_t kernels = 0;    ///< launches in the job
+    std::uint32_t kernelHits = 0; ///< launches served by kernel-sampling
+    bool cacheHit = false;        ///< every launch was a cache hit
+    bool dedupCollapsed = false;  ///< this request rode a leader's run
+    bool analysisReused = false;  ///< any launch reused a stored analysis
+    double wallSeconds = 0.0;     ///< leader's simulation wall time
+    std::uint64_t fingerprint = 0; ///< admission key the request used
+};
+
+/** Snapshot for `photon_sim status` / `photon_sim cache`. */
+struct ServerStatus
+{
+    std::uint32_t workers = 0;
+    std::uint32_t cuThreads = 0;      ///< effective per-job CU threads
+    bool cuThreadsDegraded = false;   ///< auto-degraded to 1 at startup
+    std::size_t queued = 0;           ///< admitted, not yet running
+    std::size_t running = 0;          ///< executing on a worker now
+    std::uint64_t submitted = 0;      ///< requests accepted (incl. waiters)
+    std::uint64_t completed = 0;      ///< requests answered
+    bool draining = false;
+    StoreStats store;
+    std::size_t storeKernelRecords = 0;
+    std::size_t storeAnalyses = 0;
+};
+
+/** The resident simulation service. */
+class SimServer
+{
+  public:
+    using Ticket = std::uint64_t;
+
+    explicit SimServer(ServerOptions options);
+    ~SimServer(); ///< drains (finishes queued work, checkpoints)
+
+    SimServer(const SimServer &) = delete;
+    SimServer &operator=(const SimServer &) = delete;
+
+    /**
+     * Admit one request. Invalid specs and submissions during drain
+     * yield a ticket whose result is already a failure; valid ones
+     * either enqueue a new job or attach to the in-flight run with the
+     * same admission fingerprint.
+     */
+    Ticket submit(const service::JobSpec &spec);
+
+    /** Block until @p ticket's job finished; consumes the ticket. */
+    ServeResult wait(Ticket ticket);
+
+    /** submit + wait. */
+    ServeResult runSync(const service::JobSpec &spec);
+
+    /** Release the queue of a startPaused server. */
+    void resume();
+
+    /** Stop admitting, finish everything queued/in-flight, flush the
+     *  checkpoint, join the workers. Idempotent. */
+    void drain();
+
+    PHOTON_PHASE_EXEMPT ServerStatus status() const;
+
+    GlobalStore &store() { return store_; }
+    std::uint32_t effectiveCuThreads() const { return cuThreads_; }
+
+  private:
+    /** One admitted job: the leader's spec plus every rider's ticket. */
+    struct Pending
+    {
+        service::JobSpec spec;
+        std::uint64_t key = 0;
+        std::uint32_t waiters = 0; ///< tickets beyond the leader's
+        bool done = false;
+        ServeResult result;
+    };
+    using PendingPtr = std::shared_ptr<Pending>;
+
+    /** A ticket's view of its job: the rider's own spec plus whether
+     *  it collapsed onto another request's run. */
+    struct TicketState
+    {
+        PendingPtr job;
+        service::JobSpec spec;
+        bool collapsed = false;
+    };
+
+    void workerLoop();
+    ServeResult executeJob(const service::JobSpec &spec);
+    Ticket finishedTicketLocked(ServeResult result);
+
+    ServerOptions opts_;
+    std::uint32_t cuThreads_ = 1;
+    bool cuThreadsDegraded_ = false;
+
+    GlobalStore store_;
+
+    mutable std::mutex mu_;
+    std::condition_variable workCv_; ///< workers: queue / stop / resume
+    std::condition_variable doneCv_; ///< waiters: job completion
+    PHOTON_SHARED_STATE
+    std::deque<PendingPtr> queue_;
+    /** admission key -> job not yet finished (queued or running). */
+    PHOTON_SHARED_STATE
+    std::map<std::uint64_t, PendingPtr> inFlight_;
+    PHOTON_SHARED_STATE
+    std::map<Ticket, TicketState> tickets_;
+    Ticket nextTicket_ = 1;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::size_t running_ = 0;
+    bool paused_ = false;
+    bool draining_ = false;
+    bool stop_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace photon::serve
+
+#endif // PHOTON_SERVE_SERVER_HPP

@@ -286,6 +286,11 @@ writeJsonReport(const CampaignResult &result, std::ostream &os)
        << sampling::kTelemetrySchemaVersion << ",\n";
     os << "  \"workers\": " << result.workers << ",\n";
     os << "  \"share\": \"" << jsonEscape(result.share) << "\",\n";
+    os << "  \"cu_threads\": {\"requested\": "
+       << result.cuThreadsRequested
+       << ", \"effective\": " << result.cuThreadsEffective
+       << ", \"degraded\": "
+       << (result.cuThreadsDegraded ? "true" : "false") << "},\n";
     os << "  \"wall_seconds\": " << result.wallSeconds << ",\n";
     os << "  \"jobs\": [\n";
     for (std::size_t i = 0; i < result.jobs.size(); ++i) {
@@ -312,11 +317,22 @@ writeJsonReport(const CampaignResult &result, std::ostream &os)
         os << "     \"analysis_insts\": " << j.analysisInsts
            << ", \"seed_records\": " << j.seedRecords
            << ", \"new_records\": " << j.newRecords
+           << ", \"cache_hits\": " << j.cacheHits
+           << ", \"cache_misses\": " << j.cacheMisses
+           << ", \"cache_inserts\": " << j.cacheInserts
            << ", \"telemetry_records\": " << j.telemetry.size()
            << ", \"mean_detailed_fraction\": " << detailed << "}"
            << (i + 1 < result.jobs.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
+    std::uint64_t hits = 0, misses = 0, inserts = 0;
+    for (const JobResult &j : result.jobs) {
+        hits += j.cacheHits;
+        misses += j.cacheMisses;
+        inserts += j.cacheInserts;
+    }
+    os << "  \"cache\": {\"hits\": " << hits << ", \"misses\": " << misses
+       << ", \"inserts\": " << inserts << "},\n";
     os << "  \"totals\": {\"cycles\": " << result.totalCycles()
        << ", \"insts\": " << result.totalInsts()
        << ", \"kernel_hits\": " << result.totalKernelHits()

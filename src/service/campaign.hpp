@@ -107,6 +107,10 @@ struct JobResult
     std::uint64_t analysisInsts = 0; ///< online-analysis work performed
     std::size_t seedRecords = 0; ///< kernel records imported at start
     std::size_t newRecords = 0;  ///< kernel records this job published
+    /** Kernel-cache counter deltas for this job (seeding excluded). */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheInserts = 0;
     /** Per-launch telemetry records (the telemetry spine), in launch
      *  order, with .job set to the campaign job label. */
     std::vector<sampling::KernelTelemetry> telemetry;
@@ -128,6 +132,12 @@ struct CampaignResult
     std::uint32_t workers = 1;
     std::string share;     ///< share-policy name the campaign ran with
     Artifact finalStore;   ///< merged store (seed + everything published)
+    /** CU-thread oversubscription guard: what was asked for, what ran,
+     *  and whether the runner degraded to serial CUs because the active
+     *  job pool already saturated the hardware threads. */
+    std::uint32_t cuThreadsRequested = 0;
+    std::uint32_t cuThreadsEffective = 1;
+    bool cuThreadsDegraded = false;
 
     Cycle totalCycles() const;
     std::uint64_t totalInsts() const;

@@ -83,7 +83,7 @@ struct JobOutput
 
 JobOutput
 runOneJob(const JobSpec &spec, const CampaignOptions &options,
-          StoreGroup seed)
+          std::uint32_t cu_threads, StoreGroup seed)
 {
     JobOutput out;
     out.result.spec = spec;
@@ -95,13 +95,16 @@ runOneJob(const JobSpec &spec, const CampaignOptions &options,
 
     auto t0 = std::chrono::steady_clock::now();
     driver::Platform platform(gpu, mode, options.sampling);
-    if (options.cuThreads > 1)
-        platform.setCuThreads(options.cuThreads);
+    if (cu_threads > 1)
+        platform.setCuThreads(cu_threads);
+    sampling::CacheCounters base;
     if (sampling::PhotonSampler *ph = platform.photon()) {
         out.result.seedRecords = seed.kernels.size();
         for (auto &rec : seed.kernels)
             ph->cache().insert(std::move(rec));
         ph->importAnalysisStore(std::move(seed.analyses));
+        // Seeding inserts are imports, not run activity: report deltas.
+        base = ph->cache().counters();
     }
 
     std::string err;
@@ -133,6 +136,10 @@ runOneJob(const JobSpec &spec, const CampaignOptions &options,
                                 records.end());
         r.newRecords = out.freshKernels.size();
         out.analyses = ph->analysisStore();
+        const sampling::CacheCounters &now = ph->cache().counters();
+        r.cacheHits = now.hits - base.hits;
+        r.cacheMisses = now.misses - base.misses;
+        r.cacheInserts = now.inserts - base.inserts;
     }
     return out;
 }
@@ -196,13 +203,35 @@ runCampaign(const std::vector<JobSpec> &jobs,
         buildChains(jobs, options.share);
     std::atomic<std::size_t> next_chain{0};
 
+    std::size_t pool = std::min<std::size_t>(result.workers,
+                                             chains.size());
+
+    // CU-thread oversubscription guard: when the active job pool alone
+    // saturates the hardware threads, per-job CU threads only add
+    // contention — degrade to serial CUs and record the decision.
+    std::uint32_t cores = options.assumeCores
+                              ? options.assumeCores
+                              : std::thread::hardware_concurrency();
+    if (!cores)
+        cores = 1;
+    result.cuThreadsRequested = options.cuThreads;
+    std::uint32_t cu_threads = options.cuThreads ? options.cuThreads : 1;
+    if (cu_threads > 1 && pool >= cores) {
+        warn("campaign: ", pool, " active jobs >= ", cores,
+             " hardware threads; degrading --cu-threads ",
+             options.cuThreads, " -> 1");
+        cu_threads = 1;
+        result.cuThreadsDegraded = true;
+    }
+    result.cuThreadsEffective = cu_threads;
+
     auto worker = [&]() {
         for (;;) {
             std::size_t ci = next_chain.fetch_add(1);
             if (ci >= chains.size())
                 return;
             for (std::size_t ji : chains[ci]) {
-                JobOutput out = runOneJob(jobs[ji], options,
+                JobOutput out = runOneJob(jobs[ji], options, cu_threads,
                                           snapshot_for(jobs[ji]));
                 if (!out.freshKernels.empty() || !out.analyses.empty())
                     store.publish(jobs[ji].gpu, out.freshKernels,
@@ -213,8 +242,6 @@ runCampaign(const std::vector<JobSpec> &jobs,
     };
 
     auto t0 = std::chrono::steady_clock::now();
-    std::size_t pool = std::min<std::size_t>(result.workers,
-                                             chains.size());
     if (pool <= 1) {
         worker();
     } else {

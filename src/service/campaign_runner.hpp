@@ -88,8 +88,13 @@ struct CampaignOptions
     SamplingConfig sampling{};
     /** Intra-kernel CU threads per job (timing::RunOptions::cuThreads);
      *  0/1 = serial. Composes with @ref workers: job-level parallelism
-     *  first, CU-level threads for the stragglers. */
+     *  first, CU-level threads for the stragglers. When the active job
+     *  pool alone saturates the hardware threads, the runner degrades
+     *  this to 1 and records the decision in the campaign telemetry. */
     std::uint32_t cuThreads = 0;
+    /** Pretend the host has this many hardware threads (tests; 0 =
+     *  std::thread::hardware_concurrency()). */
+    std::uint32_t assumeCores = 0;
 };
 
 /**

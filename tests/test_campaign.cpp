@@ -290,3 +290,61 @@ TEST(CampaignRunner, ReportsRenderAllJobs)
     printCampaignTable(result, csv, /*csv=*/true);
     EXPECT_NE(csv.str().find("relu,"), std::string::npos);
 }
+
+TEST(CampaignRunner, DegradesCuThreadsWhenPoolSaturatesCores)
+{
+    std::vector<JobSpec> jobs = {{"relu", 64, "photon", "tiny"},
+                                 {"fir", 64, "full", "tiny"},
+                                 {"sc", 64, "pka", "tiny"},
+                                 {"aes", 64, "full", "tiny"}};
+    CampaignOptions opts;
+    opts.workers = 4;
+    opts.cuThreads = 4;
+    opts.assumeCores = 4; // pool (4) >= cores (4) -> degrade
+    CampaignResult degraded = runCampaign(jobs, opts);
+    EXPECT_EQ(degraded.cuThreadsRequested, 4u);
+    EXPECT_EQ(degraded.cuThreadsEffective, 1u);
+    EXPECT_TRUE(degraded.cuThreadsDegraded);
+
+    opts.assumeCores = 64; // plenty of cores -> request honoured
+    CampaignResult kept = runCampaign(jobs, opts);
+    EXPECT_EQ(kept.cuThreadsEffective, 4u);
+    EXPECT_FALSE(kept.cuThreadsDegraded);
+
+    // CU threads are bit-identical to serial, so the degradation must
+    // not change any simulated result.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(degraded.jobs[i].cycles, kept.jobs[i].cycles);
+        EXPECT_EQ(degraded.jobs[i].insts, kept.jobs[i].insts);
+    }
+
+    std::ostringstream json;
+    writeJsonReport(degraded, json);
+    EXPECT_NE(json.str().find("\"cu_threads\": {\"requested\": 4, "
+                              "\"effective\": 1, \"degraded\": true}"),
+              std::string::npos)
+        << json.str();
+}
+
+TEST(CampaignRunner, JobResultsCarryCacheCounters)
+{
+    // Two identical photon jobs in one ordered chain: the second is
+    // seeded by the first, so it hits where the first missed.
+    std::vector<JobSpec> jobs = {{"relu", 128, "photon", "tiny"},
+                                 {"relu", 128, "photon", "tiny"}};
+    CampaignResult result = run(jobs, 1);
+    const JobResult &cold = result.jobs[0];
+    const JobResult &warm = result.jobs[1];
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_GE(cold.cacheMisses, 1u);
+    EXPECT_GE(cold.cacheInserts, 1u);
+    EXPECT_GE(warm.cacheHits, 1u);
+    // Seeding the warm job's cache must not count as insert activity.
+    EXPECT_EQ(warm.cacheInserts, 0u);
+
+    std::ostringstream json;
+    writeJsonReport(result, json);
+    EXPECT_NE(json.str().find("\"cache\": {\"hits\": "),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"cache_hits\": "), std::string::npos);
+}

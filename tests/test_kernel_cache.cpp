@@ -105,3 +105,29 @@ TEST(KernelCache, ClearEmpties)
     EXPECT_EQ(cache.size(), 0u);
     EXPECT_EQ(cache.match(sigOf(0), 10000), nullptr);
 }
+
+TEST(KernelCache, CountersTrackHitsMissesInserts)
+{
+    SamplingConfig cfg;
+    KernelCache cache(cfg, 2560);
+    EXPECT_EQ(cache.counters().hits, 0u);
+    EXPECT_EQ(cache.counters().misses, 0u);
+    EXPECT_EQ(cache.counters().inserts, 0u);
+
+    cache.insert(record("a", 0, 10000, 1000000, 5000));
+    EXPECT_EQ(cache.counters().inserts, 1u);
+
+    EXPECT_NE(cache.match(sigOf(0), 10000), nullptr);
+    EXPECT_EQ(cache.counters().hits, 1u);
+    EXPECT_EQ(cache.counters().misses, 0u);
+
+    EXPECT_EQ(cache.match(sigOf(5), 10000), nullptr);
+    EXPECT_EQ(cache.counters().hits, 1u);
+    EXPECT_EQ(cache.counters().misses, 1u);
+
+    // Lifetime counters: clear() drops records, not history.
+    cache.clear();
+    EXPECT_EQ(cache.counters().inserts, 1u);
+    EXPECT_EQ(cache.match(sigOf(0), 10000), nullptr);
+    EXPECT_EQ(cache.counters().misses, 2u);
+}

@@ -15,12 +15,22 @@
  *   photon_sim --workload mm --cache-out store.bin     # cold run
  *   photon_sim --workload mm --cache-in store.bin      # warm rerun
  *
+ * Daemon mode (photond) keeps the kernel store resident across requests
+ * so every client shares one warm cache:
+ *
+ *   photon_sim serve --socket /tmp/photond.sock --store store.bin
+ *   photon_sim submit --socket /tmp/photond.sock --workload mm --size 64
+ *   photon_sim status --socket /tmp/photond.sock
+ *   photon_sim cache --socket /tmp/photond.sock     # hit/miss counters
+ *   photon_sim shutdown --socket /tmp/photond.sock  # graceful drain
+ *
  * Workloads: relu fir sc mm mmtiled aes spmv pagerank vgg16 vgg19
  *            resnet18 resnet34 resnet50 resnet101 resnet152
  * Modes:     full photon pka        GPUs: r9nano mi100 (tiny for tests)
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -30,6 +40,8 @@
 #include "driver/platform.hpp"
 #include "driver/report.hpp"
 #include "isa/disasm.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "service/artifact_store.hpp"
 #include "service/campaign.hpp"
 #include "service/campaign_runner.hpp"
@@ -289,11 +301,271 @@ runCampaignMode(const Options &o)
     return 0;
 }
 
+// ----- Daemon verbs: serve / submit / status / cache / shutdown -----
+
+struct ServeOptions
+{
+    std::string socketPath;
+    std::string dropDir;
+    std::string storePath;
+    std::string workload = "mm";
+    std::string size;
+    std::string mode = "photon";
+    std::string gpu = "r9nano";
+    std::string id;
+    std::uint32_t serveWorkers = 2;
+    std::uint32_t cuThreads = 1;
+    std::uint32_t checkpointEvery = 8;
+    std::uint32_t assumeCores = 0;
+    double timeoutSeconds = 300.0;
+    bool json = false;
+    bool quiet = false;
+};
+
+void
+serveUsage()
+{
+    std::printf(
+        "usage: photon_sim serve    --socket PATH | --drop DIR\n"
+        "                           [--store PATH] [--serve-workers N]\n"
+        "                           [--cu-threads N]\n"
+        "                           [--checkpoint-every N]\n"
+        "                           [--assume-cores N] [--quiet]\n"
+        "       photon_sim submit   (--socket PATH | --drop DIR)\n"
+        "                           --workload W [--size N] [--mode M]\n"
+        "                           [--gpu G] [--id ID] [--timeout S]\n"
+        "                           [--json]\n"
+        "       photon_sim status   (--socket PATH | --drop DIR) [--json]\n"
+        "       photon_sim cache    (--socket PATH | --drop DIR) [--json]\n"
+        "                           | --store PATH   (offline inspection)\n"
+        "       photon_sim shutdown (--socket PATH | --drop DIR)\n"
+        "  serve keeps one shared kernel store resident: every client's\n"
+        "  detailed runs warm the cache for every later client, identical\n"
+        "  concurrent requests collapse onto one in-flight run, and the\n"
+        "  store is checkpointed to --store and reloaded on restart.\n");
+}
+
+ServeOptions
+parseServeArgs(int argc, char **argv, int first)
+{
+    ServeOptions o;
+    for (int i = first; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for ", a);
+            return argv[++i];
+        };
+        if (a == "--socket") o.socketPath = next();
+        else if (a == "--drop") o.dropDir = next();
+        else if (a == "--store") o.storePath = next();
+        else if (a == "--workload") o.workload = next();
+        else if (a == "--size") o.size = next();
+        else if (a == "--mode") o.mode = next();
+        else if (a == "--gpu") o.gpu = next();
+        else if (a == "--id") o.id = next();
+        else if (a == "--serve-workers")
+            o.serveWorkers = parseCount(a, next());
+        else if (a == "--cu-threads") o.cuThreads = parseCount(a, next());
+        else if (a == "--checkpoint-every")
+            o.checkpointEvery = parseCount(a, next());
+        else if (a == "--assume-cores")
+            o.assumeCores = parseCount(a, next());
+        else if (a == "--timeout")
+            o.timeoutSeconds = parseCount(a, next());
+        else if (a == "--json") o.json = true;
+        else if (a == "--quiet") o.quiet = true;
+        else if (a == "--help" || a == "-h") { serveUsage(); std::exit(0); }
+        else { serveUsage(); fatal("unknown flag ", a); }
+    }
+    return o;
+}
+
+int
+runServeVerb(const ServeOptions &o)
+{
+    serve::DaemonOptions d;
+    d.socketPath = o.socketPath;
+    d.dropDir = o.dropDir;
+    d.verbose = !o.quiet;
+    d.server.workers = o.serveWorkers ? o.serveWorkers : 1;
+    d.server.cuThreads = o.cuThreads ? o.cuThreads : 1;
+    d.server.store.path = o.storePath;
+    d.server.store.checkpointEvery = o.checkpointEvery;
+    d.server.assumeCores = o.assumeCores;
+    return serve::runDaemon(d);
+}
+
+/** One request over whichever transport the flags selected. */
+serve::ClientResult
+sendRequest(const ServeOptions &o, const serve::Request &request)
+{
+    if (!o.socketPath.empty())
+        return serve::requestOverSocket(o.socketPath, request,
+                                        o.timeoutSeconds);
+    if (!o.dropDir.empty())
+        return serve::requestOverDrop(o.dropDir, request,
+                                      o.timeoutSeconds);
+    serve::ClientResult r;
+    r.error = "need --socket PATH or --drop DIR to reach the daemon";
+    return r;
+}
+
+void
+printStatus(const serve::ServerStatus &s)
+{
+    std::uint64_t lookups = s.store.cacheHits + s.store.cacheMisses;
+    std::printf(
+        "photond: %u workers (cu-threads %u%s), %llu queued, "
+        "%llu running%s\n"
+        "requests: %llu submitted, %llu completed, %llu executed, "
+        "%llu dedup-collapsed\n"
+        "kernel cache: %llu hits / %llu misses (%.1f%% hit rate), "
+        "%llu inserts, %llu analyses reused\n"
+        "store: %zu kernel records, %zu analyses, %llu checkpoints\n",
+        s.workers, s.cuThreads, s.cuThreadsDegraded ? " [degraded]" : "",
+        static_cast<unsigned long long>(s.queued),
+        static_cast<unsigned long long>(s.running),
+        s.draining ? " [draining]" : "",
+        static_cast<unsigned long long>(s.submitted),
+        static_cast<unsigned long long>(s.completed),
+        static_cast<unsigned long long>(s.store.jobsExecuted),
+        static_cast<unsigned long long>(s.store.dedupCollapsed),
+        static_cast<unsigned long long>(s.store.cacheHits),
+        static_cast<unsigned long long>(s.store.cacheMisses),
+        lookups ? 100.0 * static_cast<double>(s.store.cacheHits) /
+                      static_cast<double>(lookups)
+                : 0.0,
+        static_cast<unsigned long long>(s.store.cacheInserts),
+        static_cast<unsigned long long>(s.store.analysesReused),
+        s.storeKernelRecords, s.storeAnalyses,
+        static_cast<unsigned long long>(s.store.checkpoints));
+}
+
+int
+runClientVerb(serve::Op op, const ServeOptions &o)
+{
+    serve::Request request;
+    request.op = op;
+    request.id = o.id.empty() ? std::string("cli-") + serve::opName(op)
+                              : o.id;
+    if (op == serve::Op::Submit) {
+        request.spec.workload = o.workload;
+        if (!o.size.empty())
+            request.spec.size = parseCount("--size", o.size);
+        request.spec.mode = o.mode;
+        request.spec.gpu = o.gpu;
+        if (std::string err = service::validateJob(request.spec);
+            !err.empty())
+            fatal(err);
+    }
+
+    serve::ClientResult r = sendRequest(o, request);
+    if (!r.ok)
+        fatal(serve::opName(op), ": ", r.error);
+    if (o.json) {
+        std::printf("%s\n", r.rawLine.c_str());
+        return r.response.ok ? 0 : 1;
+    }
+    if (!r.response.ok) {
+        std::fprintf(stderr, "%s: daemon error: %s\n",
+                     serve::opName(op), r.response.error.c_str());
+        return 1;
+    }
+    if (r.response.hasResult) {
+        const serve::ServeResult &res = r.response.result;
+        std::printf("[%s] %llu cycles, %llu instructions, %.3f s wall, "
+                    "%u kernels (%u kernel-sampling hits)\n",
+                    res.spec.mode.c_str(),
+                    static_cast<unsigned long long>(res.cycles),
+                    static_cast<unsigned long long>(res.insts),
+                    res.wallSeconds, res.kernels, res.kernelHits);
+        std::printf("cache_hit=%s dedup_collapsed=%s analysis_reused=%s "
+                    "fingerprint=%llx\n",
+                    res.cacheHit ? "yes" : "no",
+                    res.dedupCollapsed ? "yes" : "no",
+                    res.analysisReused ? "yes" : "no",
+                    static_cast<unsigned long long>(res.fingerprint));
+    } else if (r.response.hasStatus) {
+        printStatus(r.response.status);
+    } else {
+        std::printf("%s: ok\n", serve::opName(op));
+    }
+    return 0;
+}
+
+/** `photon_sim cache`: live daemon counters, or offline --store dump. */
+int
+runCacheVerb(const ServeOptions &o)
+{
+    if (o.socketPath.empty() && o.dropDir.empty()) {
+        if (o.storePath.empty())
+            fatal("cache: need --socket/--drop (live counters) or "
+                  "--store PATH (offline inspection)");
+        service::Artifact artifact;
+        service::LoadStatus st =
+            service::loadArtifact(o.storePath, artifact);
+        if (!st.ok)
+            fatal("cache: ", st.error);
+        driver::Table table(
+            {"gpu", "kernel_records", "analyses", "telemetry"});
+        for (const auto &[gpu, group] : artifact.groups) {
+            table.addRow({gpu, std::to_string(group.kernels.size()),
+                          std::to_string(group.analyses.size()),
+                          std::to_string(group.telemetry.size())});
+        }
+        std::ostringstream os;
+        table.print(os);
+        std::printf("%s", os.str().c_str());
+        std::printf("store %s: %zu kernel records, %zu analyses, "
+                    "%zu telemetry records\n",
+                    o.storePath.c_str(), artifact.numKernelRecords(),
+                    artifact.numAnalyses(),
+                    artifact.numTelemetryRecords());
+        return 0;
+    }
+    return runClientVerb(serve::Op::Cache, o);
+}
+
+/** argv[1] verb dispatch; returns -1 when argv holds only legacy flags. */
+int
+dispatchVerb(int argc, char **argv)
+{
+    std::string verb = argv[1];
+    if (verb == "serve")
+        return runServeVerb(parseServeArgs(argc, argv, 2));
+    if (verb == "submit")
+        return runClientVerb(serve::Op::Submit,
+                             parseServeArgs(argc, argv, 2));
+    if (verb == "status")
+        return runClientVerb(serve::Op::Status,
+                             parseServeArgs(argc, argv, 2));
+    if (verb == "cache")
+        return runCacheVerb(parseServeArgs(argc, argv, 2));
+    if (verb == "shutdown")
+        return runClientVerb(serve::Op::Shutdown,
+                             parseServeArgs(argc, argv, 2));
+    if (verb == "ping")
+        return runClientVerb(serve::Op::Ping,
+                             parseServeArgs(argc, argv, 2));
+    return -1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && argv[1][0] != '-') {
+        int rc = dispatchVerb(argc, argv);
+        if (rc >= 0)
+            return rc;
+        usage();
+        serveUsage();
+        fatal("unknown verb '", argv[1],
+              "' (serve submit status cache shutdown ping)");
+    }
+
     Options o;
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
