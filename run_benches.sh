@@ -9,7 +9,7 @@ for b in table1_configs table2_benchmarks fig01_ipc_traces \
          fig11_warp_distribution fig13_overall_r9nano fig14_overall_mi100 \
          fig15_sampling_levels fig16_real_world fig17_vgg_layers \
          tradeoff_online_offline ablation_thresholds \
-         campaign_throughput hotloop_speedup serve_load; do
+         campaign_throughput hotloop_speedup issue_loop serve_load; do
     echo "##### $b #####"
     "$BUILD/bench/$b" "$@"
 done
@@ -26,5 +26,17 @@ if [ -f BENCH_hotloop.json ]; then
           exit 1; }
     grep -q '"oversubscribed"' BENCH_hotloop.json ||
         { echo "BENCH_hotloop.json missing oversubscribed flags" >&2
+          exit 1; }
+fi
+
+# campaign_throughput writes BENCH_campaign.json with the
+# steal-vs-static scheduler comparison; an artifact without the
+# scheduler block came from a stale binary.
+if [ -f BENCH_campaign.json ]; then
+    grep '"telemetry_schema_version": 2,' BENCH_campaign.json ||
+        { echo "BENCH_campaign.json telemetry_schema_version is not 2" >&2
+          exit 1; }
+    grep -q '"steal_ops"' BENCH_campaign.json ||
+        { echo "BENCH_campaign.json missing scheduler stats" >&2
           exit 1; }
 fi

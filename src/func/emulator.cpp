@@ -6,6 +6,15 @@
 
 #include "sim/log.hpp"
 
+/** Assert to the vectorizer that a lane loop carries no cross-iteration
+ *  dependency (VGPR rows either coincide exactly or are disjoint, so
+ *  element-wise updates are always safe). No-op off GCC. */
+#if defined(__GNUC__) && !defined(__clang__)
+#define PHOTON_IVDEP _Pragma("GCC ivdep")
+#else
+#define PHOTON_IVDEP
+#endif
+
 namespace photon::func {
 
 using isa::Opcode;
@@ -27,19 +36,17 @@ asU(float v)
 }
 
 /** Coalesce the per-lane line addresses gathered in @p out.lines[0..n)
- *  into the distinct set. Fast paths cover the common uniform and
- *  small-stride patterns; the general case sorts. */
+ *  into the distinct set. @p lo / @p hi are the minimum and maximum of
+ *  those lines, computed by the caller inside its gather loop (fusing
+ *  the scan the general case would otherwise repeat). Fast paths cover
+ *  the common uniform and small-stride patterns; the rare wide case
+ *  sorts. */
 void
-coalesceLines(StepResult &out, std::uint32_t n)
+coalesceLines(StepResult &out, std::uint32_t n, Addr lo, Addr hi)
 {
     if (n == 0) {
         out.numLines = 0;
         return;
-    }
-    Addr lo = out.lines[0], hi = out.lines[0];
-    for (std::uint32_t i = 1; i < n; ++i) {
-        lo = std::min(lo, out.lines[i]);
-        hi = std::max(hi, out.lines[i]);
     }
     if (lo == hi) {
         out.lines[0] = lo;
@@ -135,74 +142,89 @@ Emulator::step(const isa::Program &program, WaveState &ws,
 
     std::uint32_t next_pc = ws.pc + 1;
 
-    // Iterate the set bits of EXEC: inactive lanes cost nothing, and
-    // fully-active wavefronts avoid a per-lane predicate.
+    constexpr std::uint64_t kFullExec = ~std::uint64_t{0};
+
+    // Iterate the set bits of EXEC: a fully-active wavefront takes a
+    // plain counted loop (no countr_zero dependency chain); partially
+    // active ones walk set bits so inactive lanes cost nothing.
     auto for_active = [&](auto fn) {
-        for (std::uint64_t m = ws.exec; m; m &= m - 1)
-            fn(static_cast<std::uint32_t>(std::countr_zero(m)));
+        if (ws.exec == kFullExec) {
+            for (std::uint32_t lane = 0; lane < kWavefrontLanes; ++lane)
+                fn(lane);
+        } else {
+            for (std::uint64_t m = ws.exec; m; m &= m - 1)
+                fn(static_cast<std::uint32_t>(std::countr_zero(m)));
+        }
     };
 
-    // Per-lane vector operand reader with the kind resolved once per
-    // instruction (broadcasts scalars/immediates).
-    struct Src
-    {
-        const std::uint32_t *vec = nullptr;
-        std::uint32_t scalar = 0;
-        std::uint32_t
-        get(std::uint32_t lane) const
-        {
-            return vec ? vec[lane] : scalar;
-        }
-    };
-    auto src_of = [&](const Operand &o) {
-        Src s;
-        if (o.kind == OperandKind::VReg) {
-            s.vec = &ws.vgpr[std::size_t{
-                                 static_cast<std::uint32_t>(o.value)} *
-                             kWavefrontLanes];
-        } else {
-            s.scalar = readScalar(ws, o);
-        }
-        return s;
+    // Per-lane vector operand reader: VGPR operands point straight into
+    // the register file; scalars/immediates are splat once into a lane
+    // buffer so every per-lane read is a plain indexed load, keeping the
+    // ALU loops branch-free and vectorizable.
+    alignas(64) std::uint32_t splat[3][kWavefrontLanes];
+    std::uint32_t nsplat = 0;
+    auto src_of = [&](const Operand &o) -> const std::uint32_t * {
+        if (o.kind == OperandKind::VReg)
+            return &ws.vgpr[std::size_t{
+                                static_cast<std::uint32_t>(o.value)} *
+                            kWavefrontLanes];
+        std::uint32_t v = readScalar(ws, o);
+        std::uint32_t *p = splat[nsplat++];
+        for (std::uint32_t lane = 0; lane < kWavefrontLanes; ++lane)
+            p[lane] = v;
+        return p;
     };
     auto dst_of = [&](const Operand &o) {
         return &ws.vgpr[std::size_t{static_cast<std::uint32_t>(o.value)} *
                         kWavefrontLanes];
     };
-    auto vsrc = [&](const Operand &o, std::uint32_t lane) -> std::uint32_t {
-        if (o.kind == OperandKind::VReg)
-            return ws.v(o.value, lane);
-        return readScalar(ws, o);
+
+    // Element-wise vector op over the active lanes: d[lane] = fn(lane).
+    // Distinct VGPR rows are disjoint and a repeated row coincides
+    // exactly, so dst/src aliasing is always element-wise safe — ivdep
+    // lets the vectorizer skip the overlap check it cannot prove.
+    auto vlanes = [&](std::uint32_t *d, auto fn) {
+        if (ws.exec == kFullExec) {
+            PHOTON_IVDEP
+            for (std::uint32_t lane = 0; lane < kWavefrontLanes; ++lane)
+                d[lane] = fn(lane);
+        } else {
+            for (std::uint64_t m = ws.exec; m; m &= m - 1) {
+                std::uint32_t lane =
+                    static_cast<std::uint32_t>(std::countr_zero(m));
+                d[lane] = fn(lane);
+            }
+        }
     };
 
     // Vector ALU helper: applies fn over active lanes into dst.
     auto vop1 = [&](auto fn) {
-        Src a = src_of(inst.src0);
-        std::uint32_t *d = dst_of(inst.dst);
-        for_active([&](std::uint32_t lane) { d[lane] = fn(a.get(lane)); });
+        const std::uint32_t *a = src_of(inst.src0);
+        vlanes(dst_of(inst.dst),
+               [&](std::uint32_t lane) { return fn(a[lane]); });
     };
     auto vop2 = [&](auto fn) {
-        Src a = src_of(inst.src0), b = src_of(inst.src1);
-        std::uint32_t *d = dst_of(inst.dst);
-        for_active([&](std::uint32_t lane) {
-            d[lane] = fn(a.get(lane), b.get(lane));
-        });
+        const std::uint32_t *a = src_of(inst.src0),
+                            *b = src_of(inst.src1);
+        vlanes(dst_of(inst.dst),
+               [&](std::uint32_t lane) { return fn(a[lane], b[lane]); });
     };
     auto vop3 = [&](auto fn) {
-        Src a = src_of(inst.src0), b = src_of(inst.src1),
-            c = src_of(inst.src2);
-        std::uint32_t *d = dst_of(inst.dst);
-        for_active([&](std::uint32_t lane) {
-            d[lane] = fn(a.get(lane), b.get(lane), c.get(lane));
+        const std::uint32_t *a = src_of(inst.src0),
+                            *b = src_of(inst.src1),
+                            *c = src_of(inst.src2);
+        vlanes(dst_of(inst.dst), [&](std::uint32_t lane) {
+            return fn(a[lane], b[lane], c[lane]);
         });
     };
     // Vector compare helper: writes a fresh VCC over active lanes.
     auto vcmp = [&](auto pred) {
-        Src a = src_of(inst.src0), b = src_of(inst.src1);
+        const std::uint32_t *a = src_of(inst.src0),
+                            *b = src_of(inst.src1);
         std::uint64_t vcc = 0;
         for_active([&](std::uint32_t lane) {
-            if (pred(a.get(lane), b.get(lane)))
-                vcc |= std::uint64_t{1} << lane;
+            vcc |= std::uint64_t{pred(a[lane], b[lane]) ? 1u : 0u}
+                   << lane;
         });
         ws.vcc = vcc;
     };
@@ -401,11 +423,11 @@ Emulator::step(const isa::Program &program, WaveState &ws,
         });
         break;
       case Opcode::V_MAC_F32: {
-        Src a = src_of(inst.src0), b = src_of(inst.src1);
+        const std::uint32_t *a = src_of(inst.src0),
+                            *b = src_of(inst.src1);
         std::uint32_t *d = dst_of(inst.dst);
-        for_active([&](std::uint32_t lane) {
-            d[lane] = asU(asF(d[lane]) +
-                          asF(a.get(lane)) * asF(b.get(lane)));
+        vlanes(d, [&](std::uint32_t lane) {
+            return asU(asF(d[lane]) + asF(a[lane]) * asF(b[lane]));
         });
         break;
       }
@@ -494,57 +516,169 @@ Emulator::step(const isa::Program &program, WaveState &ws,
             return asF(a) >= asF(b);
         });
         break;
-      case Opcode::V_CNDMASK_B32:
-        for_active([&](std::uint32_t lane) {
-            bool c = (ws.vcc >> lane) & 1;
-            ws.v(inst.dst.value, lane) =
-                c ? vsrc(inst.src1, lane) : vsrc(inst.src0, lane);
+      case Opcode::V_CNDMASK_B32: {
+        const std::uint32_t *a = src_of(inst.src0),
+                            *b = src_of(inst.src1);
+        const std::uint64_t vcc = ws.vcc;
+        vlanes(dst_of(inst.dst), [&](std::uint32_t lane) {
+            return ((vcc >> lane) & 1) ? b[lane] : a[lane];
         });
         break;
+      }
 
       // ---------------- Vector memory ----------------
       case Opcode::FLAT_LOAD_DWORD: {
-        std::uint32_t n = 0;
-        for_active([&](std::uint32_t lane) {
-            Addr addr = ws.v(inst.src0.value, lane);
-            ws.v(inst.dst.value, lane) = mem.read32(addr);
-            out.lines[n++] = addr / kLineBytes;
-        });
-        coalesceLines(out, n);
+        // Fully-active wavefronts classify the lane-address shape in one
+        // vectorizable pass: uniform rows broadcast a single load,
+        // stride-4 rows turn into one block copy, and irregular gathers
+        // still hoist the bounds check out of the lane loop. The line
+        // set each path produces is exactly what coalesceLines would
+        // compute from the per-lane start addresses.
+        const std::uint32_t *ap = dst_of(inst.src0);
+        std::uint32_t *dp = dst_of(inst.dst);
+        if (ws.exec == kFullExec) {
+            std::uint32_t alo = ap[0], ahi = ap[0];
+            bool contig = true;
+            for (std::uint32_t lane = 0; lane < kWavefrontLanes; ++lane) {
+                std::uint32_t a = ap[lane];
+                alo = std::min(alo, a);
+                ahi = std::max(ahi, a);
+                contig &= a == ap[0] + 4 * lane;
+            }
+            if (alo == ahi) {
+                std::uint32_t v = mem.read32(alo);
+                PHOTON_IVDEP
+                for (std::uint32_t lane = 0; lane < kWavefrontLanes;
+                     ++lane)
+                    dp[lane] = v;
+                out.lines[0] = Addr{alo} / kLineBytes;
+                out.numLines = 1;
+            } else if (contig) {
+                mem.readBlock(alo, dp, kWavefrontLanes * 4u);
+                const Addr first = Addr{alo} / kLineBytes;
+                const Addr last = Addr{ahi} / kLineBytes;
+                std::uint32_t n = 0;
+                for (Addr line = first; line <= last; ++line)
+                    out.lines[n++] = line;
+                out.numLines = n;
+            } else {
+                const std::uint8_t *base =
+                    mem.span(alo, std::uint64_t{ahi} - alo + 4);
+                std::uint32_t n = 0;
+                Addr lo = ~Addr{0}, hi = 0;
+                for (std::uint32_t lane = 0; lane < kWavefrontLanes;
+                     ++lane) {
+                    std::uint32_t addr = ap[lane];
+                    std::memcpy(&dp[lane], base + (addr - alo), 4);
+                    Addr line = Addr{addr} / kLineBytes;
+                    lo = std::min(lo, line);
+                    hi = std::max(hi, line);
+                    out.lines[n++] = line;
+                }
+                coalesceLines(out, n, lo, hi);
+            }
+        } else {
+            std::uint32_t n = 0;
+            Addr lo = ~Addr{0}, hi = 0;
+            for_active([&](std::uint32_t lane) {
+                Addr addr = ap[lane];
+                dp[lane] = mem.read32(addr);
+                Addr line = addr / kLineBytes;
+                lo = std::min(lo, line);
+                hi = std::max(hi, line);
+                out.lines[n++] = line;
+            });
+            coalesceLines(out, n, lo, hi);
+        }
         break;
       }
       case Opcode::FLAT_STORE_DWORD: {
-        std::uint32_t n = 0;
-        for_active([&](std::uint32_t lane) {
-            Addr addr = ws.v(inst.src0.value, lane);
-            mem.write32(addr, vsrc(inst.src1, lane));
-            out.lines[n++] = addr / kLineBytes;
-        });
-        coalesceLines(out, n);
+        const std::uint32_t *ap = dst_of(inst.src0);
+        const std::uint32_t *vp = src_of(inst.src1);
+        if (ws.exec == kFullExec) {
+            std::uint32_t alo = ap[0], ahi = ap[0];
+            bool contig = true;
+            for (std::uint32_t lane = 0; lane < kWavefrontLanes; ++lane) {
+                std::uint32_t a = ap[lane];
+                alo = std::min(alo, a);
+                ahi = std::max(ahi, a);
+                contig &= a == ap[0] + 4 * lane;
+            }
+            if (alo == ahi) {
+                // All lanes hit one address; the last lane's write wins,
+                // exactly as in the per-lane loop.
+                mem.write32(alo, vp[kWavefrontLanes - 1]);
+                out.lines[0] = Addr{alo} / kLineBytes;
+                out.numLines = 1;
+            } else if (contig) {
+                mem.writeBlock(alo, vp, kWavefrontLanes * 4u);
+                const Addr first = Addr{alo} / kLineBytes;
+                const Addr last = Addr{ahi} / kLineBytes;
+                std::uint32_t n = 0;
+                for (Addr line = first; line <= last; ++line)
+                    out.lines[n++] = line;
+                out.numLines = n;
+            } else {
+                std::uint32_t n = 0;
+                Addr lo = ~Addr{0}, hi = 0;
+                for (std::uint32_t lane = 0; lane < kWavefrontLanes;
+                     ++lane) {
+                    Addr addr = ap[lane];
+                    mem.write32(addr, vp[lane]);
+                    Addr line = addr / kLineBytes;
+                    lo = std::min(lo, line);
+                    hi = std::max(hi, line);
+                    out.lines[n++] = line;
+                }
+                coalesceLines(out, n, lo, hi);
+            }
+        } else {
+            std::uint32_t n = 0;
+            Addr lo = ~Addr{0}, hi = 0;
+            for_active([&](std::uint32_t lane) {
+                Addr addr = ap[lane];
+                mem.write32(addr, vp[lane]);
+                Addr line = addr / kLineBytes;
+                lo = std::min(lo, line);
+                hi = std::max(hi, line);
+                out.lines[n++] = line;
+            });
+            coalesceLines(out, n, lo, hi);
+        }
         out.linesWrite = true;
         break;
       }
 
       // ---------------- LDS ----------------
-      case Opcode::DS_READ_B32:
+      case Opcode::DS_READ_B32: {
+        const std::uint32_t *ap = dst_of(inst.src0);
+        std::uint32_t *dp = dst_of(inst.dst);
+        const std::uint8_t *base = lds.data();
+        const std::size_t lds_size = lds.size();
         for_active([&](std::uint32_t lane) {
-            std::uint32_t addr = ws.v(inst.src0.value, lane);
-            PHOTON_ASSERT(addr + 4 <= lds.size(), "LDS read OOB");
+            std::uint32_t addr = ap[lane];
+            PHOTON_ASSERT(addr + 4 <= lds_size, "LDS read OOB");
             std::uint32_t value;
-            std::memcpy(&value, lds.data() + addr, 4);
-            ws.v(inst.dst.value, lane) = value;
-            ++out.ldsAccesses;
+            std::memcpy(&value, base + addr, 4);
+            dp[lane] = value;
         });
+        out.ldsAccesses = out.activeLanes;
         break;
-      case Opcode::DS_WRITE_B32:
+      }
+      case Opcode::DS_WRITE_B32: {
+        const std::uint32_t *ap = dst_of(inst.src0);
+        const std::uint32_t *vp = src_of(inst.src1);
+        std::uint8_t *base = lds.data();
+        const std::size_t lds_size = lds.size();
         for_active([&](std::uint32_t lane) {
-            std::uint32_t addr = ws.v(inst.src0.value, lane);
-            PHOTON_ASSERT(addr + 4 <= lds.size(), "LDS write OOB");
-            std::uint32_t value = vsrc(inst.src1, lane);
-            std::memcpy(lds.data() + addr, &value, 4);
-            ++out.ldsAccesses;
+            std::uint32_t addr = ap[lane];
+            PHOTON_ASSERT(addr + 4 <= lds_size, "LDS write OOB");
+            std::uint32_t value = vp[lane];
+            std::memcpy(base + addr, &value, 4);
         });
+        out.ldsAccesses = out.activeLanes;
         break;
+      }
 
       case Opcode::NUM_OPCODES:
         panic("invalid opcode");

@@ -77,6 +77,17 @@ class GlobalMemory
         std::memcpy(dst, data_.data() + addr, bytes);
     }
 
+    /** Bounds-checked raw view of [addr, addr+bytes): gather/scatter
+     *  loops validate the enclosing lane-address range once and then
+     *  index relative to the returned pointer, instead of paying a
+     *  bounds check per lane. */
+    const std::uint8_t *
+    span(Addr addr, std::uint64_t bytes) const
+    {
+        boundsCheck(addr, bytes);
+        return data_.data() + addr;
+    }
+
     std::uint64_t capacity() const { return data_.size(); }
 
   private:

@@ -45,6 +45,8 @@ struct StoreStats
     std::uint64_t jobsExecuted = 0;   ///< jobs that ran on a worker
     std::uint64_t dedupCollapsed = 0; ///< requests folded onto a leader
     std::uint64_t checkpoints = 0;    ///< checkpoint files written
+    std::uint64_t intervalHits = 0;   ///< interval-memo prediction hits
+    std::uint64_t intervalMisses = 0; ///< interval-memo misses (fits run)
 };
 
 /** The resident cross-campaign store. */
@@ -83,7 +85,28 @@ class GlobalStore
     PHOTON_PHASE_EXEMPT
     void recordJobStats(std::uint64_t hits, std::uint64_t misses,
                         std::uint64_t inserts,
-                        std::uint64_t analyses_reused);
+                        std::uint64_t analyses_reused,
+                        std::uint64_t interval_hits = 0,
+                        std::uint64_t interval_misses = 0);
+
+    /**
+     * Copy of one GPU's interval memos for seeding a fresh job's
+     * sampler, counters reset (the sampler's totals then read as the
+     * job's own deltas). Empty when the GPU has none.
+     */
+    PHOTON_PHASE_EXEMPT
+    sampling::PhotonSampler::IntervalMemoStore
+    snapshotIntervalMemos(const std::string &gpu) const;
+
+    /** Merge one finished job's interval memos into the GPU's store
+     *  (entries transfer in recency order; LRU bounds still apply). */
+    PHOTON_PHASE_EXEMPT
+    void publishIntervalMemos(
+        const std::string &gpu,
+        const sampling::PhotonSampler::IntervalMemoStore &memos);
+
+    /** Total memo entries held across every GPU and kernel. */
+    PHOTON_PHASE_EXEMPT std::size_t numIntervalMemoEntries() const;
 
     /** Count one admission-dedup collapse. */
     PHOTON_PHASE_EXEMPT
@@ -136,6 +159,12 @@ class GlobalStore
      *  restart from the first execution — or never needs to, when the
      *  warm cache answers the request without a detailed run). */
     std::map<std::string, std::uint64_t> fingerprints_;
+    /** gpu -> per-kernel interval memos (in-memory only, like the
+     *  fingerprint registry: memos are a pure acceleration and rebuild
+     *  from the first execution after a restart — the artifact format
+     *  is unchanged). */
+    std::map<std::string, sampling::PhotonSampler::IntervalMemoStore>
+        intervalMemos_;
     std::uint32_t sinceCheckpoint_ = 0;
     bool dirty_ = false;
 };

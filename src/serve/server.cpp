@@ -10,7 +10,8 @@
 namespace photon::serve {
 
 SimServer::SimServer(ServerOptions options)
-    : opts_(std::move(options)), store_(opts_.store)
+    : opts_(std::move(options)), store_(opts_.store),
+      queue_(opts_.workers ? opts_.workers : 1)
 {
     std::uint32_t workers = opts_.workers ? opts_.workers : 1;
     std::uint32_t cores = opts_.assumeCores
@@ -29,7 +30,7 @@ SimServer::SimServer(ServerOptions options)
     paused_ = opts_.startPaused;
     workers_.reserve(workers);
     for (std::uint32_t i = 0; i < workers; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 SimServer::~SimServer()
@@ -87,7 +88,7 @@ SimServer::submit(const service::JobSpec &spec)
     Ticket t = nextTicket_++;
     tickets_.emplace(t, TicketState{pending, spec, false});
     ++submitted_;
-    queue_.push_back(pending);
+    queue_.push(pending);
     inFlight_.emplace(key, std::move(pending));
     lock.unlock();
     workCv_.notify_one();
@@ -140,8 +141,9 @@ SimServer::drain()
         draining_ = true;
         paused_ = false; // a paused drain would deadlock on the queue
         workCv_.notify_all();
-        doneCv_.wait(lock,
-                     [&] { return queue_.empty() && running_ == 0; });
+        doneCv_.wait(lock, [&] {
+            return queue_.sizeApprox() == 0 && running_ == 0;
+        });
         stop_ = true;
     }
     workCv_.notify_all();
@@ -162,7 +164,7 @@ SimServer::status() const
         s.workers = static_cast<std::uint32_t>(workers_.size());
         s.cuThreads = cuThreads_;
         s.cuThreadsDegraded = cuThreadsDegraded_;
-        s.queued = queue_.size();
+        s.queued = queue_.sizeApprox();
         s.running = running_;
         s.submitted = submitted_;
         s.completed = completed_;
@@ -171,26 +173,28 @@ SimServer::status() const
     s.store = store_.stats();
     s.storeKernelRecords = store_.numKernelRecords();
     s.storeAnalyses = store_.numAnalyses();
+    s.storeIntervalEntries = store_.numIntervalMemoEntries();
     return s;
 }
 
 void
-SimServer::workerLoop()
+SimServer::workerLoop(std::size_t worker)
 {
     for (;;) {
         PendingPtr job;
         {
             std::unique_lock<std::mutex> lock(mu_);
             workCv_.wait(lock, [&] {
-                return stop_ || (!paused_ && !queue_.empty());
+                return stop_ || (!paused_ && queue_.sizeApprox() > 0);
             });
-            if (queue_.empty()) {
+            // Own lane first, else steal half a neighbour's (lane locks
+            // nest inside mu_ everywhere; work_steal.hpp never takes
+            // mu_). A lost race with another worker just re-waits.
+            if (!queue_.tryPop(worker, job)) {
                 if (stop_)
                     return;
                 continue;
             }
-            job = queue_.front();
-            queue_.pop_front();
             ++running_;
         }
 
@@ -236,6 +240,8 @@ SimServer::executeJob(const service::JobSpec &spec)
         for (auto &rec : seed.kernels)
             ph->cache().insert(std::move(rec));
         ph->importAnalysisStore(std::move(seed.analyses));
+        ph->importIntervalMemoStore(
+            store_.snapshotIntervalMemos(spec.gpu));
         base = ph->cache().counters();
     }
 
@@ -273,11 +279,14 @@ SimServer::executeJob(const service::JobSpec &spec)
             records.begin() + static_cast<std::ptrdiff_t>(seed_records),
             records.end());
         store_.publish(spec.gpu, fresh, ph->analysisStore(), telemetry);
+        store_.publishIntervalMemos(spec.gpu, ph->intervalMemoStore());
         sampling::CacheCounters now = ph->cache().counters();
         store_.recordJobStats(now.hits - base.hits,
                               now.misses - base.misses,
                               now.inserts - base.inserts,
-                              analyses_reused);
+                              analyses_reused,
+                              ph->intervalMemoHits(),
+                              ph->intervalMemoMisses());
         store_.learnFingerprint(
             spec, fingerprintAnalyses(ph->analysisStore(), spec.mode,
                                       spec.gpu));

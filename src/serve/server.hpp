@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "serve/global_store.hpp"
+#include "service/work_steal.hpp"
 #include "sim/config.hpp"
 
 namespace photon::serve {
@@ -92,6 +93,7 @@ struct ServerStatus
     StoreStats store;
     std::size_t storeKernelRecords = 0;
     std::size_t storeAnalyses = 0;
+    std::size_t storeIntervalEntries = 0; ///< interval-memo entries held
 };
 
 /** The resident simulation service. */
@@ -153,7 +155,7 @@ class SimServer
         bool collapsed = false;
     };
 
-    void workerLoop();
+    void workerLoop(std::size_t worker);
     ServeResult executeJob(const service::JobSpec &spec);
     Ticket finishedTicketLocked(ServeResult result);
 
@@ -166,8 +168,11 @@ class SimServer
     mutable std::mutex mu_;
     std::condition_variable workCv_; ///< workers: queue / stop / resume
     std::condition_variable doneCv_; ///< waiters: job completion
-    PHOTON_SHARED_STATE
-    std::deque<PendingPtr> queue_;
+    /** Ready jobs, spread round-robin over per-worker deques with
+     *  steal-half rebalancing — the same scheduler the campaign runner
+     *  uses (service/work_steal.hpp), so one long-running job never
+     *  strands later submissions behind it in a single FIFO. */
+    service::WorkStealDeques<PendingPtr> queue_;
     /** admission key -> job not yet finished (queued or running). */
     PHOTON_SHARED_STATE
     std::map<std::uint64_t, PendingPtr> inFlight_;

@@ -291,6 +291,10 @@ writeJsonReport(const CampaignResult &result, std::ostream &os)
        << ", \"effective\": " << result.cuThreadsEffective
        << ", \"degraded\": "
        << (result.cuThreadsDegraded ? "true" : "false") << "},\n";
+    os << "  \"scheduler\": {\"stealing\": "
+       << (result.stealing ? "true" : "false")
+       << ", \"steal_ops\": " << result.stealOps
+       << ", \"stolen_tasks\": " << result.stolenTasks << "},\n";
     os << "  \"wall_seconds\": " << result.wallSeconds << ",\n";
     os << "  \"jobs\": [\n";
     for (std::size_t i = 0; i < result.jobs.size(); ++i) {

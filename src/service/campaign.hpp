@@ -138,6 +138,12 @@ struct CampaignResult
     std::uint32_t cuThreadsRequested = 0;
     std::uint32_t cuThreadsEffective = 1;
     bool cuThreadsDegraded = false;
+    /** Work-stealing scheduler observability: whether rebalancing was
+     *  enabled and how much actually happened (0 steals on a balanced
+     *  batch is normal — stealing only fires when a lane runs dry). */
+    bool stealing = true;
+    std::uint64_t stealOps = 0;
+    std::uint64_t stolenTasks = 0;
 
     Cycle totalCycles() const;
     std::uint64_t totalInsts() const;

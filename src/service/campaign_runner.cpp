@@ -1,10 +1,10 @@
 #include "service/campaign_runner.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <thread>
 #include <unordered_map>
 
+#include "service/work_steal.hpp"
 #include "sim/log.hpp"
 
 namespace photon::service {
@@ -201,10 +201,20 @@ runCampaign(const std::vector<JobSpec> &jobs,
 
     std::vector<std::vector<std::size_t>> chains =
         buildChains(jobs, options.share);
-    std::atomic<std::size_t> next_chain{0};
 
     std::size_t pool = std::min<std::size_t>(result.workers,
                                              chains.size());
+    if (pool == 0)
+        pool = 1;
+
+    // Chains are seeded round-robin over per-worker deques; a worker
+    // that drains its lane steals the back half of a neighbour's, so
+    // one expensive chain can't strand the work queued behind it.
+    // Steals move whole chains, never split one: `ordered` semantics
+    // and per-index report assembly are schedule-independent.
+    WorkStealDeques<std::size_t> tasks(pool, options.stealing);
+    for (std::size_t ci = 0; ci < chains.size(); ++ci)
+        tasks.push(ci);
 
     // CU-thread oversubscription guard: when the active job pool alone
     // saturates the hardware threads, per-job CU threads only add
@@ -225,11 +235,9 @@ runCampaign(const std::vector<JobSpec> &jobs,
     }
     result.cuThreadsEffective = cu_threads;
 
-    auto worker = [&]() {
-        for (;;) {
-            std::size_t ci = next_chain.fetch_add(1);
-            if (ci >= chains.size())
-                return;
+    auto worker = [&](std::size_t w) {
+        std::size_t ci = 0;
+        while (tasks.tryPop(w, ci)) {
             for (std::size_t ji : chains[ci]) {
                 JobOutput out = runOneJob(jobs[ji], options, cu_threads,
                                           snapshot_for(jobs[ji]));
@@ -243,18 +251,22 @@ runCampaign(const std::vector<JobSpec> &jobs,
 
     auto t0 = std::chrono::steady_clock::now();
     if (pool <= 1) {
-        worker();
+        worker(0);
     } else {
         std::vector<std::thread> threads;
         threads.reserve(pool);
         for (std::size_t i = 0; i < pool; ++i)
-            threads.emplace_back(worker);
+            threads.emplace_back(worker, i);
         for (auto &t : threads)
             t.join();
     }
     auto t1 = std::chrono::steady_clock::now();
 
     result.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    result.stealing = options.stealing;
+    StealStats steals = tasks.stats();
+    result.stealOps = steals.stealOps;
+    result.stolenTasks = steals.stolenTasks;
     result.finalStore = store.exportAll();
     // Telemetry goes into the final store in job order (not publish
     // order) so the exported artifact is identical for any worker count.

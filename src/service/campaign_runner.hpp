@@ -16,6 +16,13 @@
  *             different GPUs (and all full/pka jobs) run in parallel.
  *  - live:    jobs import whatever has been published when they start.
  *             Maximum reuse, but results depend on completion order.
+ *
+ * Scheduling: chains are spread round-robin over per-worker
+ * work-stealing deques (service/work_steal.hpp); a worker that drains
+ * its own lane steals the back half of a neighbour's, so skewed job
+ * costs can't strand queued work behind one long straggler. Stealing
+ * moves whole chains between workers and never splits or reorders one,
+ * so the ordered policy's determinism argument is untouched.
  */
 
 #ifndef PHOTON_SERVICE_CAMPAIGN_RUNNER_HPP
@@ -95,6 +102,12 @@ struct CampaignOptions
     /** Pretend the host has this many hardware threads (tests; 0 =
      *  std::thread::hardware_concurrency()). */
     std::uint32_t assumeCores = 0;
+    /** Work-stealing rebalancing across the worker deques (see
+     *  service/work_steal.hpp). false pins every chain to the lane it
+     *  was seeded on — the static-partition baseline BENCH_campaign
+     *  measures against. Results are identical either way; only
+     *  wall-clock changes. */
+    bool stealing = true;
 };
 
 /**

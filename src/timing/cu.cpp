@@ -20,12 +20,56 @@ constexpr std::uint32_t kPcsPerLine =
 
 ComputeUnit::ComputeUnit(const GpuConfig &cfg, std::uint32_t cuId,
                          MemorySystem &memsys, const func::Emulator &emu)
-    : cfg_(cfg), cuId_(cuId), memsys_(memsys), emu_(emu),
-      waves_(cfg.simdsPerCu * cfg.wavesPerSimd),
-      slotReady_(cfg.simdsPerCu * cfg.wavesPerSimd, kNoCycle),
-      wgs_(cfg.workgroupsPerCu), simdFree_(cfg.simdsPerCu, 0),
-      simdMin_(cfg.simdsPerCu, kNoCycle), rr_(cfg.simdsPerCu, 0)
-{}
+    : cfg_(cfg), cuId_(cuId), memsys_(memsys), emu_(emu)
+{
+    PHOTON_ASSERT(cfg.wavesPerSimd <= 64,
+                  "issue mask is one 64-bit word per SIMD");
+    const std::uint32_t slots = cfg.simdsPerCu * cfg.wavesPerSimd;
+    slotReady_.assign(slots, kNoCycle);
+    slotWarp_.assign(slots, ~std::uint32_t{0});
+    slotSteps_.assign(slots, isa::kUnreachableEnd);
+    waveState_.resize(slots);
+    waveReadyAt_.assign(slots, 0);
+    waveActive_.assign(slots, 0);
+    waveAtBarrier_.assign(slots, 0);
+    waveReadyPending_.assign(slots, 0);
+    waveReleaseFloor_.assign(slots, 0);
+    waveInstCount_.assign(slots, 0);
+    waveWgSlot_.assign(slots, 0);
+    waveLastFetchLine_.assign(slots, ~std::uint64_t{0});
+    waveBbValid_.assign(slots, 0);
+    waveCurBb_.assign(slots, isa::kNoBb);
+    waveCurBbIssue_.assign(slots, 0);
+    waveCurBbLanes_.assign(slots, 0);
+    wgs_.resize(cfg.workgroupsPerCu);
+    simdFree_.assign(cfg.simdsPerCu, 0);
+    simdMin_.assign(cfg.simdsPerCu, kNoCycle);
+    slotSimd_.resize(slots);
+    slotRi_.resize(slots);
+    for (std::uint32_t slot = 0; slot < slots; ++slot) {
+        slotSimd_[slot] = slot % cfg.simdsPerCu;
+        slotRi_[slot] = slotSimd_[slot] * cfg.wavesPerSimd +
+                        slot / cfg.simdsPerCu;
+    }
+
+    auto u = [](isa::FuncUnit f) { return static_cast<std::size_t>(f); };
+    unitCompleteLat_[u(isa::FuncUnit::SALU)] = cfg.saluLatency;
+    unitCompleteLat_[u(isa::FuncUnit::BRANCH)] = cfg.saluLatency;
+    unitCompleteLat_[u(isa::FuncUnit::VALU)] = cfg.valuLatency;
+    unitCompleteLat_[u(isa::FuncUnit::VALU4)] = 4 * cfg.valuLatency;
+    unitCompleteLat_[u(isa::FuncUnit::LDS)] = cfg.ldsLatency;
+    unitCompleteLat_[u(isa::FuncUnit::SYNC)] = 1;
+    unitCompleteLat_[u(isa::FuncUnit::SMEM)] = 0; // L1K path at commit
+    unitCompleteLat_[u(isa::FuncUnit::VMEM)] = 0; // L1V/L2 path per issue
+    unitIssueLat_[u(isa::FuncUnit::SALU)] = cfg.scalarIssueCycles;
+    unitIssueLat_[u(isa::FuncUnit::BRANCH)] = cfg.scalarIssueCycles;
+    unitIssueLat_[u(isa::FuncUnit::SMEM)] = cfg.scalarIssueCycles;
+    unitIssueLat_[u(isa::FuncUnit::VALU)] = cfg.vectorIssueCycles;
+    unitIssueLat_[u(isa::FuncUnit::VALU4)] = 4 * cfg.vectorIssueCycles;
+    unitIssueLat_[u(isa::FuncUnit::LDS)] = cfg.vectorIssueCycles;
+    unitIssueLat_[u(isa::FuncUnit::VMEM)] = cfg.vectorIssueCycles;
+    unitIssueLat_[u(isa::FuncUnit::SYNC)] = 1;
+}
 
 void
 ComputeUnit::startKernel(const KernelContext &ctx)
@@ -36,16 +80,14 @@ ComputeUnit::startKernel(const KernelContext &ctx)
     PHOTON_ASSERT(ctx.codeBase % kLineBytes == 0,
                   "code base not line-aligned");
     codeLineBase_ = ctx.codeBase / kLineBytes;
-    for (Wave &w : waves_) {
-        w.active = false;
-    }
+    std::fill(waveActive_.begin(), waveActive_.end(), 0);
     std::fill(slotReady_.begin(), slotReady_.end(), kNoCycle);
+    std::fill(slotSteps_.begin(), slotSteps_.end(), isa::kUnreachableEnd);
     for (Workgroup &wg : wgs_) {
         wg.active = false;
     }
     std::fill(simdFree_.begin(), simdFree_.end(), 0);
     std::fill(simdMin_.begin(), simdMin_.end(), kNoCycle);
-    std::fill(rr_.begin(), rr_.end(), 0);
     nextHint_ = kNoCycle;
     residentWaves_ = 0;
     residentWgs_ = 0;
@@ -57,8 +99,8 @@ ComputeUnit::startKernel(const KernelContext &ctx)
     // Arena-style reuse: size the queues once for the worst realistic
     // epoch (every slot issuing a multi-line access) so the steady
     // state never reallocates mid-run.
-    pending_.reserve(waves_.size() * 4);
-    pendingMisses_.reserve(waves_.size() * 8);
+    pending_.reserve(waveState_.size() * 4);
+    pendingMisses_.reserve(waveState_.size() * 8);
 }
 
 bool
@@ -67,7 +109,7 @@ ComputeUnit::canAcceptWorkgroup() const
     if (residentWgs_ >= cfg_.workgroupsPerCu)
         return false;
     std::uint32_t free_slots =
-        static_cast<std::uint32_t>(waves_.size()) - residentWaves_;
+        static_cast<std::uint32_t>(waveState_.size()) - residentWaves_;
     if (free_slots < ctx_.dims->wavesPerWorkgroup)
         return false;
     std::uint64_t lds_needed =
@@ -94,22 +136,25 @@ ComputeUnit::placeWorkgroup(WorkgroupId wg, Cycle now)
 
     std::uint32_t wave_slot = 0;
     for (std::uint32_t i = 0; i < ctx_.dims->wavesPerWorkgroup; ++i) {
-        while (waves_[wave_slot].active)
+        while (waveActive_[wave_slot])
             ++wave_slot;
-        Wave &w = waves_[wave_slot];
+        func::WaveState &ws = waveState_[wave_slot];
         WarpId warp = wg * ctx_.dims->wavesPerWorkgroup + i;
-        w.ws.init(*ctx_.program, *ctx_.dims, warp);
-        w.active = true;
-        w.atBarrier = false;
-        w.readyPending = false;
-        w.releaseFloor = 0;
-        w.readyAt = now + 4; // dispatch latency
-        w.instCount = 0;
-        w.wgSlot = wg_slot;
-        w.lastFetchLine = ~std::uint64_t{0};
-        w.bbValid = false;
+        ws.init(*ctx_.program, *ctx_.dims, warp);
+        waveActive_[wave_slot] = 1;
+        waveAtBarrier_[wave_slot] = 0;
+        waveReadyPending_[wave_slot] = 0;
+        waveReleaseFloor_[wave_slot] = 0;
+        waveReadyAt_[wave_slot] = now + 4; // dispatch latency
+        waveInstCount_[wave_slot] = 0;
+        waveWgSlot_[wave_slot] = wg_slot;
+        waveLastFetchLine_[wave_slot] = ~std::uint64_t{0};
+        waveBbValid_[wave_slot] = 0;
+        const std::uint32_t ri = readyIndex(wave_slot);
+        slotWarp_[ri] = warp;
+        slotSteps_[ri] = decoded_[ws.pc].minStepsToEnd;
         group.slots.push_back(wave_slot);
-        setSlotReady(wave_slot, w.readyAt);
+        setSlotReady(wave_slot, waveReadyAt_[wave_slot]);
         ++residentWaves_;
         if (ctx_.monitor)
             ctx_.monitor->onWaveDispatched(warp, now);
@@ -174,26 +219,10 @@ ComputeUnit::tickImpl(Cycle now, TickMode mode)
         // minimum of the non-selected slots' ready cycles, refreshing
         // this SIMD's contribution to the incremental hint; the
         // winner's new ready cycle is folded back in at commit.
-        const Cycle *ready = &slotReady_[s * per_simd];
-        std::uint32_t best = per_simd;
-        WarpId best_warp = ~WarpId{0};
         Cycle min_excl = kNoCycle;
-        for (std::uint32_t k = 0; k < per_simd; ++k) {
-            Cycle r = ready[k];
-            if (r > now) {
-                min_excl = std::min(min_excl, r);
-                continue;
-            }
-            WarpId warp = waves_[s + k * simds].ws.warpId;
-            if (warp < best_warp) {
-                if (best != per_simd)
-                    min_excl = std::min(min_excl, ready[best]);
-                best_warp = warp;
-                best = k;
-            } else {
-                min_excl = std::min(min_excl, r);
-            }
-        }
+        std::uint32_t best = arbitrate(&slotReady_[s * per_simd],
+                                       &slotWarp_[s * per_simd], now,
+                                       min_excl);
         simdMin_[s] = min_excl;
         if (best != per_simd) {
             if (mode == TickMode::Deferred) {
@@ -218,6 +247,113 @@ ComputeUnit::tickImpl(Cycle now, TickMode mode)
     return issued;
 }
 
+ComputeUnit::FastTick
+ComputeUnit::tickFast(Cycle now)
+{
+    FastTick out;
+    if (residentWaves_ == 0) {
+        out.hint = nextHint_;
+        return out;
+    }
+    const std::uint32_t before = wavesRetired_;
+    const std::uint32_t simds = cfg_.simdsPerCu;
+    const std::uint32_t per_simd = cfg_.wavesPerSimd;
+    for (std::uint32_t s = 0; s < simds; ++s) {
+        if (simdFree_[s] > now || simdMin_[s] > now)
+            continue;
+        Cycle min_excl = kNoCycle;
+        std::uint32_t best = arbitrate(&slotReady_[s * per_simd],
+                                       &slotWarp_[s * per_simd], now,
+                                       min_excl);
+        simdMin_[s] = min_excl;
+        if (best != per_simd) {
+            issueFast(s + best * simds, s * per_simd + best, s, now);
+            ++out.issued;
+        }
+    }
+    recomputeHint();
+    out.retired = wavesRetired_ - before;
+    out.hint = nextHint_;
+    return out;
+}
+
+void
+ComputeUnit::issueFast(std::uint32_t slot, std::uint32_t ri,
+                       std::uint32_t simd, Cycle now)
+{
+    func::WaveState &ws = waveState_[slot];
+    const std::uint32_t wg_slot = waveWgSlot_[slot];
+    Workgroup &wg = wgs_[wg_slot];
+    const std::uint32_t pc_before = ws.pc;
+
+    // No monitor: dynamic basic-block tracking and per-wave issue
+    // counting (observable only through monitor callbacks) are skipped,
+    // as is the epoch retire-bound lane (read only by the epoch loop,
+    // which never mixes with this path within a kernel).
+
+    std::uint64_t fetch_line = codeLineBase_ + pc_before / kPcsPerLine;
+    const bool do_fetch = fetch_line != waveLastFetchLine_[slot];
+    waveLastFetchLine_[slot] = fetch_line;
+
+    func::StepResult &step = fastStep_;
+    emu_.step(*ctx_.program, ws, *ctx_.mem, wg.lds, step);
+    ++instsIssued_;
+
+    // Identical latency math and shared-memory access order to
+    // issueFront immediately followed by commitIssue: L1V probes in
+    // line order, then the instruction fetch, then L1K / L2 walks.
+    const std::size_t u = static_cast<std::size_t>(step.unit);
+    simdFree_[simd] = now + unitIssueLat_[u];
+
+    Cycle ready;
+    if (step.unit == isa::FuncUnit::VMEM) {
+        Cycle finish = now;
+        pendingMisses_.clear();
+        for (std::uint32_t i = 0; i < step.numLines; ++i) {
+            MemorySystem::VmemProbe p =
+                memsys_.vectorProbe(cuId_, step.lines[i], now);
+            if (p.hit)
+                finish = std::max(finish, p.ready);
+            else
+                pendingMisses_.push_back(
+                    {step.lines[i], p.missBase, p.mshrIdx});
+        }
+        Cycle fetch_ready = now;
+        if (do_fetch)
+            fetch_ready = memsys_.instAccess(cuId_, fetch_line, now);
+        for (const MemorySystem::VmemMiss &m : pendingMisses_)
+            finish = std::max(finish, memsys_.vectorCommitMiss(cuId_, m));
+        ready = step.linesWrite ? now + cfg_.vectorIssueCycles : finish;
+        ready = std::max(ready, fetch_ready);
+        pendingMisses_.clear();
+    } else {
+        Cycle fetch_ready = now;
+        if (do_fetch)
+            fetch_ready = memsys_.instAccess(cuId_, fetch_line, now);
+        if (step.unit == isa::FuncUnit::SMEM)
+            ready = memsys_.scalarAccess(cuId_, step.lines[0], now);
+        else if (step.unit == isa::FuncUnit::LDS)
+            ready = now + unitCompleteLat_[u] + step.ldsAccesses / 16;
+        else
+            ready = now + unitCompleteLat_[u];
+        ready = std::max(ready, fetch_ready);
+    }
+
+    waveReadyAt_[slot] = ready;
+    setSlotReadyAt(ri, simd, ready);
+
+    if (step.barrier) {
+        waveAtBarrier_[slot] = 1;
+        setSlotReadyAt(ri, simd, kNoCycle);
+        ++wg.barrierWaiting;
+        if (wg.barrierWaiting == wg.wavesLeft)
+            releaseBarrier(wg_slot, now); // photon-lint: serial-only
+    }
+
+    if (step.done)
+        retireWave(slot, now); // photon-lint: serial-only
+}
+
 void
 ComputeUnit::commitPending(Cycle now)
 {
@@ -232,84 +368,58 @@ ComputeUnit::commitPending(Cycle now)
 void
 ComputeUnit::issueFront(std::uint32_t slot, Cycle now, PendingIssue &rec)
 {
-    Wave &w = waves_[slot];
-    Workgroup &wg = wgs_[w.wgSlot];
+    func::WaveState &ws = waveState_[slot];
+    Workgroup &wg = wgs_[waveWgSlot_[slot]];
     const std::uint32_t simd = slot % cfg_.simdsPerCu;
-    const std::uint32_t pc_before = w.ws.pc;
+    const std::uint32_t pc_before = ws.pc;
 
     rec.slot = slot;
-    rec.warp = w.ws.warpId;
+    rec.warp = ws.warpId;
     rec.cycle = now;
 
     // Dynamic basic-block boundary: issuing the first instruction of a
     // block ends the previous one (paper Observation 3 definition).
     rec.bbEnd = false;
     if (ctx_.bbTable->isLeader(pc_before)) {
-        if (w.bbValid) {
+        if (waveBbValid_[slot]) {
             rec.bbEnd = true;
-            rec.bb = w.curBb;
-            rec.bbIssue = w.curBbIssue;
-            rec.bbLanes = w.curBbLanes;
+            rec.bb = waveCurBb_[slot];
+            rec.bbIssue = waveCurBbIssue_[slot];
+            rec.bbLanes = waveCurBbLanes_[slot];
         }
-        w.curBb = ctx_.bbTable->blockAt(pc_before);
-        w.curBbIssue = now;
-        w.curBbLanes =
-            static_cast<std::uint32_t>(std::popcount(w.ws.exec));
-        w.bbValid = true;
+        waveCurBb_[slot] = ctx_.bbTable->blockAt(pc_before);
+        waveCurBbIssue_[slot] = now;
+        waveCurBbLanes_[slot] =
+            static_cast<std::uint32_t>(std::popcount(ws.exec));
+        waveBbValid_[slot] = 1;
     }
 
     // Instruction fetch through the L1I (one access per line crossed);
     // the access itself is shared-state and runs at commit.
     rec.doFetch = false;
     std::uint64_t fetch_line = codeLineBase_ + pc_before / kPcsPerLine;
-    if (fetch_line != w.lastFetchLine) {
+    if (fetch_line != waveLastFetchLine_[slot]) {
         rec.doFetch = true;
         rec.fetchLine = fetch_line;
-        w.lastFetchLine = fetch_line;
+        waveLastFetchLine_[slot] = fetch_line;
     }
 
-    emu_.step(*ctx_.program, w.ws, *ctx_.mem, wg.lds, rec.step);
-    ++w.instCount;
+    emu_.step(*ctx_.program, ws, *ctx_.mem, wg.lds, rec.step);
+    ++waveInstCount_[slot];
     ++instsIssued_;
 
     rec.missBegin = static_cast<std::uint32_t>(pendingMisses_.size());
     rec.missCount = 0;
 
-    Cycle complete = now + 1;
-    Cycle ready = now + 1;
+    const std::size_t u = static_cast<std::size_t>(rec.step.unit);
+    simdFree_[simd] = now + unitIssueLat_[u];
+    Cycle complete;
+    Cycle ready;
     switch (rec.step.unit) {
-      case isa::FuncUnit::SALU:
-        complete = now + cfg_.saluLatency;
-        ready = complete;
-        simdFree_[simd] = now + cfg_.scalarIssueCycles;
-        break;
-      case isa::FuncUnit::BRANCH:
-        complete = now + cfg_.saluLatency;
-        ready = complete;
-        simdFree_[simd] = now + cfg_.scalarIssueCycles;
-        break;
-      case isa::FuncUnit::VALU:
-        complete = now + cfg_.valuLatency;
-        ready = complete;
-        simdFree_[simd] = now + cfg_.vectorIssueCycles;
-        break;
-      case isa::FuncUnit::VALU4:
-        complete = now + 4 * cfg_.valuLatency;
-        ready = complete;
-        simdFree_[simd] = now + 4 * cfg_.vectorIssueCycles;
-        break;
-      case isa::FuncUnit::LDS:
-        // Charge one extra cycle per 16 lane-accesses (bank conflicts
-        // beyond the 16-bank width are second order).
-        complete = now + cfg_.ldsLatency + rec.step.ldsAccesses / 16;
-        ready = complete;
-        simdFree_[simd] = now + cfg_.vectorIssueCycles;
-        break;
       case isa::FuncUnit::SMEM:
         // L1K is shared by a CU group: the whole access runs at commit.
         complete = 0;
         ready = 0;
-        simdFree_[simd] = now + cfg_.scalarIssueCycles;
         break;
       case isa::FuncUnit::VMEM: {
         // L1V port/tags/MSHR allocation are CU-private: probe here.
@@ -330,13 +440,18 @@ ComputeUnit::issueFront(std::uint32_t slot, Cycle now, PendingIssue &rec)
         // Loads block the wavefront until data returns; stores retire
         // from the wavefront's perspective once issued.
         ready = rec.step.linesWrite ? now + cfg_.vectorIssueCycles : 0;
-        simdFree_[simd] = now + cfg_.vectorIssueCycles;
         break;
       }
-      case isa::FuncUnit::SYNC:
-        complete = now + 1;
-        ready = now + 1;
-        simdFree_[simd] = now + 1;
+      case isa::FuncUnit::LDS:
+        // Charge one extra cycle per 16 lane-accesses (bank conflicts
+        // beyond the 16-bank width are second order).
+        complete = now + unitCompleteLat_[u] + rec.step.ldsAccesses / 16;
+        ready = complete;
+        break;
+      default:
+        // SALU / BRANCH / VALU / VALU4 / SYNC: pure table latencies.
+        complete = now + unitCompleteLat_[u];
+        ready = complete;
         break;
     }
     rec.complete0 = complete;
@@ -347,8 +462,8 @@ void
 ComputeUnit::commitIssue(PendingIssue &rec, Cycle now)
 {
     PHOTON_ASSERT_PHASE("ComputeUnit::commitIssue");
-    Wave &w = waves_[rec.slot];
-    Workgroup &wg = wgs_[w.wgSlot];
+    const std::uint32_t slot = rec.slot;
+    Workgroup &wg = wgs_[waveWgSlot_[slot]];
 
     if (rec.bbEnd && ctx_.monitor) {
         ctx_.monitor->onBbExecuted(rec.warp, rec.bb, rec.bbIssue, now,
@@ -376,29 +491,36 @@ ComputeUnit::commitIssue(PendingIssue &rec, Cycle now)
         ready = rec.step.linesWrite ? rec.ready0 : finish;
     }
 
-    w.readyAt = std::max(ready, fetch_ready);
-    setSlotReady(rec.slot, w.readyAt);
+    waveReadyAt_[slot] = std::max(ready, fetch_ready);
+    setSlotReady(slot, waveReadyAt_[slot]);
 
     if (ctx_.monitor)
         ctx_.monitor->onInstruction(rec.warp, rec.step, now, complete);
 
     if (rec.step.barrier) {
-        w.atBarrier = true;
-        setSlotReady(rec.slot, kNoCycle);
+        waveAtBarrier_[slot] = 1;
+        setSlotReady(slot, kNoCycle);
         ++wg.barrierWaiting;
         if (wg.barrierWaiting == wg.wavesLeft)
-            releaseBarrier(w.wgSlot, now);
+            releaseBarrier(waveWgSlot_[slot], now);
     }
 
     if (rec.step.done)
-        retireWave(rec.slot, now);
+        retireWave(slot, now);
 }
 
 bool
 ComputeUnit::applyEpochIssue(PendingIssue &rec, Cycle now)
 {
-    Wave &w = waves_[rec.slot];
-    Workgroup &wg = wgs_[w.wgSlot];
+    const std::uint32_t slot = rec.slot;
+    Workgroup &wg = wgs_[waveWgSlot_[slot]];
+
+    // Maintain the retire-bound lane (only the epoch loop reads it, so
+    // only this issue path pays for it; retireWave below restores the
+    // sentinel when this was the wavefront's last instruction).
+    slotSteps_[slotRi_[slot]] =
+        rec.step.done ? isa::kUnreachableEnd
+                      : decoded_[waveState_[slot].pc].minStepsToEnd;
 
     // An issue's readyAt is computable from CU-private state unless it
     // fetched a new instruction line (L1I), was a scalar load (L1K) or
@@ -418,30 +540,30 @@ ComputeUnit::applyEpochIssue(PendingIssue &rec, Cycle now)
         Cycle ready = rec.ready0;
         if (rec.step.unit == isa::FuncUnit::VMEM && !rec.step.linesWrite)
             ready = rec.complete0; // all-hit load: data at hit maximum
-        w.readyAt = std::max(ready, now);
-        setSlotReady(rec.slot, w.readyAt);
+        waveReadyAt_[slot] = std::max(ready, now);
+        setSlotReady(slot, waveReadyAt_[slot]);
     } else if (!rec.step.done) {
         // Park the wavefront: its next issue is at least the minimum
         // shared latency away, which the epoch horizon never exceeds,
         // so resolving readyAt at the boundary loses no issue slot.
-        w.readyPending = true;
-        w.releaseFloor = 0;
+        waveReadyPending_[slot] = 1;
+        waveReleaseFloor_[slot] = 0;
         ++pendingWaveCount_;
-        setSlotReady(rec.slot, kNoCycle);
+        setSlotReady(slot, kNoCycle);
     }
 
     // Barrier and retirement bookkeeping is CU-private; epoch contexts
     // are monitor-free so no shared callback fires from here.
     if (rec.step.barrier) {
-        w.atBarrier = true;
-        setSlotReady(rec.slot, kNoCycle);
+        waveAtBarrier_[slot] = 1;
+        setSlotReady(slot, kNoCycle);
         ++wg.barrierWaiting;
         if (wg.barrierWaiting == wg.wavesLeft)
-            releaseBarrier(w.wgSlot, now); // photon-lint: serial-only
+            releaseBarrier(waveWgSlot_[slot], now); // photon-lint: serial-only
     }
 
     if (rec.step.done)
-        retireWave(rec.slot, now); // photon-lint: serial-only
+        retireWave(slot, now); // photon-lint: serial-only
 
     return has_shared;
 }
@@ -484,20 +606,20 @@ ComputeUnit::commitEpochRecord(std::uint32_t i)
     if (ready_known || rec.step.done)
         return;
 
-    Wave &w = waves_[rec.slot];
-    PHOTON_ASSERT(w.readyPending, "epoch record wave not parked");
-    w.readyPending = false;
+    const std::uint32_t slot = rec.slot;
+    PHOTON_ASSERT(waveReadyPending_[slot], "epoch record wave not parked");
+    waveReadyPending_[slot] = 0;
     --pendingWaveCount_;
     Cycle r = std::max(ready, fetch_ready);
-    if (w.atBarrier) {
+    if (waveAtBarrier_[slot]) {
         // Still waiting: store the resolved value; the scheduling key
         // stays kNoCycle until the barrier releases.
-        w.readyAt = r;
+        waveReadyAt_[slot] = r;
     } else {
         // releaseFloor carries a barrier release that happened while
         // the wavefront was parked (zero when there was none).
-        w.readyAt = std::max(r, w.releaseFloor);
-        setSlotReady(rec.slot, w.readyAt);
+        waveReadyAt_[slot] = std::max(r, waveReleaseFloor_[slot]);
+        setSlotReady(slot, waveReadyAt_[slot]);
     }
 }
 
@@ -515,16 +637,16 @@ ComputeUnit::finishEpochCommit()
 Cycle
 ComputeUnit::epochRetireBound(Cycle base) const
 {
+    // Two contiguous SIMD-major lanes: remaining-steps bound and ready
+    // cycle. Empty slots carry the kUnreachableEnd sentinel, so no
+    // active-flag chase is needed.
     Cycle bound = kNoCycle;
-    for (std::uint32_t slot = 0;
-         slot < static_cast<std::uint32_t>(waves_.size()); ++slot) {
-        const Wave &w = waves_[slot];
-        if (!w.active)
-            continue;
-        std::uint32_t k = decoded_[w.ws.pc].minStepsToEnd;
-        if (k == isa::kUnreachableEnd)
-            continue; // cannot reach s_endpgm: never retires
-        Cycle r = slotReady_[readyIndex(slot)];
+    const std::uint32_t n = static_cast<std::uint32_t>(slotSteps_.size());
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t k = slotSteps_[i];
+        if (k >= isa::kUnreachableEnd)
+            continue; // empty slot, or cannot reach s_endpgm
+        Cycle r = slotReady_[i];
         // Barrier-blocked wavefronts (key kNoCycle) can be released and
         // issue as early as the epoch base; others not before their
         // ready cycle. Each of the k remaining issues (s_endpgm
@@ -538,18 +660,21 @@ ComputeUnit::epochRetireBound(Cycle base) const
 void
 ComputeUnit::retireWave(std::uint32_t slot, Cycle now)
 {
-    Wave &w = waves_[slot];
-    Workgroup &wg = wgs_[w.wgSlot];
+    Workgroup &wg = wgs_[waveWgSlot_[slot]];
 
-    if (w.bbValid && ctx_.monitor) {
-        ctx_.monitor->onBbExecuted(w.ws.warpId, w.curBb, w.curBbIssue, now,
-                                   w.curBbLanes);
+    if (ctx_.monitor) {
+        const func::WaveState &ws = waveState_[slot];
+        if (waveBbValid_[slot]) {
+            ctx_.monitor->onBbExecuted(ws.warpId, waveCurBb_[slot],
+                                       waveCurBbIssue_[slot], now,
+                                       waveCurBbLanes_[slot]);
+        }
+        ctx_.monitor->onWaveRetired(ws.warpId, now, waveInstCount_[slot]);
     }
-    if (ctx_.monitor)
-        ctx_.monitor->onWaveRetired(w.ws.warpId, now, w.instCount);
 
-    w.active = false;
+    waveActive_[slot] = 0;
     setSlotReady(slot, kNoCycle);
+    slotSteps_[readyIndex(slot)] = isa::kUnreachableEnd;
     --residentWaves_;
     ++wavesRetired_;
     --wg.wavesLeft;
@@ -559,7 +684,7 @@ ComputeUnit::retireWave(std::uint32_t slot, Cycle now)
     } else if (wg.barrierWaiting > 0 &&
                wg.barrierWaiting == wg.wavesLeft) {
         // A retiring wavefront can complete a barrier for the others.
-        releaseBarrier(w.wgSlot, now);
+        releaseBarrier(waveWgSlot_[slot], now);
     }
 }
 
@@ -570,17 +695,18 @@ ComputeUnit::releaseBarrier(std::uint32_t wgSlot, Cycle now)
     // The wgSlot check guards slots retired here and reused by another
     // workgroup placed while this one was still resident.
     for (std::uint32_t slot : wgs_[wgSlot].slots) {
-        Wave &w = waves_[slot];
-        if (w.active && w.wgSlot == wgSlot && w.atBarrier) {
-            w.atBarrier = false;
-            if (w.readyPending) {
+        if (waveActive_[slot] && waveWgSlot_[slot] == wgSlot &&
+            waveAtBarrier_[slot]) {
+            waveAtBarrier_[slot] = 0;
+            if (waveReadyPending_[slot]) {
                 // Epoch mode: this wavefront's readyAt is still waiting
                 // on shared state; record the release as a floor the
                 // boundary resolution applies over the resolved value.
-                w.releaseFloor = now + 1;
+                waveReleaseFloor_[slot] = now + 1;
             } else {
-                w.readyAt = std::max(w.readyAt, now + 1);
-                setSlotReady(slot, w.readyAt);
+                waveReadyAt_[slot] =
+                    std::max(waveReadyAt_[slot], now + 1);
+                setSlotReady(slot, waveReadyAt_[slot]);
             }
         }
     }

@@ -27,11 +27,23 @@
  * Gpu::runEpochLoop) guarantees a parked wave could not have issued
  * again within the window anyway, so results stay bit-identical while
  * the barrier cost drops from two crossings per cycle to two per epoch.
+ *
+ * Data layout (DESIGN.md §13): wavefront bookkeeping is
+ * structure-of-arrays. The scheduling-hot lanes — ready cycle, warp age
+ * key and remaining-steps bound — are stored SIMD-major (one SIMD's
+ * wave slots contiguous, see readyIndex) so arbitration and the epoch
+ * retire-bound scan walk a few cache lines instead of chasing
+ * ~300-byte wave objects. Cold per-wave state (architectural registers,
+ * fetch/bb tracking, barrier flags) lives in parallel slot-indexed
+ * arrays touched only on issue or rare events. photon_lint flags any
+ * reintroduction of an aggregate-wave vector here (aos-in-hot-path).
  */
+// photon-lint: soa-hot-path
 
 #ifndef PHOTON_TIMING_CU_HPP
 #define PHOTON_TIMING_CU_HPP
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -80,6 +92,25 @@ class ComputeUnit
      * @return number of instructions issued.
      */
     std::uint32_t tick(Cycle now);
+
+    /** What one fused fast tick did, so the event loop can update its
+     *  bookkeeping without re-reading the (cold) CU object. */
+    struct FastTick
+    {
+        std::uint32_t issued = 0;
+        std::uint32_t retired = 0; ///< waves retired by this tick
+        Cycle hint = kNoCycle;     ///< nextHint() after the tick
+    };
+
+    /**
+     * Fused serial tick for monitor-free runs: identical arbitration
+     * and timing to tick(), but issue and commit run as one pass with
+     * the monitor hooks and deferred-record plumbing compiled out.
+     * This is the event-driven core's hot path; the reference seed
+     * loop keeps tick() so the two stay independently comparable.
+     * Requires a monitor-free kernel context. Serial only.
+     */
+    FastTick tickFast(Cycle now);
 
     /**
      * Front halves only: arbitration + functional execution + CU-private
@@ -160,29 +191,14 @@ class ComputeUnit
     std::uint64_t instsIssued() const { return instsIssued_; }
     std::uint32_t wavesRetired() const { return wavesRetired_; }
 
-  private:
-    struct Wave
-    {
-        func::WaveState ws;
-        Cycle readyAt = 0;
-        bool active = false;
-        bool atBarrier = false;
-        /** Epoch mode: readyAt awaits shared state at the boundary. */
-        bool readyPending = false;
-        /** Barrier-release cycle + 1 recorded while readyPending, so
-         *  the boundary resolution can apply the release's floor on a
-         *  readyAt it could not know at release time. */
-        Cycle releaseFloor = 0;
-        std::uint64_t instCount = 0;
-        std::uint32_t wgSlot = 0;
-        std::uint64_t lastFetchLine = ~std::uint64_t{0};
-        // Dynamic basic-block tracking.
-        bool bbValid = false;
-        isa::BbId curBb = isa::kNoBb;
-        Cycle curBbIssue = 0;
-        std::uint32_t curBbLanes = 0;
-    };
+    /** Arbitration-scan counters for the issue_loop microbench: how
+     *  many per-SIMD ready scans ran and how many found nothing (the
+     *  branch-miss proxy — a high empty share means the hint woke the
+     *  CU spuriously and the scan was pure overhead). */
+    std::uint64_t simdScans() const { return simdScans_; }
+    std::uint64_t emptyScans() const { return emptyScans_; }
 
+  private:
     struct Workgroup
     {
         WorkgroupId id = 0;
@@ -226,6 +242,16 @@ class ComputeUnit
     PHOTON_PHASE_COMMIT
     void commitIssue(PendingIssue &rec, Cycle now);
 
+    /** Fused issue+commit for the monitor-free serial fast path: same
+     *  state transitions and shared-memory access order as
+     *  issueFront followed immediately by commitIssue, minus monitor
+     *  hooks, bb tracking and per-wave issue counting (observable only
+     *  through monitors) and the epoch retire-bound lane (read only by
+     *  the epoch loop). @p ri is the slot's SIMD-major lane index,
+     *  already in hand from arbitration. */
+    void issueFast(std::uint32_t slot, std::uint32_t ri,
+                   std::uint32_t simd, Cycle now);
+
     /** Epoch-mode commit of a just-issued record using CU-private state
      *  only: sets readyAt when it does not depend on shared memory,
      *  parks the wavefront otherwise; barrier and retirement
@@ -247,10 +273,87 @@ class ComputeUnit
     void
     setSlotReady(std::uint32_t slot, Cycle t)
     {
-        slotReady_[readyIndex(slot)] = t;
-        std::uint32_t s = slot % cfg_.simdsPerCu;
+        slotReady_[slotRi_[slot]] = t;
+        std::uint32_t s = slotSimd_[slot];
         if (t < simdMin_[s])
             simdMin_[s] = t;
+    }
+
+    /** setSlotReady when the caller already has the lane index and
+     *  SIMD (the fast tick derives both from the arbitration result,
+     *  skipping even the table loads). */
+    void
+    setSlotReadyAt(std::uint32_t ri, std::uint32_t simd, Cycle t)
+    {
+        slotReady_[ri] = t;
+        if (t < simdMin_[simd])
+            simdMin_[simd] = t;
+    }
+
+    /**
+     * Branchless arbitration over one SIMD's contiguous ready lane:
+     * build the issue mask of slots ready at @p now with compare-only
+     * passes, walk its set bits (countr_zero, mirroring the calendar
+     * wheel in gpu.cpp) to select the oldest wavefront, and return the
+     * minimum ready cycle over the *other* slots through @p min_excl —
+     * the SIMD's refreshed hint contribution (the winner's new ready
+     * cycle is folded back in when its issue lands). Returns the
+     * per-SIMD slot index of the winner, or per_simd when nothing is
+     * ready (min_excl then covers every slot).
+     */
+    std::uint32_t
+    arbitrate(const Cycle *ready, const std::uint32_t *warp, Cycle now,
+              Cycle &min_excl)
+    {
+        const std::uint32_t per_simd = cfg_.wavesPerSimd;
+        ++simdScans_;
+        // One compare-only pass builds the issue mask and the all-slots
+        // minimum together (no data-dependent branches to mispredict on
+        // irregular ready patterns).
+        std::uint64_t mask = 0;
+        Cycle mn = kNoCycle;
+        for (std::uint32_t k = 0; k < per_simd; ++k) {
+            Cycle r = ready[k];
+            mask |= std::uint64_t{r <= now} << k;
+            mn = mn < r ? mn : r;
+        }
+        if (mask == 0) {
+            ++emptyScans_;
+            min_excl = mn;
+            return per_simd;
+        }
+        std::uint32_t best =
+            static_cast<std::uint32_t>(std::countr_zero(mask));
+        std::uint64_t rest = mask & (mask - 1);
+        if (rest == 0) {
+            // Sole ready slot: the bound must exclude it, so rescan
+            // with the winner masked out (the only case where the
+            // all-slots minimum is not a usable bound).
+            Cycle mx = kNoCycle;
+            for (std::uint32_t k = 0; k < per_simd; ++k) {
+                Cycle r = k == best ? kNoCycle : ready[k];
+                mx = mx < r ? mx : r;
+            }
+            min_excl = mx;
+            return best;
+        }
+        // Several ready slots: every loser keeps a ready cycle <= now,
+        // so the all-slots minimum is an equally tight lower bound (the
+        // hint is dominated by the issue port's busy-until either way)
+        // and no exclusion pass is needed. Walk only the set bits
+        // (countr_zero, as the calendar wheel does) for the oldest
+        // wavefront; warp ids are unique so there are no ties.
+        std::uint32_t best_warp = warp[best];
+        do {
+            std::uint32_t k =
+                static_cast<std::uint32_t>(std::countr_zero(rest));
+            bool lt = warp[k] < best_warp;
+            best = lt ? k : best;
+            best_warp = lt ? warp[k] : best_warp;
+            rest &= rest - 1;
+        } while (rest);
+        min_excl = mn;
+        return best;
     }
 
     /** Recompute nextHint_ from the per-SIMD minima (O(simds)). */
@@ -268,36 +371,84 @@ class ComputeUnit
      *  one add and shift instead of a 64-bit multiply and divide. */
     std::uint64_t codeLineBase_ = 0;
 
-    std::vector<Wave> waves_;        ///< simdsPerCu * wavesPerSimd slots
+    // ---- Scheduling-hot lanes, SIMD-major (see readyIndex) ----------
     /** Compact per-slot scheduling key: the cycle the slot's wavefront
-     *  can next issue, or kNoCycle when empty / at a barrier. Stored
-     *  SIMD-major (simd * wavesPerSimd + k for slot = simd + k * simds)
-     *  so one SIMD's scan touches contiguous memory. */
+     *  can next issue, or kNoCycle when empty / at a barrier. */
     std::vector<Cycle> slotReady_;
+    /** Arbitration age key: the slot's warp id (stable for the wave's
+     *  lifetime; slots excluded from the issue mask never read it). */
+    std::vector<std::uint32_t> slotWarp_;
+    /** decoded minStepsToEnd at the slot's current PC; kUnreachableEnd
+     *  for empty slots, so the epoch retire-bound scan runs over two
+     *  contiguous lanes with no per-wave pointer chasing. */
+    std::vector<std::uint32_t> slotSteps_;
 
-    /** Index of slot's scheduling key in slotReady_. */
-    std::uint32_t
-    readyIndex(std::uint32_t slot) const
+    /** Index of slot's entry in the SIMD-major lanes. Table lookup:
+     *  the modulo/divide pair costs two runtime integer divisions per
+     *  use (the divisors are config values, invisible to the
+     *  compiler), which is real money at one-per-issue rates. */
+    std::uint32_t readyIndex(std::uint32_t slot) const
     {
-        return (slot % cfg_.simdsPerCu) * cfg_.wavesPerSimd +
-               slot / cfg_.simdsPerCu;
+        return slotRi_[slot];
     }
-    std::vector<Workgroup> wgs_;     ///< workgroupsPerCu slots
+
+    /** slot -> owning SIMD (slot % simdsPerCu precomputed). */
+    std::vector<std::uint32_t> slotSimd_;
+    /** slot -> SIMD-major lane index (see readyIndex). */
+    std::vector<std::uint32_t> slotRi_;
+
+    // ---- Cold per-wave state, slot-indexed --------------------------
+    // Deliberately parallel arrays, not a vector of wave aggregates:
+    // each is touched by exactly one concern (issue, barrier, retire,
+    // monitor bb tracking), so the hot concerns never drag the cold
+    // bytes through the cache.
+    /** Architectural registers/pc, touched only on issue. */
+    std::vector<func::WaveState> waveState_; // photon-lint: aos-ok
+    std::vector<Cycle> waveReadyAt_;
+    std::vector<std::uint8_t> waveActive_;
+    std::vector<std::uint8_t> waveAtBarrier_;
+    /** Epoch mode: readyAt awaits shared state at the boundary. */
+    std::vector<std::uint8_t> waveReadyPending_;
+    /** Barrier-release cycle + 1 recorded while readyPending, so the
+     *  boundary resolution can apply the release's floor on a readyAt
+     *  it could not know at release time. */
+    std::vector<Cycle> waveReleaseFloor_;
+    std::vector<std::uint64_t> waveInstCount_;
+    std::vector<std::uint32_t> waveWgSlot_;
+    std::vector<std::uint64_t> waveLastFetchLine_;
+    // Dynamic basic-block tracking (monitor-observable only).
+    std::vector<std::uint8_t> waveBbValid_;
+    std::vector<isa::BbId> waveCurBb_;
+    std::vector<Cycle> waveCurBbIssue_;
+    std::vector<std::uint32_t> waveCurBbLanes_;
+
+    /** workgroupsPerCu slots, read on place/retire only. */
+    std::vector<Workgroup> wgs_; // photon-lint: aos-ok
     std::vector<Cycle> simdFree_;    ///< per-SIMD issue-port availability
     /** Per-SIMD lower bound on the minimum active slotReady_. Made exact
      *  whenever the SIMD arbitrates; only ever folded downward in
      *  between, so the derived hint can be early but never late. */
     std::vector<Cycle> simdMin_;
-    std::vector<std::uint32_t> rr_;  ///< per-SIMD round-robin pointer
+    /** Per-unit completion latency (cycles past issue) and issue-port
+     *  occupancy, precomputed from the config so the per-issue latency
+     *  selection is two table loads instead of a unit switch. VMEM and
+     *  SMEM run their own memory paths; LDS adds its access term. */
+    std::array<Cycle, 8> unitCompleteLat_{};
+    std::array<Cycle, 8> unitIssueLat_{};
     Cycle nextHint_ = kNoCycle;
     std::uint32_t residentWaves_ = 0;
     std::uint32_t residentWgs_ = 0;
     std::uint64_t instsIssued_ = 0;
     std::uint32_t wavesRetired_ = 0;
+    std::uint64_t simdScans_ = 0;
+    std::uint64_t emptyScans_ = 0;
 
-    std::vector<PendingIssue> pending_;  ///< queued records (deferred)
-    std::vector<MemorySystem::VmemMiss> pendingMisses_;
+    /** Queued issue/miss records, drained at commit — event queues,
+     *  not per-cycle scan lanes. */
+    std::vector<PendingIssue> pending_; // photon-lint: aos-ok
+    std::vector<MemorySystem::VmemMiss> pendingMisses_; // photon-lint: aos-ok
     PendingIssue serialRec_;             ///< reused record (serial tick)
+    func::StepResult fastStep_;          ///< reused result (fast tick)
     /** Wavefronts parked with an unresolved readyAt (epoch mode); must
      *  be zero at every epoch boundary after the replay. */
     std::uint32_t pendingWaveCount_ = 0;

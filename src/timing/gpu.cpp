@@ -8,6 +8,7 @@
 
 #include "isa/basic_block.hpp"
 #include "sim/log.hpp"
+#include "timing/reference.hpp"
 
 namespace photon::timing {
 
@@ -195,6 +196,8 @@ Gpu::Gpu(const GpuConfig &cfg)
     wheelBits_.assign(std::size_t{kWheelSize} * wheelWords_, 0);
 }
 
+Gpu::~Gpu() = default;
+
 RunOutcome
 Gpu::runKernel(const isa::Program &program, const func::LaunchDims &dims,
                func::GlobalMemory &mem, KernelMonitor *monitor,
@@ -214,6 +217,33 @@ Gpu::runKernel(const isa::Program &program, const func::LaunchDims &dims,
     ctx.mem = &mem;
     ctx.monitor = monitor;
     ctx.codeBase = (1ull << 40) + (kernelSeq_++ << 24);
+
+    if (opts.useSeedLoop) {
+        // Frozen AoS per-cycle reference engine: its own CUs and
+        // dispatch state, the Gpu's memory system and clock, so the
+        // seed and event variants of one platform see identical cache
+        // history and stay bit-comparable.
+        if (!reference_)
+            reference_ = std::make_unique<ReferenceEngine>(cfg_, memsys_,
+                                                           emu_);
+        if (monitor) {
+            monitor->onKernelPhase(KernelPhase::Launch, now_);
+            monitor->onKernelPhase(KernelPhase::Detailed, now_);
+        }
+        RunOutcome out = reference_->run(ctx, monitor, opts, now_);
+        if (monitor)
+            monitor->onKernelPhase(KernelPhase::Complete, now_);
+        out.endCycle = now_;
+        if (opts.collectIpcTrace) {
+            for (double &v : out.ipcTrace)
+                v /= static_cast<double>(opts.ipcBucketCycles);
+        }
+        ++kernelsRun_;
+        activeCyclesTotal_ += out.activeCycles;
+        busyCuCyclesTotal_ += out.busyCuCycles;
+        waveCyclesTotal_ += out.waveCycles;
+        return out;
+    }
 
     for (ComputeUnit &cu : cus_)
         cu.startKernel(ctx);
@@ -245,12 +275,11 @@ Gpu::runKernel(const isa::Program &program, const func::LaunchDims &dims,
     // cycle for the same reason. Everything else (full-detailed runs,
     // benches) gets the cheap path.
     bool epoch_capable = threads > 1 && monitor == nullptr &&
-                         !opts.collectIpcTrace && !opts.useSeedLoop;
+                         !opts.collectIpcTrace;
 
-    RunOutcome out = opts.useSeedLoop ? runSeedLoop(monitor, opts)
-                     : epoch_capable  ? runEpochLoop(opts, threads)
-                                      : runEventLoop(monitor, opts,
-                                                     threads);
+    RunOutcome out = epoch_capable
+                         ? runEpochLoop(opts, threads)
+                         : runEventLoop(monitor, opts, threads);
 
     if (monitor)
         monitor->onKernelPhase(KernelPhase::Complete, now_);
@@ -291,6 +320,14 @@ Gpu::runEventLoop(KernelMonitor *monitor, const RunOptions &opts,
     std::vector<std::uint32_t> due;
     placed.reserve(cfg_.numCus);
     due.reserve(cfg_.numCus);
+
+    // Monitor-free single-thread runs take the fused tick: no monitor
+    // callbacks or basic-block tracking can be observed, so the CU's
+    // tickFast — which skips both and returns the issue/retire/hint
+    // summary the bookkeeping below needs — produces the identical
+    // simulation schedule while touching the cold CU object only when
+    // a retirement actually happened.
+    const bool fast = monitor == nullptr && !pool;
 
     while (true) {
         if (monitor && !stopping && monitor->wantsStop(now_)) {
@@ -343,17 +380,29 @@ Gpu::runEventLoop(KernelMonitor *monitor, const RunOptions &opts,
         }
 
         std::uint32_t issued = 0;
-        if (pool && due.size() >= threads) {
-            issued = pool->run(due, now_);
-            out.barrierCrossings += 2;
+        if (fast) {
+            for (std::uint32_t cu : due) {
+                ComputeUnit::FastTick ft = cus_[cu].tickFast(now_);
+                issued += ft.issued;
+                if (ft.retired) {
+                    noteRetirements(cu);
+                    updateBusy(cu);
+                }
+                fileCuAt(cu, ft.hint, now_ + 1);
+            }
         } else {
-            for (std::uint32_t cu : due)
-                issued += cus_[cu].tick(now_);
-        }
-        for (std::uint32_t cu : due) {
-            noteRetirements(cu);
-            updateBusy(cu);
-            fileCu(cu, now_ + 1);
+            if (pool && due.size() >= threads) {
+                issued = pool->run(due, now_);
+                out.barrierCrossings += 2;
+            } else {
+                for (std::uint32_t cu : due)
+                    issued += cus_[cu].tick(now_);
+            }
+            for (std::uint32_t cu : due) {
+                noteRetirements(cu);
+                updateBusy(cu);
+                fileCu(cu, now_ + 1);
+            }
         }
 
         if (issued > 0)
@@ -507,78 +556,15 @@ Gpu::runEpochLoop(const RunOptions &opts, std::uint32_t threads)
     return out;
 }
 
-RunOutcome
-Gpu::runSeedLoop(KernelMonitor *monitor, const RunOptions &opts)
-{
-    RunOutcome out;
-    out.startCycle = now_;
-    bool stopping = false;
-    std::vector<std::uint32_t> placed;
-
-    while (true) {
-        if (monitor && !stopping && monitor->wantsStop(now_)) {
-            stopping = true;
-            dispatcher_.halt();
-            monitor->onKernelPhase(KernelPhase::Draining, now_);
-        }
-        placed.clear();
-        dispatcher_.tryDispatch(now_, &placed, /*force=*/true);
-        for (std::uint32_t cu : placed) {
-            residentWaveCount_ += wavesPerWg_;
-            updateBusy(cu);
-        }
-
-        std::uint32_t issued = 0;
-        bool any_resident = false;
-        for (std::uint32_t c = 0;
-             c < static_cast<std::uint32_t>(cus_.size()); ++c) {
-            ComputeUnit &cu = cus_[c];
-            if (cu.idle())
-                continue;
-            any_resident = true;
-            if (cu.nextHint() > now_)
-                continue;
-            std::uint32_t k = cu.tick(now_);
-            issued += k;
-            if (k == 0) {
-                cu.refreshHint();
-            } else {
-                noteRetirements(c);
-                updateBusy(c);
-            }
-        }
-
-        if (issued > 0)
-            addIpcSample(out, opts, now_, issued);
-
-        bool done = !any_resident &&
-                    (dispatcher_.allDispatched() || stopping);
-        if (done)
-            break;
-
-        Cycle next;
-        if (issued == 0) {
-            Cycle ne = kNoCycle;
-            for (ComputeUnit &cu : cus_) {
-                if (!cu.idle())
-                    ne = std::min(ne, cu.nextHint());
-            }
-            next = (ne == kNoCycle) ? now_ + 1 : std::max(now_ + 1, ne);
-        } else {
-            next = now_ + 1;
-        }
-        accountAdvance(out, next - now_);
-        now_ = next;
-    }
-
-    out.stoppedEarly = stopping;
-    return out;
-}
-
 void
 Gpu::fileCu(std::uint32_t cu, Cycle floor)
 {
-    Cycle h = cus_[cu].nextHint();
+    fileCuAt(cu, cus_[cu].nextHint(), floor);
+}
+
+void
+Gpu::fileCuAt(std::uint32_t cu, Cycle h, Cycle floor)
+{
     if (h == kNoCycle) {
         filedAt_[cu] = kNoCycle;
         return;

@@ -10,9 +10,10 @@
  * due CUs across worker threads under a per-cycle barrier; CU front
  * halves run concurrently against private state and their shared-memory
  * effects commit serially in (cycle, cuId, issue index) order, so the
- * results are bit-identical to the serial schedule. The original
- * per-cycle scanning loop is kept (useSeedLoop) as the reference
- * implementation for cross-checks and as the bench baseline.
+ * results are bit-identical to the serial schedule. A self-contained
+ * AoS per-cycle scanning engine (timing/reference.hpp) is kept behind
+ * useSeedLoop as the frozen reference implementation for cross-checks
+ * and as the bench baseline.
  *
  * Monitor-free parallel runs use epoch synchronization instead
  * (runEpochLoop, DESIGN.md §11): the loop computes a conservative safe
@@ -29,6 +30,7 @@
 #define PHOTON_TIMING_GPU_HPP
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -46,6 +48,8 @@
 
 namespace photon::timing {
 
+class ReferenceEngine;
+
 /** Options for one detailed kernel run. */
 struct RunOptions
 {
@@ -58,8 +62,9 @@ struct RunOptions
      *  default (setCuThreads), 1 is fully serial. Any value produces
      *  bit-identical results. */
     std::uint32_t cuThreads = 0;
-    /** Run the reference per-cycle scanning loop instead of the
-     *  event-driven core (cross-checks, bench baseline). */
+    /** Run the frozen AoS per-cycle reference engine instead of the
+     *  event-driven core (cross-checks, bench baseline); see
+     *  timing/reference.hpp. */
     bool useSeedLoop = false;
     /** Clamp epoch length to this many cycles; 0 uses the Gpu default
      *  (setEpochCap). 1 degenerates epochs to per-cycle stepping — the
@@ -108,6 +113,7 @@ class Gpu
 {
   public:
     explicit Gpu(const GpuConfig &cfg);
+    ~Gpu(); // out of line: ReferenceEngine is incomplete here
 
     /**
      * Run one kernel in detailed mode. When @p monitor requests a stop,
@@ -163,7 +169,6 @@ class Gpu
     RunOutcome runEventLoop(KernelMonitor *monitor,
                             const RunOptions &opts,
                             std::uint32_t threads);
-    RunOutcome runSeedLoop(KernelMonitor *monitor, const RunOptions &opts);
     /** Epoch-synchronized parallel loop (monitor-free runs only). */
     RunOutcome runEpochLoop(const RunOptions &opts,
                             std::uint32_t threads);
@@ -171,6 +176,10 @@ class Gpu
     /** (Re)file @p cu in the event heap at its current hint; maintains
      *  the one-valid-entry-per-CU invariant via filedAt_. */
     void fileCu(std::uint32_t cu, Cycle floor);
+
+    /** Like fileCu but with the hint supplied by the caller (the fast
+     *  tick returns it, saving a read of the cold CU object). */
+    void fileCuAt(std::uint32_t cu, Cycle hint, Cycle floor);
 
     /** Sync the CU's residency flag into activeCuCount_. */
     void updateBusy(std::uint32_t cu);
@@ -192,6 +201,9 @@ class Gpu
     func::Emulator emu_;
     std::vector<ComputeUnit> cus_;
     Dispatcher dispatcher_;
+    /** Frozen AoS baseline serving useSeedLoop runs; built on first
+     *  use, shares memsys_/emu_/clock with the event core. */
+    std::unique_ptr<ReferenceEngine> reference_;
     Cycle now_ = 0;
     std::uint64_t kernelSeq_ = 0;
     std::uint32_t cuThreadsDefault_ = 1;

@@ -1,0 +1,41 @@
+/**
+ * Fixture for the aos-in-hot-path check: this file opts into the
+ * structure-of-arrays contract, then reintroduces aggregate-element
+ * containers. Parallel scalar lanes, single-member wrappers and the
+ * waived cold-path queue must stay clean.
+ */
+// photon-lint: soa-hot-path
+
+#include <deque>
+#include <vector>
+
+namespace fix {
+
+struct Particle
+{
+    float x = 0.0F;
+    float y = 0.0F;
+    float vx = 0.0F;
+};
+
+/** One data member: a transparent wrapper, not an aggregate. */
+struct SlotId
+{
+    unsigned v = 0;
+};
+
+class HotEngine
+{
+  public:
+    void tick() {}
+
+  private:
+    std::vector<Particle> particles_; ///< line 33: flagged
+    std::vector<float> xs_;           ///< scalar SoA lane: clean
+    std::deque<Particle> retired_;    ///< line 35: flagged (deque too)
+    std::vector<SlotId> ids_;         ///< wrapper elements: clean
+    /** Rare-event spawn queue, drained off the hot loop. */
+    std::vector<Particle> spawnQueue_; // photon-lint: aos-ok
+};
+
+} // namespace fix

@@ -348,3 +348,43 @@ TEST(CampaignRunner, JobResultsCarryCacheCounters)
               std::string::npos);
     EXPECT_NE(json.str().find("\"cache_hits\": "), std::string::npos);
 }
+
+TEST(CampaignRunner, StealingAndStaticPartitionMatchBitExactly)
+{
+    // The scheduler moves work between lanes, never changes it: the
+    // same batch under steal-half rebalancing and under the static
+    // partition must produce identical per-job results and stores.
+    std::vector<JobSpec> jobs = mixedCampaign();
+    CampaignOptions steal_opts;
+    steal_opts.workers = 4;
+    CampaignOptions static_opts = steal_opts;
+    static_opts.stealing = false;
+
+    CampaignResult steal = runCampaign(jobs, steal_opts);
+    CampaignResult stat = runCampaign(jobs, static_opts);
+
+    EXPECT_TRUE(steal.stealing);
+    EXPECT_FALSE(stat.stealing);
+    EXPECT_EQ(stat.stealOps, 0u);
+    EXPECT_EQ(stat.stolenTasks, 0u);
+
+    ASSERT_EQ(steal.jobs.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(steal.jobs[i].cycles, stat.jobs[i].cycles)
+            << "job " << i << " (" << jobs[i].label() << ")";
+        EXPECT_EQ(steal.jobs[i].insts, stat.jobs[i].insts)
+            << "job " << i << " (" << jobs[i].label() << ")";
+        for (std::size_t l = 0; l < kNumSampleLevels; ++l)
+            EXPECT_EQ(steal.jobs[i].levelCounts[l],
+                      stat.jobs[i].levelCounts[l])
+                << "job " << i << " level " << l;
+    }
+    EXPECT_EQ(serializeArtifact(withoutWallTime(steal.finalStore)),
+              serializeArtifact(withoutWallTime(stat.finalStore)));
+
+    // The scheduler block lands in the JSON report.
+    std::ostringstream os;
+    writeJsonReport(steal, os);
+    EXPECT_NE(os.str().find("\"scheduler\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"steal_ops\""), std::string::npos);
+}

@@ -483,3 +483,58 @@ TEST(ServeDaemon, SocketTransportAnswersAndShutsDown)
     daemon.join();
     fs::remove_all(dir);
 }
+
+// ----- Interval-memo sharing through the GlobalStore -----
+
+TEST(SimServer, WarmJobReusesIntervalMemos)
+{
+    // fir/32768 on r9nano resolves at BB-sampling level (the golden
+    // parity matrix pins this), so the job exercises the interval memo.
+    const service::JobSpec bb_job{"fir", 32768, "photon", "r9nano"};
+    SimServer server(tinyServer(1));
+    ServeResult first = server.runSync(bb_job);
+    ASSERT_TRUE(first.ok) << first.error;
+    StoreStats cold = server.store().stats();
+
+    // The cold job populated per-kernel interval memos in the store.
+    EXPECT_GT(server.status().storeIntervalEntries, 0u);
+
+    // A fresh server sharing no state would recompute every fit; this
+    // one seeds the second job's sampler from the store, so if the
+    // rerun descends to BB sampling again it hits the memo instead.
+    // (When kernel-level sampling short-circuits the rerun entirely,
+    // the memo is simply not consulted — either way the result is
+    // bit-identical.)
+    ServeResult second = server.runSync(bb_job);
+    ASSERT_TRUE(second.ok) << second.error;
+    EXPECT_EQ(second.cycles, first.cycles);
+    EXPECT_EQ(second.insts, first.insts);
+
+    StoreStats warm = server.store().stats();
+    EXPECT_GE(warm.intervalMisses, cold.intervalMisses);
+    EXPECT_GE(warm.intervalHits, cold.intervalHits);
+    // The cold job's own repeated warp BBVs already hit its private
+    // memo, and those counters fold into the store totals.
+    EXPECT_GT(warm.intervalMisses, 0u);
+    server.drain();
+}
+
+TEST(SimServer, StatusCarriesIntervalCountersOverTheWire)
+{
+    SimServer server(tinyServer(1));
+    ServeResult r = server.runSync(spec("relu", 256));
+    ASSERT_TRUE(r.ok) << r.error;
+
+    ServerStatus s = server.status();
+    Response resp;
+    resp.ok = true;
+    resp.hasStatus = true;
+    resp.status = s;
+    Response back;
+    std::string err;
+    ASSERT_TRUE(decodeResponse(encodeResponse(resp), back, &err)) << err;
+    ASSERT_TRUE(back.hasStatus);
+    EXPECT_EQ(back.status.store.intervalHits, s.store.intervalHits);
+    EXPECT_EQ(back.status.store.intervalMisses, s.store.intervalMisses);
+    EXPECT_EQ(back.status.storeIntervalEntries, s.storeIntervalEntries);
+}

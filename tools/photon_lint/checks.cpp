@@ -298,4 +298,88 @@ checkDeterminism(const Model &model, std::vector<Diagnostic> &out)
     }
 }
 
+namespace {
+
+/** Append the identifier words of @p text to @p out, expanding type
+ *  aliases one level at a time (cycle-guarded via @p seen). */
+void
+expandWords(const Model &model, const std::string &text,
+            std::set<std::string> &seen, std::vector<std::string> &out)
+{
+    std::string word;
+    for (std::size_t k = 0; k <= text.size(); ++k) {
+        char c = k < text.size() ? text[k] : ' ';
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+            word += c;
+            continue;
+        }
+        if (!word.empty()) {
+            auto it = model.aliases.find(word);
+            if (it != model.aliases.end() && seen.insert(word).second)
+                expandWords(model, it->second, seen, out);
+            else
+                out.push_back(word);
+            word.clear();
+        }
+    }
+}
+
+bool
+isSequenceWord(const std::string &word)
+{
+    return word == "vector" || word == "deque" || word == "array";
+}
+
+} // namespace
+
+void
+checkAosHotPath(const Model &model, std::vector<Diagnostic> &out)
+{
+    if (model.hotPathFiles.empty())
+        return;
+
+    // An "aggregate" is any class the model knows two or more data
+    // members of: storing such elements contiguously is the
+    // array-of-structures shape the soa-hot-path contract bans.
+    std::map<std::string, int> member_counts;
+    for (const Field &f : model.fields) {
+        if (!f.isStatic)
+            ++member_counts[f.cls];
+    }
+
+    for (const Field &f : model.fields) {
+        if (!model.hotPathFiles.count(f.file) || f.waivedAos)
+            continue;
+        std::set<std::string> seen;
+        std::vector<std::string> words;
+        expandWords(model, f.type, seen, words);
+        expandWords(model, f.templateArgs, seen, words);
+        std::string container;
+        std::string aggregate;
+        for (const std::string &w : words) {
+            if (container.empty() && isSequenceWord(w))
+                container = w;
+            else if (aggregate.empty()) {
+                auto it = member_counts.find(w);
+                if (it != member_counts.end() && it->second >= 2)
+                    aggregate = w;
+            }
+        }
+        if (container.empty() || aggregate.empty())
+            continue;
+        Diagnostic d;
+        d.kind = Kind::AosInHotPath;
+        d.file = f.file;
+        d.line = f.line;
+        d.message =
+            "field '" +
+            (f.cls.empty() ? f.name : f.cls + "::" + f.name) +
+            "' stores aggregate '" + aggregate + "' in a '" + container +
+            "' inside a soa-hot-path file: array-of-structures defeats "
+            "the SoA layout; split into parallel arrays or waive a cold "
+            "path with `// photon-lint: aos-ok`";
+        out.push_back(std::move(d));
+    }
+}
+
 } // namespace photon::lint

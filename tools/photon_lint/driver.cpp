@@ -30,6 +30,8 @@ kindName(Kind kind)
         return "pointer-keyed-order";
     case Kind::UninitializedMember:
         return "uninitialized-member";
+    case Kind::AosInHotPath:
+        return "aos-in-hot-path";
     }
     return "unknown";
 }
@@ -49,6 +51,8 @@ analyzeFiles(const std::vector<std::string> &files, const Options &options)
         diags.insert(diags.end(), model.tokenDiags.begin(),
                      model.tokenDiags.end());
     }
+    if (options.aosCheck)
+        checkAosHotPath(model, diags);
 
     auto key = [](const Diagnostic &d) {
         return std::tie(d.file, d.line, d.message);

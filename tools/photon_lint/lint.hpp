@@ -3,7 +3,7 @@
  * Public API of photon_lint, the in-tree phase-safety and determinism
  * static-analysis pass (DESIGN.md §9).
  *
- * Two checks run over the given sources:
+ * Three checks run over the given sources:
  *
  *  1. Phase safety: functions tagged PHOTON_PHASE_FRONT must not reach
  *     (through the name-level call graph) any write to a field tagged
@@ -20,6 +20,14 @@
  *     containers, and uninitialized scalar members that no constructor
  *     initializes. Waivers: `// photon-lint: nondeterminism-ok`,
  *     `order-insensitive`, `pointer-key-ok`, `uninit-ok`.
+ *
+ *  3. Data layout: in files that opt into the structure-of-arrays
+ *     contract with a `// photon-lint: soa-hot-path` marker comment,
+ *     flags any field that stores an aggregate class (two or more
+ *     data members anywhere in the analyzed program) element-wise in
+ *     a sequence container (`std::vector<Wave> waves_;`-style
+ *     array-of-structures, DESIGN.md §13). Waive a reviewed cold-path
+ *     aggregate with `// photon-lint: aos-ok` on the declaration line.
  */
 
 #ifndef PHOTON_LINT_LINT_HPP
@@ -39,6 +47,7 @@ enum class Kind
     UnorderedIteration,  ///< range-for over unordered_map/unordered_set
     PointerKeyedOrder,   ///< std::map/set keyed by pointer value
     UninitializedMember, ///< scalar member no constructor initializes
+    AosInHotPath,        ///< aggregate vector in a soa-hot-path file
 };
 
 const char *kindName(Kind kind);
@@ -58,6 +67,7 @@ struct Options
 {
     bool phaseCheck = true;
     bool determinismCheck = true;
+    bool aosCheck = true;
 };
 
 /** Analyze the given source files as one program. Results are sorted

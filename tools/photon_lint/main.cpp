@@ -2,7 +2,8 @@
  * @file
  * photon_lint CLI.
  *
- * Usage: photon_lint [--no-phase] [--no-determinism] <file-or-dir>...
+ * Usage: photon_lint [--no-phase] [--no-determinism] [--no-aos]
+ *                    <file-or-dir>...
  *
  * Directories are scanned recursively for .cpp/.cc/.hpp/.h sources.
  * All named sources are analyzed as one program (the call graph and
@@ -55,9 +56,12 @@ main(int argc, char **argv)
             options.phaseCheck = false;
         } else if (arg == "--no-determinism") {
             options.determinismCheck = false;
+        } else if (arg == "--no-aos") {
+            options.aosCheck = false;
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: photon_lint [--no-phase] "
-                        "[--no-determinism] <file-or-dir>...\n");
+                        "[--no-determinism] [--no-aos] "
+                        "<file-or-dir>...\n");
             return 0;
         } else {
             gather(arg, files);

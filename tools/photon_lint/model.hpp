@@ -69,6 +69,10 @@ struct Field
     std::string cls;
     std::string name;
     std::string type; ///< space-joined declaration type tokens
+    /** Space-joined tokens of the declaration's template argument
+     *  lists (the `Wave` of `std::vector<Wave>`); type keeps only a
+     *  `<` marker. */
+    std::string templateArgs;
     std::string file;
     int line = 0;
     bool tagShared = false;
@@ -76,6 +80,7 @@ struct Field
     bool isStatic = false; ///< static / constexpr
     bool isRef = false;    ///< reference type (ctor-init enforced by C++)
     bool waivedUninit = false; ///< "// photon-lint: uninit-ok"
+    bool waivedAos = false;    ///< "// photon-lint: aos-ok"
 };
 
 /** Whole-program model, merged across translation units. */
@@ -93,6 +98,9 @@ struct Model
     /** Class -> member names covered by some constructor init list or
      *  assigned in a constructor body. */
     std::map<std::string, std::set<std::string>> ctorInits;
+    /** Files carrying a `// photon-lint: soa-hot-path` marker: their
+     *  fields opt into the structure-of-arrays layout check. */
+    std::set<std::string> hotPathFiles;
     /** Token-level findings gathered during parsing (determinism). */
     std::vector<Diagnostic> tokenDiags;
 
@@ -109,6 +117,10 @@ void checkPhases(const Model &model, std::vector<Diagnostic> &out);
 /** Whole-model determinism checks (unordered iteration, uninitialized
  *  members); token-level findings are already in tokenDiags. */
 void checkDeterminism(const Model &model, std::vector<Diagnostic> &out);
+
+/** Data-layout pass: aggregate-element sequence containers declared in
+ *  hot-path (soa-hot-path) files. */
+void checkAosHotPath(const Model &model, std::vector<Diagnostic> &out);
 
 } // namespace photon::lint
 

@@ -76,6 +76,12 @@ class Parser
     void
     run()
     {
+        for (const auto &waiver : f_.waivers) {
+            if (waiver.second.find("soa-hot-path") != std::string::npos) {
+                m_.hotPathFiles.insert(f_.path);
+                break;
+            }
+        }
         parseScopeBody("", false);
         if (o_.determinismCheck)
             tokenScan();
@@ -121,9 +127,11 @@ class Parser
 
     /** Consume a balanced template-argument list starting at `<`.
      *  Bails (without consuming) on `;`/`{`/`}` so a comparison
-     *  operator mistaken for a template bracket cannot run away. */
+     *  operator mistaken for a template bracket cannot run away.
+     *  When @p argsOut is given, the consumed tokens (brackets
+     *  included) are appended space-joined. */
     void
-    skipAngles()
+    skipAngles(std::string *argsOut = nullptr)
     {
         int depth = 0;
         while (!atEnd()) {
@@ -138,6 +146,10 @@ class Parser
             else if (tok().is("(")) {
                 skipBalanced("(", ")");
                 continue;
+            }
+            if (argsOut != nullptr) {
+                *argsOut += tok().text;
+                *argsOut += ' ';
             }
             advance();
             if (depth <= 0)
@@ -314,6 +326,7 @@ class Parser
              is_static = false;
         std::string func_name;
         std::string explicit_cls;
+        std::string templ_args; ///< tokens inside `<...>` groups
         std::vector<Token> head;  ///< top-level tokens before terminator
         std::vector<Token> params;
         std::set<std::string> ctor_inits;
@@ -347,7 +360,7 @@ class Parser
             }
             if (t.is("<")) {
                 head.push_back(t); // keep a marker: templated type
-                skipAngles();
+                skipAngles(&templ_args);
                 continue;
             }
             if (t.is("~") && tok(1).isIdent()) { // destructor
@@ -467,6 +480,8 @@ class Parser
             field.hasInit = has_init;
             field.isStatic = is_static;
             field.waivedUninit = f_.waived(decl_line, "uninit-ok");
+            field.waivedAos = f_.waived(decl_line, "aos-ok");
+            field.templateArgs = templ_args;
             std::string type;
             for (std::size_t k = 0; k < name_idx; ++k) {
                 if (head[k].is("&"))

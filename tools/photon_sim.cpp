@@ -422,6 +422,7 @@ printStatus(const serve::ServerStatus &s)
         "%llu dedup-collapsed\n"
         "kernel cache: %llu hits / %llu misses (%.1f%% hit rate), "
         "%llu inserts, %llu analyses reused\n"
+        "interval memo: %llu hits / %llu misses, %zu entries\n"
         "store: %zu kernel records, %zu analyses, %llu checkpoints\n",
         s.workers, s.cuThreads, s.cuThreadsDegraded ? " [degraded]" : "",
         static_cast<unsigned long long>(s.queued),
@@ -438,6 +439,9 @@ printStatus(const serve::ServerStatus &s)
                 : 0.0,
         static_cast<unsigned long long>(s.store.cacheInserts),
         static_cast<unsigned long long>(s.store.analysesReused),
+        static_cast<unsigned long long>(s.store.intervalHits),
+        static_cast<unsigned long long>(s.store.intervalMisses),
+        s.storeIntervalEntries,
         s.storeKernelRecords, s.storeAnalyses,
         static_cast<unsigned long long>(s.store.checkpoints));
 }
