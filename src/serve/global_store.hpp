@@ -146,26 +146,35 @@ class GlobalStore
     const Options &options() const { return opts_; }
 
   private:
+    /** Flush to opts_.path; the caller already holds mu_ (enforced by
+     *  the lint lock-set pass at every call site). */
+    PHOTON_REQUIRES_LOCK(mu_)
     bool writeCheckpointLocked(std::string *error);
 
     mutable std::mutex mu_;
     Options opts_;
     PHOTON_SHARED_STATE
+    PHOTON_GUARDED_BY(mu_)
     service::Artifact store_;
     PHOTON_SHARED_STATE
+    PHOTON_GUARDED_BY(mu_)
     StoreStats stats_;
     /** spec label -> learned GPU-BBV fingerprint (in-memory only; the
      *  artifact format is unchanged, the registry re-learns after a
      *  restart from the first execution — or never needs to, when the
      *  warm cache answers the request without a detailed run). */
+    PHOTON_GUARDED_BY(mu_)
     std::map<std::string, std::uint64_t> fingerprints_;
     /** gpu -> per-kernel interval memos (in-memory only, like the
      *  fingerprint registry: memos are a pure acceleration and rebuild
      *  from the first execution after a restart — the artifact format
      *  is unchanged). */
+    PHOTON_GUARDED_BY(mu_)
     std::map<std::string, sampling::PhotonSampler::IntervalMemoStore>
         intervalMemos_;
+    PHOTON_GUARDED_BY(mu_)
     std::uint32_t sinceCheckpoint_ = 0;
+    PHOTON_GUARDED_BY(mu_)
     bool dirty_ = false;
 };
 

@@ -157,6 +157,9 @@ class SimServer
 
     void workerLoop(std::size_t worker);
     ServeResult executeJob(const service::JobSpec &spec);
+    /** Record an already-completed result; the caller holds mu_
+     *  (enforced by the lint lock-set pass at every call site). */
+    PHOTON_REQUIRES_LOCK(mu_)
     Ticket finishedTicketLocked(ServeResult result);
 
     ServerOptions opts_;
@@ -175,8 +178,10 @@ class SimServer
     service::WorkStealDeques<PendingPtr> queue_;
     /** admission key -> job not yet finished (queued or running). */
     PHOTON_SHARED_STATE
+    PHOTON_GUARDED_BY(mu_)
     std::map<std::uint64_t, PendingPtr> inFlight_;
     PHOTON_SHARED_STATE
+    PHOTON_GUARDED_BY(mu_)
     std::map<Ticket, TicketState> tickets_;
     Ticket nextTicket_ = 1;
     std::uint64_t submitted_ = 0;

@@ -24,6 +24,7 @@
 
 #include "sampling/kernel_cache.hpp"
 #include "sampling/photon.hpp"
+#include "sim/phase_annotations.hpp"
 
 namespace photon::service {
 
@@ -85,7 +86,10 @@ std::string serializeArtifact(const Artifact &artifact);
 /** Parse a serialized artifact; on failure @p out is left empty. */
 LoadStatus deserializeArtifact(std::string_view bytes, Artifact &out);
 
-/** Write @p artifact to @p path; returns ok=false on I/O failure. */
+/** Write @p artifact to @p path; returns ok=false on I/O failure.
+ *  Persisted artifacts must be bit-identical across reruns, so a
+ *  nondeterministic value reaching this writer is a bug. */
+PHOTON_DET_SINK
 LoadStatus saveArtifact(const Artifact &artifact, const std::string &path);
 
 /** Read an artifact from @p path (I/O, magic, version and structural

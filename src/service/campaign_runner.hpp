@@ -84,6 +84,7 @@ class SharedSignatureStore
   private:
     mutable std::mutex mu_;
     PHOTON_SHARED_STATE
+    PHOTON_GUARDED_BY(mu_)
     Artifact store_;
 };
 

@@ -142,6 +142,7 @@ class WorkStealDeques
     {
         std::mutex mu;
         PHOTON_SHARED_STATE
+        PHOTON_GUARDED_BY(mu)
         std::deque<T> q;
     };
 

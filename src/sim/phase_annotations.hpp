@@ -42,6 +42,39 @@
 #define PHOTON_SHARED_STATE
 #define PHOTON_PHASE_EXEMPT
 
+/*
+ * Flow-sensitive vocabulary (PR 8). Where PHOTON_PHASE_EXEMPT is a
+ * *trusted* promise ("internally synchronized"), PHOTON_GUARDED_BY
+ * upgrades it to a *checked* contract: photon_lint's lock-set pass
+ * tracks std::lock_guard / unique_lock / scoped_lock lifetimes through
+ * each function's control-flow graph and requires the named mutex to
+ * be held on every path to every write of the tagged field (unless the
+ * write sits in the serial commit closure).
+ *
+ *  - PHOTON_GUARDED_BY(m)     — field annotation: writes require mutex
+ *    member `m` to be held (must-hold over all CFG paths).
+ *  - PHOTON_REQUIRES_LOCK(m)  — function annotation for the
+ *    locked-helper idiom (`...Locked()` methods): the body is analyzed
+ *    as if `m` were already held, and every call site is checked to
+ *    actually hold `m`.
+ *  - PHOTON_DET_SINK          — function or field annotation: a
+ *    determinism sink (telemetry/report JSON writers, artifact-store
+ *    serialization, stat accumulators). The taint pass reports any
+ *    value derived from a nondeterministic source (rand/time/
+ *    random_device, this_thread::get_id, pointer->integer casts,
+ *    unordered-container iteration) that reaches a sink argument or a
+ *    sink field, with the full source-to-sink taint chain.
+ *  - PHOTON_DET_SOURCE_OK     — function annotation: nondeterministic
+ *    sources inside are reviewed-acceptable (e.g. wall-clock probes
+ *    whose results never feed simulated state); the taint pass
+ *    neither seeds taint inside the body nor treats its return value
+ *    as tainted.
+ */
+#define PHOTON_GUARDED_BY(mutex)
+#define PHOTON_REQUIRES_LOCK(mutex)
+#define PHOTON_DET_SINK
+#define PHOTON_DET_SOURCE_OK
+
 #ifndef PHOTON_PHASE_CHECKS
 #ifdef NDEBUG
 #define PHOTON_PHASE_CHECKS 0

@@ -40,6 +40,7 @@
 #include "func/wave_state.hpp"
 #include "isa/program.hpp"
 #include "sim/config.hpp"
+#include "sim/phase_annotations.hpp"
 #include "sim/stats.hpp"
 #include "timing/cu.hpp"
 #include "timing/dispatcher.hpp"
@@ -145,7 +146,9 @@ class Gpu
     MemorySystem &memsys() { return memsys_; }
     const func::Emulator &emulator() const { return emu_; }
 
-    /** Export memory-system and run statistics. */
+    /** Export memory-system and run statistics. Exported counters are
+     *  user-visible results (determinism sink). */
+    PHOTON_DET_SINK
     void exportStats(StatRegistry &stats) const;
 
   private:

@@ -81,7 +81,10 @@ class MemorySystem
     PHOTON_SHARED_STATE
     Cycle instAccess(std::uint32_t cuId, std::uint64_t lineAddr, Cycle now);
 
-    /** Export hit/miss/queueing counters into @p stats. */
+    /** Export hit/miss/queueing counters into @p stats. Exported
+     *  counters are user-visible results: feeding them anything
+     *  nondeterministic breaks run-to-run reproducibility. */
+    PHOTON_DET_SINK
     void exportStats(StatRegistry &stats) const;
 
     /**

@@ -218,8 +218,15 @@ class NetBuilder
     static std::string
     dimKey(const Tensor &t)
     {
-        return "_" + std::to_string(t.c) + "x" + std::to_string(t.h) +
-               "x" + std::to_string(t.w);
+        // Built up by append: chained operator+ trips a GCC 12
+        // -Wrestrict false positive under -Werror.
+        std::string key = "_";
+        key += std::to_string(t.c);
+        key += 'x';
+        key += std::to_string(t.h);
+        key += 'x';
+        key += std::to_string(t.w);
+        return key;
     }
 
     Tensor

@@ -1,0 +1,120 @@
+// Determinism-taint fixture: every "BAD" site below must produce
+// exactly one tainted-sink diagnostic (pinned by line in
+// test_photon_lint.cpp); every "OK" site must stay silent.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#define PHOTON_DET_SINK
+#define PHOTON_DET_SOURCE_OK
+
+PHOTON_DET_SINK
+void emitResult(long value);
+
+void helper(long value);
+
+// BAD(21): source flows straight into the sink argument.
+void directSource()
+{
+    emitResult(rand());
+}
+
+// BAD(30): source propagates through two assignments; the report
+// carries the full source-to-sink chain.
+void assignmentChain()
+{
+    long seed = rand();
+    long cooked = seed + 1;
+    emitResult(cooked);
+}
+
+// Return-taint summary: callers of freshSeed() become tainted.
+long freshSeed()
+{
+    return rand();
+}
+
+// BAD(43): taint enters through the callee's return summary.
+void viaReturn()
+{
+    long v = freshSeed();
+    emitResult(v);
+}
+
+// BAD(50): pointer-to-integer cast is allocation-order dependent.
+void pointerCast(const int *p)
+{
+    long key = reinterpret_cast<std::uintptr_t>(p);
+    emitResult(key);
+}
+
+// Helper that launders a thread id through its return value.
+long threadTag()
+{
+    auto id = std::this_thread::get_id();
+    return std::hash<std::thread::id>{}(id);
+}
+
+// BAD(63): thread identity reaches the sink through the helper.
+void viaThreadId()
+{
+    emitResult(threadTag());
+}
+
+// BAD(70): hash-order iteration taints the loop variable.
+void unorderedWalk(const std::unordered_map<int, long> &table)
+{
+    for (const auto &entry : table) {
+        emitResult(entry.second);
+    }
+}
+
+class Accumulator
+{
+  public:
+    // BAD(80): tainted value written into a DET_SINK field.
+    void absorb()
+    {
+        total_ += rand();
+    }
+
+    // OK: plain deterministic accumulation.
+    void add(long v)
+    {
+        total_ += v;
+    }
+
+  private:
+    PHOTON_DET_SINK
+    long total_ = 0;
+};
+
+// OK: the plain `=` strong update kills the taint before the sink.
+void killedBeforeSink()
+{
+    long v = rand();
+    v = 7;
+    emitResult(v);
+}
+
+// OK: reviewed wall-clock use, suppressed at the function level.
+PHOTON_DET_SOURCE_OK
+long sessionNonce()
+{
+    return rand();
+}
+
+// OK: the suppressed summary keeps callers clean too.
+void viaSessionNonce()
+{
+    emitResult(sessionNonce());
+}
+
+// OK: reviewed sink site, explicitly waived.
+void waivedSink()
+{
+    long v = rand();
+    emitResult(v); // photon-lint: taint-ok
+}

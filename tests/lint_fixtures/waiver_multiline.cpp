@@ -1,0 +1,31 @@
+// Waiver-binding fixture: a waiver written on its own comment line
+// (line comment or block comment) binds to the next line that carries
+// code, exactly like an end-of-line waiver on that line.
+#include <cstdlib>
+
+int waivedByPrecedingLineComment()
+{
+    // Reviewed: seeds a throwaway local fuzz buffer, never a result.
+    // photon-lint: nondeterminism-ok
+    return rand();
+}
+
+int waivedByBlockComment()
+{
+    /* Reviewed: wall-clock use is confined to log labels.
+     * photon-lint: nondeterminism-ok
+     */
+    return rand();
+}
+
+int notWaived()
+{
+    return rand();
+}
+
+int waivedAcrossBlankLine()
+{
+    // photon-lint: nondeterminism-ok
+
+    return rand();
+}

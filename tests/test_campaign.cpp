@@ -172,8 +172,12 @@ TEST(SharedSignatureStore, ConcurrentPublishersAndReaders)
         threads.emplace_back([&store, t]() {
             for (int i = 0; i < kPerThread; ++i) {
                 sampling::KernelRecord rec;
-                rec.name =
-                    "k" + std::to_string(t) + "_" + std::to_string(i);
+                // Built up by append: chained operator+ trips a GCC 12
+                // -Wrestrict false positive under -Werror.
+                rec.name = "k";
+                rec.name += std::to_string(t);
+                rec.name += '_';
+                rec.name += std::to_string(i);
                 rec.numWarps = 64;
                 store.publish(t % 2 ? "a" : "b", {rec}, {});
                 StoreGroup snap = store.snapshot("a");

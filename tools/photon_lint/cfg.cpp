@@ -1,0 +1,1163 @@
+/**
+ * @file
+ * CFG construction for photon_lint's flow-sensitive passes.
+ *
+ * A recursive-descent walk over one function body's tokens builds
+ * basic blocks and edges for if/else, while, do, for (classic and
+ * range), switch (head -> every label + fallthrough), try/catch,
+ * return/throw (edge to the exit block), and break/continue (edge to
+ * the innermost loop's break/continue targets). Straight-line code
+ * becomes event sequences: writes with their member chains and
+ * right-hand-side summaries, calls with per-argument summaries, and
+ * guard acquire/release events from std::lock_guard / unique_lock /
+ * scoped_lock / shared_lock declarations, scope ends, and explicit
+ * .lock()/.unlock() calls.
+ *
+ * Deliberate approximations, all biased so the must-lockset analysis
+ * stays sound for the annotated tree: lambda bodies are skipped
+ * (their captures run on foreign paths), `try_to_lock`/`defer_lock`
+ * guards acquire nothing at construction, a classic for's increment
+ * is not replayed on `continue` paths, and unknown statement shapes
+ * degrade to a plain expression walk that still records calls and
+ * uses.
+ */
+
+#include "cfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace photon::lint {
+
+namespace {
+
+constexpr std::size_t kMaxBlocks = 4096;
+
+const std::set<std::string> kGuardTypes = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+};
+
+const std::set<std::string> kMutatingMethods = {
+    "clear",   "push_back", "pop_back",     "insert",  "emplace",
+    "emplace_back", "try_emplace", "assign", "resize", "erase",
+    "reserve", "store",     "fetch_add",    "fetch_sub", "exchange",
+    "push",    "pop",       "swap",
+};
+
+const std::set<std::string> kAssignOps = {
+    "=",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+};
+
+const std::set<std::string> kCallKeywords = {
+    "if",     "for",   "while",  "switch", "return", "sizeof",
+    "alignof", "catch", "new",    "delete", "throw",  "decltype",
+    "static_assert", "defined", "do", "else", "case",
+};
+
+const std::set<std::string> kSourceCalls = {
+    "rand", "srand", "drand48", "lrand48", "gettimeofday", "time",
+    "clock",
+};
+
+const std::set<std::string> kNoReturnCalls = {
+    "panic", "abort", "exit", "_Exit", "quick_exit", "terminate",
+};
+
+const std::set<std::string> kIntegerCastWords = {
+    "uintptr_t", "intptr_t", "size_t",  "uint64_t", "int64_t",
+    "uint32_t",  "int32_t",  "long",    "int",      "unsigned",
+    "ptrdiff_t",
+};
+
+class CfgBuilder
+{
+  public:
+    CfgBuilder(const LexedFile &file, std::size_t begin, std::size_t end)
+        : f_(file), i_(begin), end_(std::min(end, file.tokens.size()))
+    {
+        cfg_.blocks.emplace_back(); // 0: entry
+        cfg_.blocks.emplace_back(); // 1: exit
+        cfg_.exit = 1;
+        cfg_.blocks[0].line = curLine();
+    }
+
+    Cfg
+    build()
+    {
+        guardScopes_.push_back({});
+        if (at("{"))
+            parseCompound();
+        edge(cur_, cfg_.exit);
+        return std::move(cfg_);
+    }
+
+  private:
+    const LexedFile &f_;
+    std::size_t i_;
+    std::size_t end_;
+    Cfg cfg_;
+    std::size_t cur_ = 0;
+
+    struct LoopCtx
+    {
+        std::size_t breakTo = 0;
+        std::size_t continueTo = 0;
+        std::size_t scopeDepth = 0; ///< guardScopes_ size at loop entry
+    };
+    std::vector<LoopCtx> loops_;
+    /** Mutexes acquired by guards declared in each open lexical
+     *  scope; released (Unguard) when the scope closes. */
+    std::vector<std::vector<std::string>> guardScopes_;
+    /** Guard variable -> mutexes it manages (.lock()/.unlock()). */
+    std::map<std::string, std::vector<std::string>> guardVars_;
+
+    // ---- token access --------------------------------------------
+
+    const Token &
+    tokAt(std::size_t j) const
+    {
+        if (j >= f_.tokens.size())
+            j = f_.tokens.size() - 1; // the End token
+        return f_.tokens[j];
+    }
+
+    bool atEnd() const { return i_ >= end_; }
+    bool at(const char *t) const { return !atEnd() && tokAt(i_).is(t); }
+    void advance()
+    {
+        if (!atEnd())
+            ++i_;
+    }
+
+    int
+    curLine() const
+    {
+        return atEnd() ? (end_ > 0 ? tokAt(end_ - 1).line : 0)
+                       : tokAt(i_).line;
+    }
+
+    /** One past the token matching @p open at index @p j. */
+    std::size_t
+    matchFrom(std::size_t j, const char *open, const char *close,
+              std::size_t limit) const
+    {
+        int d = 0;
+        while (j < limit) {
+            if (tokAt(j).is(open))
+                ++d;
+            else if (tokAt(j).is(close)) {
+                --d;
+                if (d == 0)
+                    return j + 1;
+            }
+            ++j;
+        }
+        return limit;
+    }
+
+    // ---- graph helpers -------------------------------------------
+
+    std::size_t
+    newBlock(int line)
+    {
+        if (cfg_.blocks.size() >= kMaxBlocks)
+            return cfg_.exit; // degrade on pathological bodies
+        cfg_.blocks.emplace_back();
+        cfg_.blocks.back().line = line;
+        return cfg_.blocks.size() - 1;
+    }
+
+    void
+    edge(std::size_t a, std::size_t b)
+    {
+        auto &succs = cfg_.blocks[a].succs;
+        if (std::find(succs.begin(), succs.end(), b) == succs.end())
+            succs.push_back(b);
+    }
+
+    void emit(CfgEvent ev) { cfg_.blocks[cur_].events.push_back(std::move(ev)); }
+
+    void
+    emitGuard(CfgEvent::Kind kind, const std::string &mutex, int line)
+    {
+        CfgEvent ev;
+        ev.kind = kind;
+        ev.line = line;
+        ev.name = mutex;
+        emit(std::move(ev));
+    }
+
+    /** Unguard every guard scope deeper than @p depth (break /
+     *  continue leaving guarded scopes). */
+    void
+    releaseScopesDeeperThan(std::size_t depth, int line)
+    {
+        for (std::size_t s = guardScopes_.size(); s-- > depth;) {
+            for (auto it = guardScopes_[s].rbegin();
+                 it != guardScopes_[s].rend(); ++it)
+                emitGuard(CfgEvent::Kind::Unguard, *it, line);
+        }
+    }
+
+    void
+    jumpTo(std::size_t target, std::size_t scopeDepth)
+    {
+        releaseScopesDeeperThan(scopeDepth, curLine());
+        edge(cur_, target);
+        cur_ = newBlock(curLine()); // dead until something edges in
+    }
+
+    // ---- expression walking --------------------------------------
+
+    struct Chain
+    {
+        std::vector<std::string> parts;
+        std::vector<std::string> seps; ///< seps[i] precedes parts[i]
+    };
+
+    Chain
+    collectChain(std::size_t &j, std::size_t limit) const
+    {
+        Chain c;
+        std::string sep;
+        while (j < limit && tokAt(j).isIdent()) {
+            c.parts.push_back(tokAt(j).text);
+            c.seps.push_back(sep);
+            ++j;
+            if (j + 1 < limit &&
+                (tokAt(j).is(".") || tokAt(j).is("->") ||
+                 tokAt(j).is("::")) &&
+                tokAt(j + 1).isIdent()) {
+                sep = tokAt(j).text;
+                ++j;
+                continue;
+            }
+            break;
+        }
+        // `this->member` writes and reads target the member.
+        if (c.parts.size() > 1 && c.parts[0] == "this") {
+            c.parts.erase(c.parts.begin());
+            c.seps.erase(c.seps.begin());
+            c.seps[0].clear();
+        }
+        return c;
+    }
+
+    /** Index of the chain's value base: the first part not acting as
+     *  a namespace/class qualifier (`stats_` of `stats_.hits`,
+     *  `now` of `std::chrono::steady_clock::now`). */
+    static std::size_t
+    baseIndex(const Chain &c)
+    {
+        for (std::size_t k = 0; k + 1 < c.parts.size(); ++k) {
+            if (c.seps[k + 1] != "::")
+                return k;
+        }
+        return c.parts.empty() ? 0 : c.parts.size() - 1;
+    }
+
+    static std::string
+    chainString(const Chain &c, std::size_t from)
+    {
+        std::string s;
+        for (std::size_t k = from; k < c.parts.size(); ++k) {
+            if (k > from)
+                s += '.';
+            s += c.parts[k];
+        }
+        return s;
+    }
+
+    static void
+    mergeExpr(CfgExpr &into, const CfgExpr &from)
+    {
+        into.uses.insert(into.uses.end(), from.uses.begin(),
+                         from.uses.end());
+        into.calls.insert(into.calls.end(), from.calls.begin(),
+                          from.calls.end());
+        into.sources.insert(into.sources.end(), from.sources.begin(),
+                            from.sources.end());
+    }
+
+    bool
+    sourceWaived(int line) const
+    {
+        return f_.waived(line, "nondeterminism-ok") ||
+               f_.waived(line, "taint-ok");
+    }
+
+    void
+    addSource(CfgExpr &out, const std::string &desc, int line) const
+    {
+        if (!sourceWaived(line))
+            out.sources.push_back(desc + " (" + f_.path + ":" +
+                                  std::to_string(line) + ")");
+    }
+
+    void
+    emitWrite(const Chain &c, const std::string &how, bool compound,
+              CfgExpr expr, int line)
+    {
+        if (c.parts.empty())
+            return;
+        std::size_t base = baseIndex(c);
+        CfgEvent ev;
+        ev.kind = CfgEvent::Kind::Write;
+        ev.line = line;
+        ev.name = c.parts[base];
+        ev.how = how;
+        ev.chain = chainString(c, base);
+        ev.compound = compound;
+        ev.expr = std::move(expr);
+        ev.waivedLockset = f_.waived(line, "lockset-ok");
+        ev.waivedTaint = f_.waived(line, "taint-ok");
+        emit(std::move(ev));
+    }
+
+    /** Resolve a .lock()/.unlock() receiver to mutex names: a known
+     *  guard variable toggles its mutexes, anything else is treated
+     *  as the mutex itself (named by the receiver's last part). */
+    std::vector<std::string>
+    mutexesOf(const Chain &receiver) const
+    {
+        if (receiver.parts.size() == 1) {
+            auto it = guardVars_.find(receiver.parts[0]);
+            if (it != guardVars_.end())
+                return it->second;
+        }
+        return {receiver.parts.back()};
+    }
+
+    /** Walk [b, e) as an expression: emit Call/Write/Guard events
+     *  into the current block and return the aggregate summary. */
+    CfgExpr
+    walkRange(std::size_t b, std::size_t e)
+    {
+        CfgExpr out;
+        std::size_t j = b;
+        while (j < e) {
+            const Token &t = tokAt(j);
+            if (t.is("(") || t.is("[")) {
+                // Grouping / subscript: recurse into the contents.
+                std::size_t close = matchFrom(j, t.is("(") ? "(" : "[",
+                                              t.is("(") ? ")" : "]", e);
+                mergeExpr(out, walkRange(j + 1,
+                                         close > j + 1 ? close - 1
+                                                       : j + 1));
+                j = close;
+                continue;
+            }
+            if (t.is("{")) {
+                std::size_t close = matchFrom(j, "{", "}", e);
+                bool lambda_body =
+                    j > b && (tokAt(j - 1).is(")") || tokAt(j - 1).is("]"));
+                if (!lambda_body) // init-list: operands still flow
+                    mergeExpr(out, walkRange(j + 1,
+                                             close > j + 1 ? close - 1
+                                                           : j + 1));
+                j = close;
+                continue;
+            }
+            if ((t.is("++") || t.is("--")) && j + 1 < e &&
+                tokAt(j + 1).isIdent()) {
+                std::size_t k = j + 1;
+                Chain c = collectChain(k, e);
+                emitWrite(c, t.text, true, CfgExpr{}, t.line);
+                if (!c.parts.empty())
+                    out.uses.push_back(c.parts[baseIndex(c)]);
+                j = k;
+                continue;
+            }
+            if (t.isIdent() && t.is("reinterpret_cast") && j + 1 < e &&
+                tokAt(j + 1).is("<")) {
+                std::size_t k = j + 1;
+                int d = 0;
+                bool integral = false;
+                while (k < e) {
+                    if (tokAt(k).is("<"))
+                        ++d;
+                    else if (tokAt(k).is(">"))
+                        --d;
+                    else if (tokAt(k).is(">>"))
+                        d -= 2;
+                    else if (tokAt(k).isIdent() &&
+                             kIntegerCastWords.count(tokAt(k).text))
+                        integral = true;
+                    ++k;
+                    if (d <= 0)
+                        break;
+                }
+                if (integral)
+                    addSource(out,
+                              "pointer-to-integer 'reinterpret_cast'",
+                              t.line);
+                j = k;
+                continue;
+            }
+            if (t.isIdent()) {
+                std::size_t k = j;
+                Chain c = collectChain(k, e);
+                const std::string &last = c.parts.back();
+                bool member_prefixed =
+                    j > 0 && (tokAt(j - 1).is(".") || tokAt(j - 1).is("->"));
+                if (k < e && tokAt(k).is("(")) {
+                    std::size_t close = matchFrom(k, "(", ")", e);
+                    std::string lastSep = c.seps.back();
+                    if ((last == "lock" || last == "unlock") &&
+                        c.parts.size() >= 2 &&
+                        (lastSep == "." || lastSep == "->")) {
+                        Chain recv = c;
+                        recv.parts.pop_back();
+                        recv.seps.pop_back();
+                        for (const std::string &m : mutexesOf(recv))
+                            emitGuard(last == "lock"
+                                          ? CfgEvent::Kind::Guard
+                                          : CfgEvent::Kind::Unguard,
+                                      m, t.line);
+                        j = close;
+                        continue;
+                    }
+                    if (c.parts.size() >= 2 &&
+                        kMutatingMethods.count(last) &&
+                        (lastSep == "." || lastSep == "->")) {
+                        Chain recv = c;
+                        recv.parts.pop_back();
+                        recv.seps.pop_back();
+                        CfgExpr args = walkRange(k + 1, close > k + 1
+                                                            ? close - 1
+                                                            : k + 1);
+                        mergeExpr(out, args);
+                        if (!recv.parts.empty())
+                            out.uses.push_back(
+                                recv.parts[baseIndex(recv)]);
+                        emitWrite(recv, "." + last, true,
+                                  std::move(args), t.line);
+                        j = close;
+                        continue;
+                    }
+                    if (kCallKeywords.count(last)) {
+                        mergeExpr(out, walkRange(k + 1, close > k + 1
+                                                            ? close - 1
+                                                            : k + 1));
+                        j = close;
+                        continue;
+                    }
+                    // A real call: split top-level commas into args.
+                    CfgEvent call;
+                    call.kind = CfgEvent::Kind::Call;
+                    call.line = t.line;
+                    call.name = last;
+                    call.waivedLockset = f_.waived(t.line, "lockset-ok");
+                    call.waivedTaint = f_.waived(t.line, "taint-ok");
+                    std::size_t argB = k + 1;
+                    std::size_t inner_end = close > k + 1 ? close - 1
+                                                          : k + 1;
+                    int d = 0;
+                    for (std::size_t a = argB; a <= inner_end; ++a) {
+                        bool split = a == inner_end;
+                        if (!split) {
+                            const Token &u = tokAt(a);
+                            if (u.is("(") || u.is("[") || u.is("{"))
+                                ++d;
+                            else if (u.is(")") || u.is("]") ||
+                                     u.is("}"))
+                                --d;
+                            else if (u.is(",") && d == 0)
+                                split = true;
+                            if (!split)
+                                continue;
+                        }
+                        if (a > argB || a < inner_end ||
+                            inner_end > argB) {
+                            CfgExpr arg = walkRange(argB, a);
+                            mergeExpr(out, arg);
+                            call.args.push_back(std::move(arg));
+                        }
+                        argB = a + 1;
+                    }
+                    out.calls.push_back(last);
+                    if (c.parts.size() == 1 && !member_prefixed &&
+                        kSourceCalls.count(last))
+                        addSource(out, "call to '" + last + "'",
+                                  t.line);
+                    if (last == "get_id" &&
+                        std::find(c.parts.begin(), c.parts.end(),
+                                  "this_thread") != c.parts.end())
+                        addSource(out,
+                                  "'std::this_thread::get_id' value",
+                                  t.line);
+                    emit(std::move(call));
+                    j = close;
+                    continue;
+                }
+                if (k < e && (tokAt(k).is("++") || tokAt(k).is("--"))) {
+                    emitWrite(c, tokAt(k).text, true, CfgExpr{},
+                              t.line);
+                    out.uses.push_back(c.parts[baseIndex(c)]);
+                    j = k + 1;
+                    continue;
+                }
+                // Plain use.
+                std::size_t base = baseIndex(c);
+                if (c.parts[base] != "std")
+                    out.uses.push_back(c.parts[base]);
+                if (std::find(c.parts.begin(), c.parts.end(),
+                              "random_device") != c.parts.end())
+                    addSource(out, "'std::random_device' value",
+                              t.line);
+                j = k;
+                continue;
+            }
+            ++j;
+        }
+        return out;
+    }
+
+    /** Walk a parenthesized group at the cursor, consuming it. */
+    CfgExpr
+    walkParens()
+    {
+        std::size_t close = matchFrom(i_, "(", ")", end_);
+        CfgExpr e = walkRange(i_ + 1, close > i_ + 1 ? close - 1 : i_ + 1);
+        i_ = close;
+        return e;
+    }
+
+    // ---- statements ----------------------------------------------
+
+    /** Index of the `;` ending the statement at the cursor (balanced
+     *  over parens/brackets/braces), or of an unbalanced `}`. */
+    std::size_t
+    findStmtEnd() const
+    {
+        std::size_t j = i_;
+        int d = 0;
+        while (j < end_) {
+            const Token &t = tokAt(j);
+            if (t.is("(") || t.is("[") || t.is("{"))
+                ++d;
+            else if (t.is(")") || t.is("]"))
+                --d;
+            else if (t.is("}")) {
+                if (d == 0)
+                    return j;
+                --d;
+            } else if (t.is(";") && d == 0) {
+                return j;
+            }
+            ++j;
+        }
+        return end_;
+    }
+
+    /** Does the statement [b, e) begin with a no-return call
+     *  (photon::panic, std::abort, ...)? */
+    bool
+    isNoReturnStmt(std::size_t b, std::size_t e) const
+    {
+        std::size_t j = b;
+        if (j < e && tokAt(j).is("::"))
+            ++j;
+        if (j >= e || !tokAt(j).isIdent())
+            return false;
+        std::size_t k = j;
+        Chain c = collectChain(k, e);
+        return k < e && tokAt(k).is("(") && !c.parts.empty() &&
+               kNoReturnCalls.count(c.parts.back()) > 0;
+    }
+
+    /** Analyze one statement-shaped token range: a top-level
+     *  assignment becomes a Write with its right-hand-side summary;
+     *  anything else is a plain expression walk. */
+    void
+    analyzeStmtRange(std::size_t b, std::size_t e)
+    {
+        if (b >= e)
+            return;
+        std::size_t p = e;
+        int d = 0;
+        for (std::size_t j = b; j < e; ++j) {
+            const Token &t = tokAt(j);
+            if (t.is("(") || t.is("[") || t.is("{"))
+                ++d;
+            else if (t.is(")") || t.is("]") || t.is("}"))
+                --d;
+            else if (d == 0 && t.kind == Token::Kind::Punct &&
+                     kAssignOps.count(t.text)) {
+                p = j;
+                break;
+            }
+        }
+        if (p >= e) {
+            walkRange(b, e);
+            return;
+        }
+        // Left-hand side: the identifier chain ending just before the
+        // operator (subscript groups skipped; `buf[i] = v` writes buf).
+        std::size_t j = p;
+        Chain c;
+        while (j > b) {
+            const Token &t = tokAt(j - 1);
+            if (t.is("]")) {
+                int depth = 0;
+                while (j > b) {
+                    const Token &u = tokAt(j - 1);
+                    if (u.is("]"))
+                        ++depth;
+                    else if (u.is("["))
+                        --depth;
+                    --j;
+                    if (depth == 0)
+                        break;
+                }
+                continue;
+            }
+            if (t.isIdent()) {
+                c.parts.insert(c.parts.begin(), t.text);
+                c.seps.insert(c.seps.begin(),
+                              j >= b + 2 ? tokAt(j - 2).text : "");
+                --j;
+                if (j > b && (tokAt(j - 1).is(".") || tokAt(j - 1).is("->")))
+                    --j;
+                else
+                    break;
+                continue;
+            }
+            break;
+        }
+        if (!c.seps.empty())
+            c.seps[0].clear();
+        if (c.parts.size() > 1 && c.parts[0] == "this") {
+            c.parts.erase(c.parts.begin());
+            c.seps.erase(c.seps.begin());
+            c.seps[0].clear();
+        }
+        if (c.parts.empty()) {
+            walkRange(b, e);
+            return;
+        }
+        walkRange(b, j); // declaration type / receiver prefix
+        CfgExpr rhs = walkRange(p + 1, e);
+        int line = tokAt(j < p ? j : b).line;
+        emitWrite(c, tokAt(p).text, !tokAt(p).is("="), std::move(rhs),
+                  line);
+    }
+
+    /** Recognize and consume a guard declaration at the cursor:
+     *  `std::lock_guard<std::mutex> lock(mu_);` and friends. */
+    bool
+    tryGuardDecl()
+    {
+        std::size_t j = i_;
+        if (j < end_ && tokAt(j).is("std") && j + 1 < end_ &&
+            tokAt(j + 1).is("::"))
+            j += 2;
+        if (j >= end_ || !tokAt(j).isIdent() ||
+            !kGuardTypes.count(tokAt(j).text))
+            return false;
+        int line = tokAt(j).line;
+        ++j;
+        if (j < end_ && tokAt(j).is("<")) {
+            int d = 0;
+            while (j < end_) {
+                if (tokAt(j).is("<"))
+                    ++d;
+                else if (tokAt(j).is(">"))
+                    --d;
+                else if (tokAt(j).is(">>"))
+                    d -= 2;
+                else if (tokAt(j).is(";") || tokAt(j).is("{") ||
+                         tokAt(j).is("}"))
+                    return false;
+                ++j;
+                if (d <= 0)
+                    break;
+            }
+        }
+        if (j >= end_ || !tokAt(j).isIdent())
+            return false;
+        std::string var = tokAt(j).text;
+        ++j;
+        if (j < end_ && tokAt(j).is(";")) {
+            guardVars_[var] = {}; // deferred, no mutex yet
+            i_ = j + 1;
+            return true;
+        }
+        if (j >= end_ || !(tokAt(j).is("(") || tokAt(j).is("{")))
+            return false;
+        bool paren = tokAt(j).is("(");
+        std::size_t close = matchFrom(j, paren ? "(" : "{",
+                                      paren ? ")" : "}", end_);
+        std::size_t inner_end = close > j + 1 ? close - 1 : j + 1;
+        std::vector<std::string> mutexes;
+        bool deferred = false;
+        std::size_t argB = j + 1;
+        int d = 0;
+        for (std::size_t a = argB; a <= inner_end; ++a) {
+            bool split = a == inner_end;
+            if (!split) {
+                const Token &u = tokAt(a);
+                if (u.is("(") || u.is("[") || u.is("{"))
+                    ++d;
+                else if (u.is(")") || u.is("]") || u.is("}"))
+                    --d;
+                else if (u.is(",") && d == 0)
+                    split = true;
+                if (!split)
+                    continue;
+            }
+            std::string lastIdent;
+            bool tag_arg = false;
+            for (std::size_t k = argB; k < a; ++k) {
+                if (!tokAt(k).isIdent())
+                    continue;
+                const std::string &w = tokAt(k).text;
+                if (w == "defer_lock" || w == "try_to_lock") {
+                    deferred = true;
+                    tag_arg = true;
+                } else if (w == "adopt_lock") {
+                    tag_arg = true; // mutex already counted as held
+                } else if (w != "std") {
+                    lastIdent = w;
+                }
+            }
+            if (!tag_arg && !lastIdent.empty())
+                mutexes.push_back(lastIdent);
+            argB = a + 1;
+        }
+        guardVars_[var] = mutexes;
+        if (!guardScopes_.empty()) {
+            for (const std::string &m : mutexes)
+                guardScopes_.back().push_back(m);
+        }
+        if (!deferred) {
+            for (const std::string &m : mutexes)
+                emitGuard(CfgEvent::Kind::Guard, m, line);
+        }
+        i_ = close;
+        if (at(";"))
+            advance();
+        return true;
+    }
+
+    void
+    parseSimpleStmt()
+    {
+        std::size_t b = i_;
+        std::size_t e = findStmtEnd();
+        bool noret = isNoReturnStmt(b, e);
+        analyzeStmtRange(b, e);
+        i_ = (e < end_ && tokAt(e).is(";")) ? e + 1 : e;
+        if (noret) {
+            edge(cur_, cfg_.exit);
+            cur_ = newBlock(curLine());
+        }
+    }
+
+    void
+    parseCompound()
+    {
+        advance(); // {
+        guardScopes_.push_back({});
+        while (!atEnd() && !at("}"))
+            parseStmt();
+        for (auto it = guardScopes_.back().rbegin();
+             it != guardScopes_.back().rend(); ++it)
+            emitGuard(CfgEvent::Kind::Unguard, *it, curLine());
+        guardScopes_.pop_back();
+        if (at("}"))
+            advance();
+    }
+
+    void
+    parseIf()
+    {
+        advance(); // if
+        if (at("constexpr"))
+            advance();
+        if (at("("))
+            walkParens();
+        std::size_t head = cur_;
+        std::size_t thenB = newBlock(curLine());
+        edge(head, thenB);
+        cur_ = thenB;
+        parseStmt();
+        std::size_t thenEnd = cur_;
+        if (at("else")) {
+            advance();
+            std::size_t elseB = newBlock(curLine());
+            edge(head, elseB);
+            cur_ = elseB;
+            parseStmt();
+            std::size_t join = newBlock(curLine());
+            edge(thenEnd, join);
+            edge(cur_, join);
+            cur_ = join;
+        } else {
+            std::size_t join = newBlock(curLine());
+            edge(thenEnd, join);
+            edge(head, join);
+            cur_ = join;
+        }
+    }
+
+    void
+    parseWhile()
+    {
+        int line = curLine();
+        advance(); // while
+        std::size_t head = newBlock(line);
+        edge(cur_, head);
+        cur_ = head;
+        if (at("("))
+            walkParens();
+        std::size_t body = newBlock(curLine());
+        std::size_t after = newBlock(curLine());
+        edge(head, body);
+        edge(head, after);
+        loops_.push_back({after, head, guardScopes_.size()});
+        cur_ = body;
+        parseStmt();
+        edge(cur_, head);
+        loops_.pop_back();
+        cur_ = after;
+    }
+
+    void
+    parseDo()
+    {
+        int line = curLine();
+        advance(); // do
+        std::size_t body = newBlock(line);
+        edge(cur_, body);
+        std::size_t condB = newBlock(line);
+        std::size_t after = newBlock(line);
+        loops_.push_back({after, condB, guardScopes_.size()});
+        cur_ = body;
+        parseStmt();
+        edge(cur_, condB);
+        loops_.pop_back();
+        cur_ = condB;
+        if (at("while")) {
+            advance();
+            if (at("("))
+                walkParens();
+            if (at(";"))
+                advance();
+        }
+        edge(condB, body);
+        edge(condB, after);
+        cur_ = after;
+    }
+
+    void
+    parseFor()
+    {
+        int line = curLine();
+        advance(); // for
+        if (!at("(")) {
+            return;
+        }
+        std::size_t open = i_;
+        std::size_t close = matchFrom(open, "(", ")", end_);
+        std::size_t inner_end = close > open + 1 ? close - 1 : open + 1;
+        std::size_t colon = 0, semi1 = 0, semi2 = 0;
+        int d = 0;
+        for (std::size_t j = open; j < close; ++j) {
+            const Token &t = tokAt(j);
+            if (t.is("(") || t.is("[") || t.is("{"))
+                ++d;
+            else if (t.is(")") || t.is("]") || t.is("}"))
+                --d;
+            else if (d == 1 && t.is(":") && colon == 0 && semi1 == 0)
+                colon = j;
+            else if (d == 1 && t.is(";")) {
+                if (semi1 == 0)
+                    semi1 = j;
+                else if (semi2 == 0)
+                    semi2 = j;
+            }
+        }
+        if (colon != 0) {
+            // Range-for: bind the loop variable(s) from the range.
+            // Structured bindings name every ident inside `[...]`;
+            // plain declarations name the last ident before the `:`.
+            std::vector<std::string> vars;
+            bool binding = false;
+            for (std::size_t j = open + 1; j < colon; ++j) {
+                if (tokAt(j).is("["))
+                    binding = true;
+                else if (tokAt(j).is("]"))
+                    binding = false;
+                else if (binding && tokAt(j).isIdent())
+                    vars.push_back(tokAt(j).text);
+            }
+            if (vars.empty()) {
+                for (std::size_t j = colon; j-- > open + 1;) {
+                    if (tokAt(j).isIdent()) {
+                        vars.push_back(tokAt(j).text);
+                        break;
+                    }
+                }
+            }
+            std::string base;
+            for (std::size_t j = inner_end; j-- > colon + 1;) {
+                if (tokAt(j).isIdent()) {
+                    base = tokAt(j).text;
+                    break;
+                }
+            }
+            CfgExpr range = walkRange(colon + 1, inner_end);
+            bool waived = f_.waived(line, "order-insensitive") ||
+                          sourceWaived(line);
+            for (const std::string &v : vars) {
+                CfgEvent ev;
+                ev.kind = CfgEvent::Kind::RangeForBind;
+                ev.line = line;
+                ev.name = v;
+                ev.chain = base;
+                ev.expr = range;
+                ev.waivedTaint = waived;
+                emit(std::move(ev));
+            }
+            i_ = close;
+            std::size_t head = newBlock(line);
+            edge(cur_, head);
+            std::size_t body = newBlock(curLine());
+            std::size_t after = newBlock(curLine());
+            edge(head, body);
+            edge(head, after);
+            loops_.push_back({after, head, guardScopes_.size()});
+            cur_ = body;
+            parseStmt();
+            edge(cur_, head);
+            loops_.pop_back();
+            cur_ = after;
+            return;
+        }
+        // Classic for: init in the preheader, condition in the head,
+        // increment at the body end (not replayed on continue paths).
+        analyzeStmtRange(open + 1, semi1 ? semi1 : inner_end);
+        std::size_t head = newBlock(line);
+        edge(cur_, head);
+        cur_ = head;
+        if (semi1)
+            walkRange(semi1 + 1, semi2 ? semi2 : inner_end);
+        std::size_t body = newBlock(line);
+        std::size_t after = newBlock(line);
+        edge(head, body);
+        edge(head, after);
+        loops_.push_back({after, head, guardScopes_.size()});
+        cur_ = body;
+        i_ = close;
+        parseStmt();
+        if (semi2)
+            analyzeStmtRange(semi2 + 1, inner_end);
+        edge(cur_, head);
+        loops_.pop_back();
+        cur_ = after;
+    }
+
+    void
+    parseSwitch()
+    {
+        int line = curLine();
+        advance(); // switch
+        if (at("("))
+            walkParens();
+        std::size_t head = cur_;
+        std::size_t after = newBlock(line);
+        edge(head, after); // no label may match
+        if (!at("{")) {
+            cur_ = after;
+            return;
+        }
+        advance(); // {
+        std::size_t enclosing_continue =
+            loops_.empty() ? after : loops_.back().continueTo;
+        loops_.push_back({after, enclosing_continue, guardScopes_.size()});
+        guardScopes_.push_back({});
+        cur_ = newBlock(curLine()); // pre-label section (unreachable)
+        while (!atEnd() && !at("}")) {
+            if (at("case")) {
+                std::size_t lbl = newBlock(curLine());
+                edge(head, lbl);
+                edge(cur_, lbl); // fallthrough
+                cur_ = lbl;
+                while (!atEnd() && !at(":"))
+                    advance();
+                if (at(":"))
+                    advance();
+                continue;
+            }
+            if (at("default") && tokAt(i_ + 1).is(":")) {
+                std::size_t lbl = newBlock(curLine());
+                edge(head, lbl);
+                edge(cur_, lbl);
+                cur_ = lbl;
+                advance();
+                advance();
+                continue;
+            }
+            parseStmt();
+        }
+        for (auto it = guardScopes_.back().rbegin();
+             it != guardScopes_.back().rend(); ++it)
+            emitGuard(CfgEvent::Kind::Unguard, *it, curLine());
+        guardScopes_.pop_back();
+        if (at("}"))
+            advance();
+        loops_.pop_back();
+        edge(cur_, after);
+        cur_ = after;
+    }
+
+    void
+    parseTry()
+    {
+        advance(); // try
+        if (at("{"))
+            parseCompound();
+        std::size_t tryEnd = cur_;
+        std::size_t join = newBlock(curLine());
+        edge(tryEnd, join);
+        while (at("catch")) {
+            advance();
+            if (at("("))
+                i_ = matchFrom(i_, "(", ")", end_);
+            if (at("..."))
+                advance();
+            std::size_t cb = newBlock(curLine());
+            edge(tryEnd, cb);
+            cur_ = cb;
+            parseStmt();
+            edge(cur_, join);
+        }
+        cur_ = join;
+    }
+
+    void
+    parseReturn()
+    {
+        int line = curLine();
+        advance(); // return
+        std::size_t b = i_;
+        std::size_t e = findStmtEnd();
+        CfgEvent ev;
+        ev.kind = CfgEvent::Kind::Return;
+        ev.line = line;
+        ev.expr = walkRange(b, e);
+        emit(std::move(ev));
+        i_ = (e < end_ && tokAt(e).is(";")) ? e + 1 : e;
+        edge(cur_, cfg_.exit);
+        cur_ = newBlock(curLine());
+    }
+
+    void
+    parseStmt()
+    {
+        const Token &t = tokAt(i_);
+        if (t.is("{")) {
+            parseCompound();
+            return;
+        }
+        if (t.is(";")) {
+            advance();
+            return;
+        }
+        if (t.is("if")) {
+            parseIf();
+            return;
+        }
+        if (t.is("while")) {
+            parseWhile();
+            return;
+        }
+        if (t.is("do")) {
+            parseDo();
+            return;
+        }
+        if (t.is("for")) {
+            parseFor();
+            return;
+        }
+        if (t.is("switch")) {
+            parseSwitch();
+            return;
+        }
+        if (t.is("try")) {
+            parseTry();
+            return;
+        }
+        if (t.is("return")) {
+            parseReturn();
+            return;
+        }
+        if (t.is("throw")) {
+            advance();
+            std::size_t b = i_;
+            std::size_t e = findStmtEnd();
+            walkRange(b, e);
+            i_ = (e < end_ && tokAt(e).is(";")) ? e + 1 : e;
+            edge(cur_, cfg_.exit);
+            cur_ = newBlock(curLine());
+            return;
+        }
+        if (t.is("break") && tokAt(i_ + 1).is(";")) {
+            advance();
+            advance();
+            jumpTo(loops_.empty() ? cfg_.exit : loops_.back().breakTo,
+                   loops_.empty() ? guardScopes_.size()
+                                  : loops_.back().scopeDepth);
+            return;
+        }
+        if (t.is("continue") && tokAt(i_ + 1).is(";")) {
+            advance();
+            advance();
+            jumpTo(loops_.empty() ? cfg_.exit
+                                  : loops_.back().continueTo,
+                   loops_.empty() ? guardScopes_.size()
+                                  : loops_.back().scopeDepth);
+            return;
+        }
+        if (t.is("case")) {
+            while (!atEnd() && !at(":"))
+                advance();
+            if (at(":"))
+                advance();
+            return;
+        }
+        if (t.is("default") && tokAt(i_ + 1).is(":")) {
+            advance();
+            advance();
+            return;
+        }
+        if (t.is("else")) { // defensive: dangling else
+            advance();
+            return;
+        }
+        if (t.isIdent() && tokAt(i_ + 1).is(":") &&
+            !tokAt(i_ + 2).is(":")) { // goto label
+            advance();
+            advance();
+            return;
+        }
+        if (tryGuardDecl())
+            return;
+        std::size_t before = i_;
+        parseSimpleStmt();
+        if (i_ == before)
+            advance(); // safety: never stall
+    }
+};
+
+} // namespace
+
+Cfg
+buildCfg(const LexedFile &file, std::size_t begin, std::size_t end)
+{
+    return CfgBuilder(file, begin, end).build();
+}
+
+} // namespace photon::lint

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-function control-flow graph for photon_lint's flow-sensitive
+ * passes (lock-set and taint, DESIGN.md §9).
+ *
+ * The CFG is built from the same token stream the pattern parser
+ * consumes: blocks are straight-line event sequences, edges follow
+ * if/else, loops (with back edges), switch (head -> every label,
+ * fallthrough between labels), early return/break/continue, and
+ * try/catch. Events are the only program facts the dataflow passes
+ * look at: writes (with the full member chain and the right-hand-side
+ * expression summary), calls (with per-argument expression summaries),
+ * guard acquire/release (std::lock_guard / unique_lock / scoped_lock /
+ * shared_lock lifetimes, explicit .lock()/.unlock()), returns, and
+ * range-for loop-variable bindings.
+ *
+ * Everything is copied out of the token stream: a Cfg owns its data
+ * and outlives the LexedFile it was built from.
+ */
+
+#ifndef PHOTON_LINT_CFG_HPP
+#define PHOTON_LINT_CFG_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace photon::lint {
+
+/** Taint-relevant summary of one expression (a right-hand side, a
+ *  call argument, a returned value, a range-for range). */
+struct CfgExpr
+{
+    /** Base identifiers the expression reads (`stats_` of
+     *  `stats_.hits`); namespace qualifiers are excluded. */
+    std::vector<std::string> uses;
+    /** Bare names of calls whose result feeds the expression (for
+     *  return-taint summaries). */
+    std::vector<std::string> calls;
+    /** Nondeterminism sources evaluated directly in the expression,
+     *  as human-readable "desc (file:line)" strings; non-empty means
+     *  the expression is tainted at birth. */
+    std::vector<std::string> sources;
+};
+
+struct CfgEvent
+{
+    enum class Kind
+    {
+        Write,        ///< assignment / increment / mutating method
+        Call,         ///< function or method call
+        Guard,        ///< mutex acquired (guard ctor or .lock())
+        Unguard,      ///< mutex released (scope end or .unlock())
+        Return,       ///< return statement (expr = returned value)
+        RangeForBind, ///< range-for binds name from the range in chain
+    };
+
+    Kind kind = Kind::Write;
+    int line = 0;
+    /** Write: base variable of the written chain; Call: callee bare
+     *  name; Guard/Unguard: mutex name; RangeForBind: loop variable. */
+    std::string name;
+    /** Write flavor: "=", "+=", "++", ".push_back", ... */
+    std::string how;
+    /** Write: full member chain "a.b.c"; RangeForBind: last identifier
+     *  of the range expression (the iterated container). */
+    std::string chain;
+    /** Write keeps the old value live (+=, ++, mutating methods). */
+    bool compound = false;
+    /** Write: right-hand side; Return: returned value; RangeForBind:
+     *  the range expression. */
+    CfgExpr expr;
+    /** Call: one summary per argument, in order. */
+    std::vector<CfgExpr> args;
+    bool waivedLockset = false; ///< "// photon-lint: lockset-ok"
+    bool waivedTaint = false;   ///< "// photon-lint: taint-ok"
+};
+
+struct CfgBlock
+{
+    int line = 0; ///< line of the first token that opened the block
+    std::vector<CfgEvent> events;
+    std::vector<std::size_t> succs;
+};
+
+struct Cfg
+{
+    /** Entry is block 0; blocks with no in-edges are unreachable. */
+    std::vector<CfgBlock> blocks;
+    /** Return statements and the body's fallthrough edge here. */
+    std::size_t exit = 0;
+};
+
+/** Build the CFG of one function body from tokens [begin, end) of
+ *  @p file, where begin indexes the opening `{`. */
+Cfg buildCfg(const LexedFile &file, std::size_t begin, std::size_t end);
+
+} // namespace photon::lint
+
+#endif // PHOTON_LINT_CFG_HPP

@@ -180,6 +180,8 @@ typeIsUnordered(const Model &model, const std::string &type,
     return false;
 }
 
+} // namespace
+
 bool
 varIsUnordered(const Model &model, const std::string &name)
 {
@@ -193,6 +195,8 @@ varIsUnordered(const Model &model, const std::string &name)
     }
     return false;
 }
+
+namespace {
 
 const std::set<std::string> kScalarWords = {
     "bool",     "int",      "char",     "float",    "double",

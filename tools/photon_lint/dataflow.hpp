@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Generic forward-dataflow worklist solver over a photon_lint Cfg.
+ *
+ * The solver is agnostic to the lattice: callers supply the block
+ * transfer function, the join, and state equality. It returns the
+ * in-state of every block; blocks never reached from the entry keep
+ * std::nullopt, so checks can distinguish "unreachable" from "reached
+ * with bottom". Joins only combine states of reachable predecessors,
+ * which is what makes must-analyses (lock sets joined by
+ * intersection) come out right on early-return and dead-code shapes.
+ */
+
+#ifndef PHOTON_LINT_DATAFLOW_HPP
+#define PHOTON_LINT_DATAFLOW_HPP
+
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cfg.hpp"
+
+namespace photon::lint {
+
+/**
+ * Iterate @p transfer to a fixed point over @p cfg, forward.
+ *
+ * @param entry    in-state of block 0.
+ * @param transfer State(const CfgBlock &, State): block out-state.
+ * @param join     State(const State &, const State &): lattice join.
+ * @param equal    bool(const State &, const State &).
+ * @return per-block in-states; nullopt = unreachable from entry.
+ *
+ * A fuel bound of (blocks + 1) * 64 transfer applications guards
+ * against a non-converging lattice; real lattices here (set
+ * intersection, map union with stable chain picking) converge far
+ * below it.
+ */
+template <typename State, typename Transfer, typename Join, typename Eq>
+std::vector<std::optional<State>>
+solveForward(const Cfg &cfg, const State &entry, Transfer &&transfer,
+             Join &&join, Eq &&equal)
+{
+    std::vector<std::optional<State>> in(cfg.blocks.size());
+    if (cfg.blocks.empty())
+        return in;
+    in[0] = entry;
+    std::deque<std::size_t> work{0};
+    std::size_t fuel = (cfg.blocks.size() + 1) * 64;
+    while (!work.empty() && fuel-- > 0) {
+        std::size_t b = work.front();
+        work.pop_front();
+        State out = transfer(cfg.blocks[b], *in[b]);
+        for (std::size_t s : cfg.blocks[b].succs) {
+            State next = in[s] ? join(*in[s], out) : out;
+            if (!in[s] || !equal(*in[s], next)) {
+                in[s] = std::move(next);
+                work.push_back(s);
+            }
+        }
+    }
+    return in;
+}
+
+} // namespace photon::lint
+
+#endif // PHOTON_LINT_DATAFLOW_HPP

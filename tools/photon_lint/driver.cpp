@@ -5,6 +5,7 @@
  */
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 #include <tuple>
 
@@ -32,6 +33,12 @@ kindName(Kind kind)
         return "uninitialized-member";
     case Kind::AosInHotPath:
         return "aos-in-hot-path";
+    case Kind::UnguardedSharedWrite:
+        return "unguarded-shared-write";
+    case Kind::RequiresLockCall:
+        return "requires-lock-call";
+    case Kind::TaintedSink:
+        return "tainted-sink";
     }
     return "unknown";
 }
@@ -53,6 +60,10 @@ analyzeFiles(const std::vector<std::string> &files, const Options &options)
     }
     if (options.aosCheck)
         checkAosHotPath(model, diags);
+    if (options.locksetCheck)
+        checkLockset(model, diags);
+    if (options.taintCheck)
+        checkTaint(model, diags);
 
     auto key = [](const Diagnostic &d) {
         return std::tie(d.file, d.line, d.message);
@@ -84,6 +95,69 @@ formatDiagnostic(const Diagnostic &diag)
         }
     }
     return os.str();
+}
+
+namespace {
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+std::string
+formatDiagnosticsJson(const std::vector<Diagnostic> &diags)
+{
+    std::string out = "[";
+    for (std::size_t k = 0; k < diags.size(); ++k) {
+        const Diagnostic &d = diags[k];
+        out += k == 0 ? "\n" : ",\n";
+        out += "  {\"file\": ";
+        appendJsonString(out, d.file);
+        out += ", \"line\": " + std::to_string(d.line);
+        out += ", \"kind\": ";
+        appendJsonString(out, kindName(d.kind));
+        out += ", \"message\": ";
+        appendJsonString(out, d.message);
+        out += ", \"chain\": [";
+        for (std::size_t h = 0; h < d.chain.size(); ++h) {
+            if (h != 0)
+                out += ", ";
+            appendJsonString(out, d.chain[h]);
+        }
+        out += "]}";
+    }
+    out += diags.empty() ? "]\n" : "\n]\n";
+    return out;
 }
 
 } // namespace photon::lint

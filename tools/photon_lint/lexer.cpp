@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -27,6 +29,73 @@ const char *const kPuncts[] = {
     "*=",  "/=",  "%=",  "&=",  "|=", "^=", "==", "!=", "<=", ">=",
     "&&",  "||",  "<<",  ">>",
 };
+
+/** Record "photon-lint:" waivers in @p comment, which may span lines
+ *  (block comment); @p first_line is the line the comment starts on.
+ *  A waiver only counts when it begins the comment text of its line —
+ *  after the comment decoration (slashes, asterisks, whitespace) — so
+ *  prose that merely quotes waiver syntax (docs, this analyzer's own
+ *  sources) does not waive anything. */
+void
+recordWaiver(LexedFile &out, int first_line, const std::string &comment)
+{
+    static const std::string kTag = "photon-lint:";
+    int ln = first_line;
+    std::size_t pos = 0;
+    while (pos <= comment.size()) {
+        const std::size_t eol = comment.find('\n', pos);
+        const std::size_t len =
+            eol == std::string::npos ? comment.size() - pos : eol - pos;
+        std::size_t b = pos;
+        const std::size_t stop = pos + len;
+        while (b < stop &&
+               (std::isspace(static_cast<unsigned char>(comment[b])) ||
+                comment[b] == '/' || comment[b] == '*'))
+            ++b;
+        if (comment.compare(b, kTag.size(), kTag) == 0) {
+            std::string &slot = out.waivers[ln];
+            if (!slot.empty())
+                slot += ' ';
+            slot += comment.substr(b + kTag.size(),
+                                   stop - (b + kTag.size()));
+        }
+        if (eol == std::string::npos)
+            break;
+        pos = eol + 1;
+        ++ln;
+    }
+}
+
+/**
+ * Re-bind waivers that sit on comment-only lines to the next
+ * token-bearing line, so a waiver written as its own comment above a
+ * declaration or statement (line comment or block comment, possibly
+ * with further blank/comment lines in between) attaches to the code
+ * it annotates instead of silently applying to nothing.
+ */
+void
+bindWaiversToCode(LexedFile &out)
+{
+    std::set<int> code_lines;
+    for (const Token &t : out.tokens) {
+        if (t.kind != Token::Kind::End)
+            code_lines.insert(t.line);
+    }
+    std::map<int, std::string> bound;
+    for (const auto &[line, text] : out.waivers) {
+        int target = line;
+        if (!code_lines.count(line)) {
+            auto next = code_lines.upper_bound(line);
+            if (next != code_lines.end())
+                target = *next;
+        }
+        std::string &slot = bound[target];
+        if (!slot.empty())
+            slot += ' ';
+        slot += text;
+    }
+    out.waivers = std::move(bound);
+}
 
 } // namespace
 
@@ -74,16 +143,15 @@ lexSource(const std::string &path, const std::string &source)
             std::size_t end = i;
             while (end < n && source[end] != '\n')
                 ++end;
-            std::string text = source.substr(i, end - i);
-            static const std::string kTag = "photon-lint:";
-            std::size_t p = text.find(kTag);
-            if (p != std::string::npos)
-                out.waivers[line] = text.substr(p + kTag.size());
+            recordWaiver(out, line, source.substr(i, end - i));
             i = end;
             continue;
         }
-        // Block comment.
+        // Block comment; photon-lint waivers are captured at the line
+        // the comment starts on (binding is normalized below).
         if (c == '/' && peek(1) == '*') {
+            int start_line = line;
+            std::size_t begin = i;
             i += 2;
             while (i < n && !(source[i] == '*' && peek(1) == '/')) {
                 if (source[i] == '\n')
@@ -91,6 +159,7 @@ lexSource(const std::string &path, const std::string &source)
                 ++i;
             }
             i = i < n ? i + 2 : n;
+            recordWaiver(out, start_line, source.substr(begin, i - begin));
             continue;
         }
         // Raw string literal R"delim( ... )delim".
@@ -99,7 +168,9 @@ lexSource(const std::string &path, const std::string &source)
             std::size_t dp = d0;
             while (dp < n && source[dp] != '(')
                 ++dp;
-            std::string close = ")" + source.substr(d0, dp - d0) + "\"";
+            std::string close = ")";
+            close += source.substr(d0, dp - d0);
+            close += '"';
             std::size_t end = source.find(close, dp);
             end = end == std::string::npos ? n : end + close.size();
             for (std::size_t k = i; k < end; ++k) {
@@ -163,6 +234,7 @@ lexSource(const std::string &path, const std::string &source)
         i += best.size();
     }
     out.tokens.push_back({Token::Kind::End, "", line});
+    bindWaiversToCode(out);
     return out;
 }
 

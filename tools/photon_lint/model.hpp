@@ -10,10 +10,12 @@
 #define PHOTON_LINT_MODEL_HPP
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "cfg.hpp"
 #include "lexer.hpp"
 #include "lint.hpp"
 
@@ -53,7 +55,14 @@ struct Function
     bool tagCommit = false;
     bool tagShared = false;
     bool tagExempt = false;
+    bool tagDetSink = false;     ///< PHOTON_DET_SINK
+    bool tagDetSourceOk = false; ///< PHOTON_DET_SOURCE_OK
+    /** PHOTON_REQUIRES_LOCK(mutex): the body is analyzed with the
+     *  mutex held, and call sites must actually hold it. */
+    std::string requiresLock;
     bool hasBody = false;
+    /** Control-flow graph of the body (set when hasBody). */
+    std::shared_ptr<const Cfg> cfg;
     std::vector<CallSite> calls;
     std::vector<MutationSite> mutations;
     std::vector<RangeForSite> rangeFors;
@@ -76,6 +85,10 @@ struct Field
     std::string file;
     int line = 0;
     bool tagShared = false;
+    bool tagDetSink = false;  ///< PHOTON_DET_SINK (accumulator field)
+    /** PHOTON_GUARDED_BY(mutex): writes require the mutex held on
+     *  every CFG path (checked by the lock-set pass). */
+    std::string guardMutex;
     bool hasInit = false;  ///< default member initializer present
     bool isStatic = false; ///< static / constexpr
     bool isRef = false;    ///< reference type (ctor-init enforced by C++)
@@ -121,6 +134,21 @@ void checkDeterminism(const Model &model, std::vector<Diagnostic> &out);
 /** Data-layout pass: aggregate-element sequence containers declared in
  *  hot-path (soa-hot-path) files. */
 void checkAosHotPath(const Model &model, std::vector<Diagnostic> &out);
+
+/** Flow-sensitive lock-set pass: writes to PHOTON_GUARDED_BY /
+ *  PHOTON_SHARED_STATE fields must hold the right mutex on every CFG
+ *  path (or sit in the serial commit closure), and calls into
+ *  PHOTON_REQUIRES_LOCK functions must hold the stated mutex. */
+void checkLockset(const Model &model, std::vector<Diagnostic> &out);
+
+/** Flow-sensitive determinism taint pass: nondeterministic sources
+ *  propagate through assignments, returns, and call arguments into
+ *  PHOTON_DET_SINK functions and fields; reports the full chain. */
+void checkTaint(const Model &model, std::vector<Diagnostic> &out);
+
+/** True when @p name is typed (including through aliases) as an
+ *  unordered container. Shared by determinism and taint passes. */
+bool varIsUnordered(const Model &model, const std::string &name);
 
 } // namespace photon::lint
 

@@ -63,7 +63,8 @@ bool
 isTag(const std::string &t)
 {
     return t == "PHOTON_PHASE_FRONT" || t == "PHOTON_PHASE_COMMIT" ||
-           t == "PHOTON_SHARED_STATE" || t == "PHOTON_PHASE_EXEMPT";
+           t == "PHOTON_SHARED_STATE" || t == "PHOTON_PHASE_EXEMPT" ||
+           t == "PHOTON_DET_SINK" || t == "PHOTON_DET_SOURCE_OK";
 }
 
 class Parser
@@ -321,7 +322,10 @@ class Parser
     {
         const int decl_line = tok().line;
         bool tag_front = false, tag_commit = false, tag_shared = false,
-             tag_exempt = false;
+             tag_exempt = false, tag_det_sink = false,
+             tag_det_source_ok = false;
+        std::string guard_mutex;   ///< PHOTON_GUARDED_BY argument
+        std::string requires_lock; ///< PHOTON_REQUIRES_LOCK argument
         bool saw_parens = false, saw_assign = false, has_init = false,
              is_static = false;
         std::string func_name;
@@ -341,7 +345,41 @@ class Parser
                 tag_commit |= t.is("PHOTON_PHASE_COMMIT");
                 tag_shared |= t.is("PHOTON_SHARED_STATE");
                 tag_exempt |= t.is("PHOTON_PHASE_EXEMPT");
+                tag_det_sink |= t.is("PHOTON_DET_SINK");
+                tag_det_source_ok |= t.is("PHOTON_DET_SOURCE_OK");
                 advance();
+                continue;
+            }
+            if (t.isIdent() &&
+                (t.is("PHOTON_GUARDED_BY") ||
+                 t.is("PHOTON_REQUIRES_LOCK")) &&
+                tok(1).is("(")) {
+                // Argument macro: capture the last identifier inside
+                // the parens as the mutex name (handles `mu_`,
+                // `this->mu_`, `store.mu`).
+                const bool guarded = t.is("PHOTON_GUARDED_BY");
+                advance(); // macro name; now at `(`
+                int depth = 0;
+                std::string arg;
+                while (!atEnd()) {
+                    if (tok().is("(")) {
+                        ++depth;
+                    } else if (tok().is(")")) {
+                        --depth;
+                        if (depth == 0) {
+                            advance();
+                            break;
+                        }
+                    } else if (tok().isIdent() && !tok().is("std") &&
+                               !tok().is("this")) {
+                        arg = tok().text;
+                    }
+                    advance();
+                }
+                if (guarded)
+                    guard_mutex = arg;
+                else
+                    requires_lock = arg;
                 continue;
             }
             if (t.is("static") || t.is("constexpr")) {
@@ -447,6 +485,10 @@ class Parser
             fn.tagCommit |= tag_commit;
             fn.tagShared |= tag_shared;
             fn.tagExempt |= tag_exempt;
+            fn.tagDetSink |= tag_det_sink;
+            fn.tagDetSourceOk |= tag_det_source_ok;
+            if (fn.requiresLock.empty())
+                fn.requiresLock = requires_lock;
             if (body_follows) {
                 fn.hasBody = true;
                 fn.file = f_.path;
@@ -455,7 +497,10 @@ class Parser
                 if (!ctor_inits.empty() && func_name == owner)
                     m_.ctorInits[owner].insert(ctor_inits.begin(),
                                                ctor_inits.end());
+                const std::size_t body_begin = i_; // the body `{`
                 parseBody(fn);
+                fn.cfg = std::make_shared<Cfg>(
+                    buildCfg(f_, body_begin, i_));
             }
             return;
         }
@@ -477,6 +522,8 @@ class Parser
             field.file = f_.path;
             field.line = decl_line;
             field.tagShared = tag_shared;
+            field.tagDetSink = tag_det_sink;
+            field.guardMutex = guard_mutex;
             field.hasInit = has_init;
             field.isStatic = is_static;
             field.waivedUninit = f_.waived(decl_line, "uninit-ok");

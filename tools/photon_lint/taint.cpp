@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Flow-sensitive determinism taint analysis (DESIGN.md §9).
+ *
+ * A may-taint map (variable -> source-to-here chain) flows forward
+ * through each function's CFG; the join is union, and when two paths
+ * taint the same variable the shorter (then lexicographically
+ * smaller) chain wins, which keeps the lattice finite and the output
+ * deterministic. Taint is born at nondeterminism sources recorded by
+ * the CFG builder (rand/time/clock calls, std::random_device,
+ * std::this_thread::get_id, pointer-to-integer reinterpret_casts)
+ * and at range-for bindings whose range is an unordered container.
+ * It propagates through assignments (plain `=` is a strong update
+ * that also kills stale taint), compound updates, and call results
+ * via whole-program return summaries iterated to a fixed point.
+ *
+ * Sinks are PHOTON_DET_SINK functions (any tainted argument fires)
+ * and PHOTON_DET_SINK fields (a tainted write fires). Reports carry
+ * the full taint chain. PHOTON_DET_SOURCE_OK on a function suppresses
+ * source births inside it and keeps its return summary clean;
+ * `// photon-lint: taint-ok` waives a single sink site.
+ */
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "dataflow.hpp"
+#include "model.hpp"
+
+namespace photon::lint {
+
+namespace {
+
+using TaintChain = std::vector<std::string>;
+using TaintMap = std::map<std::string, TaintChain>;
+
+bool
+chainLess(const TaintChain &a, const TaintChain &b)
+{
+    if (a.size() != b.size())
+        return a.size() < b.size();
+    return a < b;
+}
+
+TaintMap
+joinTaint(const TaintMap &a, const TaintMap &b)
+{
+    TaintMap out = a;
+    for (const auto &[var, chain] : b) {
+        auto it = out.find(var);
+        if (it == out.end())
+            out.emplace(var, chain);
+        else if (chainLess(chain, it->second))
+            it->second = chain;
+    }
+    return out;
+}
+
+struct TaintCtx
+{
+    const Model &model;
+    const std::multimap<std::string, std::size_t> &byName;
+    const std::vector<TaintChain> &summaries;
+    const std::map<std::string, const Field *> &sinkFields;
+    const Function *fn = nullptr;
+    bool sourceOk = false; ///< PHOTON_DET_SOURCE_OK on fn
+};
+
+/** Taint of one expression under @p state, deterministic: a direct
+ *  source wins, then the smallest tainted use, then the smallest
+ *  tainted callee summary. */
+std::optional<TaintChain>
+exprTaint(const TaintCtx &ctx, const CfgExpr &expr,
+          const TaintMap &state)
+{
+    if (!ctx.sourceOk && !expr.sources.empty()) {
+        std::string src =
+            *std::min_element(expr.sources.begin(), expr.sources.end());
+        return TaintChain{"source: " + src};
+    }
+    std::vector<std::string> uses = expr.uses;
+    std::sort(uses.begin(), uses.end());
+    uses.erase(std::unique(uses.begin(), uses.end()), uses.end());
+    const TaintChain *best = nullptr;
+    for (const std::string &u : uses) {
+        auto it = state.find(u);
+        if (it != state.end() &&
+            (best == nullptr || chainLess(it->second, *best)))
+            best = &it->second;
+    }
+    if (best != nullptr)
+        return *best;
+    std::vector<std::string> calls = expr.calls;
+    std::sort(calls.begin(), calls.end());
+    calls.erase(std::unique(calls.begin(), calls.end()), calls.end());
+    for (const std::string &c : calls) {
+        auto range = ctx.byName.equal_range(c);
+        for (auto it = range.first; it != range.second; ++it) {
+            const TaintChain &s = ctx.summaries[it->second];
+            if (!s.empty() &&
+                (best == nullptr || chainLess(s, *best)))
+                best = &s;
+        }
+    }
+    if (best != nullptr)
+        return *best;
+    return std::nullopt;
+}
+
+std::string
+siteOf(const TaintCtx &ctx, int line)
+{
+    return " (" + ctx.fn->file + ":" + std::to_string(line) + ")";
+}
+
+/**
+ * Apply one block's events to @p state. When @p returnTaint is given,
+ * Return events feed it (summary pass); when @p diags is given, sink
+ * hits are reported (diagnostic pass).
+ */
+TaintMap
+applyBlock(const TaintCtx &ctx, const CfgBlock &block, TaintMap state,
+           TaintChain *returnTaint, std::vector<Diagnostic> *diags)
+{
+    for (const CfgEvent &e : block.events) {
+        switch (e.kind) {
+        case CfgEvent::Kind::Write: {
+            auto taint = exprTaint(ctx, e.expr, state);
+            if (diags != nullptr && taint && !e.waivedTaint) {
+                // Sink fields: any chain component tagged DET_SINK.
+                std::string comp;
+                for (char c : e.chain + ".") {
+                    if (c != '.') {
+                        comp += c;
+                        continue;
+                    }
+                    auto it = ctx.sinkFields.find(comp);
+                    comp.clear();
+                    if (it == ctx.sinkFields.end())
+                        continue;
+                    const Field *f = it->second;
+                    Diagnostic d;
+                    d.kind = Kind::TaintedSink;
+                    d.file = ctx.fn->file;
+                    d.line = e.line;
+                    d.message =
+                        "nondeterministic value written ('" + e.how +
+                        "') to determinism sink field '" +
+                        (f->cls.empty() ? f->name
+                                        : f->cls + "::" + f->name) +
+                        "'";
+                    d.chain = *taint;
+                    d.chain.push_back("written to sink field '" +
+                                      e.chain + "'" +
+                                      siteOf(ctx, e.line));
+                    diags->push_back(std::move(d));
+                    break;
+                }
+            }
+            if (taint) {
+                TaintChain chain = *taint;
+                std::string step = "assigned to '" + e.chain + "'" +
+                                   siteOf(ctx, e.line);
+                if (chain.empty() || chain.back() != step)
+                    chain.push_back(std::move(step));
+                auto it = state.find(e.name);
+                if (it == state.end())
+                    state.emplace(e.name, std::move(chain));
+                else if (chainLess(chain, it->second))
+                    it->second = std::move(chain);
+            } else if (!e.compound) {
+                state.erase(e.name); // strong update kills taint
+            }
+            break;
+        }
+        case CfgEvent::Kind::RangeForBind: {
+            auto taint = exprTaint(ctx, e.expr, state);
+            if (taint) {
+                TaintChain chain = *taint;
+                chain.push_back("bound to loop variable '" + e.name +
+                                "'" + siteOf(ctx, e.line));
+                state[e.name] = std::move(chain);
+            } else if (!ctx.sourceOk && !e.waivedTaint &&
+                       !e.chain.empty() &&
+                       varIsUnordered(ctx.model, e.chain)) {
+                state[e.name] = {
+                    "source: iteration over unordered container '" +
+                    e.chain + "' in hash order" + siteOf(ctx, e.line)};
+            } else {
+                state.erase(e.name);
+            }
+            break;
+        }
+        case CfgEvent::Kind::Call: {
+            if (diags == nullptr || e.waivedTaint)
+                break;
+            const Function *sink = nullptr;
+            auto range = ctx.byName.equal_range(e.name);
+            for (auto it = range.first; it != range.second; ++it) {
+                if (ctx.model.functions[it->second].tagDetSink) {
+                    sink = &ctx.model.functions[it->second];
+                    break;
+                }
+            }
+            if (sink == nullptr)
+                break;
+            for (std::size_t a = 0; a < e.args.size(); ++a) {
+                auto taint = exprTaint(ctx, e.args[a], state);
+                if (!taint)
+                    continue;
+                Diagnostic d;
+                d.kind = Kind::TaintedSink;
+                d.file = ctx.fn->file;
+                d.line = e.line;
+                d.message = "nondeterministic value passed to "
+                            "determinism sink '" +
+                            sink->display() + "' (argument " +
+                            std::to_string(a + 1) + ")";
+                d.chain = *taint;
+                d.chain.push_back(
+                    "passed as argument " + std::to_string(a + 1) +
+                    " to determinism sink '" + sink->display() + "'" +
+                    siteOf(ctx, e.line));
+                diags->push_back(std::move(d));
+            }
+            break;
+        }
+        case CfgEvent::Kind::Return: {
+            if (returnTaint == nullptr)
+                break;
+            auto taint = exprTaint(ctx, e.expr, state);
+            if (taint && (returnTaint->empty() ||
+                          chainLess(*taint, *returnTaint)))
+                *returnTaint = *taint;
+            break;
+        }
+        case CfgEvent::Kind::Guard:
+        case CfgEvent::Kind::Unguard:
+            break;
+        }
+    }
+    return state;
+}
+
+/** Solve one function and scan its reachable blocks. */
+void
+scanFunction(const TaintCtx &ctx, const Cfg &cfg,
+             TaintChain *returnTaint, std::vector<Diagnostic> *diags)
+{
+    auto in = solveForward(
+        cfg, TaintMap{},
+        [&](const CfgBlock &b, TaintMap s) {
+            return applyBlock(ctx, b, std::move(s), nullptr, nullptr);
+        },
+        joinTaint,
+        [](const TaintMap &a, const TaintMap &b) { return a == b; });
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        if (in[b])
+            applyBlock(ctx, cfg.blocks[b], *in[b], returnTaint, diags);
+    }
+}
+
+} // namespace
+
+void
+checkTaint(const Model &model, std::vector<Diagnostic> &out)
+{
+    std::multimap<std::string, std::size_t> byName;
+    for (std::size_t k = 0; k < model.functions.size(); ++k)
+        byName.emplace(model.functions[k].name, k);
+
+    std::map<std::string, const Field *> sinkFields;
+    for (const Field &f : model.fields) {
+        if (f.tagDetSink)
+            sinkFields.emplace(f.name, &f);
+    }
+
+    // Return-taint summaries to a fixed point: chains only ever
+    // improve (set once, replaced only by strictly smaller), so the
+    // iteration terminates well inside the round cap.
+    std::vector<TaintChain> summaries(model.functions.size());
+    for (int round = 0; round < 8; ++round) {
+        bool changed = false;
+        for (std::size_t k = 0; k < model.functions.size(); ++k) {
+            const Function &fn = model.functions[k];
+            if (!fn.cfg || fn.tagDetSourceOk)
+                continue;
+            TaintCtx ctx{model,       byName, summaries,
+                         sinkFields,  &fn,    fn.tagDetSourceOk};
+            TaintChain ret;
+            scanFunction(ctx, *fn.cfg, &ret, nullptr);
+            if (ret.empty())
+                continue;
+            ret.push_back("returned from '" + fn.display() + "' (" +
+                          fn.file + ":" + std::to_string(fn.line) +
+                          ")");
+            if (summaries[k].empty() ||
+                chainLess(ret, summaries[k])) {
+                summaries[k] = std::move(ret);
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    for (std::size_t k = 0; k < model.functions.size(); ++k) {
+        const Function &fn = model.functions[k];
+        if (!fn.cfg)
+            continue;
+        TaintCtx ctx{model,      byName, summaries,
+                     sinkFields, &fn,    fn.tagDetSourceOk};
+        scanFunction(ctx, *fn.cfg, nullptr, &out);
+    }
+}
+
+} // namespace photon::lint
