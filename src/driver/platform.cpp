@@ -18,17 +18,36 @@ simModeName(SimMode mode)
 }
 
 Platform::Platform(const GpuConfig &gpu_cfg, SimMode mode,
-                   const SamplingConfig &sampling_cfg)
+                   const SamplingConfig &sampling_cfg,
+                   timing::BackendKind backend)
     : gpuCfg_(gpu_cfg), mode_(mode), samplingCfg_(sampling_cfg),
+      backend_(backend),
       mem_(gpu_cfg.dram.sizeBytes < (512ull << 20) ? gpu_cfg.dram.sizeBytes
                                                    : (512ull << 20)),
-      gpu_(gpu_cfg)
+      gpu_(gpu_cfg), detailed_(gpu_)
 {
+    PHOTON_ASSERT(backend_ == timing::BackendKind::Detailed ||
+                      mode_ == SimMode::FullDetailed,
+                  "non-detailed timing backends require full mode (the "
+                  "sampled modes' control planes need monitor hooks)");
+    if (backend_ != timing::BackendKind::Detailed)
+        interval_ = std::make_unique<timing::IntervalBackend>(gpu_);
+    if (backend_ == timing::BackendKind::Auto)
+        pilot_ = std::make_unique<sampling::FidelityPilot>(
+            gpu_, *interval_, samplingCfg_);
     if (mode_ == SimMode::Photon)
         photon_ =
             std::make_unique<sampling::PhotonSampler>(gpu_, samplingCfg_);
     else if (mode_ == SimMode::Pka)
         pka_ = std::make_unique<sampling::PkaSampler>(gpu_, samplingCfg_);
+}
+
+timing::TimingBackend &
+Platform::activeBackend()
+{
+    if (backend_ == timing::BackendKind::Interval)
+        return *interval_;
+    return detailed_;
 }
 
 Platform::~Platform() = default;
@@ -77,7 +96,13 @@ Platform::launch(const isa::ProgramPtr &program,
     auto t0 = std::chrono::steady_clock::now();
     switch (mode_) {
       case SimMode::FullDetailed: {
-        timing::RunOutcome out = gpu_.runKernel(*program, dims, mem_);
+        if (backend_ == timing::BackendKind::Auto) {
+            result.sample = pilot_->runKernel(*program, dims, mem_);
+            break;
+        }
+        timing::TimingBackend &be = activeBackend();
+        const timing::BackendCaps caps = be.caps();
+        timing::RunOutcome out = be.runKernel(*program, dims, mem_);
         result.sample.cycles = out.cycles();
         result.sample.insts = out.instsIssued;
         result.sample.level = sampling::SampleLevel::Full;
@@ -88,13 +113,24 @@ Platform::launch(const isa::ProgramPtr &program,
         tele.level = sampling::SampleLevel::Full;
         tele.predictedCycles = out.cycles();
         tele.predictedInsts = out.instsIssued;
-        tele.detailedCycles = out.cycles();
-        tele.detailedInsts = out.instsIssued;
-        tele.detailedWarps = out.wavesCompleted;
         tele.totalWarps = dims.totalWaves();
-        tele.epochs = out.epochs;
-        tele.epochCycles = out.epochCycleSum;
-        tele.barrierCrossings = out.barrierCrossings;
+        tele.backend = be.name();
+        if (caps.cycleLevel) {
+            tele.detailedCycles = out.cycles();
+            tele.detailedInsts = out.instsIssued;
+            tele.detailedWarps = out.wavesCompleted;
+            tele.backendDetailedCycles = out.cycles();
+        } else {
+            tele.backendIntervalCycles = out.cycles();
+        }
+        // Statistics the backend never measured are reported as
+        // absent (null), not zero.
+        tele.hasDetailedStats = caps.epochStats;
+        if (caps.epochStats) {
+            tele.epochs = out.epochs;
+            tele.epochCycles = out.epochCycleSum;
+            tele.barrierCrossings = out.barrierCrossings;
+        }
         break;
       }
       case SimMode::Photon:
@@ -109,6 +145,12 @@ Platform::launch(const isa::ProgramPtr &program,
         std::chrono::duration<double>(t1 - t0).count();
     result.sample.telemetry.job = result.label;
     result.sample.telemetry.wallSeconds = result.wallSeconds;
+    if (mode_ != SimMode::FullDetailed) {
+        // The sampled modes run their detailed portion on the
+        // cycle-level core; record that in the v3 fidelity split.
+        result.sample.telemetry.backendDetailedCycles =
+            result.sample.telemetry.detailedCycles;
+    }
 
     totalCycles_ += result.sample.cycles;
     totalInsts_ += result.sample.insts;
@@ -131,7 +173,14 @@ StatRegistry
 Platform::stats() const
 {
     StatRegistry reg;
-    gpu_.exportStats(reg);
+    // Only backends that actually ran export their statistics: a
+    // pure-interval platform never touched the detailed core, and
+    // all-zero gpu.* counters would misreport "measured nothing" as
+    // "measured zero".
+    if (backend_ != timing::BackendKind::Interval)
+        gpu_.exportStats(reg);
+    if (interval_)
+        interval_->exportStats(reg);
     reg.set("platform.kernels", static_cast<double>(log_.size()));
     reg.set("platform.total_cycles", static_cast<double>(totalCycles_));
     reg.set("platform.total_insts", static_cast<double>(totalInsts_));

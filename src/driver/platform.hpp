@@ -17,11 +17,14 @@
 #include "func/memory.hpp"
 #include "func/wave_state.hpp"
 #include "isa/program.hpp"
+#include "sampling/fidelity.hpp"
 #include "sampling/photon.hpp"
 #include "sampling/pka.hpp"
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
+#include "timing/backend.hpp"
 #include "timing/gpu.hpp"
+#include "timing/interval_backend.hpp"
 
 namespace photon::driver {
 
@@ -47,8 +50,16 @@ struct LaunchResult
 class Platform
 {
   public:
+    /**
+     * @param backend timing backend for full-detailed-mode launches
+     *        (see timing::BackendKind). The sampled modes (photon,
+     *        pka) require the detailed backend — their control planes
+     *        live in its monitor hooks — so non-detailed backends are
+     *        only valid with SimMode::FullDetailed.
+     */
     Platform(const GpuConfig &gpu_cfg, SimMode mode,
-             const SamplingConfig &sampling_cfg = {});
+             const SamplingConfig &sampling_cfg = {},
+             timing::BackendKind backend = timing::BackendKind::Detailed);
     ~Platform();
 
     Platform(const Platform &) = delete;
@@ -99,6 +110,17 @@ class Platform
     /** PKA internals; null unless mode() == Pka. */
     sampling::PkaSampler *pka() { return pka_.get(); }
 
+    /** The selected timing backend for full-detailed launches. */
+    timing::BackendKind backendKind() const { return backend_; }
+    /** The backend actually driving full-detailed launches (the
+     *  detailed adapter or the interval model; auto mode's pilot sits
+     *  above both). */
+    timing::TimingBackend &activeBackend();
+    /** Interval backend; null unless backendKind() needs one. */
+    timing::IntervalBackend *interval() { return interval_.get(); }
+    /** Auto-mode pilot; null unless backendKind() == Auto. */
+    sampling::FidelityPilot *pilot() { return pilot_.get(); }
+
     /** Sum of predicted kernel cycles across all launches. */
     Cycle totalKernelCycles() const { return totalCycles_; }
     /** Sum of predicted instruction counts. */
@@ -119,8 +141,12 @@ class Platform
     GpuConfig gpuCfg_;
     SimMode mode_;
     SamplingConfig samplingCfg_;
+    timing::BackendKind backend_;
     func::GlobalMemory mem_;
     timing::Gpu gpu_;
+    timing::DetailedBackend detailed_;
+    std::unique_ptr<timing::IntervalBackend> interval_;
+    std::unique_ptr<sampling::FidelityPilot> pilot_;
     std::unique_ptr<sampling::PhotonSampler> photon_;
     std::unique_ptr<sampling::PkaSampler> pka_;
 

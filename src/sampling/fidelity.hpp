@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The multi-fidelity auto pilot behind `--backend auto`: run the
+ * detailed backend while the stability detectors are unconverged, then
+ * latch onto the interval backend for the remainder — an extension
+ * beyond the paper (Pac-Sim's live fidelity switching, PAPERS.md),
+ * built entirely from the repository's existing control plane.
+ *
+ * Two switching scopes compose:
+ *
+ *  - Intra-kernel: a PhotonController (warp policy only, forcibly
+ *    armed) rides the detailed run; when the SwitchGovernor latches,
+ *    dispatch halts and the never-dispatched warps are priced by the
+ *    interval backend instead of the mean-duration heuristic. The
+ *    per-opcode latencies observed up to the switch seed the interval
+ *    fits, so the analytical epilogue reflects this kernel's memory
+ *    behaviour.
+ *
+ *  - Cross-kernel: each kernel name owns a StabilityDetector over its
+ *    (launch start, launch end) history plus a SwitchGovernor; once a
+ *    kernel's duration is stable across launches, every subsequent
+ *    launch of that kernel runs wholly on the interval backend. This
+ *    is what pays off on iterative workloads (pagerank's repeated
+ *    rank/update kernels) whose individual launches are too short for
+ *    the warp window to converge.
+ *
+ * Every launch's telemetry records the fidelity decision (backend =
+ * "detailed" / "auto" / "interval") and the per-backend cycle split.
+ */
+
+#ifndef PHOTON_SAMPLING_FIDELITY_HPP
+#define PHOTON_SAMPLING_FIDELITY_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "func/memory.hpp"
+#include "func/wave_state.hpp"
+#include "isa/program.hpp"
+#include "sampling/interval_model.hpp"
+#include "sampling/photon.hpp"
+#include "sampling/stability.hpp"
+#include "sim/config.hpp"
+#include "timing/interval_backend.hpp"
+
+namespace photon::sampling {
+
+/** Drives detailed-vs-interval fidelity for one job (see file
+ *  comment). Owns the cross-kernel latch state; the backends are
+ *  supplied by the Platform so they share one clock. */
+class FidelityPilot
+{
+  public:
+    /** Launch-duration stability window (the detector's n). Whole
+     *  kernels are enormous observations compared to single warps, so
+     *  the window is tiny: two consecutive launch pairs. */
+    static constexpr std::uint32_t kKernelWindow = 2;
+
+    /** Consecutive confirmations before a kernel latches onto the
+     *  interval backend (fewer than the per-warp default for the same
+     *  reason the window is small: each confirmation is a whole
+     *  launch, and holding a stable kernel on the detailed core for
+     *  extra launches costs more than a rare false latch). */
+    static constexpr std::uint32_t kKernelConfirmChecks = 1;
+
+    FidelityPilot(timing::Gpu &gpu, timing::IntervalBackend &interval,
+                  const SamplingConfig &cfg);
+
+    /** Run one kernel at the fidelity the detectors currently
+     *  justify. */
+    KernelRunResult runKernel(const isa::Program &program,
+                              const func::LaunchDims &dims,
+                              func::GlobalMemory &mem);
+
+    /** Kernels currently latched onto the interval backend. */
+    std::uint64_t latchedKernels() const;
+
+    /** Launches that ran (wholly or partly) on the interval model. */
+    std::uint64_t intervalLaunches() const { return intervalLaunches_; }
+
+  private:
+    /** Cross-launch fidelity state for one kernel name. */
+    struct KernelState
+    {
+        KernelState(const SamplingConfig &cfg, const GpuConfig &gpu_cfg)
+            : detector(kKernelWindow, cfg.delta),
+              governor(1, kKernelConfirmChecks), latencies(gpu_cfg)
+        {}
+
+        StabilityDetector detector; ///< launch (start, end) history
+        SwitchGovernor governor;    ///< latches the interval handoff
+        /** Per-opcode latencies observed across this kernel's detailed
+         *  launches; seeds the interval fits at the latch. */
+        InstLatencyTable latencies;
+        bool seeded = false; ///< fits already handed to the backend
+    };
+
+    KernelState &state(const std::string &kernel);
+
+    /** Hand @p st's accumulated fits to the interval backend once. */
+    void seedInterval(const std::string &kernel, KernelState &st);
+
+    /** Whole-kernel interval run (the cross-kernel latched path). */
+    KernelRunResult runInterval(const isa::Program &program,
+                                const func::LaunchDims &dims,
+                                func::GlobalMemory &mem, bool first);
+
+    timing::Gpu &gpu_;
+    timing::IntervalBackend &interval_;
+    SamplingConfig cfg_;
+    std::map<std::string, KernelState> kernels_;
+    std::uint64_t intervalLaunches_ = 0;
+};
+
+} // namespace photon::sampling
+
+#endif // PHOTON_SAMPLING_FIDELITY_HPP

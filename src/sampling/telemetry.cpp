@@ -92,10 +92,21 @@ writeRecord(const KernelTelemetry &t, std::ostream &os)
        << ", \"analysis_reused\": "
        << (t.analysisReused ? "true" : "false")
        << ", \"detailed_fraction\": " << num(t.detailedFraction()) << ",\n"
-       << "     \"wall_seconds\": " << num(t.wallSeconds)
-       << ", \"epochs\": " << t.epochs
-       << ", \"epoch_cycles\": " << t.epochCycles
-       << ", \"barrier_crossings\": " << t.barrierCrossings << "}";
+       << "     \"wall_seconds\": " << num(t.wallSeconds);
+    // Detailed-only statistics: backends that never ran the detailed
+    // core emit null, not zero — absence must stay distinguishable.
+    if (t.hasDetailedStats) {
+        os << ", \"epochs\": " << t.epochs
+           << ", \"epoch_cycles\": " << t.epochCycles
+           << ", \"barrier_crossings\": " << t.barrierCrossings;
+    } else {
+        os << ", \"epochs\": null, \"epoch_cycles\": null"
+           << ", \"barrier_crossings\": null";
+    }
+    os << ",\n     \"backend\": \"" << jsonEscape(t.backend) << "\""
+       << ", \"backend_detailed_cycles\": " << t.backendDetailedCycles
+       << ", \"backend_interval_cycles\": " << t.backendIntervalCycles
+       << "}";
 }
 
 /**
@@ -193,6 +204,18 @@ class Reader
         return fail("expected bool");
     }
 
+    /** Consume a literal null if present (nullable v3 statistics). */
+    bool
+    tryNull()
+    {
+        skipWs();
+        if (s_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        return false;
+    }
+
     /** Skip any value (for unknown keys). */
     bool
     skipValue()
@@ -229,6 +252,8 @@ class Reader
             bool ignored;
             return readBool(ignored);
         }
+        if (c == 'n')
+            return tryNull() || fail("expected value");
         double ignored;
         return readNumber(ignored);
     }
@@ -338,17 +363,37 @@ readRecord(Reader &r, KernelTelemetry &t)
             if (!r.readNumber(t.wallSeconds))
                 return false;
         } else if (key == "epochs") {
-            if (!r.readNumber(d))
+            if (r.tryNull())
+                t.hasDetailedStats = false;
+            else if (r.readNumber(d))
+                t.epochs = static_cast<std::uint64_t>(d);
+            else
                 return false;
-            t.epochs = static_cast<std::uint64_t>(d);
         } else if (key == "epoch_cycles") {
-            if (!r.readNumber(d))
+            if (r.tryNull())
+                t.hasDetailedStats = false;
+            else if (r.readNumber(d))
+                t.epochCycles = static_cast<std::uint64_t>(d);
+            else
                 return false;
-            t.epochCycles = static_cast<std::uint64_t>(d);
         } else if (key == "barrier_crossings") {
+            if (r.tryNull())
+                t.hasDetailedStats = false;
+            else if (r.readNumber(d))
+                t.barrierCrossings = static_cast<std::uint64_t>(d);
+            else
+                return false;
+        } else if (key == "backend") {
+            if (!r.readString(t.backend))
+                return false;
+        } else if (key == "backend_detailed_cycles") {
             if (!r.readNumber(d))
                 return false;
-            t.barrierCrossings = static_cast<std::uint64_t>(d);
+            t.backendDetailedCycles = static_cast<Cycle>(d);
+        } else if (key == "backend_interval_cycles") {
+            if (!r.readNumber(d))
+                return false;
+            t.backendIntervalCycles = static_cast<Cycle>(d);
         } else {
             if (!r.skipValue())
                 return false;
@@ -384,7 +429,8 @@ writeTelemetryCsv(const std::vector<KernelTelemetry> &records,
           "bb_stable_rate,predicted_cycles,predicted_insts,"
           "detailed_cycles,detailed_insts,detailed_warps,total_warps,"
           "analysis_insts,analysis_reused,detailed_fraction,"
-          "wall_seconds,epochs,epoch_cycles,barrier_crossings\n";
+          "wall_seconds,epochs,epoch_cycles,barrier_crossings,"
+          "backend,backend_detailed_cycles,backend_interval_cycles\n";
     for (const KernelTelemetry &t : records) {
         os << t.kernel << ',' << t.job << ',' << t.numWorkgroups << ','
            << t.wavesPerWorkgroup << ',' << t.levelName() << ','
@@ -401,8 +447,15 @@ writeTelemetryCsv(const std::vector<KernelTelemetry> &records,
            << t.totalWarps << ',' << t.analysisInsts << ','
            << (t.analysisReused ? 1 : 0) << ','
            << num(t.detailedFraction()) << ',' << num(t.wallSeconds)
-           << ',' << t.epochs << ',' << t.epochCycles << ','
-           << t.barrierCrossings << "\n";
+           << ',';
+        // Detailed-only statistics: empty cells when never measured.
+        if (t.hasDetailedStats)
+            os << t.epochs << ',' << t.epochCycles << ','
+               << t.barrierCrossings;
+        else
+            os << ",,";
+        os << ',' << t.backend << ',' << t.backendDetailedCycles << ','
+           << t.backendIntervalCycles << "\n";
     }
 }
 

@@ -50,8 +50,13 @@ const char *sampleLevelName(SampleLevel level);
  *  strictly additive, so older documents load with the new fields at
  *  their defaults.
  *  v2: per-kernel wall_seconds + epoch-synchronization statistics
- *  (epochs, epoch_cycles, barrier_crossings). */
-inline constexpr std::uint32_t kTelemetrySchemaVersion = 2;
+ *  (epochs, epoch_cycles, barrier_crossings).
+ *  v3: per-launch timing-backend identity (backend) and per-backend
+ *  cycle split (backend_detailed_cycles / backend_interval_cycles);
+ *  detailed-only statistics (epochs, epoch_cycles, barrier_crossings)
+ *  become nullable — backends that never measured them emit JSON null
+ *  (empty CSV cells), never a fake zero. */
+inline constexpr std::uint32_t kTelemetrySchemaVersion = 3;
 
 /** Everything Photon can report about one kernel launch. */
 struct KernelTelemetry
@@ -88,6 +93,21 @@ struct KernelTelemetry
     std::uint64_t epochs = 0;        ///< epoch-loop rounds executed
     std::uint64_t epochCycles = 0;   ///< cycles covered by those epochs
     std::uint64_t barrierCrossings = 0; ///< thread-barrier crossings
+
+    // Fidelity (schema v3): which timing backend produced this
+    // launch's prediction and how the cycles split between the
+    // detailed core and the analytical interval model.
+    //   "detailed" — the cycle-level core ran the whole kernel
+    //   "interval" — the analytical model ran the whole kernel
+    //   "auto"     — detailed until the mid-kernel switch, interval
+    //                for the epilogue
+    std::string backend = "detailed";
+    Cycle backendDetailedCycles = 0; ///< cycles from the detailed core
+    Cycle backendIntervalCycles = 0; ///< cycles from the interval model
+    /** False when the backend never ran the detailed core for this
+     *  launch: the epoch-synchronization statistics above were not
+     *  measured (writers emit null / empty, not zero). */
+    bool hasDetailedStats = true;
 
     /** Mean epoch horizon length in cycles (0 when no epochs ran). */
     double

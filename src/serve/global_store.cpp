@@ -124,9 +124,15 @@ GlobalStore::admissionKey(const service::JobSpec &spec) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = fingerprints_.find(spec.label());
-    if (it != fingerprints_.end())
-        return it->second;
-    return fingerprintSpec(spec);
+    std::uint64_t h =
+        it != fingerprints_.end() ? it->second : fingerprintSpec(spec);
+    // Admission dedup keys on (fingerprint, backend): a detailed and an
+    // interval run of the same job are different work and must not
+    // collapse onto one in-flight execution. The default backend folds
+    // nothing, so keys of pre-backend specs are unchanged.
+    if (spec.backend != "detailed")
+        h = fnv1aString(h, spec.backend);
+    return h;
 }
 
 void

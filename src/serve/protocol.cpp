@@ -308,6 +308,12 @@ encodeRequest(const Request &request)
            << "\", \"size\": " << request.spec.size << ", \"mode\": \""
            << jsonEscape(request.spec.mode) << "\", \"gpu\": \""
            << jsonEscape(request.spec.gpu) << "\"";
+        // Only non-default backends go on the wire: a default-backend
+        // request line is byte-identical to what pre-backend clients
+        // send, and absent means "detailed" on decode.
+        if (request.spec.backend != "detailed")
+            os << ", \"backend\": \"" << jsonEscape(request.spec.backend)
+               << "\"";
     }
     os << "}";
     return os.str();
@@ -327,7 +333,8 @@ encodeResponse(const Response &response)
         os << ", \"workload\": \"" << jsonEscape(r.spec.workload)
            << "\", \"size\": " << r.spec.size << ", \"mode\": \""
            << jsonEscape(r.spec.mode) << "\", \"gpu\": \""
-           << jsonEscape(r.spec.gpu) << "\""
+           << jsonEscape(r.spec.gpu) << "\", \"backend\": \""
+           << jsonEscape(r.spec.backend) << "\""
            << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
            << ", \"kernels\": " << r.kernels
            << ", \"kernel_hits\": " << r.kernelHits
@@ -367,6 +374,8 @@ decodeRequest(const std::string &line, Request &out, std::string *error)
         r.spec.size = static_cast<std::uint32_t>(json.getU64("size"));
         r.spec.mode = json.getString("mode", r.spec.mode);
         r.spec.gpu = json.getString("gpu", r.spec.gpu);
+        // Optional: absent (old clients) keeps the "detailed" default.
+        r.spec.backend = json.getString("backend", r.spec.backend);
     }
     out = std::move(r);
     return true;
@@ -392,6 +401,8 @@ decodeResponse(const std::string &line, Response &out, std::string *error)
             static_cast<std::uint32_t>(json.getU64("size"));
         r.result.spec.mode = json.getString("mode");
         r.result.spec.gpu = json.getString("gpu");
+        r.result.spec.backend =
+            json.getString("backend", r.result.spec.backend);
         r.result.ok = r.ok;
         r.result.error = r.error;
         r.result.cycles = json.getU64("cycles");

@@ -8,7 +8,11 @@
  * Requests:
  *
  *   {"v": 1, "op": "submit", "id": "c1-0", "workload": "mm",
- *    "size": 256, "mode": "photon", "gpu": "r9nano"}
+ *    "size": 256, "mode": "photon", "gpu": "r9nano",
+ *    "backend": "detailed"}
+ *
+ * "backend" is optional (still protocol v1): requests without it mean
+ * the detailed backend, so pre-backend clients keep working unchanged.
  *   {"v": 1, "op": "status",   "id": "c1-1"}
  *   {"v": 1, "op": "cache",    "id": "c1-2"}
  *   {"v": 1, "op": "ping",     "id": "c1-3"}

@@ -224,11 +224,13 @@ SimServer::executeJob(const service::JobSpec &spec)
 
     GpuConfig gpu;
     driver::SimMode mode;
+    timing::BackendKind backend = timing::BackendKind::Detailed;
     service::parseGpuName(spec.gpu, gpu);
     service::parseMode(spec.mode, mode);
+    service::parseBackendName(spec.backend, backend);
 
     auto t0 = std::chrono::steady_clock::now();
-    driver::Platform platform(gpu, mode, opts_.sampling);
+    driver::Platform platform(gpu, mode, opts_.sampling, backend);
     if (cuThreads_ > 1)
         platform.setCuThreads(cuThreads_);
 

@@ -269,6 +269,10 @@ putTelemetry(std::string &out, const sampling::KernelTelemetry &t)
     putU64(out, t.epochs);
     putU64(out, t.epochCycles);
     putU64(out, t.barrierCrossings);
+    putString(out, t.backend);
+    putU64(out, t.backendDetailedCycles);
+    putU64(out, t.backendIntervalCycles);
+    putU32(out, t.hasDetailedStats ? 1 : 0);
 }
 
 sampling::KernelTelemetry
@@ -308,6 +312,12 @@ getTelemetry(Reader &r, std::uint32_t version)
         t.epochs = r.u64();
         t.epochCycles = r.u64();
         t.barrierCrossings = r.u64();
+    }
+    if (version >= 4) {
+        t.backend = r.str();
+        t.backendDetailedCycles = r.u64();
+        t.backendIntervalCycles = r.u64();
+        t.hasDetailedStats = r.u32() != 0;
     }
     return t;
 }

@@ -33,8 +33,11 @@ namespace photon::service {
  *  section (loaders still accept v1 — the section is simply absent).
  *  v3: telemetry records gain wall_seconds + epoch-synchronization
  *  statistics (telemetry schema v2); v2 records load with those fields
- *  at their zero defaults. */
-inline constexpr std::uint32_t kArtifactVersion = 3;
+ *  at their zero defaults.
+ *  v4: telemetry records gain the timing-backend fields (backend name,
+ *  per-backend cycle split, hasDetailedStats; telemetry schema v3);
+ *  v3 records load as detailed-backend with full detailed stats. */
+inline constexpr std::uint32_t kArtifactVersion = 4;
 
 /** Reusable state produced by runs on one GPU configuration. */
 struct StoreGroup

@@ -17,6 +17,8 @@ JobSpec::label() const
 {
     std::ostringstream os;
     os << workload << '/' << size << '/' << mode << '/' << gpu;
+    if (backend != "detailed")
+        os << '/' << backend;
     return os.str();
 }
 
@@ -122,6 +124,18 @@ parseGpuName(const std::string &name, GpuConfig &out, std::string *error)
     return false;
 }
 
+bool
+parseBackendName(const std::string &name, timing::BackendKind &out,
+                 std::string *error)
+{
+    if (timing::parseBackendKind(name, out))
+        return true;
+    if (error)
+        *error = "unknown backend '" + name +
+                 "' (detailed interval auto)";
+    return false;
+}
+
 std::string
 validateJob(const JobSpec &spec)
 {
@@ -136,6 +150,14 @@ validateJob(const JobSpec &spec)
     GpuConfig gpu;
     if (!parseGpuName(spec.gpu, gpu, &err))
         return err;
+    timing::BackendKind backend;
+    if (!parseBackendName(spec.backend, backend, &err))
+        return err;
+    if (backend != timing::BackendKind::Detailed &&
+        mode != driver::SimMode::FullDetailed)
+        return "backend '" + spec.backend + "' requires mode 'full' "
+               "(the sampled modes' control planes need the detailed "
+               "core's monitor hooks)";
     return "";
 }
 
@@ -162,6 +184,9 @@ parseCampaignText(std::istream &in, std::vector<JobSpec> &out)
                        size_text + "'";
         }
         fields >> spec.mode >> spec.gpu; // keep defaults when absent
+        std::string backend_text;
+        if (fields >> backend_text)
+            spec.backend = backend_text;
         std::string extra;
         if (fields >> extra)
             return "campaign line " + std::to_string(lineno) +
@@ -199,16 +224,22 @@ std::vector<JobSpec>
 expandJobs(const std::vector<std::string> &workloads,
            const std::vector<std::uint32_t> &sizes,
            const std::vector<std::string> &modes,
-           const std::vector<std::string> &gpus)
+           const std::vector<std::string> &gpus,
+           const std::vector<std::string> &backends)
 {
     std::vector<std::uint32_t> size_list =
         sizes.empty() ? std::vector<std::uint32_t>{0} : sizes;
+    std::vector<std::string> backend_list =
+        backends.empty() ? std::vector<std::string>{"detailed"}
+                         : backends;
     std::vector<JobSpec> jobs;
     for (const auto &w : workloads) {
         for (std::uint32_t s : size_list) {
             for (const auto &m : modes) {
-                for (const auto &g : gpus)
-                    jobs.push_back({w, s, m, g});
+                for (const auto &g : gpus) {
+                    for (const auto &b : backend_list)
+                        jobs.push_back({w, s, m, g, b});
+                }
             }
         }
     }
@@ -302,7 +333,8 @@ writeJsonReport(const CampaignResult &result, std::ostream &os)
         os << "    {\"workload\": \"" << jsonEscape(j.spec.workload)
            << "\", \"size\": " << j.spec.size << ", \"mode\": \""
            << jsonEscape(j.spec.mode) << "\", \"gpu\": \""
-           << jsonEscape(j.spec.gpu) << "\",\n";
+           << jsonEscape(j.spec.gpu) << "\", \"backend\": \""
+           << jsonEscape(j.spec.backend) << "\",\n";
         os << "     \"cycles\": " << j.cycles
            << ", \"insts\": " << j.insts
            << ", \"wall_seconds\": " << j.wallSeconds
@@ -350,8 +382,8 @@ printCampaignTable(const CampaignResult &result, std::ostream &os,
                    bool csv)
 {
     driver::Table table({"job", "workload", "size", "mode", "gpu",
-                         "cycles", "insts", "wall_s", "levels",
-                         "khits", "seed", "new"});
+                         "backend", "cycles", "insts", "wall_s",
+                         "levels", "khits", "seed", "new"});
     for (std::size_t i = 0; i < result.jobs.size(); ++i) {
         const JobResult &j = result.jobs[i];
         std::string levels;
@@ -365,7 +397,8 @@ printCampaignTable(const CampaignResult &result, std::ostream &os,
         }
         table.addRow({std::to_string(i), j.spec.workload,
                       std::to_string(j.spec.size), j.spec.mode,
-                      j.spec.gpu, std::to_string(j.cycles),
+                      j.spec.gpu, j.spec.backend,
+                      std::to_string(j.cycles),
                       std::to_string(j.insts),
                       driver::Table::num(j.wallSeconds, 3),
                       levels.empty() ? "-" : levels,

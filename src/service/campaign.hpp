@@ -7,10 +7,11 @@
  *
  * Spec file format, one job per line, later fields optional:
  *
- *   # workload  size  mode     gpu
+ *   # workload  size  mode     gpu      backend
  *   mm          256   photon   r9nano
  *   resnet18    0     photon   mi100
  *   relu        4096                    # defaults: photon r9nano
+ *   spmv        1024  full     r9nano   interval
  */
 
 #ifndef PHOTON_SERVICE_CAMPAIGN_HPP
@@ -34,15 +35,21 @@ struct JobSpec
     std::uint32_t size = 0; ///< workload-specific default when 0
     std::string mode = "photon";
     std::string gpu = "r9nano";
+    /** Timing backend ("detailed"/"interval"/"auto"); non-detailed
+     *  backends require mode "full" (see driver::Platform). */
+    std::string backend = "detailed";
 
-    /** "workload/size/mode/gpu", used in reports and logs. */
+    /** "workload/size/mode/gpu", used in reports and logs; a
+     *  non-default backend is appended as a fifth component so labels
+     *  of pre-backend specs (and everything keyed on them — learned
+     *  fingerprints, artifact groups) are byte-identical to before. */
     std::string label() const;
 
     bool
     operator==(const JobSpec &o) const
     {
         return workload == o.workload && size == o.size &&
-               mode == o.mode && gpu == o.gpu;
+               mode == o.mode && gpu == o.gpu && backend == o.backend;
     }
 };
 
@@ -65,6 +72,11 @@ bool parseMode(const std::string &name, driver::SimMode &out,
 bool parseGpuName(const std::string &name, GpuConfig &out,
                   std::string *error = nullptr);
 
+/** Parse a timing-backend name; @p error set on failure
+ *  ("detailed interval auto"). */
+bool parseBackendName(const std::string &name, timing::BackendKind &out,
+                      std::string *error = nullptr);
+
 /** Check every field of @p spec; returns a diagnostic or "". */
 std::string validateJob(const JobSpec &spec);
 
@@ -78,11 +90,14 @@ std::string parseCampaignFile(const std::string &path,
 std::string parseCampaignText(std::istream &in, std::vector<JobSpec> &out);
 
 /** Cross-product expansion of CLI lists ("mm,relu" x "128,256" x ...).
- *  Empty @p sizes means {0} (workload defaults). */
+ *  Empty @p sizes means {0} (workload defaults); empty @p backends
+ *  means {"detailed"}. */
 std::vector<JobSpec> expandJobs(const std::vector<std::string> &workloads,
                                 const std::vector<std::uint32_t> &sizes,
                                 const std::vector<std::string> &modes,
-                                const std::vector<std::string> &gpus);
+                                const std::vector<std::string> &gpus,
+                                const std::vector<std::string> &backends =
+                                    {});
 
 /** Split a comma-separated CLI list ("a,b,c"); empty items dropped. */
 std::vector<std::string> splitList(const std::string &csv);

@@ -90,11 +90,13 @@ runOneJob(const JobSpec &spec, const CampaignOptions &options,
 
     GpuConfig gpu;
     driver::SimMode mode;
+    timing::BackendKind backend = timing::BackendKind::Detailed;
     parseGpuName(spec.gpu, gpu);
     parseMode(spec.mode, mode);
+    parseBackendName(spec.backend, backend);
 
     auto t0 = std::chrono::steady_clock::now();
-    driver::Platform platform(gpu, mode, options.sampling);
+    driver::Platform platform(gpu, mode, options.sampling, backend);
     if (cu_threads > 1)
         platform.setCuThreads(cu_threads);
     sampling::CacheCounters base;

@@ -1,0 +1,26 @@
+#include "timing/backend.hpp"
+
+namespace photon::timing {
+
+const char *
+backendKindName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Detailed: return "detailed";
+      case BackendKind::Interval: return "interval";
+      case BackendKind::Auto: return "auto";
+    }
+    return "?";
+}
+
+bool
+parseBackendKind(std::string_view name, BackendKind &out)
+{
+    if (name == "detailed") out = BackendKind::Detailed;
+    else if (name == "interval") out = BackendKind::Interval;
+    else if (name == "auto") out = BackendKind::Auto;
+    else return false;
+    return true;
+}
+
+} // namespace photon::timing

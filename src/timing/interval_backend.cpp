@@ -1,0 +1,580 @@
+#include "timing/interval_backend.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "func/emulator.hpp"
+#include "func/wave_state.hpp"
+#include "sampling/interval_model.hpp"
+#include "timing/scheduler_model.hpp"
+
+// The sanctioned seam crossing: timing headers stay sampling-free (the
+// CI hygiene grep pins that), but this translation unit reuses the
+// sampling layer's interval-model latency table behind the pimpl.
+
+namespace photon::timing {
+
+struct IntervalBackend::Impl
+{
+    /**
+     * Tag-only set-associative LRU cache proxy mirroring the detailed
+     * model's geometry (sets, ways, LRU fill-on-miss) but keeping no
+     * timing state: it classifies a line access as hit/miss, which is
+     * what the analytical latency pricing needs. Deterministic: state
+     * evolves in trace order.
+     */
+    struct TagCache
+    {
+        TagCache(std::uint32_t num_sets, std::uint32_t num_ways)
+            : sets(num_sets ? num_sets : 1), ways(num_ways ? num_ways : 1),
+              tags(std::size_t{sets} * ways, 0)
+        {}
+
+        /** Probe-and-fill: returns whether @p line was resident.
+         *
+         *  Each set is a contiguous recency-ordered run of way tags
+         *  (front = most recent, back = LRU victim), so a probe reads
+         *  one cache line of the host and the LRU update is a short
+         *  move-to-front shift — the tracer probes once per line
+         *  touched, which makes this the hottest loop in the backend.
+         *  Tag 0 means empty; stored tags are line + 1, truncated to
+         *  32 bits (simulated line ids are far below 2^32). */
+        bool
+        access(Addr line)
+        {
+            std::uint32_t *set = tags.data() + std::size_t{line % sets} * ways;
+            std::uint32_t tag = static_cast<std::uint32_t>(line + 1);
+            if (set[0] == tag) // hot-line fast path: already MRU
+                return true;
+            for (std::uint32_t i = 1; i < ways; ++i) {
+                if (set[i] == tag) {
+                    for (std::uint32_t j = i; j > 0; --j)
+                        set[j] = set[j - 1];
+                    set[0] = tag;
+                    return true;
+                }
+            }
+            for (std::uint32_t j = ways - 1; j > 0; --j)
+                set[j] = set[j - 1];
+            set[0] = tag;
+            return false;
+        }
+
+        std::uint32_t sets, ways;
+        std::vector<std::uint32_t> tags;
+    };
+
+    /** Per-kernel latency fits (the interval-model table, paper
+     *  Figure 9), seedable from a detailed phase. The table's lookup
+     *  path (observed mean with a config-derived default) runs once
+     *  per traced instruction, so it is memoized into flat per-opcode
+     *  arrays; seeding invalidates the memo. */
+    struct KernelModel
+    {
+        explicit KernelModel(const GpuConfig &cfg) : table(cfg) {}
+
+        sampling::InstLatencyTable table;
+        std::array<double, isa::kNumOpcodes> opLat{};
+        std::array<bool, isa::kNumOpcodes> seeded{};
+        bool fresh = false;
+    };
+
+    explicit Impl(const GpuConfig &cfg)
+        : cfg(cfg),
+          l1(cfg.numCus, TagCache(cfg.l1v.numSets(), cfg.l1v.ways)),
+          l2(cfg.l2Banks, TagCache(cfg.l2.numSets(), cfg.l2.ways))
+    {}
+
+    /** L2 probe through the detailed model's bank interleave. */
+    bool
+    l2Access(Addr line)
+    {
+        return l2[line % l2.size()].access(line);
+    }
+
+    KernelModel &
+    model(const std::string &kernel)
+    {
+        KernelModel &km = models.try_emplace(kernel, cfg).first->second;
+        if (!km.fresh)
+            refresh(km);
+        return km;
+    }
+
+    /**
+     * Rebuild @p km's memoized per-opcode costs. Observed means win;
+     * for unseeded opcodes the shared table's config defaults are
+     * refined with static opcode identity (the detailed core retires
+     * vector stores at issue-occupancy cost and scalar loads out of a
+     * hot L1K, while the shared default prices both as L2 walks).
+     */
+    void
+    refresh(KernelModel &km) const
+    {
+        for (unsigned i = 0; i < isa::kNumOpcodes; ++i) {
+            auto op = static_cast<isa::Opcode>(i);
+            km.seeded[i] = km.table.observations(op) > 0;
+            if (km.seeded[i]) {
+                km.opLat[i] = km.table.latency(op);
+                continue;
+            }
+            switch (op) {
+              case isa::Opcode::FLAT_STORE_DWORD:
+                km.opLat[i] = static_cast<double>(cfg.vectorIssueCycles);
+                break;
+              case isa::Opcode::S_LOAD_DWORD:
+                km.opLat[i] = static_cast<double>(cfg.l1k.hitLatency);
+                break;
+              default:
+                km.opLat[i] = km.table.latency(op);
+                break;
+            }
+        }
+        km.fresh = true;
+    }
+
+    /**
+     * Price one executed instruction and charge its memory traffic to
+     * the cache proxies. Mirrors the detailed core's latency shape:
+     * a wavefront's next issue waits for the previous instruction's
+     * completion, vector stores retire at issue cost, vector loads
+     * wait for their slowest line.
+     */
+    double
+    priceStep(KernelModel &km, const func::StepResult &step,
+              std::uint32_t cu)
+    {
+        using isa::FuncUnit;
+        auto oi = static_cast<std::size_t>(step.op);
+        if (step.unit == FuncUnit::VMEM) {
+            bool seeded = km.seeded[oi];
+            double lat =
+                seeded ? km.opLat[oi]
+                       : static_cast<double>(cfg.vectorIssueCycles);
+            for (std::uint32_t i = 0; i < step.numLines; ++i) {
+                Addr line = step.lines[i];
+                double line_lat;
+                if (l1[cu].access(line)) {
+                    ++l1Hits;
+                    line_lat = static_cast<double>(cfg.l1v.hitLatency);
+                } else if (++l1Misses, l2Access(line)) {
+                    ++l2Hits;
+                    line_lat = static_cast<double>(cfg.l1v.hitLatency +
+                                                   cfg.l2.hitLatency);
+                } else {
+                    ++l2Misses;
+                    ++dramLines;
+                    // The duration view prices a DRAM line at L2-fill
+                    // cost: co-resident warps overlap DRAM fills on
+                    // the machine, so charging the full access latency
+                    // to whichever warp the trace happens to order
+                    // first would serialize cold misses the machine
+                    // overlaps. The full DRAM cost surfaces through
+                    // the launch-level bandwidth and MSHR bounds.
+                    line_lat = static_cast<double>(
+                        cfg.l1v.hitLatency + cfg.l2.hitLatency);
+                }
+                if (!seeded && !step.linesWrite)
+                    lat = std::max(lat, line_lat);
+            }
+            issueCycles += cfg.vectorIssueCycles;
+            return lat;
+        }
+        issueCycles += step.unit == FuncUnit::SALU ||
+                               step.unit == FuncUnit::BRANCH ||
+                               step.unit == FuncUnit::SMEM
+                           ? cfg.scalarIssueCycles
+                           : cfg.vectorIssueCycles;
+        double lat = km.opLat[oi];
+        if (step.unit == FuncUnit::LDS && !km.seeded[oi])
+            lat += static_cast<double>(step.ldsAccesses / 16);
+        return lat;
+    }
+
+    /** Functionally execute @p warp once (stores apply to @p mem),
+     *  pricing every instruction as it retires. Memory traffic is
+     *  charged to the L1 proxy of the CU the dispatcher would place
+     *  the warp's workgroup on (round-robin over CUs). */
+    WarpEstimate
+    estimate(KernelModel &km, const isa::Program &program,
+             const func::LaunchDims &dims, func::GlobalMemory &mem,
+             WarpId warp)
+    {
+        std::uint32_t wpw = std::max<std::uint32_t>(
+            1, dims.wavesPerWorkgroup);
+        std::uint32_t cu =
+            static_cast<std::uint32_t>(warp / wpw) % cfg.numCus;
+        func::Emulator emu;
+        func::WaveState ws;
+        ws.init(program, dims, warp);
+        // Per-warp LDS stand-in: control flow in the supported
+        // workloads never depends on LDS values (same soundness
+        // argument as the online-analysis trace).
+        std::vector<std::uint8_t> lds(program.ldsBytes(), 0);
+        func::StepResult res;
+        double dur = 0.0;
+        std::uint64_t n = 0;
+        while (!ws.done) {
+            emu.step(program, ws, mem, lds, res);
+            ++n;
+            dur += priceStep(km, res, cu);
+        }
+        return {std::max<Cycle>(
+                    1, static_cast<Cycle>(std::llround(dur))),
+                n};
+    }
+
+    /**
+     * Trace a whole launch, interleaving the warps that would be
+     * co-resident on each CU. The detailed core round-robins issue
+     * across a CU's resident wavefronts, so its caches see their
+     * access streams interleaved — lockstep warps share lines, and
+     * many-warp CUs thrash. Tracing warps to completion one at a time
+     * would give the proxies temporal locality the machine never has,
+     * so the tracer steps each resident warp one instruction per round
+     * instead.
+     *
+     * @return per-warp predicted durations, indexed by warp id;
+     *         @p insts accumulates instructions executed.
+     */
+    std::vector<Cycle>
+    traceLaunch(KernelModel &km, const isa::Program &program,
+                const func::LaunchDims &dims, func::GlobalMemory &mem,
+                std::uint64_t &insts)
+    {
+        std::uint32_t wpw = std::max<std::uint32_t>(
+            1, dims.wavesPerWorkgroup);
+        std::uint32_t slotsPerCu = std::max<std::uint32_t>(
+            1,
+            SchedulerModel::effectiveSlots(cfg, wpw,
+                                           program.ldsBytes()) /
+                cfg.numCus);
+        std::uint64_t total = dims.totalWaves();
+        std::vector<Cycle> dur(total, 1);
+        // Home CU per warp: the dispatcher hands workgroups to CUs
+        // round-robin.
+        std::vector<std::vector<WarpId>> queue(cfg.numCus);
+        for (WarpId w = 0; w < total; ++w)
+            queue[(w / wpw) % cfg.numCus].push_back(w);
+
+        struct Active
+        {
+            func::WaveState ws;
+            std::vector<std::uint8_t> lds;
+            WarpId warp = 0;
+            double d = 0.0;
+            std::uint64_t n = 0;
+        };
+        struct CuSet
+        {
+            std::vector<std::unique_ptr<Active>> run;
+            std::size_t next = 0;
+        };
+        // Instructions each warp executes per turn. Fine enough that
+        // co-resident warps stay approximately in lockstep (shared
+        // lines are still resident when the sharing group catches up),
+        // coarse enough that the tracer is not dominated by switching
+        // between wave states.
+        constexpr std::uint32_t kChunk = 16;
+        // Pricing sample: one CU in four carries the cache proxies.
+        constexpr std::uint32_t kCuSampleStride = 4;
+
+        func::Emulator emu;
+        func::StepResult res;
+
+        // CU-level pricing sample. Warps repeat across CUs (the
+        // paper's sampling premise), so only every strideth CU is
+        // priced through the cache proxies; the others are emulated
+        // functionally (their stores must land) and their durations
+        // extrapolated from the matching warp slot of their sample
+        // CU, scaled by instruction count. The aggregate counters
+        // feeding the launch-level bounds are rescaled below so they
+        // stay machine-equivalent.
+        std::uint32_t stride = cfg.numCus <= 4 ? 1 : kCuSampleStride;
+        std::uint64_t l1h0 = l1Hits, l1m0 = l1Misses;
+        std::uint64_t l2h0 = l2Hits, l2m0 = l2Misses;
+        std::uint64_t dram0 = dramLines, issue0 = issueCycles;
+        std::uint64_t pricedInsts = 0;
+        // Per-warp instruction counts back the extrapolation ratios.
+        std::vector<std::uint64_t> nInsts(total, 0);
+
+        // Priced CUs trace sequentially (the live set stays one CU's
+        // resident waves — small and cache-friendly); within a CU the
+        // resident waves round-robin. The stepping order rotates each
+        // round: with a fixed order the same warp would probe every
+        // shared line first and eat every miss for its whole sharing
+        // group, while on the machine the first toucher varies with
+        // timing and the cost spreads.
+        CuSet cs;
+        for (std::uint32_t cu = 0; cu < cfg.numCus; ++cu) {
+            if (cu % stride != 0) {
+                // Functional-only CU: run each warp straight through,
+                // then extrapolate its duration from the same queue
+                // position on its sample CU (processed earlier).
+                std::uint32_t ref_cu = cu - cu % stride;
+                const auto &ref_q = queue[ref_cu];
+                func::WaveState ws;
+                std::vector<std::uint8_t> lds;
+                for (std::size_t p = 0; p < queue[cu].size(); ++p) {
+                    WarpId w = queue[cu][p];
+                    ws.init(program, dims, w);
+                    lds.assign(program.ldsBytes(), 0);
+                    std::uint64_t n = 0;
+                    while (!ws.done) {
+                        emu.step(program, ws, mem, lds, res);
+                        ++n;
+                    }
+                    nInsts[w] = n;
+                    insts += n;
+                    WarpId ref = ref_q.empty()
+                                     ? w
+                                     : ref_q[std::min(p, ref_q.size() - 1)];
+                    double scale =
+                        nInsts[ref]
+                            ? static_cast<double>(n) /
+                                  static_cast<double>(nInsts[ref])
+                            : 1.0;
+                    dur[w] = std::max<Cycle>(
+                        1, static_cast<Cycle>(std::llround(
+                               static_cast<double>(dur[ref]) * scale)));
+                }
+                continue;
+            }
+            cs.run.clear();
+            cs.next = 0;
+            auto activate = [&] {
+                while (cs.run.size() < slotsPerCu &&
+                       cs.next < queue[cu].size()) {
+                    auto a = std::make_unique<Active>();
+                    a->warp = queue[cu][cs.next++];
+                    a->ws.init(program, dims, a->warp);
+                    // Per-warp LDS stand-in: control flow in the
+                    // supported workloads never depends on LDS values
+                    // (same soundness argument as the online-analysis
+                    // trace).
+                    a->lds.assign(program.ldsBytes(), 0);
+                    cs.run.push_back(std::move(a));
+                }
+            };
+            activate();
+            std::uint64_t round = 0;
+            while (!cs.run.empty()) {
+                std::size_t width = cs.run.size();
+                for (std::size_t i = 0; i < width; ++i) {
+                    Active &a = *cs.run[(i + round) % width];
+                    for (std::uint32_t k = 0;
+                         k < kChunk && !a.ws.done; ++k) {
+                        emu.step(program, a.ws, mem, a.lds, res);
+                        ++a.n;
+                        a.d += priceStep(km, res, cu);
+                    }
+                    if (a.ws.done) {
+                        dur[a.warp] = std::max<Cycle>(
+                            1,
+                            static_cast<Cycle>(std::llround(a.d)));
+                        nInsts[a.warp] = a.n;
+                        insts += a.n;
+                        pricedInsts += a.n;
+                    }
+                }
+                std::erase_if(cs.run,
+                              [](const std::unique_ptr<Active> &a) {
+                                  return a->ws.done;
+                              });
+                activate();
+                ++round;
+            }
+        }
+
+        // Rescale the sampled aggregate counters to machine
+        // equivalents (deterministic: pure function of the trace).
+        if (stride > 1 && pricedInsts) {
+            double scale = static_cast<double>(insts0Total(nInsts)) /
+                           static_cast<double>(pricedInsts);
+            auto grow = [scale](std::uint64_t &c, std::uint64_t before) {
+                c = before + static_cast<std::uint64_t>(std::llround(
+                                 static_cast<double>(c - before) * scale));
+            };
+            grow(l1Hits, l1h0);
+            grow(l1Misses, l1m0);
+            grow(l2Hits, l2h0);
+            grow(l2Misses, l2m0);
+            grow(dramLines, dram0);
+            grow(issueCycles, issue0);
+        }
+        return dur;
+    }
+
+    /** Total instructions across a launch's warps. */
+    static std::uint64_t
+    insts0Total(const std::vector<std::uint64_t> &n)
+    {
+        std::uint64_t t = 0;
+        for (std::uint64_t v : n)
+            t += v;
+        return t;
+    }
+
+    GpuConfig cfg;
+    std::vector<TagCache> l1; ///< one capacity proxy per CU L1V
+    std::vector<TagCache> l2; ///< one capacity proxy per L2 bank
+    /** Ordered by kernel name so statistic export iterates
+     *  deterministically. */
+    std::map<std::string, KernelModel> models;
+    std::uint64_t kernels = 0;
+    std::uint64_t warps = 0;
+    std::uint64_t insts = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    /** Lines serviced by DRAM (per-launch deltas drive the bandwidth
+     *  bound). */
+    std::uint64_t dramLines = 0;
+    /** Issue-port occupancy accumulated over all priced instructions
+     *  (per-launch deltas drive the issue-throughput bound). */
+    std::uint64_t issueCycles = 0;
+};
+
+IntervalBackend::IntervalBackend(Gpu &gpu)
+    : gpu_(gpu), impl_(std::make_unique<Impl>(gpu.config()))
+{}
+
+IntervalBackend::~IntervalBackend() = default;
+
+// Sole writer of the impl_ store (one backend per job, see the header
+// field comment); tagged so the lock-set pass audits it as the
+// sanctioned accessor instead of demanding a lock it does not need.
+PHOTON_SHARED_STATE
+RunOutcome
+IntervalBackend::runKernel(const isa::Program &program,
+                           const func::LaunchDims &dims,
+                           func::GlobalMemory &mem, KernelMonitor *monitor,
+                           const RunOptions &opts)
+{
+    (void)monitor; // no monitorHooks capability
+    (void)opts;    // cycle-level knobs have nothing to steer here
+
+    Impl::KernelModel &km = impl_->model(program.name());
+    const GpuConfig &cfg = impl_->cfg;
+
+    RunOutcome out;
+    out.startCycle = gpu_.now();
+
+    std::uint32_t slots = SchedulerModel::effectiveSlots(
+        cfg, dims.wavesPerWorkgroup, program.ldsBytes());
+    SchedulerModel sched(slots, out.startCycle);
+
+    std::uint64_t dram0 = impl_->dramLines;
+    std::uint64_t issue0 = impl_->issueCycles;
+    std::uint64_t l2h0 = impl_->l2Hits;
+    std::vector<Cycle> durations =
+        impl_->traceLaunch(km, program, dims, mem, out.instsIssued);
+    for (Cycle d : durations)
+        sched.scheduleWarp(d);
+
+    // Latency view (slot-occupancy makespan of per-warp durations)
+    // bounded below by the machine's throughput limits: DRAM line
+    // bandwidth, SIMD issue ports and per-CU MSHR miss service.
+    // Whichever is largest decides.
+    Cycle end = std::max(out.startCycle, sched.endCycle());
+    std::uint64_t lines = impl_->dramLines - dram0;
+    Cycle bw = static_cast<Cycle>((lines * cfg.dram.cyclesPerLine +
+                                   cfg.dram.numBanks - 1) /
+                                  cfg.dram.numBanks);
+    std::uint64_t ports = std::uint64_t{cfg.numCus} * cfg.simdsPerCu;
+    Cycle issue = static_cast<Cycle>(
+        (impl_->issueCycles - issue0 + ports - 1) / ports);
+    // Little's law on the per-CU MSHR file: every missed line occupies
+    // an MSHR for its fill latency, so a launch's aggregate fill time
+    // divided by total MSHR capacity bounds the makespan.
+    Cycle l2Fill = cfg.l1v.hitLatency + cfg.l2.hitLatency;
+    Cycle dramFill = l2Fill + cfg.dram.accessLatency;
+    std::uint64_t fill = (impl_->l2Hits - l2h0) * l2Fill +
+                         lines * dramFill;
+    Cycle mshr = static_cast<Cycle>(
+        fill / (std::uint64_t{cfg.mshrsPerCu} * cfg.numCus));
+    end = std::max(end, out.startCycle +
+                            std::max({bw, issue, mshr}));
+
+    out.endCycle = end;
+    out.wavesCompleted = dims.totalWaves();
+    out.firstUndispatchedWg = dims.numWorkgroups;
+    // Occupancy integrals and epoch statistics stay 0: this backend
+    // does not measure them (caps() says so; telemetry reports null).
+
+    gpu_.skipTime(out.endCycle - out.startCycle);
+
+    ++impl_->kernels;
+    impl_->warps += dims.totalWaves();
+    impl_->insts += out.instsIssued;
+    return out;
+}
+
+void
+IntervalBackend::skipTime(Cycle cycles)
+{
+    gpu_.skipTime(cycles);
+}
+
+Cycle
+IntervalBackend::now() const
+{
+    return gpu_.now();
+}
+
+const GpuConfig &
+IntervalBackend::config() const
+{
+    return gpu_.config();
+}
+
+void
+IntervalBackend::exportStats(StatRegistry &stats) const
+{
+    stats.set("interval.kernels", static_cast<double>(impl_->kernels));
+    stats.set("interval.warps", static_cast<double>(impl_->warps));
+    stats.set("interval.insts", static_cast<double>(impl_->insts));
+    stats.set("interval.models",
+              static_cast<double>(impl_->models.size()));
+    stats.set("interval.l1_hits", static_cast<double>(impl_->l1Hits));
+    stats.set("interval.l1_misses",
+              static_cast<double>(impl_->l1Misses));
+    stats.set("interval.l2_hits", static_cast<double>(impl_->l2Hits));
+    stats.set("interval.l2_misses",
+              static_cast<double>(impl_->l2Misses));
+    stats.set("interval.dram_lines",
+              static_cast<double>(impl_->dramLines));
+}
+
+void
+IntervalBackend::seedLatencies(const std::string &kernel,
+                               const std::vector<LatencyObservation> &obs)
+{
+    Impl::KernelModel &km = impl_->model(kernel);
+    for (const LatencyObservation &o : obs) {
+        if (o.count == 0)
+            continue;
+        km.table.seedObservations(static_cast<isa::Opcode>(o.opcode),
+                                  o.latencySum, o.count);
+    }
+    // Invalidate the memoized per-opcode costs: the next priced
+    // instruction sees the merged fits.
+    km.fresh = false;
+}
+
+IntervalBackend::WarpEstimate
+IntervalBackend::estimateWarp(const isa::Program &program,
+                              const func::LaunchDims &dims,
+                              func::GlobalMemory &mem, WarpId warp,
+                              bool split_bb_at_waitcnt)
+{
+    (void)split_bb_at_waitcnt; // pricing is per-instruction, not per-block
+    Impl::KernelModel &km = impl_->model(program.name());
+    return impl_->estimate(km, program, dims, mem, warp);
+}
+
+} // namespace photon::timing

@@ -84,7 +84,12 @@ TEST(CampaignSpec, ReportsErrorsWithLineNumbers)
     EXPECT_NE(err.find("line 2"), std::string::npos) << err;
     EXPECT_NE(err.find("unknown workload"), std::string::npos) << err;
 
-    std::istringstream extra("mm 64 photon r9nano surprise\n");
+    std::istringstream bad_backend("mm 64 photon r9nano surprise\n");
+    jobs.clear();
+    err = parseCampaignText(bad_backend, jobs);
+    EXPECT_NE(err.find("unknown backend"), std::string::npos) << err;
+
+    std::istringstream extra("mm 64 photon r9nano interval huh\n");
     jobs.clear();
     err = parseCampaignText(extra, jobs);
     EXPECT_NE(err.find("unexpected field"), std::string::npos) << err;

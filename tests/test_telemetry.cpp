@@ -46,6 +46,16 @@ sampleRecord()
     t.epochs = 321;
     t.epochCycles = 2568;
     t.barrierCrossings = 642;
+    // v4 fields: every slot non-default so the round-trips exercise
+    // them independently (hasDetailedStats stays true to match the
+    // nonzero epoch counters above — the JSON writer nulls those out
+    // for a record that says it never ran the detailed core).
+    // "interval" is 8 chars like the default, keeping the v4 tail at
+    // 32 bytes (the loader-compat tests below rely on that size).
+    t.backend = "interval";
+    t.backendDetailedCycles = 31408;
+    t.backendIntervalCycles = 80895;
+    t.hasDetailedStats = true;
     return t;
 }
 
@@ -79,6 +89,10 @@ expectEqual(const KernelTelemetry &a, const KernelTelemetry &b)
     EXPECT_EQ(a.epochs, b.epochs);
     EXPECT_EQ(a.epochCycles, b.epochCycles);
     EXPECT_EQ(a.barrierCrossings, b.barrierCrossings);
+    EXPECT_EQ(a.backend, b.backend);
+    EXPECT_EQ(a.backendDetailedCycles, b.backendDetailedCycles);
+    EXPECT_EQ(a.backendIntervalCycles, b.backendIntervalCycles);
+    EXPECT_EQ(a.hasDetailedStats, b.hasDetailedStats);
 }
 
 } // namespace
@@ -238,16 +252,18 @@ TEST(Telemetry, ArtifactLoaderStillAcceptsV1)
 
 TEST(Telemetry, ArtifactLoaderStillAcceptsV2)
 {
-    // v2 telemetry records end after the analysis_reused flag; the v3
-    // additions (wall_seconds + three epoch counters = 32 bytes) sit at
-    // the very end of the record. Synthesize a v2 artifact by patching
-    // the version and truncating those 32 bytes off the last record.
+    // v2 telemetry records end after the analysis_reused flag. Behind
+    // it sit the v3 additions (wall_seconds + three epoch counters =
+    // 32 bytes) and the v4 additions (backend string "interval" = 12
+    // bytes, two cycle counters, the detailed-stats flag = 32 bytes).
+    // Synthesize a v2 artifact by patching the version and truncating
+    // both tails off the last record.
     service::Artifact art;
     art.group("tiny").telemetry.push_back(sampleRecord());
     std::string bytes = service::serializeArtifact(art);
-    ASSERT_GE(bytes.size(), 8u + 32u);
+    ASSERT_GE(bytes.size(), 8u + 64u);
     bytes[4] = 2;                              // version -> 2
-    bytes.resize(bytes.size() - 32);           // drop v3 field tail
+    bytes.resize(bytes.size() - 64);           // drop v3 + v4 tails
     service::Artifact back;
     service::LoadStatus st = service::deserializeArtifact(bytes, back);
     ASSERT_TRUE(st.ok) << st.error;
@@ -258,4 +274,31 @@ TEST(Telemetry, ArtifactLoaderStillAcceptsV2)
     EXPECT_EQ(t.wallSeconds, 0.0);   // v3 fields default to zero
     EXPECT_EQ(t.epochs, 0u);
     EXPECT_EQ(t.barrierCrossings, 0u);
+    // v4 fields keep their declared defaults: a pre-backend record is
+    // a detailed-core record with full detailed statistics.
+    EXPECT_EQ(t.backend, "detailed");
+    EXPECT_EQ(t.backendDetailedCycles, 0u);
+    EXPECT_EQ(t.backendIntervalCycles, 0u);
+    EXPECT_TRUE(t.hasDetailedStats);
+}
+
+TEST(Telemetry, ArtifactLoaderStillAcceptsV3)
+{
+    // A v3 record ends after the epoch counters; the v4 backend tail
+    // ("interval" string + cycle split + flag = 32 bytes) follows it.
+    service::Artifact art;
+    art.group("tiny").telemetry.push_back(sampleRecord());
+    std::string bytes = service::serializeArtifact(art);
+    ASSERT_GE(bytes.size(), 8u + 32u);
+    bytes[4] = 3;                              // version -> 3
+    bytes.resize(bytes.size() - 32);           // drop v4 field tail
+    service::Artifact back;
+    service::LoadStatus st = service::deserializeArtifact(bytes, back);
+    ASSERT_TRUE(st.ok) << st.error;
+    ASSERT_EQ(back.numTelemetryRecords(), 1u);
+    const KernelTelemetry &t = back.groups.at("tiny").telemetry[0];
+    EXPECT_EQ(t.wallSeconds, 1.2345678901234567); // v3 fields kept
+    EXPECT_EQ(t.epochs, 321u);
+    EXPECT_EQ(t.backend, "detailed"); // v4 defaults: detailed record
+    EXPECT_TRUE(t.hasDetailedStats);
 }

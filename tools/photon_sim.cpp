@@ -57,6 +57,7 @@ struct Options
     std::string size; ///< workload-specific default when empty
     std::string mode = "photon";
     std::string gpu = "r9nano";
+    std::string backend = "detailed";
     bool compare = false;
     bool stats = false;
     bool disasm = false;
@@ -84,6 +85,7 @@ usage()
     std::printf(
         "usage: photon_sim [--workload W[,W...]] [--size N[,N...]]\n"
         "                  [--mode M[,M...]] [--gpu G[,G...]]\n"
+        "                  [--backend B[,B...]]\n"
         "                  [--compare] [--stats] [--disasm] [--check]\n"
         "                  [--cu-threads N] [--telemetry PATH]\n"
         "                  [--no-kernel-sampling] [--no-warp-sampling]\n"
@@ -97,6 +99,8 @@ usage()
         "     nodes for pagerank (0 = workload default)\n"
         "  M: full photon pka                         (default photon)\n"
         "  G: r9nano mi100 tiny                       (default r9nano)\n"
+        "  B: detailed interval auto                  (default detailed)\n"
+        "     timing backend; interval/auto need --mode full\n"
         "  --compare  also run full-detailed and report error/speedup\n"
         "  --stats    dump the memory-system statistics\n"
         "  --disasm   print the first kernel's disassembly\n"
@@ -110,8 +114,8 @@ usage()
         "                  the timing model is untouched)\n"
         "batch mode (triggered by --campaign, comma lists, --jobs > 1,\n"
         "or any cache/report flag):\n"
-        "  --campaign FILE  job list: '<workload> [size] [mode] [gpu]'\n"
-        "                   per line, '#' comments\n"
+        "  --campaign FILE  job list: '<workload> [size] [mode] [gpu]\n"
+        "                   [backend]' per line, '#' comments\n"
         "  --jobs N         worker threads (default 1)\n"
         "  --share P        cross-job signature sharing: none ordered\n"
         "                   live (default ordered, deterministic)\n"
@@ -171,7 +175,10 @@ runOnce(const Options &o, std::uint32_t size, driver::SimMode mode,
     std::string err;
     if (!service::parseGpuName(o.gpu, gpu, &err))
         fatal(err);
-    driver::Platform p(gpu, mode, samplingFromOptions(o));
+    timing::BackendKind backend;
+    if (!service::parseBackendName(o.backend, backend, &err))
+        fatal(err);
+    driver::Platform p(gpu, mode, samplingFromOptions(o), backend);
     if (o.cuThreads > 1)
         p.setCuThreads(o.cuThreads);
     auto w = service::makeWorkload(o.workload, size, &err);
@@ -216,9 +223,14 @@ runSingle(const Options &o)
         o.size.empty() ? 0 : parseCount("--size", o.size);
     RunResult run = runOnce(o, size, mode, o.check, o.telemetryPath);
 
-    if (o.compare && mode != driver::SimMode::FullDetailed) {
+    // The --compare baseline is always detailed-backend full-detailed;
+    // with a non-detailed backend the flag reports the backend's
+    // error/speedup even though the mode is already "full".
+    if (o.compare && (mode != driver::SimMode::FullDetailed ||
+                      o.backend != "detailed")) {
         Options fo = o;
         fo.disasm = false;
+        fo.backend = "detailed";
         RunResult full =
             runOnce(fo, size, driver::SimMode::FullDetailed, false, "");
         std::printf("error %.2f%%, wall-time speedup %.2fx\n",
@@ -245,7 +257,8 @@ runCampaignMode(const Options &o)
             sizes.push_back(parseCount("--size", s));
         jobs = service::expandJobs(service::splitList(o.workload), sizes,
                                    service::splitList(o.mode),
-                                   service::splitList(o.gpu));
+                                   service::splitList(o.gpu),
+                                   service::splitList(o.backend));
         for (const service::JobSpec &j : jobs) {
             if (std::string err = service::validateJob(j); !err.empty())
                 fatal(err);
@@ -312,6 +325,7 @@ struct ServeOptions
     std::string size;
     std::string mode = "photon";
     std::string gpu = "r9nano";
+    std::string backend = "detailed";
     std::string id;
     std::uint32_t serveWorkers = 2;
     std::uint32_t cuThreads = 1;
@@ -333,8 +347,8 @@ serveUsage()
         "                           [--assume-cores N] [--quiet]\n"
         "       photon_sim submit   (--socket PATH | --drop DIR)\n"
         "                           --workload W [--size N] [--mode M]\n"
-        "                           [--gpu G] [--id ID] [--timeout S]\n"
-        "                           [--json]\n"
+        "                           [--gpu G] [--backend B] [--id ID]\n"
+        "                           [--timeout S] [--json]\n"
         "       photon_sim status   (--socket PATH | --drop DIR) [--json]\n"
         "       photon_sim cache    (--socket PATH | --drop DIR) [--json]\n"
         "                           | --store PATH   (offline inspection)\n"
@@ -363,6 +377,7 @@ parseServeArgs(int argc, char **argv, int first)
         else if (a == "--size") o.size = next();
         else if (a == "--mode") o.mode = next();
         else if (a == "--gpu") o.gpu = next();
+        else if (a == "--backend") o.backend = next();
         else if (a == "--id") o.id = next();
         else if (a == "--serve-workers")
             o.serveWorkers = parseCount(a, next());
@@ -459,6 +474,7 @@ runClientVerb(serve::Op op, const ServeOptions &o)
             request.spec.size = parseCount("--size", o.size);
         request.spec.mode = o.mode;
         request.spec.gpu = o.gpu;
+        request.spec.backend = o.backend;
         if (std::string err = service::validateJob(request.spec);
             !err.empty())
             fatal(err);
@@ -582,6 +598,7 @@ main(int argc, char **argv)
         else if (a == "--size") o.size = next();
         else if (a == "--mode") o.mode = next();
         else if (a == "--gpu") o.gpu = next();
+        else if (a == "--backend") o.backend = next();
         else if (a == "--compare") o.compare = true;
         else if (a == "--stats") o.stats = true;
         else if (a == "--disasm") o.disasm = true;
@@ -604,7 +621,8 @@ main(int argc, char **argv)
     bool has_list = o.workload.find(',') != std::string::npos ||
                     o.size.find(',') != std::string::npos ||
                     o.mode.find(',') != std::string::npos ||
-                    o.gpu.find(',') != std::string::npos;
+                    o.gpu.find(',') != std::string::npos ||
+                    o.backend.find(',') != std::string::npos;
     bool batch = !o.campaign.empty() || has_list || o.jobs > 1 ||
                  !o.cacheIn.empty() || !o.cacheOut.empty() ||
                  !o.report.empty();
