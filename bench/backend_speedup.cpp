@@ -44,6 +44,10 @@ struct BackendRun
     Cycle cycles = 0;
     std::uint64_t insts = 0;
     double wallSeconds = 0.0; ///< median over the timed repetitions
+    double wallMin = 0.0;     ///< fastest repetition
+    double wallMax = 0.0;     ///< slowest repetition
+    double spreadPct = 0.0;   ///< (max - min) / median, percent
+    bool spreadFlagged = false; ///< spread exceeded kSpreadLimitPct
     double errorPct = 0.0;    ///< |cycles - detailed| / detailed
     double speedup = 0.0;     ///< detailed wall / this wall
     std::uint32_t reps = 0;
@@ -61,6 +65,11 @@ runOnce(const std::string &name, std::uint32_t size,
 {
     driver::Platform platform(GpuConfig::r9Nano(),
                               driver::SimMode::FullDetailed, {}, kind);
+    // Each rep is a fresh platform with a private trace store, so
+    // capture could never pay for itself here — and this bench
+    // compares the backends' own timing paths, not trace economics
+    // (bench/trace_reuse owns that). Measure with the trace layer off.
+    platform.setTraceReuse(false);
     workloads::WorkloadPtr w = factory();
     w->setup(platform);
     workloads::runWorkload(*w, platform);
@@ -79,8 +88,14 @@ runOnce(const std::string &name, std::uint32_t size,
     return r;
 }
 
+/** Repetition spread above this fraction of the median marks the
+ *  measurement as noisy (flagged in the output and the JSON, not a
+ *  failure — host load is not the simulator's regression). */
+constexpr double kSpreadLimitPct = 15.0;
+
 /** Median wall time over deterministic cycle counts (odd rep counts
- *  have a true middle element). */
+ *  have a true middle element), plus the min/max envelope and a
+ *  noisy-measurement flag when the spread exceeds kSpreadLimitPct. */
 BackendRun
 medianOf(std::vector<BackendRun> samples)
 {
@@ -102,6 +117,20 @@ medianOf(std::vector<BackendRun> samples)
               });
     BackendRun r = samples[samples.size() / 2];
     r.reps = static_cast<std::uint32_t>(samples.size());
+    r.wallMin = samples.front().wallSeconds;
+    r.wallMax = samples.back().wallSeconds;
+    r.spreadPct = r.wallSeconds > 0
+                      ? 100.0 * (r.wallMax - r.wallMin) / r.wallSeconds
+                      : 0.0;
+    r.spreadFlagged = r.reps > 1 && r.spreadPct > kSpreadLimitPct;
+    if (r.spreadFlagged) {
+        std::fprintf(stderr,
+                     "WARN: %s/%s wall-time spread %.1f%% over %u reps "
+                     "(min %.3fs median %.3fs max %.3fs) — noisy host, "
+                     "treat the speedup with suspicion\n",
+                     r.workload.c_str(), r.backend.c_str(), r.spreadPct,
+                     r.reps, r.wallMin, r.wallSeconds, r.wallMax);
+    }
     return r;
 }
 
@@ -124,6 +153,11 @@ writeJson(const std::vector<BackendRun> &rows, const char *path)
           << r.backend << "\", \"reps\": " << r.reps
           << ", \"cycles\": " << r.cycles << ", \"insts\": " << r.insts
           << ", \"wall_s\": " << r.wallSeconds
+          << ", \"wall_min_s\": " << r.wallMin
+          << ", \"wall_max_s\": " << r.wallMax
+          << ", \"spread_pct\": " << r.spreadPct
+          << ", \"spread_flagged\": "
+          << (r.spreadFlagged ? "true" : "false")
           << ", \"error_vs_detailed_pct\": " << r.errorPct
           << ", \"speedup_vs_detailed\": " << r.speedup
           << ", \"error_bound_pct\": " << r.errorBoundPct
@@ -171,6 +205,13 @@ main(int argc, char **argv)
     const double mm_spd = quick ? 3.0 : 4.0;
     const double spmv_spd = quick ? 2.0 : 5.0;
     const double pr_spd = quick ? 1.2 : 1.5;
+    // Never-latching workloads (mm, spmv run each kernel once, so the
+    // cross-kernel detector can never converge): the pilot's
+    // unmonitored passthrough must make auto indistinguishable from
+    // detailed — cycle-exact, and no slower than measurement noise
+    // allows. The quick gate is looser only because single-rep
+    // millisecond runs are at the mercy of the scheduler.
+    const double auto_parity_spd = quick ? 0.90 : 0.98;
     // Sizes mean what they mean on the CLI: the factory goes through
     // service::makeWorkload, so "spmv 2048" here is the same job as
     // `photon_sim --workload spmv --size 2048`.
@@ -188,10 +229,10 @@ main(int argc, char **argv)
     const Case cases[] = {
         {"mm", mm_n, factory("mm", mm_n),
          /*intervalErrBound=*/55.0, /*intervalMinSpeedup=*/mm_spd,
-         /*autoErrBound=*/0.0, /*autoMinSpeedup=*/0.0},
+         /*autoErrBound=*/0.01, /*autoMinSpeedup=*/auto_parity_spd},
         {"spmv", spmv_rows, factory("spmv", spmv_rows),
          /*intervalErrBound=*/98.0, /*intervalMinSpeedup=*/spmv_spd,
-         /*autoErrBound=*/0.0, /*autoMinSpeedup=*/0.0},
+         /*autoErrBound=*/0.01, /*autoMinSpeedup=*/auto_parity_spd},
         {"pagerank", pr_nodes, factory("pagerank", pr_nodes),
          /*intervalErrBound=*/75.0, /*intervalMinSpeedup=*/pr_spd,
          /*autoErrBound=*/5.0, /*autoMinSpeedup=*/1.05},

@@ -96,13 +96,18 @@ Platform::launch(const isa::ProgramPtr &program,
     auto t0 = std::chrono::steady_clock::now();
     switch (mode_) {
       case SimMode::FullDetailed: {
+        func::LaunchTracePtr trace = acquireTrace(*program, dims);
         if (backend_ == timing::BackendKind::Auto) {
-            result.sample = pilot_->runKernel(*program, dims, mem_);
+            result.sample =
+                pilot_->runKernel(*program, dims, mem_, trace.get());
             break;
         }
         timing::TimingBackend &be = activeBackend();
         const timing::BackendCaps caps = be.caps();
-        timing::RunOutcome out = be.runKernel(*program, dims, mem_);
+        timing::RunOptions run_opts;
+        run_opts.replay = trace.get();
+        timing::RunOutcome out =
+            be.runKernel(*program, dims, mem_, nullptr, run_opts);
         result.sample.cycles = out.cycles();
         result.sample.insts = out.instsIssued;
         result.sample.level = sampling::SampleLevel::Full;
@@ -133,9 +138,25 @@ Platform::launch(const isa::ProgramPtr &program,
         }
         break;
       }
-      case SimMode::Photon:
-        result.sample = photon_->runKernel(*program, dims, mem_);
+      case SimMode::Photon: {
+        // Consume-only: photon's sampled passes emulate only a few
+        // warps, so capturing (a full functional run) would cost more
+        // than it saves — but a trace captured elsewhere (campaign
+        // sibling, photond warm state) replaces the per-warp analysis
+        // emulation bit-identically.
+        func::LaunchTracePtr trace;
+        if (traceReuse_ && func::traceable(*program)) {
+            trace =
+                traceStore_->lookup(func::traceKey(*program, dims, mem_));
+            if (trace)
+                ++traceHits_;
+            else
+                ++traceMisses_;
+        }
+        result.sample =
+            photon_->runKernel(*program, dims, mem_, trace.get());
         break;
+      }
       case SimMode::Pka:
         result.sample = pka_->runKernel(*program, dims, mem_);
         break;
@@ -157,6 +178,29 @@ Platform::launch(const isa::ProgramPtr &program,
     totalWall_ += result.wallSeconds;
     log_.push_back(result);
     return result;
+}
+
+func::LaunchTracePtr
+Platform::acquireTrace(const isa::Program &program,
+                       const func::LaunchDims &dims)
+{
+    if (!traceReuse_ || !func::traceable(program))
+        return nullptr;
+    const std::string key = func::traceKey(program, dims, mem_);
+    func::LaunchTracePtr trace = traceStore_->lookup(key);
+    if (trace) {
+        ++traceHits_;
+        // Replay never writes memory; land the launch's stores up
+        // front (replay reads nothing, so ordering is immaterial and
+        // the final state matches an emulated launch bit-for-bit).
+        func::applyAllStores(*trace, mem_);
+        return trace;
+    }
+    ++traceMisses_;
+    trace = func::captureLaunchTrace(program, dims, mem_);
+    ++traceCaptures_;
+    traceStore_->insert(key, trace);
+    return trace;
 }
 
 std::vector<sampling::KernelTelemetry>
@@ -182,6 +226,10 @@ Platform::stats() const
     if (interval_)
         interval_->exportStats(reg);
     reg.set("platform.kernels", static_cast<double>(log_.size()));
+    reg.set("platform.trace_hits", static_cast<double>(traceHits_));
+    reg.set("platform.trace_misses", static_cast<double>(traceMisses_));
+    reg.set("platform.trace_captures",
+            static_cast<double>(traceCaptures_));
     reg.set("platform.total_cycles", static_cast<double>(totalCycles_));
     reg.set("platform.total_insts", static_cast<double>(totalInsts_));
     reg.set("platform.total_wall_seconds", totalWall_);

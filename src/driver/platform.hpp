@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "func/memory.hpp"
+#include "func/warp_trace.hpp"
 #include "func/wave_state.hpp"
 #include "isa/program.hpp"
 #include "sampling/fidelity.hpp"
@@ -130,6 +131,29 @@ class Platform
     /** All launches so far. */
     const std::vector<LaunchResult> &launchLog() const { return log_; }
 
+    // ----- Functional trace reuse (DESIGN.md §15) -----
+
+    /** Share a trace cache with other platforms (campaign workers,
+     *  photond); null restores the private per-platform store. The
+     *  store must outlive the platform. */
+    void setTraceStore(func::TraceStore *store)
+    {
+        traceStore_ = store ? store : &ownTraceStore_;
+    }
+    func::TraceStore &traceStore() { return *traceStore_; }
+
+    /** Disable capture-once/replay-many (--no-trace-reuse ablation):
+     *  every launch re-executes register semantics. */
+    void setTraceReuse(bool on) { traceReuse_ = on; }
+    bool traceReuse() const { return traceReuse_; }
+
+    /** Launches served by a cached trace (emulation skipped). */
+    std::uint64_t traceHits() const { return traceHits_; }
+    /** Traceable launches that found no cached trace. */
+    std::uint64_t traceMisses() const { return traceMisses_; }
+    /** Traces this platform captured (= misses that captured). */
+    std::uint64_t traceCaptures() const { return traceCaptures_; }
+
     /** Per-launch telemetry records, in launch order (the telemetry
      *  spine: flows on to the campaign runner and --telemetry). */
     std::vector<sampling::KernelTelemetry> telemetry() const;
@@ -138,6 +162,13 @@ class Platform
     StatRegistry stats() const;
 
   private:
+    /** Lookup-or-capture for a full-detailed launch: on a hit, applies
+     *  the trace's store log to memory (replay runs never write); on a
+     *  miss, captures (which executes the launch functionally). Null
+     *  when reuse is off or the program is untraceable. */
+    func::LaunchTracePtr acquireTrace(const isa::Program &program,
+                                      const func::LaunchDims &dims);
+
     GpuConfig gpuCfg_;
     SimMode mode_;
     SamplingConfig samplingCfg_;
@@ -149,6 +180,14 @@ class Platform
     std::unique_ptr<sampling::FidelityPilot> pilot_;
     std::unique_ptr<sampling::PhotonSampler> photon_;
     std::unique_ptr<sampling::PkaSampler> pka_;
+
+    /** Private trace cache; traceStore_ points here unless shared. */
+    func::TraceStore ownTraceStore_;
+    func::TraceStore *traceStore_ = &ownTraceStore_;
+    bool traceReuse_ = true;
+    std::uint64_t traceHits_ = 0;
+    std::uint64_t traceMisses_ = 0;
+    std::uint64_t traceCaptures_ = 0;
 
     Cycle totalCycles_ = 0;
     std::uint64_t totalInsts_ = 0;

@@ -9,8 +9,9 @@
 #define PHOTON_FUNC_MEMORY_HPP
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
-#include <vector>
+#include <memory>
 
 #include "sim/log.hpp"
 #include "sim/types.hpp"
@@ -21,23 +22,36 @@ namespace photon::func {
  * Flat simulated DRAM. Buffers are allocated sequentially; there is no
  * free() — a Platform owns one GlobalMemory per simulation and the whole
  * arena is released together.
+ *
+ * The backing store is calloc'd, not value-initialized: the OS hands
+ * out zero pages lazily on first touch, so constructing a Platform
+ * costs microseconds instead of a ~100ms 512MB memset. Semantics are
+ * unchanged (untouched memory still reads as zero) — this fixed cost
+ * used to dominate short campaign jobs and masked the emulate-vs-replay
+ * delta bench/trace_reuse measures.
  */
 class GlobalMemory
 {
   public:
     /** @param capacity_bytes backing-store size actually reserved. */
     explicit GlobalMemory(std::uint64_t capacity_bytes = 512ull << 20)
-        : data_(capacity_bytes, 0), brk_(kLineBytes)
-    {}
+        : data_(static_cast<std::uint8_t *>(
+              std::calloc(capacity_bytes, 1))),
+          capacity_(capacity_bytes), brk_(kLineBytes)
+    {
+        if (!data_)
+            fatal("cannot reserve ", capacity_bytes,
+                  " bytes of simulated global memory");
+    }
 
     /** Allocate @p bytes aligned to @p align; returns the base address. */
     Addr
     allocate(std::uint64_t bytes, std::uint64_t align = kLineBytes)
     {
         Addr base = (brk_ + align - 1) / align * align;
-        if (base + bytes > data_.size())
+        if (base + bytes > capacity_)
             fatal("simulated global memory exhausted (need ",
-                  base + bytes, " bytes, have ", data_.size(), ")");
+                  base + bytes, " bytes, have ", capacity_, ")");
         brk_ = base + bytes;
         return base;
     }
@@ -50,7 +64,7 @@ class GlobalMemory
     {
         boundsCheck(addr, 4);
         std::uint32_t v;
-        std::memcpy(&v, data_.data() + addr, 4);
+        std::memcpy(&v, data_.get() + addr, 4);
         return v;
     }
 
@@ -58,7 +72,7 @@ class GlobalMemory
     write32(Addr addr, std::uint32_t value)
     {
         boundsCheck(addr, 4);
-        std::memcpy(data_.data() + addr, &value, 4);
+        std::memcpy(data_.get() + addr, &value, 4);
     }
 
     /** Bulk host-side copy into simulated memory. */
@@ -66,7 +80,7 @@ class GlobalMemory
     writeBlock(Addr addr, const void *src, std::uint64_t bytes)
     {
         boundsCheck(addr, bytes);
-        std::memcpy(data_.data() + addr, src, bytes);
+        std::memcpy(data_.get() + addr, src, bytes);
     }
 
     /** Bulk host-side copy out of simulated memory. */
@@ -74,7 +88,7 @@ class GlobalMemory
     readBlock(Addr addr, void *dst, std::uint64_t bytes) const
     {
         boundsCheck(addr, bytes);
-        std::memcpy(dst, data_.data() + addr, bytes);
+        std::memcpy(dst, data_.get() + addr, bytes);
     }
 
     /** Bounds-checked raw view of [addr, addr+bytes): gather/scatter
@@ -85,21 +99,51 @@ class GlobalMemory
     span(Addr addr, std::uint64_t bytes) const
     {
         boundsCheck(addr, bytes);
-        return data_.data() + addr;
+        return data_.get() + addr;
     }
 
-    std::uint64_t capacity() const { return data_.size(); }
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** FNV-1a over the allocated prefix [0, brk_), word-wise, plus the
+     *  break itself: an input fingerprint for the trace cache. Two
+     *  memories hash equally iff their allocation layout and every
+     *  allocated byte match. */
+    std::uint64_t
+    contentHash() const
+    {
+        std::uint64_t h = 1469598103934665603ull;
+        h ^= brk_;
+        h *= 1099511628211ull;
+        const std::uint8_t *p = data_.get();
+        std::uint64_t i = 0;
+        for (; i + 8 <= brk_; i += 8) {
+            std::uint64_t w;
+            std::memcpy(&w, p + i, 8);
+            h ^= w;
+            h *= 1099511628211ull;
+        }
+        for (; i < brk_; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
 
   private:
     void
     boundsCheck(Addr addr, std::uint64_t bytes) const
     {
-        if (addr + bytes > data_.size() || addr == 0)
+        if (addr + bytes > capacity_ || addr == 0)
             panic("global memory access out of bounds: addr=", addr,
                   " size=", bytes);
     }
 
-    std::vector<std::uint8_t> data_;
+    struct FreeDeleter
+    {
+        void operator()(std::uint8_t *p) const { std::free(p); }
+    };
+    std::unique_ptr<std::uint8_t[], FreeDeleter> data_;
+    std::uint64_t capacity_;
     Addr brk_;
 };
 

@@ -12,6 +12,28 @@ Program::Program(std::string name, std::vector<Instruction> code,
 {
     validate();
     decode();
+
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ull;
+    };
+    auto mix_operand = [&](const Operand &o) {
+        mix(static_cast<std::uint64_t>(o.kind));
+        mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(o.value)));
+    };
+    mix(code_.size());
+    mix(ldsBytes_);
+    for (const Instruction &inst : code_) {
+        mix(static_cast<std::uint64_t>(inst.op));
+        mix_operand(inst.dst);
+        mix_operand(inst.src0);
+        mix_operand(inst.src1);
+        mix_operand(inst.src2);
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(inst.target)));
+    }
+    codeHash_ = h;
 }
 
 void

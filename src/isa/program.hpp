@@ -77,6 +77,11 @@ class Program
     /** Static LDS allocation per workgroup in bytes. */
     std::uint32_t ldsBytes() const { return ldsBytes_; }
 
+    /** Content hash over the instruction list (FNV-1a, computed at
+     *  construction): two programs with identical code hash equally
+     *  regardless of name. Keys the functional trace cache. */
+    std::uint64_t codeHash() const { return codeHash_; }
+
     /** Validate register indices and branch targets; panics on errors. */
     void validate() const;
 
@@ -90,6 +95,7 @@ class Program
     std::uint32_t numSgprs_;
     std::uint32_t numVgprs_;
     std::uint32_t ldsBytes_;
+    std::uint64_t codeHash_ = 0;
 };
 
 using ProgramPtr = std::shared_ptr<const Program>;

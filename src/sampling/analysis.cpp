@@ -10,7 +10,7 @@ std::uint64_t
 traceWarpBbv(const isa::Program &program,
              const isa::BasicBlockTable &bb_table,
              const func::LaunchDims &dims, func::GlobalMemory &mem,
-             WarpId warp, Bbv &bbv_out)
+             WarpId warp, Bbv &bbv_out, const func::LaunchTrace *trace)
 {
     func::Emulator emu;
     func::WaveState ws;
@@ -18,7 +18,12 @@ traceWarpBbv(const isa::Program &program,
     // Per-warp LDS stand-in: control flow in the supported workloads
     // never depends on LDS *values*, so functional analysis of one warp
     // in isolation is sound (addresses/BBVs are exact).
-    std::vector<std::uint8_t> lds(program.ldsBytes(), 0);
+    std::vector<std::uint8_t> lds(
+        trace ? 0 : program.ldsBytes(), 0);
+
+    func::WarpReplayCursor cursor;
+    if (trace)
+        cursor.bind(trace, warp);
 
     BbTracker tracker(bb_table);
     func::StepResult res;
@@ -27,11 +32,21 @@ traceWarpBbv(const isa::Program &program,
         BbTracker::Event ev = tracker.onInstruction(ws.pc, ws.exec);
         if (ev.valid())
             bbv_out.add(ev.bb, ev.activeLanes);
-        emu.step(program, ws, mem, lds, res);
+        // The cursor reproduces pc/exec/done bit-identically from the
+        // capture, so the tracker sees the same event stream.
+        if (trace)
+            cursor.step(program, ws, res);
+        else
+            emu.step(program, ws, mem, lds, res);
         ++insts;
     }
     BbTracker::Event last = tracker.finish();
     bbv_out.add(last.bb, last.activeLanes);
+    // Replay never touches memory; land this warp's recorded stores so
+    // memory evolves exactly as under emulation (the sampled modes only
+    // apply sampled warps' stores).
+    if (trace)
+        func::applyWarpStores(*trace, warp, mem);
     return insts;
 }
 
@@ -39,7 +54,7 @@ OnlineAnalysis
 analyzeKernel(const isa::Program &program,
               const isa::BasicBlockTable &bb_table,
               const func::LaunchDims &dims, func::GlobalMemory &mem,
-              const SamplingConfig &cfg)
+              const SamplingConfig &cfg, const func::LaunchTrace *trace)
 {
     OnlineAnalysis out;
     out.totalWarps = dims.totalWaves();
@@ -60,7 +75,7 @@ analyzeKernel(const isa::Program &program,
         WarpId warp = static_cast<WarpId>(i * stride);
         Bbv bbv(bb_table.numBlocks());
         std::uint64_t insts =
-            traceWarpBbv(program, bb_table, dims, mem, warp, bbv);
+            traceWarpBbv(program, bb_table, dims, mem, warp, bbv, trace);
         out.classifier.classify(bbv, insts);
         for (std::uint32_t s = 0; s < bbv.counts().size(); ++s) {
             std::uint64_t c = bbv.counts()[s];

@@ -14,6 +14,7 @@
 
 #include "func/emulator.hpp"
 #include "func/memory.hpp"
+#include "func/warp_trace.hpp"
 #include "func/wave_state.hpp"
 #include "isa/basic_block.hpp"
 #include "isa/program.hpp"
@@ -62,22 +63,33 @@ struct OnlineAnalysis
  * are required to be write-idempotent (each output location written
  * with a value independent of prior kernel-local writes), which every
  * workload in this repository satisfies.
+ *
+ * When @p trace carries a captured functional trace for this launch
+ * (DESIGN.md §15), the sampled warps replay their recorded StepResult
+ * streams instead of re-emulating — bit-identical BBVs and memory
+ * evolution (each sampled warp's store log is applied), no emulator
+ * invocations.
  */
 OnlineAnalysis analyzeKernel(const isa::Program &program,
                              const isa::BasicBlockTable &bb_table,
                              const func::LaunchDims &dims,
                              func::GlobalMemory &mem,
-                             const SamplingConfig &cfg);
+                             const SamplingConfig &cfg,
+                             const func::LaunchTrace *trace = nullptr);
 
 /**
- * Functionally execute one warp, collecting its BBV.
+ * Functionally execute one warp, collecting its BBV. With @p trace the
+ * warp is replayed from the capture (its store log applied to @p mem)
+ * rather than emulated; the BBV and instruction count are
+ * bit-identical either way.
  * @return instruction count.
  */
 std::uint64_t traceWarpBbv(const isa::Program &program,
                            const isa::BasicBlockTable &bb_table,
                            const func::LaunchDims &dims,
                            func::GlobalMemory &mem, WarpId warp,
-                           Bbv &bbv_out);
+                           Bbv &bbv_out,
+                           const func::LaunchTrace *trace = nullptr);
 
 } // namespace photon::sampling
 

@@ -138,10 +138,12 @@ FidelityPilot::seedInterval(const std::string &kernel, KernelState &st)
 KernelRunResult
 FidelityPilot::runInterval(const isa::Program &program,
                            const func::LaunchDims &dims,
-                           func::GlobalMemory &mem, bool first)
+                           func::GlobalMemory &mem, bool first,
+                           const func::LaunchTrace *replay)
 {
     timing::RunOptions opts;
     opts.splitBbAtWaitcnt = cfg_.bbSplitAtWaitcnt;
+    opts.replay = replay;
     timing::RunOutcome out =
         interval_.runKernel(program, dims, mem, nullptr, opts);
 
@@ -170,9 +172,49 @@ FidelityPilot::runInterval(const isa::Program &program,
 }
 
 KernelRunResult
+FidelityPilot::runPassthrough(const isa::Program &program,
+                              const func::LaunchDims &dims,
+                              func::GlobalMemory &mem,
+                              const func::LaunchTrace *replay)
+{
+    timing::RunOptions run_opts;
+    run_opts.splitBbAtWaitcnt = cfg_.bbSplitAtWaitcnt;
+    run_opts.replay = replay;
+    // No monitor: the run takes the detailed core's fused fast/epoch
+    // paths, so a never-latching kernel pays the pilot nothing beyond
+    // one map lookup per launch.
+    timing::RunOutcome out =
+        gpu_.runKernel(program, dims, mem, nullptr, run_opts);
+
+    KernelRunResult res;
+    res.cycles = out.cycles();
+    res.insts = out.instsIssued;
+    res.level = SampleLevel::Full;
+
+    KernelTelemetry &tele = res.telemetry;
+    tele.kernel = program.name();
+    tele.numWorkgroups = dims.numWorkgroups;
+    tele.wavesPerWorkgroup = dims.wavesPerWorkgroup;
+    tele.totalWarps = dims.totalWaves();
+    tele.level = res.level;
+    tele.predictedCycles = res.cycles;
+    tele.predictedInsts = res.insts;
+    tele.backend = "detailed";
+    tele.detailedCycles = out.cycles();
+    tele.detailedInsts = out.instsIssued;
+    tele.detailedWarps = out.wavesCompleted;
+    tele.backendDetailedCycles = out.cycles();
+    tele.epochs = out.epochs;
+    tele.epochCycles = out.epochCycleSum;
+    tele.barrierCrossings = out.barrierCrossings;
+    return res;
+}
+
+KernelRunResult
 FidelityPilot::runKernel(const isa::Program &program,
                          const func::LaunchDims &dims,
-                         func::GlobalMemory &mem)
+                         func::GlobalMemory &mem,
+                         const func::LaunchTrace *replay)
 {
     KernelState &st = state(program.name());
 
@@ -181,8 +223,32 @@ FidelityPilot::runKernel(const isa::Program &program,
     if (st.governor.switched()) {
         bool first = !st.seeded;
         seedInterval(program.name(), st);
-        return runInterval(program, dims, mem, first);
+        return runInterval(program, dims, mem, first, replay);
     }
+
+    ++st.launches;
+
+    // Monitor-budget scope: launch 1 runs unmonitored (zero overhead —
+    // single-launch kernels never pay the pilot), monitoring spends
+    // launches 2..kMonitorBudget+1, and a kernel whose budget ran out
+    // without one intra-kernel switch falls back to pure detailed
+    // passthrough for good. Every path still feeds the launch-duration
+    // detector below via the returned cycle counts.
+    bool monitor_this = !st.passthrough && st.launches >= 2 &&
+                        (st.sawSwitch || st.monitored < kMonitorBudget);
+    if (!monitor_this) {
+        if (!st.passthrough && st.launches >= 2 && !st.sawSwitch)
+            st.passthrough = true;
+        KernelRunResult res = runPassthrough(program, dims, mem, replay);
+        st.detector.addPoint(
+            static_cast<double>(gpu_.now()) -
+                static_cast<double>(res.cycles),
+            static_cast<double>(gpu_.now()));
+        st.governor.recordEvent();
+        st.governor.poll([&st] { return st.detector.stable(); });
+        return res;
+    }
+    ++st.monitored;
 
     KernelRunResult res;
     KernelTelemetry &tele = res.telemetry;
@@ -206,6 +272,7 @@ FidelityPilot::runKernel(const isa::Program &program,
 
     timing::RunOptions run_opts;
     run_opts.splitBbAtWaitcnt = cfg_.bbSplitAtWaitcnt;
+    run_opts.replay = replay;
     timing::RunOutcome outcome =
         gpu_.runKernel(program, dims, mem, &ctl, run_opts);
 
@@ -232,6 +299,7 @@ FidelityPilot::runKernel(const isa::Program &program,
         // latencies observed up to the switch, then price every
         // never-dispatched warp analytically through the
         // slot-occupancy scheduler (slots free at the drain retires).
+        st.sawSwitch = true;
         seedInterval(program.name(), st);
         std::vector<Cycle> slot_times = ctl.takeDrainRetires();
         timing::SchedulerModel sched(slots, decision.cycle,
@@ -242,7 +310,8 @@ FidelityPilot::runKernel(const isa::Program &program,
         std::uint64_t rem_insts = 0;
         for (WarpId w = dispatched_warps; w < tele.totalWarps; ++w) {
             auto est = interval_.estimateWarp(program, dims, mem, w,
-                                              cfg_.bbSplitAtWaitcnt);
+                                              cfg_.bbSplitAtWaitcnt,
+                                              replay);
             sched.scheduleWarp(est.duration);
             rem_insts += est.insts;
         }

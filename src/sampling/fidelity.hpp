@@ -36,6 +36,7 @@
 #include <string>
 
 #include "func/memory.hpp"
+#include "func/warp_trace.hpp"
 #include "func/wave_state.hpp"
 #include "isa/program.hpp"
 #include "sampling/interval_model.hpp"
@@ -64,14 +65,29 @@ class FidelityPilot
      *  extra launches costs more than a rare false latch). */
     static constexpr std::uint32_t kKernelConfirmChecks = 1;
 
+    /** Monitored-launch budget per kernel. Monitor hooks force the
+     *  detailed core off its fused fast paths (~15% overhead), so the
+     *  pilot pays them only on launches 2..budget+1: launch 1 always
+     *  runs unmonitored (single-launch kernels — mm, spmv — then see
+     *  pure detailed speed), and a kernel whose monitored launches
+     *  never produced an intra-kernel switch stops being monitored for
+     *  good (zero-overhead detailed passthrough). Cross-kernel
+     *  latching only needs launch durations, which every run reports,
+     *  so passthrough kernels can still latch onto the interval
+     *  backend once their durations stabilize. */
+    static constexpr std::uint32_t kMonitorBudget = 2;
+
     FidelityPilot(timing::Gpu &gpu, timing::IntervalBackend &interval,
                   const SamplingConfig &cfg);
 
     /** Run one kernel at the fidelity the detectors currently
-     *  justify. */
+     *  justify. @p replay optionally replays a captured functional
+     *  trace on every path (detailed, interval, epilogue pricing);
+     *  the caller has already applied its store log. */
     KernelRunResult runKernel(const isa::Program &program,
                               const func::LaunchDims &dims,
-                              func::GlobalMemory &mem);
+                              func::GlobalMemory &mem,
+                              const func::LaunchTrace *replay = nullptr);
 
     /** Kernels currently latched onto the interval backend. */
     std::uint64_t latchedKernels() const;
@@ -94,6 +110,10 @@ class FidelityPilot
          *  launches; seeds the interval fits at the latch. */
         InstLatencyTable latencies;
         bool seeded = false; ///< fits already handed to the backend
+        std::uint64_t launches = 0;  ///< launches seen (any fidelity)
+        std::uint32_t monitored = 0; ///< monitored launches spent
+        bool sawSwitch = false; ///< a monitored launch stopped early
+        bool passthrough = false; ///< monitor budget exhausted dry
     };
 
     KernelState &state(const std::string &kernel);
@@ -104,7 +124,15 @@ class FidelityPilot
     /** Whole-kernel interval run (the cross-kernel latched path). */
     KernelRunResult runInterval(const isa::Program &program,
                                 const func::LaunchDims &dims,
-                                func::GlobalMemory &mem, bool first);
+                                func::GlobalMemory &mem, bool first,
+                                const func::LaunchTrace *replay);
+
+    /** Zero-overhead unmonitored detailed run (launch 1 of every
+     *  kernel, and every launch of a passthrough kernel). */
+    KernelRunResult runPassthrough(const isa::Program &program,
+                                   const func::LaunchDims &dims,
+                                   func::GlobalMemory &mem,
+                                   const func::LaunchTrace *replay);
 
     timing::Gpu &gpu_;
     timing::IntervalBackend &interval_;

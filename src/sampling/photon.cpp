@@ -51,7 +51,8 @@ PhotonSampler::launchKey(const isa::Program &program,
 KernelRunResult
 PhotonSampler::runKernel(const isa::Program &program,
                          const func::LaunchDims &dims,
-                         func::GlobalMemory &mem)
+                         func::GlobalMemory &mem,
+                         const func::LaunchTrace *trace)
 {
     KernelRunResult res;
     KernelTelemetry &tele = res.telemetry;
@@ -69,7 +70,7 @@ PhotonSampler::runKernel(const isa::Program &program,
     if (!reused) {
         it = analyses_
                  .emplace(key, analyzeKernel(program, bb_table, dims, mem,
-                                             cfg_))
+                                             cfg_, trace))
                  .first;
     }
     const OnlineAnalysis &analysis = it->second;
@@ -160,8 +161,8 @@ PhotonSampler::runKernel(const isa::Program &program,
                 intervalMemos_.try_emplace(mk.str()).first->second;
             for (WarpId w = dispatched_warps; w < tele.totalWarps; ++w) {
                 Bbv bbv(bb_table.numBlocks());
-                std::uint64_t insts = traceWarpBbv(program, bb_table,
-                                                   dims, mem, w, bbv);
+                std::uint64_t insts = traceWarpBbv(
+                    program, bb_table, dims, mem, w, bbv, trace);
                 std::uint64_t fp = IntervalMemo::fingerprint(bbv);
                 Cycle dur;
                 if (!memo.lookup(fp, &dur)) {

@@ -56,10 +56,17 @@ class PhotonSampler
   public:
     PhotonSampler(timing::Gpu &gpu, const SamplingConfig &cfg);
 
-    /** Run (or skip) one kernel with the full Photon methodology. */
+    /** Run (or skip) one kernel with the full Photon methodology.
+     *  @p trace optionally supplies a captured functional trace for
+     *  this exact launch (DESIGN.md §15): the online-analysis pass and
+     *  the block-level epilogue then replay warps from the capture
+     *  instead of emulating them (bit-identical BBVs, stores applied
+     *  from the trace's log). The detailed phase keeps emulating — its
+     *  stores must land exactly for the dispatched warps. */
     KernelRunResult runKernel(const isa::Program &program,
                               const func::LaunchDims &dims,
-                              func::GlobalMemory &mem);
+                              func::GlobalMemory &mem,
+                              const func::LaunchTrace *trace = nullptr);
 
     /** The prior-kernel store (persists across launches). */
     KernelCache &cache() { return cache_; }

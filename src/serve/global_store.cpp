@@ -23,6 +23,9 @@ GlobalStore::GlobalStore(Options options) : opts_(std::move(options))
               "': refusing to start over a corrupt checkpoint: ",
               st.error);
     }
+    // Warm restart: re-seed the resident trace store from the
+    // checkpoint's v5 trace section.
+    traceStore_.import(store_.traces);
 }
 
 service::StoreGroup
@@ -70,6 +73,28 @@ GlobalStore::recordJobStats(std::uint64_t hits, std::uint64_t misses,
     stats_.intervalMisses += interval_misses;
     ++stats_.jobsExecuted;
     ++sinceCheckpoint_;
+}
+
+void
+GlobalStore::recordTraceStats(std::uint64_t hits, std::uint64_t misses,
+                              std::uint64_t captures)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.traceHits += hits;
+    stats_.traceMisses += misses;
+    stats_.traceCaptures += captures;
+}
+
+func::TraceStore &
+GlobalStore::traceStore()
+{
+    return traceStore_;
+}
+
+std::size_t
+GlobalStore::numTraces() const
+{
+    return traceStore_.size();
 }
 
 sampling::PhotonSampler::IntervalMemoStore
@@ -169,14 +194,30 @@ GlobalStore::numAnalyses() const
 service::Artifact
 GlobalStore::exportAll() const
 {
+    // The trace store's snapshot takes (and releases) its own mutex;
+    // TraceStore never acquires mu_, so nesting cannot deadlock.
+    std::map<std::string, func::LaunchTracePtr> traces =
+        traceStore_.exportAll();
     std::lock_guard<std::mutex> lock(mu_);
-    return store_;
+    service::Artifact out = store_;
+    out.traces = std::move(traces);
+    return out;
 }
 
 bool
 GlobalStore::writeCheckpointLocked(std::string *error)
 {
-    if (opts_.path.empty() || !dirty_)
+    if (opts_.path.empty())
+        return true;
+    // Fold freshly captured traces into the artifact (first-wins keys,
+    // so a re-fold is a no-op; growth marks the store dirty).
+    std::map<std::string, func::LaunchTracePtr> traces =
+        traceStore_.exportAll();
+    if (traces.size() != store_.traces.size()) {
+        store_.traces = std::move(traces);
+        dirty_ = true;
+    }
+    if (!dirty_)
         return true;
     service::LoadStatus st = service::saveArtifact(store_, opts_.path);
     if (!st.ok) {

@@ -47,6 +47,11 @@ struct StoreStats
     std::uint64_t checkpoints = 0;    ///< checkpoint files written
     std::uint64_t intervalHits = 0;   ///< interval-memo prediction hits
     std::uint64_t intervalMisses = 0; ///< interval-memo misses (fits run)
+    /** Functional-trace reuse (DESIGN.md §15): launches replayed from
+     *  the resident trace store vs. captured fresh by a worker. */
+    std::uint64_t traceHits = 0;
+    std::uint64_t traceMisses = 0;
+    std::uint64_t traceCaptures = 0;
 };
 
 /** The resident cross-campaign store. */
@@ -88,6 +93,23 @@ class GlobalStore
                         std::uint64_t analyses_reused,
                         std::uint64_t interval_hits = 0,
                         std::uint64_t interval_misses = 0);
+
+    /** Fold one executed job's functional-trace counter deltas. */
+    PHOTON_PHASE_EXEMPT
+    void recordTraceStats(std::uint64_t hits, std::uint64_t misses,
+                          std::uint64_t captures);
+
+    /**
+     * The resident functional-trace store workers attach to their
+     * Platform (driver::Platform::setTraceStore). Traces are
+     * micro-architecture independent, so one store serves every GPU;
+     * its contents ride the artifact v5 checkpoint, making warm
+     * restarts skip emulation entirely for known launches.
+     */
+    PHOTON_PHASE_EXEMPT func::TraceStore &traceStore();
+
+    /** Traces currently resident (checkpoint + published). */
+    PHOTON_PHASE_EXEMPT std::size_t numTraces() const;
 
     /**
      * Copy of one GPU's interval memos for seeding a fresh job's
@@ -147,12 +169,18 @@ class GlobalStore
 
   private:
     /** Flush to opts_.path; the caller already holds mu_ (enforced by
-     *  the lint lock-set pass at every call site). */
+     *  the lint lock-set pass at every call site). Folds the trace
+     *  store's current contents into the artifact first, so every
+     *  checkpoint carries the traces captured so far. */
     PHOTON_REQUIRES_LOCK(mu_)
     bool writeCheckpointLocked(std::string *error);
 
     mutable std::mutex mu_;
     Options opts_;
+    /** Internally synchronized (own mutex) — workers hit it on every
+     *  launch, so it deliberately sits outside mu_. */
+    PHOTON_SHARED_STATE
+    func::TraceStore traceStore_;
     PHOTON_SHARED_STATE
     PHOTON_GUARDED_BY(mu_)
     service::Artifact store_;

@@ -266,7 +266,11 @@ appendStatus(std::ostringstream &os, const ServerStatus &s)
        << ", \"interval_misses\": " << s.store.intervalMisses
        << ", \"store_records\": " << s.storeKernelRecords
        << ", \"store_analyses\": " << s.storeAnalyses
-       << ", \"store_interval_entries\": " << s.storeIntervalEntries;
+       << ", \"store_interval_entries\": " << s.storeIntervalEntries
+       << ", \"trace_hits\": " << s.store.traceHits
+       << ", \"trace_misses\": " << s.store.traceMisses
+       << ", \"trace_captures\": " << s.store.traceCaptures
+       << ", \"store_traces\": " << s.storeTraces;
 }
 
 void
@@ -292,6 +296,10 @@ readStatus(const FlatJson &json, ServerStatus &s)
     s.storeKernelRecords = json.getU64("store_records");
     s.storeAnalyses = json.getU64("store_analyses");
     s.storeIntervalEntries = json.getU64("store_interval_entries");
+    s.store.traceHits = json.getU64("trace_hits");
+    s.store.traceMisses = json.getU64("trace_misses");
+    s.store.traceCaptures = json.getU64("trace_captures");
+    s.storeTraces = json.getU64("store_traces");
 }
 
 } // namespace

@@ -174,6 +174,7 @@ SimServer::status() const
     s.storeKernelRecords = store_.numKernelRecords();
     s.storeAnalyses = store_.numAnalyses();
     s.storeIntervalEntries = store_.numIntervalMemoEntries();
+    s.storeTraces = store_.numTraces();
     return s;
 }
 
@@ -233,6 +234,15 @@ SimServer::executeJob(const service::JobSpec &spec)
     driver::Platform platform(gpu, mode, opts_.sampling, backend);
     if (cuThreads_ > 1)
         platform.setCuThreads(cuThreads_);
+    // Attach the resident trace store: full-mode jobs replay launches
+    // any earlier job captured (and capture the ones nobody has);
+    // sampled modes consume hits for their analysis passes. The store
+    // rides the v5 checkpoint, so a warm-restarted daemon replays
+    // without a single emulator invocation.
+    if (opts_.traceReuse)
+        platform.setTraceStore(&store_.traceStore());
+    else
+        platform.setTraceReuse(false);
 
     service::StoreGroup seed = store_.snapshot(spec.gpu);
     std::size_t seed_records = 0;
@@ -269,6 +279,8 @@ SimServer::executeJob(const service::JobSpec &spec)
     }
     r.cacheHit = r.kernels > 0 && r.kernelHits == r.kernels;
     r.analysisReused = analyses_reused > 0;
+    store_.recordTraceStats(platform.traceHits(), platform.traceMisses(),
+                            platform.traceCaptures());
 
     std::vector<sampling::KernelTelemetry> telemetry =
         platform.telemetry();

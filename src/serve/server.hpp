@@ -59,6 +59,11 @@ struct ServerOptions
     /** Core count used for the cu-thread degradation decision; 0 =
      *  std::thread::hardware_concurrency(). */
     std::uint32_t assumeCores = 0;
+    /** Attach the resident functional-trace store to every worker
+     *  Platform (DESIGN.md §15): a launch captured by any job replays
+     *  for every later job, and traces persist across restarts via the
+     *  v5 checkpoint. false restores capture-nothing, replay-nothing. */
+    bool traceReuse = true;
 };
 
 /** Outcome of one request (leader result, fanned out to waiters). */
@@ -94,6 +99,7 @@ struct ServerStatus
     std::size_t storeKernelRecords = 0;
     std::size_t storeAnalyses = 0;
     std::size_t storeIntervalEntries = 0; ///< interval-memo entries held
+    std::size_t storeTraces = 0; ///< functional traces resident (v5)
 };
 
 /** The resident simulation service. */

@@ -133,6 +133,16 @@ class Reader
         return v;
     }
 
+    /** A view of @p n raw bytes (the embedded trace blobs). */
+    std::string_view
+    raw(std::size_t n)
+    {
+        need(n);
+        std::string_view v = bytes_.substr(pos_, n);
+        pos_ += n;
+        return v;
+    }
+
     bool atEnd() const { return pos_ == bytes_.size(); }
 
   private:
@@ -380,6 +390,18 @@ serializeArtifact(const Artifact &artifact)
         for (const auto &t : g.telemetry)
             putTelemetry(out, t);
     }
+    // v5 trace section: std::map iteration is key-sorted, so the
+    // section is byte-deterministic. Each trace is its own versioned
+    // blob (magic "PHTR") behind a length prefix.
+    putU32(out, static_cast<std::uint32_t>(artifact.traces.size()));
+    for (const auto &[key, trace] : artifact.traces) {
+        putString(out, key);
+        std::vector<std::uint8_t> blob;
+        func::serializeLaunchTrace(*trace, blob);
+        putU64(out, blob.size());
+        out.append(reinterpret_cast<const char *>(blob.data()),
+                   blob.size());
+    }
     return out;
 }
 
@@ -419,6 +441,23 @@ deserializeArtifact(std::string_view bytes, Artifact &out)
                 g.telemetry.reserve(num_tele);
                 for (std::uint32_t i = 0; i < num_tele; ++i)
                     g.telemetry.push_back(getTelemetry(body, version));
+            }
+        }
+        if (version >= 5) {
+            std::uint32_t num_traces = body.u32();
+            for (std::uint32_t i = 0; i < num_traces; ++i) {
+                std::string key = body.str();
+                std::uint64_t len = body.u64();
+                std::string_view blob =
+                    body.raw(static_cast<std::size_t>(len));
+                auto trace = std::make_shared<func::LaunchTrace>();
+                std::string err;
+                if (!func::deserializeLaunchTrace(
+                        reinterpret_cast<const std::uint8_t *>(
+                            blob.data()),
+                        blob.size(), *trace, &err))
+                    throw ParseError("trace '" + key + "': " + err);
+                parsed.traces.emplace(std::move(key), std::move(trace));
             }
         }
         if (!body.atEnd())

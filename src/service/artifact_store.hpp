@@ -22,6 +22,7 @@
 #include <string_view>
 #include <vector>
 
+#include "func/warp_trace.hpp"
 #include "sampling/kernel_cache.hpp"
 #include "sampling/photon.hpp"
 #include "sim/phase_annotations.hpp"
@@ -36,8 +37,12 @@ namespace photon::service {
  *  at their zero defaults.
  *  v4: telemetry records gain the timing-backend fields (backend name,
  *  per-backend cycle split, hasDetailedStats; telemetry schema v3);
- *  v3 records load as detailed-backend with full detailed stats. */
-inline constexpr std::uint32_t kArtifactVersion = 4;
+ *  v3 records load as detailed-backend with full detailed stats.
+ *  v5: adds the top-level functional-trace section (captured
+ *  LaunchTrace blobs keyed by func::traceKey). Traces are
+ *  micro-architecture independent, so they live outside the per-GPU
+ *  groups; v1..v4 artifacts load with an empty trace map. */
+inline constexpr std::uint32_t kArtifactVersion = 5;
 
 /** Reusable state produced by runs on one GPU configuration. */
 struct StoreGroup
@@ -58,6 +63,11 @@ struct StoreGroup
 struct Artifact
 {
     std::map<std::string, StoreGroup> groups;
+
+    /** Captured functional traces keyed by func::traceKey() —
+     *  micro-architecture independent, shared by every GPU group
+     *  (v5+). The map matches TraceStore::exportAll()/import(). */
+    std::map<std::string, func::LaunchTracePtr> traces;
 
     StoreGroup &group(const std::string &gpu) { return groups[gpu]; }
 

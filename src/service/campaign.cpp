@@ -356,19 +356,28 @@ writeJsonReport(const CampaignResult &result, std::ostream &os)
            << ", \"cache_hits\": " << j.cacheHits
            << ", \"cache_misses\": " << j.cacheMisses
            << ", \"cache_inserts\": " << j.cacheInserts
+           << ", \"trace_hits\": " << j.traceHits
+           << ", \"trace_misses\": " << j.traceMisses
+           << ", \"trace_captures\": " << j.traceCaptures
            << ", \"telemetry_records\": " << j.telemetry.size()
            << ", \"mean_detailed_fraction\": " << detailed << "}"
            << (i + 1 < result.jobs.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
     std::uint64_t hits = 0, misses = 0, inserts = 0;
+    std::uint64_t thits = 0, tmisses = 0, tcaptures = 0;
     for (const JobResult &j : result.jobs) {
         hits += j.cacheHits;
         misses += j.cacheMisses;
         inserts += j.cacheInserts;
+        thits += j.traceHits;
+        tmisses += j.traceMisses;
+        tcaptures += j.traceCaptures;
     }
     os << "  \"cache\": {\"hits\": " << hits << ", \"misses\": " << misses
        << ", \"inserts\": " << inserts << "},\n";
+    os << "  \"trace\": {\"hits\": " << thits << ", \"misses\": "
+       << tmisses << ", \"captures\": " << tcaptures << "},\n";
     os << "  \"totals\": {\"cycles\": " << result.totalCycles()
        << ", \"insts\": " << result.totalInsts()
        << ", \"kernel_hits\": " << result.totalKernelHits()

@@ -126,6 +126,13 @@ struct JobResult
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
     std::uint64_t cacheInserts = 0;
+    /** Functional-trace reuse (DESIGN.md §15): launches replayed from
+     *  the campaign's shared TraceStore vs. captured fresh by this
+     *  job. hits + captures < kernels is normal — sampled modes only
+     *  consume, and non-traceable launches bypass the store. */
+    std::uint64_t traceHits = 0;
+    std::uint64_t traceMisses = 0;
+    std::uint64_t traceCaptures = 0;
     /** Per-launch telemetry records (the telemetry spine), in launch
      *  order, with .job set to the campaign job label. */
     std::vector<sampling::KernelTelemetry> telemetry;

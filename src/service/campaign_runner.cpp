@@ -83,7 +83,8 @@ struct JobOutput
 
 JobOutput
 runOneJob(const JobSpec &spec, const CampaignOptions &options,
-          std::uint32_t cu_threads, StoreGroup seed)
+          std::uint32_t cu_threads, StoreGroup seed,
+          func::TraceStore *traces)
 {
     JobOutput out;
     out.result.spec = spec;
@@ -99,6 +100,9 @@ runOneJob(const JobSpec &spec, const CampaignOptions &options,
     driver::Platform platform(gpu, mode, options.sampling, backend);
     if (cu_threads > 1)
         platform.setCuThreads(cu_threads);
+    platform.setTraceReuse(options.traceReuse);
+    if (traces)
+        platform.setTraceStore(traces);
     sampling::CacheCounters base;
     if (sampling::PhotonSampler *ph = platform.photon()) {
         out.result.seedRecords = seed.kernels.size();
@@ -129,6 +133,9 @@ runOneJob(const JobSpec &spec, const CampaignOptions &options,
     r.telemetry = platform.telemetry();
     for (auto &t : r.telemetry)
         t.job = spec.label();
+    r.traceHits = platform.traceHits();
+    r.traceMisses = platform.traceMisses();
+    r.traceCaptures = platform.traceCaptures();
 
     if (sampling::PhotonSampler *ph = platform.photon()) {
         const auto &records = ph->cache().records();
@@ -187,6 +194,13 @@ runCampaign(const std::vector<JobSpec> &jobs,
     result.share = sharePolicyName(options.share);
     result.jobs.resize(jobs.size());
 
+    // Traces are shared under every policy: a trace is a pure function
+    // of its key, so replaying one captured by any job is
+    // schedule-independent (unlike signature sharing, which changes
+    // predictions and therefore respects the share policy).
+    func::TraceStore trace_store;
+    trace_store.import(seed.traces);
+
     // Under the "none" policy jobs import from the untouched seed, so
     // keep it aside before the shared store starts accumulating.
     const Artifact initial =
@@ -241,8 +255,10 @@ runCampaign(const std::vector<JobSpec> &jobs,
         std::size_t ci = 0;
         while (tasks.tryPop(w, ci)) {
             for (std::size_t ji : chains[ci]) {
-                JobOutput out = runOneJob(jobs[ji], options, cu_threads,
-                                          snapshot_for(jobs[ji]));
+                JobOutput out = runOneJob(
+                    jobs[ji], options, cu_threads,
+                    snapshot_for(jobs[ji]),
+                    options.traceReuse ? &trace_store : nullptr);
                 if (!out.freshKernels.empty() || !out.analyses.empty())
                     store.publish(jobs[ji].gpu, out.freshKernels,
                                   out.analyses);
@@ -270,6 +286,8 @@ runCampaign(const std::vector<JobSpec> &jobs,
     result.stealOps = steals.stealOps;
     result.stolenTasks = steals.stolenTasks;
     result.finalStore = store.exportAll();
+    if (options.traceReuse)
+        result.finalStore.traces = trace_store.exportAll();
     // Telemetry goes into the final store in job order (not publish
     // order) so the exported artifact is identical for any worker count.
     for (const JobResult &j : result.jobs) {

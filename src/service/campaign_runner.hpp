@@ -109,6 +109,13 @@ struct CampaignOptions
      *  measures against. Results are identical either way; only
      *  wall-clock changes. */
     bool stealing = true;
+    /** Share captured functional traces across the campaign's jobs
+     *  (DESIGN.md §15): the first full-mode job of a (program, launch,
+     *  input) captures, every later job replays. Trace content is a
+     *  pure function of its key, so reuse is schedule-independent
+     *  under every share policy; false disables capture and replay
+     *  (the re-emulation baseline BENCH_trace measures against). */
+    bool traceReuse = true;
 };
 
 /**

@@ -36,6 +36,7 @@ ComputeUnit::ComputeUnit(const GpuConfig &cfg, std::uint32_t cuId,
     waveReleaseFloor_.assign(slots, 0);
     waveInstCount_.assign(slots, 0);
     waveWgSlot_.assign(slots, 0);
+    waveCursor_.resize(slots);
     waveLastFetchLine_.assign(slots, ~std::uint64_t{0});
     waveBbValid_.assign(slots, 0);
     waveCurBb_.assign(slots, isa::kNoBb);
@@ -150,6 +151,8 @@ ComputeUnit::placeWorkgroup(WorkgroupId wg, Cycle now)
         waveWgSlot_[wave_slot] = wg_slot;
         waveLastFetchLine_[wave_slot] = ~std::uint64_t{0};
         waveBbValid_[wave_slot] = 0;
+        if (ctx_.replay)
+            waveCursor_[wave_slot].bind(ctx_.replay, warp);
         const std::uint32_t ri = readyIndex(wave_slot);
         slotWarp_[ri] = warp;
         slotSteps_[ri] = decoded_[ws.pc].minStepsToEnd;
@@ -296,7 +299,10 @@ ComputeUnit::issueFast(std::uint32_t slot, std::uint32_t ri,
     waveLastFetchLine_[slot] = fetch_line;
 
     func::StepResult &step = fastStep_;
-    emu_.step(*ctx_.program, ws, *ctx_.mem, wg.lds, step);
+    if (ctx_.replay)
+        waveCursor_[slot].step(*ctx_.program, ws, step);
+    else
+        emu_.step(*ctx_.program, ws, *ctx_.mem, wg.lds, step);
     ++instsIssued_;
 
     // Identical latency math and shared-memory access order to
@@ -404,7 +410,10 @@ ComputeUnit::issueFront(std::uint32_t slot, Cycle now, PendingIssue &rec)
         waveLastFetchLine_[slot] = fetch_line;
     }
 
-    emu_.step(*ctx_.program, ws, *ctx_.mem, wg.lds, rec.step);
+    if (ctx_.replay)
+        waveCursor_[slot].step(*ctx_.program, ws, rec.step);
+    else
+        emu_.step(*ctx_.program, ws, *ctx_.mem, wg.lds, rec.step);
     ++waveInstCount_[slot];
     ++instsIssued_;
 

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "func/emulator.hpp"
+#include "func/warp_trace.hpp"
 #include "func/wave_state.hpp"
 #include "isa/basic_block.hpp"
 #include "sim/config.hpp"
@@ -66,6 +67,12 @@ struct KernelContext
     const func::LaunchDims *dims = nullptr;
     func::GlobalMemory *mem = nullptr;
     KernelMonitor *monitor = nullptr; ///< may be null
+    /** When non-null, wave slots step through this captured functional
+     *  trace (func/warp_trace.hpp) instead of the emulator: identical
+     *  StepResult stream and pc/exec evolution, no register semantics
+     *  and no memory reads/writes (the launch applies the trace's
+     *  store log up front). */
+    const func::LaunchTrace *replay = nullptr;
     /** Virtual base address of the kernel's code (for L1I tags). */
     Addr codeBase = 1ull << 40;
 };
@@ -415,6 +422,10 @@ class ComputeUnit
     std::vector<Cycle> waveReleaseFloor_;
     std::vector<std::uint64_t> waveInstCount_;
     std::vector<std::uint32_t> waveWgSlot_;
+    /** Trace-replay cursor per slot, bound at placement when the kernel
+     *  context carries a replay trace; touched only on issue, exactly
+     *  like waveState_. */
+    std::vector<func::WarpReplayCursor> waveCursor_; // photon-lint: aos-ok
     std::vector<std::uint64_t> waveLastFetchLine_;
     // Dynamic basic-block tracking (monitor-observable only).
     std::vector<std::uint8_t> waveBbValid_;

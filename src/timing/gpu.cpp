@@ -216,8 +216,14 @@ Gpu::runKernel(const isa::Program &program, const func::LaunchDims &dims,
     ctx.dims = &dims;
     ctx.mem = &mem;
     ctx.monitor = monitor;
+    ctx.replay = opts.replay;
     ctx.codeBase = (1ull << 40) + (kernelSeq_++ << 24);
 
+    // The frozen reference engine has no replay plumbing; callers
+    // selecting the seed loop must not request replay (the platform
+    // disables trace reuse for seed-loop runs).
+    if (opts.useSeedLoop)
+        ctx.replay = nullptr;
     if (opts.useSeedLoop) {
         // Frozen AoS per-cycle reference engine: its own CUs and
         // dispatch state, the Gpu's memory system and clock, so the

@@ -71,6 +71,12 @@ struct RunOptions
      *  (setEpochCap). 1 degenerates epochs to per-cycle stepping — the
      *  stress mode the golden-parity tests pin. */
     Cycle maxEpochCycles = 0;
+    /** Replay the issue front from this captured functional trace
+     *  instead of re-executing register semantics (func/warp_trace.hpp).
+     *  The caller must have applied the trace's store log to memory and
+     *  guarantees the trace matches (program, dims, input). Ignored by
+     *  the seed reference loop, which always emulates. */
+    const func::LaunchTrace *replay = nullptr;
 };
 
 /** Result of one detailed kernel run. */

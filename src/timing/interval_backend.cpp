@@ -7,6 +7,7 @@
 #include <map>
 
 #include "func/emulator.hpp"
+#include "func/warp_trace.hpp"
 #include "func/wave_state.hpp"
 #include "sampling/interval_model.hpp"
 #include "timing/scheduler_model.hpp"
@@ -201,7 +202,7 @@ struct IntervalBackend::Impl
     WarpEstimate
     estimate(KernelModel &km, const isa::Program &program,
              const func::LaunchDims &dims, func::GlobalMemory &mem,
-             WarpId warp)
+             WarpId warp, const func::LaunchTrace *trace)
     {
         std::uint32_t wpw = std::max<std::uint32_t>(
             1, dims.wavesPerWorkgroup);
@@ -213,12 +214,22 @@ struct IntervalBackend::Impl
         // Per-warp LDS stand-in: control flow in the supported
         // workloads never depends on LDS values (same soundness
         // argument as the online-analysis trace).
-        std::vector<std::uint8_t> lds(program.ldsBytes(), 0);
+        std::vector<std::uint8_t> lds(
+            trace ? 0 : program.ldsBytes(), 0);
+        func::WarpReplayCursor cursor;
+        if (trace)
+            cursor.bind(trace, warp);
         func::StepResult res;
         double dur = 0.0;
         std::uint64_t n = 0;
         while (!ws.done) {
-            emu.step(program, ws, mem, lds, res);
+            // The cursor yields the identical StepResult stream the
+            // emulator would (and priceStep consumes nothing else), so
+            // replayed estimates are bit-identical to emulated ones.
+            if (trace)
+                cursor.step(program, ws, res);
+            else
+                emu.step(program, ws, mem, lds, res);
             ++n;
             dur += priceStep(km, res, cu);
         }
@@ -243,7 +254,7 @@ struct IntervalBackend::Impl
     std::vector<Cycle>
     traceLaunch(KernelModel &km, const isa::Program &program,
                 const func::LaunchDims &dims, func::GlobalMemory &mem,
-                std::uint64_t &insts)
+                std::uint64_t &insts, const func::LaunchTrace *trace)
     {
         std::uint32_t wpw = std::max<std::uint32_t>(
             1, dims.wavesPerWorkgroup);
@@ -264,6 +275,7 @@ struct IntervalBackend::Impl
         {
             func::WaveState ws;
             std::vector<std::uint8_t> lds;
+            func::WarpReplayCursor cursor; ///< bound when replaying
             WarpId warp = 0;
             double d = 0.0;
             std::uint64_t n = 0;
@@ -313,19 +325,27 @@ struct IntervalBackend::Impl
             if (cu % stride != 0) {
                 // Functional-only CU: run each warp straight through,
                 // then extrapolate its duration from the same queue
-                // position on its sample CU (processed earlier).
+                // position on its sample CU (processed earlier). With
+                // a trace the straight-through run collapses to a
+                // lookup — the only thing it produced was the
+                // instruction count and the stores, and the trace
+                // carries both (the launch applied the store log).
                 std::uint32_t ref_cu = cu - cu % stride;
                 const auto &ref_q = queue[ref_cu];
                 func::WaveState ws;
                 std::vector<std::uint8_t> lds;
                 for (std::size_t p = 0; p < queue[cu].size(); ++p) {
                     WarpId w = queue[cu][p];
-                    ws.init(program, dims, w);
-                    lds.assign(program.ldsBytes(), 0);
                     std::uint64_t n = 0;
-                    while (!ws.done) {
-                        emu.step(program, ws, mem, lds, res);
-                        ++n;
+                    if (trace) {
+                        n = trace->warps[w].instCount;
+                    } else {
+                        ws.init(program, dims, w);
+                        lds.assign(program.ldsBytes(), 0);
+                        while (!ws.done) {
+                            emu.step(program, ws, mem, lds, res);
+                            ++n;
+                        }
                     }
                     nInsts[w] = n;
                     insts += n;
@@ -351,11 +371,15 @@ struct IntervalBackend::Impl
                     auto a = std::make_unique<Active>();
                     a->warp = queue[cu][cs.next++];
                     a->ws.init(program, dims, a->warp);
-                    // Per-warp LDS stand-in: control flow in the
-                    // supported workloads never depends on LDS values
-                    // (same soundness argument as the online-analysis
-                    // trace).
-                    a->lds.assign(program.ldsBytes(), 0);
+                    if (trace) {
+                        a->cursor.bind(trace, a->warp);
+                    } else {
+                        // Per-warp LDS stand-in: control flow in the
+                        // supported workloads never depends on LDS
+                        // values (same soundness argument as the
+                        // online-analysis trace).
+                        a->lds.assign(program.ldsBytes(), 0);
+                    }
                     cs.run.push_back(std::move(a));
                 }
             };
@@ -367,7 +391,14 @@ struct IntervalBackend::Impl
                     Active &a = *cs.run[(i + round) % width];
                     for (std::uint32_t k = 0;
                          k < kChunk && !a.ws.done; ++k) {
-                        emu.step(program, a.ws, mem, a.lds, res);
+                        // Identical rotating interleave either way;
+                        // the cursor's StepResult stream matches the
+                        // emulator's, so the proxies and durations are
+                        // bit-identical to a cold (emulated) launch.
+                        if (trace)
+                            a.cursor.step(program, a.ws, res);
+                        else
+                            emu.step(program, a.ws, mem, a.lds, res);
                         ++a.n;
                         a.d += priceStep(km, res, cu);
                     }
@@ -456,7 +487,8 @@ IntervalBackend::runKernel(const isa::Program &program,
                            const RunOptions &opts)
 {
     (void)monitor; // no monitorHooks capability
-    (void)opts;    // cycle-level knobs have nothing to steer here
+    // Of opts, only replay matters here; the cycle-level knobs have
+    // nothing to steer.
 
     Impl::KernelModel &km = impl_->model(program.name());
     const GpuConfig &cfg = impl_->cfg;
@@ -471,8 +503,8 @@ IntervalBackend::runKernel(const isa::Program &program,
     std::uint64_t dram0 = impl_->dramLines;
     std::uint64_t issue0 = impl_->issueCycles;
     std::uint64_t l2h0 = impl_->l2Hits;
-    std::vector<Cycle> durations =
-        impl_->traceLaunch(km, program, dims, mem, out.instsIssued);
+    std::vector<Cycle> durations = impl_->traceLaunch(
+        km, program, dims, mem, out.instsIssued, opts.replay);
     for (Cycle d : durations)
         sched.scheduleWarp(d);
 
@@ -570,11 +602,12 @@ IntervalBackend::WarpEstimate
 IntervalBackend::estimateWarp(const isa::Program &program,
                               const func::LaunchDims &dims,
                               func::GlobalMemory &mem, WarpId warp,
-                              bool split_bb_at_waitcnt)
+                              bool split_bb_at_waitcnt,
+                              const func::LaunchTrace *replay)
 {
     (void)split_bb_at_waitcnt; // pricing is per-instruction, not per-block
     Impl::KernelModel &km = impl_->model(program.name());
-    return impl_->estimate(km, program, dims, mem, warp);
+    return impl_->estimate(km, program, dims, mem, warp, replay);
 }
 
 } // namespace photon::timing

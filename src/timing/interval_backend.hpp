@@ -112,12 +112,16 @@ class IntervalBackend final : public TimingBackend
      * Predict a single warp of @p program under this backend's current
      * fits — the auto pilot's epilogue uses this to price the warps
      * the detailed phase never dispatched. Functionally executes the
-     * warp (its stores apply to @p mem).
+     * warp (its stores apply to @p mem) unless @p replay supplies a
+     * captured trace, in which case the warp's StepResult stream is
+     * replayed bit-identically with no memory writes (the caller
+     * already applied the trace's store log).
      */
     WarpEstimate estimateWarp(const isa::Program &program,
                               const func::LaunchDims &dims,
                               func::GlobalMemory &mem, WarpId warp,
-                              bool split_bb_at_waitcnt = false);
+                              bool split_bb_at_waitcnt = false,
+                              const func::LaunchTrace *replay = nullptr);
 
   private:
     struct Impl;

@@ -235,14 +235,15 @@ TEST(Telemetry, ArtifactStorePersistsTelemetry)
 TEST(Telemetry, ArtifactLoaderStillAcceptsV1)
 {
     // A v1 artifact is the current layout minus the per-group telemetry
-    // section; synthesize one by patching the version field of an
-    // empty-group artifact and dropping the trailing telemetry count.
+    // section and the trailing v5 trace section; synthesize one by
+    // patching the version field of an empty-group artifact and
+    // dropping the trailing trace count + telemetry count.
     service::Artifact art;
     art.group("tiny"); // one empty group
     std::string bytes = service::serializeArtifact(art);
-    ASSERT_GE(bytes.size(), 8u + 4u);
+    ASSERT_GE(bytes.size(), 8u + 8u);
     bytes[4] = 1;                              // version -> 1
-    bytes.resize(bytes.size() - 4);            // drop telemetry count
+    bytes.resize(bytes.size() - 8);            // drop trace+telemetry counts
     service::Artifact back;
     service::LoadStatus st = service::deserializeArtifact(bytes, back);
     ASSERT_TRUE(st.ok) << st.error;
@@ -261,9 +262,9 @@ TEST(Telemetry, ArtifactLoaderStillAcceptsV2)
     service::Artifact art;
     art.group("tiny").telemetry.push_back(sampleRecord());
     std::string bytes = service::serializeArtifact(art);
-    ASSERT_GE(bytes.size(), 8u + 64u);
+    ASSERT_GE(bytes.size(), 8u + 68u);
     bytes[4] = 2;                              // version -> 2
-    bytes.resize(bytes.size() - 64);           // drop v3 + v4 tails
+    bytes.resize(bytes.size() - 68);           // drop v3+v4 tails + v5 traces
     service::Artifact back;
     service::LoadStatus st = service::deserializeArtifact(bytes, back);
     ASSERT_TRUE(st.ok) << st.error;
@@ -289,9 +290,9 @@ TEST(Telemetry, ArtifactLoaderStillAcceptsV3)
     service::Artifact art;
     art.group("tiny").telemetry.push_back(sampleRecord());
     std::string bytes = service::serializeArtifact(art);
-    ASSERT_GE(bytes.size(), 8u + 32u);
+    ASSERT_GE(bytes.size(), 8u + 36u);
     bytes[4] = 3;                              // version -> 3
-    bytes.resize(bytes.size() - 32);           // drop v4 field tail
+    bytes.resize(bytes.size() - 36);           // drop v4 tail + v5 traces
     service::Artifact back;
     service::LoadStatus st = service::deserializeArtifact(bytes, back);
     ASSERT_TRUE(st.ok) << st.error;

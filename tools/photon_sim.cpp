@@ -77,6 +77,10 @@ struct Options
     std::string cacheIn;
     std::string cacheOut;
     std::string report;
+
+    // Functional-trace reuse (DESIGN.md §15).
+    std::string traceCache;
+    bool noTraceReuse = false;
 };
 
 void
@@ -92,7 +96,8 @@ usage()
         "                  [--no-bb-sampling]\n"
         "                  [--campaign FILE] [--jobs N] [--share P]\n"
         "                  [--cache-in PATH] [--cache-out PATH]\n"
-        "                  [--report PATH]\n"
+        "                  [--report PATH] [--trace-cache PATH]\n"
+        "                  [--no-trace-reuse]\n"
         "  W: relu fir sc mm mmtiled aes spmv pagerank vgg16 vgg19\n"
         "     resnet18 resnet34 resnet50 resnet101 resnet152 (default mm)\n"
         "  N: warps for relu/fir/sc/aes/spmv; matrix dim for mm/mmtiled;\n"
@@ -121,7 +126,12 @@ usage()
         "                   live (default ordered, deterministic)\n"
         "  --cache-in PATH  seed the kernel-signature store from a file\n"
         "  --cache-out PATH write the final store for later runs\n"
-        "  --report PATH    write the per-job JSON report\n");
+        "  --report PATH    write the per-job JSON report\n"
+        "functional-trace reuse (on by default; works in both modes):\n"
+        "  --trace-cache PATH  persist captured launch traces to PATH\n"
+        "                      and replay from it on later runs\n"
+        "  --no-trace-reuse    capture/replay nothing (every launch\n"
+        "                      re-executes register semantics)\n");
 }
 
 /** Parse a numeric flag value; exits with a usage error on junk. */
@@ -181,6 +191,19 @@ runOnce(const Options &o, std::uint32_t size, driver::SimMode mode,
     driver::Platform p(gpu, mode, samplingFromOptions(o), backend);
     if (o.cuThreads > 1)
         p.setCuThreads(o.cuThreads);
+    if (o.noTraceReuse)
+        p.setTraceReuse(false);
+    else if (!o.traceCache.empty()) {
+        std::ifstream probe(o.traceCache, std::ios::binary);
+        if (probe) { // a missing file is a cold start
+            service::Artifact tc;
+            service::LoadStatus st =
+                service::loadArtifact(o.traceCache, tc);
+            if (!st.ok)
+                fatal("--trace-cache: ", st.error);
+            p.traceStore().import(tc.traces);
+        }
+    }
     auto w = service::makeWorkload(o.workload, size, &err);
     if (!w)
         fatal(err);
@@ -207,6 +230,20 @@ runOnce(const Options &o, std::uint32_t size, driver::SimMode mode,
     }
     if (!telemetry_path.empty())
         writeTelemetry(p.telemetry(), telemetry_path);
+    if (!o.noTraceReuse && !o.traceCache.empty()) {
+        // The artifact carries only the trace section here; first-wins
+        // merge on load keeps repeated runs idempotent.
+        service::Artifact tc;
+        tc.traces = p.traceStore().exportAll();
+        service::LoadStatus st = service::saveArtifact(tc, o.traceCache);
+        if (!st.ok)
+            fatal("--trace-cache: ", st.error);
+        std::printf("trace cache: %llu hits, %llu captures, %zu traces "
+                    "written to %s\n",
+                    static_cast<unsigned long long>(p.traceHits()),
+                    static_cast<unsigned long long>(p.traceCaptures()),
+                    tc.traces.size(), o.traceCache.c_str());
+    }
     return {p.totalKernelCycles(), p.totalInsts(),
             p.totalWallSeconds()};
 }
@@ -271,6 +308,7 @@ runCampaignMode(const Options &o)
     opts.workers = o.jobs ? o.jobs : 1;
     opts.cuThreads = o.cuThreads;
     opts.sampling = samplingFromOptions(o);
+    opts.traceReuse = !o.noTraceReuse;
     std::string err;
     if (!service::parseSharePolicy(o.share, opts.share, &err))
         fatal(err);
@@ -283,6 +321,21 @@ runCampaignMode(const Options &o)
         std::printf("seeded %zu kernel records, %zu analyses from %s\n",
                     seed.numKernelRecords(), seed.numAnalyses(),
                     o.cacheIn.c_str());
+    }
+    if (!o.noTraceReuse && !o.traceCache.empty()) {
+        std::ifstream probe(o.traceCache, std::ios::binary);
+        if (probe) {
+            service::Artifact tc;
+            service::LoadStatus st =
+                service::loadArtifact(o.traceCache, tc);
+            if (!st.ok)
+                fatal("--trace-cache: ", st.error);
+            // First-wins: --cache-in traces (if any) take precedence.
+            for (const auto &[key, trace] : tc.traces)
+                seed.traces.emplace(key, trace);
+            std::printf("seeded %zu launch traces from %s\n",
+                        tc.traces.size(), o.traceCache.c_str());
+        }
     }
 
     service::CampaignResult result =
@@ -311,6 +364,15 @@ runCampaignMode(const Options &o)
             fatal("--cache-out: ", st.error);
         std::printf("store written to %s\n", o.cacheOut.c_str());
     }
+    if (!o.noTraceReuse && !o.traceCache.empty()) {
+        service::Artifact tc;
+        tc.traces = result.finalStore.traces;
+        service::LoadStatus st = service::saveArtifact(tc, o.traceCache);
+        if (!st.ok)
+            fatal("--trace-cache: ", st.error);
+        std::printf("trace cache: %zu traces written to %s\n",
+                    tc.traces.size(), o.traceCache.c_str());
+    }
     return 0;
 }
 
@@ -334,6 +396,7 @@ struct ServeOptions
     double timeoutSeconds = 300.0;
     bool json = false;
     bool quiet = false;
+    bool noTraceReuse = false;
 };
 
 void
@@ -390,6 +453,7 @@ parseServeArgs(int argc, char **argv, int first)
             o.timeoutSeconds = parseCount(a, next());
         else if (a == "--json") o.json = true;
         else if (a == "--quiet") o.quiet = true;
+        else if (a == "--no-trace-reuse") o.noTraceReuse = true;
         else if (a == "--help" || a == "-h") { serveUsage(); std::exit(0); }
         else { serveUsage(); fatal("unknown flag ", a); }
     }
@@ -408,6 +472,7 @@ runServeVerb(const ServeOptions &o)
     d.server.store.path = o.storePath;
     d.server.store.checkpointEvery = o.checkpointEvery;
     d.server.assumeCores = o.assumeCores;
+    d.server.traceReuse = !o.noTraceReuse;
     return serve::runDaemon(d);
 }
 
@@ -438,6 +503,8 @@ printStatus(const serve::ServerStatus &s)
         "kernel cache: %llu hits / %llu misses (%.1f%% hit rate), "
         "%llu inserts, %llu analyses reused\n"
         "interval memo: %llu hits / %llu misses, %zu entries\n"
+        "trace cache: %llu hits / %llu misses, %llu captures, "
+        "%zu traces resident\n"
         "store: %zu kernel records, %zu analyses, %llu checkpoints\n",
         s.workers, s.cuThreads, s.cuThreadsDegraded ? " [degraded]" : "",
         static_cast<unsigned long long>(s.queued),
@@ -457,6 +524,10 @@ printStatus(const serve::ServerStatus &s)
         static_cast<unsigned long long>(s.store.intervalHits),
         static_cast<unsigned long long>(s.store.intervalMisses),
         s.storeIntervalEntries,
+        static_cast<unsigned long long>(s.store.traceHits),
+        static_cast<unsigned long long>(s.store.traceMisses),
+        static_cast<unsigned long long>(s.store.traceCaptures),
+        s.storeTraces,
         s.storeKernelRecords, s.storeAnalyses,
         static_cast<unsigned long long>(s.store.checkpoints));
 }
@@ -614,6 +685,8 @@ main(int argc, char **argv)
         else if (a == "--cache-in") o.cacheIn = next();
         else if (a == "--cache-out") o.cacheOut = next();
         else if (a == "--report") o.report = next();
+        else if (a == "--trace-cache") o.traceCache = next();
+        else if (a == "--no-trace-reuse") o.noTraceReuse = true;
         else if (a == "--help" || a == "-h") { usage(); return 0; }
         else { usage(); fatal("unknown flag ", a); }
     }
